@@ -1,0 +1,55 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` module regenerates one table or figure of the paper
+(see DESIGN.md's per-experiment index): it recomputes the artifact
+from scratch through the full pipeline, prints it in the paper's
+layout, and writes a copy under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def results_path(name: str) -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return os.path.join(RESULTS_DIR, name)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def emit(name: str, text: str) -> None:
+    """Print the regenerated artifact and persist it."""
+    print()
+    print(text)
+    with open(results_path(name), "w") as fh:
+        fh.write(text + "\n")
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The pipelines here are end-to-end reproductions (seconds each);
+    statistical repetition is pointless, the wall time is the datum.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

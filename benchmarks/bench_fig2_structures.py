@@ -1,0 +1,59 @@
+"""Fig. 2: the example CFG with its loop-nesting-tree, and the example
+call graph with its recursive-component-set.
+
+Rebuilds both structures from the paper's graphs and prints them in
+the figure's terms (headers, back-edges, entries, components).
+"""
+
+import pytest
+
+from _harness import emit, format_table, once
+from repro.cfg import build_loop_forest, build_recursive_component_set
+
+
+def run_structures():
+    forest = build_loop_forest(
+        "f",
+        {"A", "B", "C", "D", "E"},
+        {("A", "B"), ("B", "C"), ("B", "D"), ("C", "D"), ("D", "C"),
+         ("D", "B"), ("B", "E")},
+        "A",
+    )
+    rcs = build_recursive_component_set(
+        {"M", "A", "B", "C", "E"},
+        {("M", "A"), ("A", "B"), ("B", "C"), ("C", "B"), ("C", "C"),
+         ("B", "E")},
+        "M",
+    )
+    return forest, rcs
+
+
+def test_fig2_structures(benchmark):
+    forest, rcs = once(benchmark, run_structures)
+    rows = [
+        [lp.id, lp.header, sorted(lp.region), sorted(lp.back_edges),
+         sorted(lp.entries), lp.depth]
+        for lp in forest.all_loops
+    ]
+    t1 = format_table(
+        ["loop", "header", "region", "back-edges", "entries", "depth"],
+        rows,
+        title="Fig. 2b: loop-nesting-tree of the example CFG",
+    )
+    rows2 = [
+        [c.id, sorted(c.functions), sorted(c.entries), sorted(c.headers)]
+        for c in rcs.components
+    ]
+    t2 = format_table(
+        ["component", "functions", "entries", "headers"],
+        rows2,
+        title="Fig. 2d: recursive-component-set of the example CG",
+    )
+    emit("fig2_structures.txt", t1 + "\n\n" + t2)
+
+    # the figure's facts
+    l1, l2 = forest.all_loops[0], forest.all_loops[0].children[0]
+    assert l1.header == "B" and l1.back_edges == {("D", "B")}
+    assert l2.header == "C" and l2.entries == {"C", "D"}
+    (c,) = rcs.components
+    assert c.entries == {"B"} and c.headers == {"B", "C"}

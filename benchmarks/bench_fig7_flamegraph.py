@@ -1,0 +1,68 @@
+"""Fig. 7: the annotated flame graph for backprop.
+
+Profiles the full backprop training step and renders the dynamic
+schedule tree as an SVG flame graph: hot regions wide, loop/call nodes
+tinted, non-affine regions grayed, and the suggested transformations
+attached as annotations -- the paper's main visual feedback artifact.
+The SVG is written to ``benchmarks/results/fig7_backprop.svg``.
+"""
+
+import pytest
+
+from _harness import emit, once, results_path
+from repro.feedback import render_flamegraph_svg
+from repro.pipeline import analyze
+from repro.workloads.backprop import build_backprop
+
+
+def run_flamegraph():
+    result = analyze(build_backprop())
+    # non-affine / blacklisted regions are grayed (the paper grays the
+    # initialization and libc calls; our analogue: non-affine leaves)
+    bad_leaves = set()
+    bad_deps = set()
+    for dep in result.folded.transform_deps():
+        if dep.relation is None and dep.key.kind in ("flow", "reg"):
+            bad_deps.add(dep.key.dst)
+    for key, fs in result.folded.statements.items():
+        if not result.folded.stmt_is_affine(key, bad_deps):
+            ctx = fs.stmt.context
+            bad_leaves.add(tuple(ctx[j] for j in range(len(ctx) - 1)))
+
+    annotations = {}
+    for plan in result.plans:
+        if not plan.steps:
+            continue
+        label = "; ".join(f"{s.kind}" for s in plan.steps)
+        annotations[plan.leaf.loop_id] = label
+
+    def annotate(path, node):
+        return annotations.get(path[-1], "")
+
+    def grayed(path, node):
+        return any(path[-1] == leaf[-1][-1] for leaf in bad_leaves)
+
+    svg = render_flamegraph_svg(
+        result.schedule_tree,
+        annotate=annotate,
+        grayed=grayed,
+        title="poly-prof annotated flame graph: backprop",
+    )
+    return result, svg
+
+
+def test_fig7_flamegraph(benchmark):
+    result, svg = once(benchmark, run_flamegraph)
+    path = results_path("fig7_backprop.svg")
+    with open(path, "w") as fh:
+        fh.write(svg)
+    print(f"\nFig. 7 flame graph written to {path} ({len(svg)} bytes)")
+    summary = result.schedule_tree.render_text()
+    emit("fig7_schedule_tree.txt", summary)
+
+    assert svg.startswith("<svg") and svg.endswith("</svg>")
+    # the two fat functions of the paper's Fig. 7 are visible frames
+    assert "bpnn_adjust_weights" in svg
+    assert "bpnn_layerforward" in svg
+    # annotations made it into tooltips
+    assert "parallel" in svg or "simd" in svg or "interchange" in svg

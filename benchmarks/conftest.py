@@ -1,0 +1,7 @@
+"""Make the benchmark helpers importable when pytest runs from the
+repository root."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,88 @@
+"""Case study I end to end: backprop feedback + annotated flame graph.
+
+Reproduces the paper's section 7 workflow on the backprop workload:
+profile the training step, locate the fat regions, print per-loop
+properties (parallel / permutable / stride-0/1), print the suggested
+structured transformation, estimate the speedup with the cache cost
+model, and write the Fig. 7-style annotated flame graph SVG next to
+this script.
+
+Run:  python examples/backprop_feedback.py
+"""
+
+import os
+
+from repro.feedback import (
+    nest_report,
+    render_flamegraph_svg,
+    stride_scores,
+)
+from repro.machine import CostConfig, estimate_speedup
+from repro.pipeline import analyze
+from repro.schedule import plan_nest
+from repro.workloads.backprop import build_backprop
+
+
+def main() -> None:
+    spec = build_backprop()
+    result = analyze(spec)
+    total = result.forest.total_ops()
+
+    print("== fat regions (hotness from the dynamic schedule tree) ==")
+    leaves = sorted(
+        (n for n in result.forest.walk() if n.is_innermost()),
+        key=lambda n: -n.ops_total,
+    )
+    for leaf in leaves[:4]:
+        funcs = {s.stmt.func for s in leaf.stmts}
+        pct = 100.0 * leaf.ops_total / total
+        print(f"  {leaf.loop_id:28s} {pct:5.1f}%  in {sorted(funcs)}")
+
+    print("\n== feedback for the two hot kernels ==")
+    cost = CostConfig(simd_width=4, threads=4, thread_efficiency=0.5)
+    for leaf in leaves[:2]:
+        scores = stride_scores(leaf)
+        plan = plan_nest(result.forest, leaf, scores)
+        report = nest_report(result.forest, leaf, plan)
+        print(f"\nnest {leaf.loop_id}:")
+        for d in report.dims:
+            print(
+                f"  dim {d.loop_id}: parallel={d.parallel} "
+                f"permutable={d.permutable} stride01={d.pct_stride01:.0f}%"
+            )
+        for step in plan.steps:
+            print(f"  suggest: {step}")
+        mem_stmts = [
+            s for s in leaf.stmts
+            if s.stmt.instr.is_mem and s.label_fn is not None and s.exact
+        ]
+        dom_stmt = max(
+            (s for s in leaf.stmts if s.exact and s.depth == leaf.depth),
+            key=lambda s: s.count,
+            default=None,
+        )
+        if mem_stmts and dom_stmt is not None:
+            domain = dom_stmt.domain.pieces[0]
+            opp = sum(s.count for s in leaf.stmts) / max(domain.card(), 1)
+            speedup, _, _ = estimate_speedup(
+                mem_stmts, domain, opp,
+                {"order": None},
+                {"order": plan.permutation, "simd": plan.simd,
+                 "parallel": bool(plan.parallel_dims)},
+                cost,
+            )
+            print(f"  estimated speedup: {speedup:.1f}x "
+                  "(paper measured 5.3x / 7.8x on a Xeon)")
+
+    svg = render_flamegraph_svg(
+        result.schedule_tree,
+        title="poly-prof annotated flame graph: backprop",
+    )
+    out = os.path.join(os.path.dirname(__file__), "backprop_flamegraph.svg")
+    with open(out, "w") as fh:
+        fh.write(svg)
+    print(f"\nflame graph written to {out}")
+
+
+if __name__ == "__main__":
+    main()

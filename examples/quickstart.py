@@ -1,0 +1,58 @@
+"""Quickstart: profile a kernel and read POLY-PROF's feedback.
+
+Builds a small matrix-multiply-like kernel through the structured
+frontend (which lowers it to branch-level mini-ISA code), runs the
+full pipeline -- dynamic CFG recovery, loop events, dynamic IIVs,
+shadow-memory dependence profiling, polyhedral folding, dependence
+analysis -- and prints the suggested transformations.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.feedback import render_report
+from repro.isa import Memory, ProgramBuilder
+from repro.pipeline import ProgramSpec, analyze
+
+N = 8
+
+
+def build_matmul() -> ProgramSpec:
+    pb = ProgramBuilder("matmul")
+    with pb.function("main", ["A", "B", "C", "n"]) as f:
+        with f.loop(0, "n", line=10) as i:
+            with f.loop(0, "n", line=11) as j:
+                acc = f.set(f.fresh_reg("acc"), 0.0)
+                with f.loop(0, "n", line=12) as k:
+                    a = f.load("A", index=f.add(f.mul(i, "n"), k), line=13)
+                    b = f.load("B", index=f.add(f.mul(k, "n"), j), line=13)
+                    f.fadd(acc, f.fmul(a, b), into=acc)
+                f.store("C", acc, index=f.add(f.mul(i, "n"), j), line=14)
+        f.halt()
+
+    def make_state():
+        mem = Memory()
+        a = mem.alloc_array([float((i * 7) % 5) for i in range(N * N)])
+        b = mem.alloc_array([float((i * 3) % 4) for i in range(N * N)])
+        c = mem.alloc(N * N, init=0.0)
+        return (a, b, c, N), mem
+
+    return ProgramSpec("matmul", pb.build(), make_state)
+
+
+def main() -> None:
+    spec = build_matmul()
+    result = analyze(spec)
+
+    print(f"profiled {result.ddg_profile.builder.instr_count} dynamic "
+          f"instructions")
+    print(f"compact DDG: {result.folded.stmt_count()} statements, "
+          f"{len(result.folded.deps)} dependence relations")
+    aff = 100.0 * result.folded.affine_ops() / result.folded.dyn_ops()
+    print(f"fully affine: {aff:.0f}% of dynamic operations\n")
+
+    print(render_report(result.forest, result.plans,
+                        title="poly-prof feedback: matmul"))
+
+
+if __name__ == "__main__":
+    main()

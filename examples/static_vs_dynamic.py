@@ -1,0 +1,48 @@
+"""Static vs dynamic: why the paper profiles binaries.
+
+The ``bpnn_layerforward`` kernel accesses its weight matrix through an
+array of row pointers.  A static polyhedral tool (Polly; here our
+mini-Polly baseline) cannot model the indirection and gives up; the
+dynamic pipeline observes the actual addresses, folds them into exact
+affine access functions, and unlocks the interchange+SIMD feedback.
+
+Run:  python examples/static_vs_dynamic.py
+"""
+
+from repro.pipeline import analyze
+from repro.staticpoly import analyze_static
+from repro.workloads.examples_paper import layerforward_kernel
+
+
+def main() -> None:
+    spec = layerforward_kernel(n1=15, n2=10)
+
+    print("== static analysis (Polly baseline) ==")
+    report = analyze_static(spec.program, ["bpnn_layerforward"])
+    print(f"whole region modelable: {report.whole_region_modelable}")
+    print(f"failure reasons: {report.reasons} "
+          "(R=call, C=cfg, B=bounds, F=access, A=alias, P=base-ptr)")
+    for nest in report.nests:
+        verdict = "modelable" if nest.modelable else f"fails ({nest.reasons})"
+        print(f"  nest at {nest.func}/{nest.header} depth {nest.depth}D: "
+              f"{verdict}")
+
+    print("\n== dynamic analysis (poly-prof) ==")
+    result = analyze(spec)
+    folded = result.folded
+    aff = 100.0 * folded.affine_ops() / folded.dyn_ops()
+    print(f"fully affine: {aff:.0f}% of dynamic operations")
+    for fs in folded.statements.values():
+        if fs.stmt.instr.is_load and fs.depth == 2 and fs.label_fn:
+            addr = fs.label_fn.exprs[0]
+            print(f"  load uid {fs.stmt.uid}: access function "
+                  f"addr = {addr.pretty(['cj', 'ck'])}")
+    for plan in result.plans:
+        if plan.leaf.depth == 2 and plan.steps:
+            print("  suggested transformation:")
+            for s in plan.steps:
+                print(f"    {s}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""poly-prof reproduction: data-flow/dependence profiling for
+structured transformations (Gruber et al., PPoPP 2019).
+
+The public entry point is :func:`repro.pipeline.analyze`; see README.md
+for the architecture and ``python -m repro list`` for the bundled
+workloads.
+"""
+
+__version__ = "0.1.0"
+
+from .pipeline import AnalysisResult, ProgramSpec, analyze
+
+__all__ = ["AnalysisResult", "ProgramSpec", "analyze", "__version__"]

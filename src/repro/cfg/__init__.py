@@ -1,0 +1,30 @@
+"""Interprocedural control structure (paper section 3).
+
+Dynamic CFG/CG reconstruction, loop-nesting forests (Havlak via
+Ramalingam's characterization), the recursive-component-set, and the
+Algorithm 1/2 loop-event generator.
+"""
+
+from .builder import ControlStructureBuilder, DynCFG, DynCallGraph
+from .loop_events import LoopEvent, LoopEventGenerator, qualify
+from .looptree import Loop, LoopForest, build_loop_forest
+from .rcs import (
+    RecursiveComponent,
+    RecursiveComponentSet,
+    build_recursive_component_set,
+)
+
+__all__ = [
+    "ControlStructureBuilder",
+    "DynCFG",
+    "DynCallGraph",
+    "Loop",
+    "LoopEvent",
+    "LoopEventGenerator",
+    "LoopForest",
+    "RecursiveComponent",
+    "RecursiveComponentSet",
+    "build_loop_forest",
+    "build_recursive_component_set",
+    "qualify",
+]

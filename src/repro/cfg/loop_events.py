@@ -1,0 +1,183 @@
+"""Algorithms 1 & 2: loop events from the raw control-event stream.
+
+The stream of ``jump`` / ``call`` / ``return`` events produced by the
+instrumented execution is rewritten into *loop events*:
+
+========  ==========================================================
+``E``     entry into a CFG loop (jump to a non-visiting header)
+``I``     iteration of a CFG loop (jump to a visiting header)
+``X``     exit of a CFG loop (jump/return to a block outside it)
+``N``     plain local jump
+``C``     plain call
+``R``     plain return
+``Ec``    call to a recursive component's entry: recursive-loop entry
+``Ic``    call to a recursive component's header: iteration
+``Ir``    return from a recursive component's header: iteration
+``Xr``    unstacking of the entering call: recursive-loop exit
+========  ==========================================================
+
+The implementation follows the paper's Algorithms 1 and 2, with one
+clarification the pseudo-code leaves implicit: the pop-exited-loops
+scan on a local jump only considers CFG loops *of the jumping
+function* (a callee's jumps must not exit loops still live in its
+caller further down the ``inLoops`` stack).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+
+from ..isa.events import CallEvent, ControlEvent, JumpEvent, ReturnEvent
+from .looptree import Loop, LoopForest
+from .rcs import RecursiveComponent, RecursiveComponentSet
+
+AnyLoop = Union[Loop, RecursiveComponent]
+
+
+def qualify(func: str, bb: str) -> str:
+    """Global name of a basic block ('func.bb')."""
+    return f"{func}.{bb}"
+
+
+@dataclass(frozen=True)
+class LoopEvent:
+    """One loop event; ``block`` is the qualified destination block."""
+
+    kind: str                      # E I X N C R Ec Ic Ir Xr
+    block: Optional[str]
+    loop: Optional[AnyLoop] = None
+
+    def __str__(self) -> str:
+        if self.loop is not None:
+            return f"{self.kind}({self.loop.id}, {self.block})"
+        return f"{self.kind}({self.block})"
+
+
+class LoopEventGenerator:
+    """Stateful rewriter: control events in, loop events out.
+
+    Feed events with :meth:`process`, which yields zero or more loop
+    events per control event.  The ``inLoops`` stack and all
+    visiting/stack-count state live here, so one generator serves one
+    execution.
+    """
+
+    def __init__(
+        self,
+        forests: Dict[str, LoopForest],
+        rcs: RecursiveComponentSet,
+    ) -> None:
+        self.forests = forests
+        self.rcs = rcs
+        self.in_loops: List[AnyLoop] = []
+        self._visiting: Set[str] = set()           # CFG loop ids
+        self._stackcount: Dict[str, int] = {}      # component id -> count
+        self._entry: Dict[str, Optional[str]] = {} # component id -> function
+
+    # -- main dispatch ---------------------------------------------------------
+
+    def process(self, event: ControlEvent) -> Iterator[LoopEvent]:
+        if isinstance(event, JumpEvent):
+            yield from self._on_jump(event)
+        elif isinstance(event, CallEvent):
+            yield from self._on_call(event)
+        elif isinstance(event, ReturnEvent):
+            yield from self._on_return(event)
+        else:  # pragma: no cover
+            raise TypeError(f"unexpected event {event!r}")
+
+    def process_all(self, events: Iterable[ControlEvent]) -> Iterator[LoopEvent]:
+        for ev in events:
+            yield from self.process(ev)
+
+    # -- Algorithm 1: local jumps -------------------------------------------------
+
+    def _on_jump(self, event: JumpEvent) -> Iterator[LoopEvent]:
+        func, bb = event.func, event.dst_bb
+        qbb = qualify(func, bb)
+        # exit live CFG loops of this function that do not contain B
+        while self.in_loops:
+            top = self.in_loops[-1]
+            if not isinstance(top, Loop) or not top.is_cfg:
+                break
+            if top.func != func or bb in top.region:
+                break
+            self._visiting.discard(top.id)
+            self.in_loops.pop()
+            yield LoopEvent("X", qbb, top)
+        forest = self.forests.get(func)
+        loop = forest.by_header.get(bb) if forest else None
+        if loop is not None:
+            if loop.id not in self._visiting:
+                self._visiting.add(loop.id)
+                self.in_loops.append(loop)
+                yield LoopEvent("E", qbb, loop)
+            else:
+                yield LoopEvent("I", qbb, loop)
+        yield LoopEvent("N", qbb)
+
+    # -- Algorithm 2: calls ----------------------------------------------------------
+
+    def _on_call(self, event: CallEvent) -> Iterator[LoopEvent]:
+        if event.caller is None:
+            # synthetic entry into main: the following jump event emits N
+            return
+        callee = event.callee
+        qbb = qualify(callee, event.dst_bb)
+        comp = self.rcs.component_of(callee)
+        if comp is not None and callee in comp.entries and \
+                self._entry.get(comp.id) is None:
+            self._entry[comp.id] = callee
+            self._stackcount.setdefault(comp.id, 0)
+            self.in_loops.append(comp)
+            yield LoopEvent("Ec", qbb, comp)
+        elif comp is not None and callee in comp.headers:
+            # all CFG loops live inside the component are exited
+            while self.in_loops:
+                top = self.in_loops[-1]
+                if not (isinstance(top, Loop) and top.func in comp.functions):
+                    break
+                self._visiting.discard(top.id)
+                self.in_loops.pop()
+                yield LoopEvent("X", qbb, top)
+            self._stackcount[comp.id] = self._stackcount.get(comp.id, 0) + 1
+            yield LoopEvent("Ic", qbb, comp)
+        else:
+            yield LoopEvent("C", qbb)
+
+    # -- Algorithm 2: returns -----------------------------------------------------------
+
+    def _on_return(self, event: ReturnEvent) -> Iterator[LoopEvent]:
+        func = event.callee  # the function being returned from
+        qbb = (
+            qualify(event.caller, event.dst_bb)
+            if event.caller is not None and event.dst_bb is not None
+            else None
+        )
+        # exit CFG loops still live in the returning function
+        while self.in_loops:
+            top = self.in_loops[-1]
+            if not (isinstance(top, Loop) and top.func == func):
+                break
+            self._visiting.discard(top.id)
+            self.in_loops.pop()
+            yield LoopEvent("X", qbb, top)
+        comp = self.rcs.component_of(func)
+        if (
+            comp is not None
+            and func in comp.entries
+            and self._stackcount.get(comp.id, 0) == 0
+            and self._entry.get(comp.id) == func
+        ):
+            self._entry[comp.id] = None
+            if self.in_loops and self.in_loops[-1] is comp:
+                self.in_loops.pop()
+            yield LoopEvent("Xr", qbb, comp)
+        elif comp is not None and func in comp.headers:
+            self._stackcount[comp.id] = self._stackcount.get(comp.id, 0) - 1
+            yield LoopEvent("Ir", qbb, comp)
+        else:
+            if event.caller is None:
+                return  # main returning: nothing to report
+            yield LoopEvent("R", qbb)

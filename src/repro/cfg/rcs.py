@@ -1,0 +1,137 @@
+"""Recursive-component-set: the loop-nesting-tree of the call graph.
+
+Paper section 3.2.  Cycles in the call graph denote potential dynamic
+loop structures (recursion).  The recursive-component-set is computed
+by the analogue of the loop-forest construction:
+
+1. every top-level SCC of the CG with at least one cycle is a
+   *recursive component*;
+2. the component's *entries* are its entry nodes (functions callable
+   from outside the component);
+3. repeatedly: pick an entry node of a remaining cyclic SCC, add it to
+   the *headers* set of the enclosing top-level component, delete the
+   edges inside the SCC that point to it -- until no cycles remain.
+
+The result drives Algorithm 2: a call to an *entry* opens a recursive
+loop, calls/returns to/from a *header* iterate it, and the loop exits
+when the entering call unstacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from .looptree import _rpo_numbers, _sccs
+
+Edge = Tuple[str, str]
+
+
+@dataclass
+class RecursiveComponent:
+    """One recursive component of the call graph."""
+
+    id: str
+    functions: FrozenSet[str]
+    entries: FrozenSet[str]
+    headers: FrozenSet[str]
+
+    #: discriminates from CFG loops on the ``inLoops`` stack
+    is_cfg: bool = False
+
+    def __contains__(self, func: str) -> bool:
+        return func in self.functions
+
+    def __hash__(self) -> int:
+        return hash(self.id)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RecursiveComponent):
+            return NotImplemented
+        return self.id == other.id
+
+    def __repr__(self) -> str:
+        return (
+            f"RecursiveComponent({self.id}, functions={sorted(self.functions)}, "
+            f"entries={sorted(self.entries)}, headers={sorted(self.headers)})"
+        )
+
+
+@dataclass
+class RecursiveComponentSet:
+    """All recursive components, with per-function lookups."""
+
+    components: List[RecursiveComponent] = field(default_factory=list)
+    of_function: Dict[str, RecursiveComponent] = field(default_factory=dict)
+
+    def component_of(self, func: str) -> Optional[RecursiveComponent]:
+        return self.of_function.get(func)
+
+    def is_entry(self, func: str) -> bool:
+        c = self.of_function.get(func)
+        return c is not None and func in c.entries
+
+    def is_header(self, func: str) -> bool:
+        c = self.of_function.get(func)
+        return c is not None and func in c.headers
+
+
+def build_recursive_component_set(
+    nodes: Iterable[str],
+    edges: Iterable[Edge],
+    root: Optional[str],
+) -> RecursiveComponentSet:
+    """Compute the recursive-component-set of a call graph."""
+    nodes = set(nodes)
+    edge_set: Set[Edge] = {(a, b) for (a, b) in edges if a in nodes and b in nodes}
+    rpo = _rpo_numbers(nodes, edge_set, root)
+    out = RecursiveComponentSet()
+    counter = 0
+
+    for comp in _sccs(nodes, edge_set):
+        internal = {(a, b) for (a, b) in edge_set if a in comp and b in comp}
+        if len(comp) == 1 and not internal:
+            continue  # not recursive
+        entries = {b for (a, b) in edge_set if b in comp and a not in comp}
+        if root in comp:
+            entries.add(root)
+        if not entries:
+            entries = {min(comp, key=lambda n: (rpo.get(n, 1 << 30), n))}
+
+        # peel headers until the component is acyclic
+        headers: Set[str] = set()
+        sub_nodes = set(comp)
+        sub_edges = set(internal)
+        sub_entries = set(entries)
+        while True:
+            cyclic = []
+            for scc in _sccs(sub_nodes, sub_edges):
+                if len(scc) > 1 or (next(iter(scc)),) * 2 in sub_edges:
+                    cyclic.append(scc)
+            if not cyclic:
+                break
+            for scc in cyclic:
+                scc_entries = {
+                    b for (a, b) in sub_edges if b in scc and a not in scc
+                } | (sub_entries & scc)
+                if not scc_entries:
+                    scc_entries = scc
+                h = min(scc_entries, key=lambda n: (rpo.get(n, 1 << 30), n))
+                headers.add(h)
+                sub_edges = {
+                    (a, b) for (a, b) in sub_edges if not (b == h and a in scc)
+                }
+
+        counter += 1
+        rc = RecursiveComponent(
+            id=f"RC{counter}",
+            functions=frozenset(comp),
+            entries=frozenset(entries),
+            headers=frozenset(headers),
+        )
+        out.components.append(rc)
+        for f in comp:
+            out.of_function[f] = rc
+
+    out.components.sort(key=lambda c: c.id)
+    return out

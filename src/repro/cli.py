@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Drives the pipeline over the bundled workloads the way a user would
+drive POLY-PROF over a binary:
+
+* ``list``                    -- available workloads
+* ``report <workload>``       -- full feedback report (nests, plans, AST)
+* ``metrics <workload>``      -- the Table 5 row for the workload
+* ``flamegraph <workload>``   -- write the annotated flame-graph SVG
+* ``static <workload>``       -- the static (mini-Polly) baseline view
+* ``verify <workload>``       -- verify every suggested plan polyhedrally
+* ``regions <workload>``      -- rank candidate regions of interest
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+
+def _get_spec(name: str):
+    from .workloads import all_workloads
+
+    reg = all_workloads()
+    if name not in reg:
+        options = ", ".join(sorted(reg))
+        raise SystemExit(f"unknown workload {name!r}; available: {options}")
+    return reg[name]()
+
+
+def cmd_list(args) -> int:
+    from .workloads import all_workloads, RODINIA_ORDER
+
+    reg = all_workloads()
+    print("Rodinia 3.1 suite (paper Table 5):")
+    for name in RODINIA_ORDER:
+        print(f"  {name:16s} {reg[name]().description}")
+    extra = sorted(set(reg) - set(RODINIA_ORDER))
+    if extra:
+        print("other workloads:")
+        for name in extra:
+            print(f"  {name:16s} {reg[name]().description}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .feedback import render_report
+    from .pipeline import analyze
+
+    spec = _get_spec(args.workload)
+    result = analyze(spec)
+    print(
+        f"{spec.name}: {result.ddg_profile.builder.instr_count} dynamic "
+        f"instructions, {result.folded.stmt_count()} folded statements, "
+        f"{len(result.folded.deps)} dependence relations"
+    )
+    print(render_report(result.forest, result.plans,
+                        title=f"poly-prof feedback: {spec.name}"))
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    from .feedback import compute_region_metrics
+    from .pipeline import analyze
+
+    spec = _get_spec(args.workload)
+    result = analyze(spec)
+    m = compute_region_metrics(
+        result.folded,
+        result.forest,
+        result.control.callgraph,
+        region_funcs=spec.region_funcs,
+        label=spec.region_label or spec.name,
+        ld_src=spec.ld_src,
+        fusion_heuristic=spec.fusion_heuristic,
+    )
+    for k, v in m.row().items():
+        print(f"  {k:12s} {v}")
+    return 0
+
+
+def cmd_flamegraph(args) -> int:
+    from .feedback import render_flamegraph_svg
+    from .pipeline import analyze
+
+    spec = _get_spec(args.workload)
+    result = analyze(spec)
+    svg = render_flamegraph_svg(
+        result.schedule_tree,
+        title=f"poly-prof annotated flame graph: {spec.name}",
+    )
+    out = args.output or f"{spec.name}_flamegraph.svg"
+    with open(out, "w") as fh:
+        fh.write(svg)
+    print(f"wrote {out}")
+    return 0
+
+
+def cmd_static(args) -> int:
+    from .staticpoly import analyze_static
+
+    spec = _get_spec(args.workload)
+    report = analyze_static(spec.program, spec.region_funcs)
+    print(f"region: {', '.join(report.region)}")
+    print(f"whole region modelable: {report.whole_region_modelable}")
+    if report.reasons:
+        print(f"failure reasons: {report.reasons} "
+              "(R=call C=cfg B=bounds F=access A=alias P=base-ptr)")
+    for nest in report.nests:
+        verdict = "ok" if nest.modelable else nest.reasons
+        print(f"  {nest.func}/{nest.header} ({nest.depth}D): {verdict}")
+    return 0
+
+
+def cmd_regions(args) -> int:
+    from .feedback import suggest_regions
+    from .pipeline import analyze
+
+    spec = _get_spec(args.workload)
+    result = analyze(spec)
+    total = result.folded.dyn_ops() or 1
+    print("candidate regions (best first):")
+    for cand in suggest_regions(result, top=8):
+        print(
+            f"  {cand.root_func:24s} ops {100 * cand.ops // total:3d}%  "
+            f"transformable {100 * cand.transformable_ops // total:3d}%  "
+            f"funcs: {', '.join(cand.funcs)}"
+        )
+    return 0
+
+
+def cmd_verify(args) -> int:
+    from .pipeline import analyze
+    from .schedule import verify_plan
+
+    spec = _get_spec(args.workload)
+    result = analyze(spec)
+    bad = 0
+    for plan in result.plans:
+        if not plan.steps:
+            continue
+        res = verify_plan(result.forest, plan)
+        status = "LEGAL" if res.legal else "VIOLATED"
+        nest = " / ".join(p[-1] for p in plan.leaf.path)
+        print(f"  {nest}: {status} "
+              f"({res.checked} deps checked, {res.skipped} conservative)")
+        if not res.legal:
+            bad += 1
+            for v in res.violations[:3]:
+                print(f"    {v}")
+    print("all plans verified" if bad == 0 else f"{bad} plans VIOLATED")
+    return 0 if bad == 0 else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="poly-prof reproduction: dependence profiling for "
+        "structured transformations",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available workloads")
+    for name, help_ in (
+        ("report", "full feedback report"),
+        ("metrics", "Table 5 metrics row"),
+        ("static", "static (mini-Polly) baseline"),
+        ("verify", "verify suggested plans polyhedrally"),
+        ("regions", "rank candidate regions of interest"),
+    ):
+        p = sub.add_parser(name, help=help_)
+        p.add_argument("workload")
+    p = sub.add_parser("flamegraph", help="write annotated flame-graph SVG")
+    p.add_argument("workload")
+    p.add_argument("-o", "--output", default=None)
+
+    args = parser.parse_args(argv)
+    handler = {
+        "list": cmd_list,
+        "report": cmd_report,
+        "metrics": cmd_metrics,
+        "flamegraph": cmd_flamegraph,
+        "static": cmd_static,
+        "verify": cmd_verify,
+        "regions": cmd_regions,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

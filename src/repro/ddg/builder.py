@@ -1,0 +1,203 @@
+"""Instrumentation II: dynamic dependence graph construction.
+
+This observer implements the paper's second instrumentation pass: it
+re-runs the program with the control structure (loop forests +
+recursive-component-set) from Instrumentation I, maintains the dynamic
+IIV via loop events (Algorithms 1-3), tracks register and memory
+dependences, and streams statement/dependence *points* -- coordinates
+plus integer labels -- into a :class:`~repro.ddg.graph.DDGSink`
+(normally the folding stage).
+
+Label conventions (paper section 5, "Folding interface"):
+
+* memory instructions are labelled with their effective address
+  (feeding access-function recognition and stride analysis);
+* integer-valued instructions are labelled with the produced value
+  (feeding SCEV recognition);
+* floating-point instructions carry no label (their values are not
+  affine functions of iterators and are never SCEVs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..cfg.loop_events import LoopEventGenerator
+from ..cfg.looptree import LoopForest
+from ..cfg.rcs import RecursiveComponentSet
+from ..iiv.diiv import DynamicIIV
+from ..iiv.schedule_tree import DynamicScheduleTree
+from ..isa.events import CallEvent, Instrumentation, JumpEvent, ReturnEvent
+from ..isa.program import Program
+from .graph import (
+    DDGSink,
+    DepKey,
+    MEM_ANTI,
+    MEM_FLOW,
+    MEM_OUTPUT,
+    REG_FLOW,
+    Statement,
+    StmtKey,
+)
+from .shadow import DynRef, ShadowMemory
+
+
+class DDGBuilder(Instrumentation):
+    """Builds the DDG point streams for one execution."""
+
+    def __init__(
+        self,
+        program: Program,
+        forests: Dict[str, LoopForest],
+        rcs: RecursiveComponentSet,
+        sink: DDGSink,
+        track_anti_output: bool = True,
+        build_schedule_tree: bool = True,
+    ) -> None:
+        self.program = program
+        self.sink = sink
+        self.track_anti_output = track_anti_output
+        self.gen = LoopEventGenerator(forests, rcs)
+        self.diiv = DynamicIIV()
+        self.shadow = ShadowMemory()
+        self.schedule_tree = DynamicScheduleTree() if build_schedule_tree else None
+
+        #: frame id -> register -> producing dynamic instruction
+        self._reg_defs: Dict[int, Dict[str, DynRef]] = {}
+        #: frame id -> (caller frame id, dest register in caller)
+        self._frame_info: Dict[int, Tuple[Optional[int], Optional[str]]] = {}
+        self._frame_stack: List[int] = []
+
+        # context interning + per-block caching of the IIV view
+        self._ctx_ids: Dict[Tuple, int] = {}
+        self._cached_ctx_id: Optional[int] = None
+        self._cached_ctx: Tuple = ()
+        self._cached_coords: Tuple[int, ...] = ()
+        self._declared: Set[StmtKey] = set()
+        self._current_func: str = ""
+
+        #: dynamic instruction count (sanity/metric)
+        self.instr_count = 0
+
+    # -- control events: keep the IIV current ---------------------------------------
+
+    def _apply_control(self, event) -> None:
+        for le in self.gen.process(event):
+            self.diiv.apply(le)
+        self._cached_ctx_id = None
+
+    def on_jump(self, event: JumpEvent) -> None:
+        self._current_func = event.func
+        self._apply_control(event)
+
+    def on_call(self, event: CallEvent) -> None:
+        # thread register defs from caller args to callee params
+        caller_fid = self._frame_stack[-1] if self._frame_stack else None
+        callee_defs: Dict[str, DynRef] = {}
+        if caller_fid is not None and event.args:
+            params = self.program.function(event.callee).params
+            caller_defs = self._reg_defs.get(caller_fid, {})
+            for param, arg in zip(params, event.args):
+                if isinstance(arg, str) and arg in caller_defs:
+                    callee_defs[param] = caller_defs[arg]
+        self._reg_defs[event.frame_id] = callee_defs
+        self._frame_info[event.frame_id] = (caller_fid, event.dest)
+        self._frame_stack.append(event.frame_id)
+        self._current_func = event.callee
+        self._apply_control(event)
+
+    def on_return(self, event: ReturnEvent) -> None:
+        fid = self._frame_stack.pop() if self._frame_stack else None
+        if fid is not None:
+            caller_fid, dest = self._frame_info.pop(fid, (None, None))
+            defs = self._reg_defs.pop(fid, {})
+            # thread the return value's producer into the caller's dest reg
+            if (
+                dest is not None
+                and caller_fid is not None
+                and isinstance(event.value, str)
+                and event.value in defs
+            ):
+                self._reg_defs.setdefault(caller_fid, {})[dest] = defs[event.value]
+        if event.caller is not None:
+            self._current_func = event.caller
+        self._apply_control(event)
+
+    # -- the hot path ------------------------------------------------------------------
+
+    def _context_view(self) -> Tuple[int, Tuple[int, ...]]:
+        if self._cached_ctx_id is None:
+            ctx = self.diiv.context()
+            cid = self._ctx_ids.get(ctx)
+            if cid is None:
+                cid = len(self._ctx_ids)
+                self._ctx_ids[ctx] = cid
+            self._cached_ctx_id = cid
+            self._cached_ctx = ctx
+            self._cached_coords = self.diiv.coords()
+        return self._cached_ctx_id, self._cached_coords
+
+    def on_instr(self, instr, frame_id: int, value, addr) -> None:
+        self.instr_count += 1
+        cid, coords = self._context_view()
+        key: StmtKey = (instr.uid, cid)
+        if key not in self._declared:
+            self._declared.add(key)
+            self.sink.declare_statement(
+                Statement(
+                    key=key,
+                    instr=instr,
+                    func=self._current_func,
+                    context=self._cached_ctx,
+                )
+            )
+        if self.schedule_tree is not None:
+            self.schedule_tree.record_context(self._cached_ctx, 1)
+
+        # label
+        if addr is not None:
+            label: Tuple[int, ...] = (addr,)
+        elif isinstance(value, int):
+            label = (value,)
+        else:
+            label = ()
+        self.sink.instr_point(key, coords, label)
+
+        me: DynRef = (key, coords)
+        defs = self._reg_defs.setdefault(frame_id, {})
+
+        # register flow dependences
+        for reg in instr.srcs:
+            if isinstance(reg, str):
+                prod = defs.get(reg)
+                if prod is not None:
+                    self.sink.dep_point(
+                        DepKey(src=prod[0], dst=key, kind=REG_FLOW),
+                        coords,
+                        prod[1],
+                    )
+
+        # memory dependences via shadow memory
+        if instr.is_load:
+            w = self.shadow.on_read(addr, me)
+            if w is not None:
+                self.sink.dep_point(
+                    DepKey(src=w[0], dst=key, kind=MEM_FLOW), coords, w[1]
+                )
+        elif instr.is_store:
+            prev, readers = self.shadow.on_write(addr, me)
+            if self.track_anti_output:
+                if prev is not None:
+                    self.sink.dep_point(
+                        DepKey(src=prev[0], dst=key, kind=MEM_OUTPUT),
+                        coords,
+                        prev[1],
+                    )
+                for r in readers:
+                    self.sink.dep_point(
+                        DepKey(src=r[0], dst=key, kind=MEM_ANTI), coords, r[1]
+                    )
+
+        # record the definition
+        if instr.dest is not None:
+            defs[instr.dest] = me

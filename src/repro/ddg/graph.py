@@ -1,0 +1,121 @@
+"""Dynamic dependence graph abstractions.
+
+A *statement* of the DDG is a static instruction in one dynamic
+context (the non-numerical part of its dynamic IIV); its dynamic
+instances are integer points (the numerical coordinates).  A
+*dependence stream* is keyed by (producer statement, consumer
+statement, kind) and carries one point per dynamic dependence: the
+consumer's coordinates, labelled with the producer's coordinates --
+exactly the shape of the paper's Table 1.
+
+The builder streams points into a :class:`DDGSink`; the folding stage
+implements the sink by compressing on the fly, while the
+:class:`RecordingSink` used in tests simply stores everything (the
+uncompressed DDG of, e.g., Redux -- whose unscalability the paper
+points out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.instructions import Instr
+
+#: statement key: (static instruction uid, interned context id)
+StmtKey = Tuple[int, int]
+
+#: dependence kinds
+REG_FLOW = "reg"     # register read-after-write
+MEM_FLOW = "flow"    # memory read-after-write (true dependence)
+MEM_ANTI = "anti"    # memory write-after-read
+MEM_OUTPUT = "output"  # memory write-after-write
+
+DEP_KINDS = (REG_FLOW, MEM_FLOW, MEM_ANTI, MEM_OUTPUT)
+
+
+@dataclass(frozen=True)
+class DepKey:
+    """Identity of one dependence stream."""
+
+    src: StmtKey     # producer statement
+    dst: StmtKey     # consumer statement
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in DEP_KINDS:
+            raise ValueError(f"unknown dependence kind {self.kind!r}")
+
+
+@dataclass
+class Statement:
+    """Static instruction x dynamic context."""
+
+    key: StmtKey
+    instr: Instr
+    func: str
+    context: Tuple[Tuple[str, ...], ...]
+
+    @property
+    def depth(self) -> int:
+        """Number of loop dimensions of the statement's domain."""
+        return len(self.context) - 1
+
+    @property
+    def uid(self) -> int:
+        return self.key[0]
+
+
+class DDGSink:
+    """Consumer interface for the statement/dependence point streams."""
+
+    def declare_statement(self, stmt: Statement) -> None:  # pragma: no cover
+        pass
+
+    def instr_point(
+        self, key: StmtKey, coords: Tuple[int, ...], label: Tuple[int, ...]
+    ) -> None:  # pragma: no cover
+        pass
+
+    def dep_point(
+        self,
+        dep: DepKey,
+        dst_coords: Tuple[int, ...],
+        src_coords: Tuple[int, ...],
+    ) -> None:  # pragma: no cover
+        pass
+
+
+class RecordingSink(DDGSink):
+    """Stores the full (uncompressed) DDG; for tests and small runs."""
+
+    def __init__(self) -> None:
+        self.statements: Dict[StmtKey, Statement] = {}
+        self.points: Dict[StmtKey, List[Tuple[Tuple[int, ...], Tuple[int, ...]]]] = {}
+        self.deps: Dict[DepKey, List[Tuple[Tuple[int, ...], Tuple[int, ...]]]] = {}
+
+    def declare_statement(self, stmt: Statement) -> None:
+        self.statements.setdefault(stmt.key, stmt)
+
+    def instr_point(self, key, coords, label):
+        self.points.setdefault(key, []).append((coords, label))
+
+    def dep_point(self, dep, dst_coords, src_coords):
+        self.deps.setdefault(dep, []).append((dst_coords, src_coords))
+
+    # -- conveniences for tests ------------------------------------------------
+
+    def deps_between(self, src_uid: int, dst_uid: int, kind: Optional[str] = None):
+        out = []
+        for dep, pts in self.deps.items():
+            if dep.src[0] == src_uid and dep.dst[0] == dst_uid:
+                if kind is None or dep.kind == kind:
+                    out.extend(pts)
+        return out
+
+    def dynamic_instances(self, uid: int):
+        out = []
+        for key, pts in self.points.items():
+            if key[0] == uid:
+                out.extend(pts)
+        return out

@@ -1,0 +1,55 @@
+"""Shadow memory for dependence tracking (paper sections 4/9).
+
+One shadow cell per touched data word, recording the last dynamic
+writer (statement key + coordinates) and the set of readers since that
+write.  This yields:
+
+* **flow** (RAW) dependences: reader depends on last writer;
+* **output** (WAW): writer depends on previous writer;
+* **anti** (WAR): writer depends on every reader since the last write
+  (each dynamic read participates in at most one WAR, so the total
+  anti volume is bounded by the number of loads).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .graph import StmtKey
+
+#: (statement, coordinates) of one dynamic instruction
+DynRef = Tuple[StmtKey, Tuple[int, ...]]
+
+
+class ShadowMemory:
+    """Last-writer + readers-since-write tracking per address."""
+
+    __slots__ = ("_writer", "_readers")
+
+    def __init__(self) -> None:
+        self._writer: Dict[int, DynRef] = {}
+        self._readers: Dict[int, List[DynRef]] = {}
+
+    def on_read(self, addr: int, reader: DynRef) -> Optional[DynRef]:
+        """Record a read; returns the producing write (RAW source)."""
+        w = self._writer.get(addr)
+        if w is not None:
+            self._readers.setdefault(addr, []).append(reader)
+        return w
+
+    def on_write(
+        self, addr: int, writer: DynRef
+    ) -> Tuple[Optional[DynRef], List[DynRef]]:
+        """Record a write; returns (previous writer, readers since).
+
+        The caller turns the previous writer into a WAW edge and each
+        reader into a WAR edge.
+        """
+        prev = self._writer.get(addr)
+        readers = self._readers.pop(addr, [])
+        self._writer[addr] = writer
+        return prev, readers
+
+    @property
+    def touched_words(self) -> int:
+        return len(self._writer)

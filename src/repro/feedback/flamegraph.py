@@ -1,0 +1,101 @@
+"""Annotated flame-graph rendering (paper Fig. 7).
+
+POLY-PROF's main visual feedback: the dynamic schedule tree rendered
+as an SVG flame graph, root at the bottom.  Box *width* is the
+region's dynamic-instruction weight (hotness); loop and call nodes are
+tinted differently; regions can be grayed out (non-affine or
+blacklisted) and annotated with suggested transformations.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Callable, Dict, Optional, Tuple
+
+from ..iiv.schedule_tree import DynamicScheduleTree, DynNode
+
+Palette = Dict[str, str]
+
+DEFAULT_PALETTE: Palette = {
+    "loop": "#e4572e",    # loops: warm orange
+    "call": "#f3a712",    # call contexts: amber
+    "block": "#a8c686",   # plain blocks: green
+    "gray": "#bbbbbb",    # non-affine / blacklisted
+}
+
+
+def render_flamegraph_svg(
+    tree: DynamicScheduleTree,
+    width: int = 1200,
+    row_height: int = 18,
+    min_px: float = 0.5,
+    annotate: Optional[Callable[[Tuple[str, ...], DynNode], str]] = None,
+    grayed: Optional[Callable[[Tuple[str, ...], DynNode], bool]] = None,
+    palette: Palette = DEFAULT_PALETTE,
+    title: str = "poly-prof annotated flame graph",
+) -> str:
+    """Render the dynamic schedule tree as an SVG string.
+
+    ``annotate(path, node)`` may return extra text shown in the box
+    tooltip (e.g. "interchange + simd, 46%"); ``grayed(path, node)``
+    grays out non-interesting regions.
+    """
+    total = max(tree.root.weight, 1)
+    depth = tree.depth()
+    height = (depth + 2) * row_height
+
+    boxes = []
+
+    def rec(node: DynNode, path: Tuple[str, ...], x0: float, level: int) -> None:
+        x = x0
+        for key in sorted(node.children):
+            child = node.children[key]
+            w = width * child.weight / total
+            if w >= min_px:
+                cpath = path + (key,)
+                is_gray = grayed(cpath, child) if grayed else False
+                if is_gray:
+                    color = palette["gray"]
+                elif child.is_loop or ":" in key:
+                    color = palette["loop"]
+                elif "." not in key:
+                    color = palette["call"]
+                else:
+                    color = palette["block"]
+                y = height - (level + 2) * row_height
+                note = annotate(cpath, child) if annotate else ""
+                tooltip = f"{key} — {child.weight} ops ({100.0 * child.weight / total:.1f}%)"
+                if note:
+                    tooltip += f" — {note}"
+                label = key if w > 7 * len(key) else (key[: max(int(w // 7), 0)])
+                boxes.append(
+                    f'<g class="frame">'
+                    f'<title>{html.escape(tooltip)}</title>'
+                    f'<rect x="{x:.2f}" y="{y}" width="{max(w, min_px):.2f}" '
+                    f'height="{row_height - 1}" fill="{color}" rx="1"/>'
+                    + (
+                        f'<text x="{x + 2:.2f}" y="{y + row_height - 5}" '
+                        f'font-size="11" font-family="monospace">'
+                        f"{html.escape(label)}</text>"
+                        if label
+                        else ""
+                    )
+                    + "</g>"
+                )
+                rec(child, cpath, x, level + 1)
+            x += w
+
+    rec(tree.root, (), 0.0, 0)
+    root_y = height - row_height
+    svg = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace">',
+        f'<text x="4" y="12" font-size="12">{html.escape(title)}</text>',
+        f'<rect x="0" y="{root_y}" width="{width}" height="{row_height - 1}" '
+        f'fill="#dddddd" rx="1"/>',
+        f'<text x="4" y="{root_y + row_height - 5}" font-size="11">all '
+        f"({total} ops)</text>",
+    ]
+    svg.extend(boxes)
+    svg.append("</svg>")
+    return "\n".join(svg)

@@ -1,0 +1,277 @@
+"""Region metrics: the columns of the paper's Table 5.
+
+The paper computes, per benchmark, summary statistics over a hand
+selected *region* (the biggest region for which the optimizer suggests
+a transformation).  We model a region as a set of functions (the
+workload names its kernel functions, standing in for the user's hand
+selection); the region closure adds every function transitively called
+from them, so interprocedural nests stay whole.
+
+Columns produced (see :class:`RegionMetrics`): #ops(prog), %Aff,
+region label, %ops, %Mops, %FPops, interprocedural?, skew?, %||ops,
+%simdops, %reuse, %Preuse, ld-src, ld-bin, TileD, %Tilops, C, Comp.,
+fusion heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..cfg.builder import DynCallGraph
+from ..folding.folder import FoldedDDG, FoldedStatement
+from ..schedule.fusion import fuse_components
+from ..schedule.nest import NestForest, NestNode
+from .stride import access_stride, good_stride_fraction, GOOD_STRIDES
+
+
+@dataclass
+class RegionMetrics:
+    """One row of Table 5 (plus bookkeeping)."""
+
+    label: str
+    prog_ops: int
+    pct_aff: float
+    pct_ops: float
+    pct_mops: float
+    pct_fpops: float
+    interprocedural: bool
+    skew: bool
+    pct_parallel_ops: float
+    pct_simd_ops: float
+    pct_reuse: float
+    pct_potential_reuse: float
+    ld_src: int
+    ld_bin: int
+    tile_depth: int
+    pct_tile_ops: float
+    components_before: int
+    components_after: int
+    fusion: str
+
+    def row(self) -> Dict[str, object]:
+        return {
+            "Region": self.label,
+            "#ops": self.prog_ops,
+            "%Aff": round(self.pct_aff),
+            "%ops": round(self.pct_ops),
+            "%Mops": round(self.pct_mops),
+            "%FPops": round(self.pct_fpops),
+            "interproc.": "Y" if self.interprocedural else "N",
+            "skew": "Y" if self.skew else "N",
+            "%||ops": round(self.pct_parallel_ops),
+            "%simdops": round(self.pct_simd_ops),
+            "%reuse": round(self.pct_reuse),
+            "%Preuse": round(self.pct_potential_reuse),
+            "ld-src": f"{self.ld_src}D",
+            "ld-bin": f"{self.ld_bin}D",
+            "TileD": f"{self.tile_depth}D",
+            "%Tilops": round(self.pct_tile_ops),
+            "C": self.components_before,
+            "Comp.": self.components_after,
+            "fusion": self.fusion,
+        }
+
+
+def region_closure(callgraph: DynCallGraph, funcs: Iterable[str]) -> Set[str]:
+    """The functions plus everything they transitively call."""
+    out: Set[str] = set()
+    work = list(funcs)
+    while work:
+        f = work.pop()
+        if f in out:
+            continue
+        out.add(f)
+        work.extend(callgraph.callees(f))
+    return out
+
+
+def _enclosing_chain(
+    forest: NestForest, path: Tuple[str, ...]
+) -> List[NestNode]:
+    chain = []
+    for k in range(1, len(path) + 1):
+        node = forest.node_at(path[:k])
+        if node is not None:
+            chain.append(node)
+    return chain
+
+
+def compute_region_metrics(
+    folded: FoldedDDG,
+    forest: NestForest,
+    callgraph: DynCallGraph,
+    region_funcs: Optional[Iterable[str]] = None,
+    label: str = "",
+    ld_src: Optional[int] = None,
+    fusion_heuristic: str = "S",
+    src_loop_depths: Optional[Dict[str, int]] = None,
+) -> RegionMetrics:
+    """Aggregate the Table 5 row for one region."""
+    from ..schedule.deps import loop_path
+
+    prog_ops = folded.dyn_ops()
+    pct_aff = 100.0 * folded.affine_ops() / prog_ops if prog_ops else 0.0
+
+    closure: Optional[Set[str]] = None
+    if region_funcs is not None:
+        closure = region_closure(callgraph, region_funcs)
+
+    def in_region(fs: FoldedStatement) -> bool:
+        return closure is None or fs.stmt.func in closure
+
+    region_stmts = [fs for fs in folded.statements.values() if in_region(fs)]
+    region_ops = sum(fs.count for fs in region_stmts) or 1
+    mem_ops = sum(fs.count for fs in region_stmts if fs.stmt.instr.is_mem)
+    fp_ops = sum(fs.count for fs in region_stmts if fs.stmt.instr.is_float)
+
+    interproc = len({fs.stmt.func for fs in region_stmts if fs.depth > 0}) > 1
+
+    parallel_ops = 0
+    simd_ops = 0
+    tile_ops = 0
+    ld_bin = 0
+    tile_depth = 0
+    skew = False
+    reuse_good = 0.0
+    reuse_total = 0
+    preuse_good = 0.0
+
+    from ..schedule.analysis import permutation_legal
+
+    stmt_band: Dict[int, int] = {}
+    region_stmt_list = []
+
+    for fs in region_stmts:
+        path = loop_path(fs.stmt)
+        if not path:
+            continue
+        ld_bin = max(ld_bin, len(path))
+        chain = _enclosing_chain(forest, path)
+        if not chain:
+            continue
+        leaf = chain[-1]
+        band = (
+            leaf.depth - leaf.band_start
+            if leaf.band_start is not None
+            else 1
+        )
+        region_stmt_list.append((fs, path, chain, leaf, band))
+        any_par = any(n.parallel or n.parallel_reduction for n in chain)
+        wavefront = band >= 2 and not any_par
+        # post-transformation parallelism (the paper's %||ops counts
+        # what OpenMP pragmas can exploit *after* the suggested
+        # transformation): direct parallel loops, reduction-clause
+        # parallel loops, or wavefront parallelism over a tilable band
+        # (GemsFDTD, nw, pathfinder)
+        if any_par or wavefront:
+            parallel_ops += fs.count
+        # SIMD needs a parallelizable innermost dimension *and*
+        # spatially friendly accesses there (pathfinder's wavefront is
+        # parallel but stride-hostile: %simdops 0 in Table 5); a fully
+        # permutable band lets a parallel outer dimension rotate in
+        innermost = forest.node_at(path)
+        inner_ok = (
+            innermost is not None
+            and innermost.is_innermost()
+            and (
+                innermost.parallel
+                or wavefront
+                or (band >= 2 and any(n.parallel for n in chain))
+            )
+        )
+        if inner_ok:
+            leaf_mem = [s for s in leaf.stmts if s.stmt.instr.is_mem]
+            frac = good_stride_fraction(leaf_mem, leaf.depth - 1) if leaf_mem else 1.0
+            if frac >= 0.5:
+                simd_ops += fs.count
+        if any(n.skew_factor for n in chain) or wavefront:
+            skew = True
+        tile_depth = max(tile_depth, band)
+        if fs.stmt.instr.is_mem:
+            reuse_total += fs.count
+            s = access_stride(fs, len(path) - 1)
+            if s is not None and s in GOOD_STRIDES:
+                reuse_good += fs.count
+            # best legal innermost dimension for this access
+            d = len(path)
+            best = 1.0 if (s is not None and s in GOOD_STRIDES) else 0.0
+            for inner in range(d - 1):
+                if best >= 1.0:
+                    break
+                perm = tuple([j for j in range(d) if j != inner] + [inner])
+                node = forest.node_at(path)
+                if node is None or not permutation_legal(forest, node, perm):
+                    continue
+                s2 = access_stride(fs, inner)
+                if s2 is not None and s2 in GOOD_STRIDES:
+                    best = 1.0
+            preuse_good += best * fs.count
+
+    # %Tilops: operations inside the band the TileD column reports --
+    # when a >= 2-D band exists, ops in statements whose leaf band
+    # reaches 2-D; otherwise any loop counts (1-D strip-mining)
+    for fs, path, chain, leaf, band in region_stmt_list:
+        if tile_depth >= 2:
+            if band >= 2:
+                tile_ops += fs.count
+        else:
+            tile_ops += fs.count
+
+    # components: the region's *own* top-level loops -- for every
+    # region statement, cut its path at the first loop belonging to a
+    # region function (so a surrounding time/driver loop in main does
+    # not collapse the region to one component)
+    region_root_paths = []
+    seen_paths = set()
+    for fs, path, chain, leaf, band in region_stmt_list:
+        cut = None
+        for k, elem in enumerate(path):
+            loop_func = elem[-1].rsplit(":", 1)[0]
+            if closure is None or loop_func in closure:
+                cut = path[: k + 1]
+                break
+        if cut is None:
+            cut = path[:1]
+        if cut not in seen_paths:
+            seen_paths.add(cut)
+            region_root_paths.append(cut)
+    region_roots = [
+        forest.node_at(p) for p in region_root_paths if forest.node_at(p)
+    ]
+    if not region_roots:
+        region_roots = [forest.roots[k] for k in sorted(forest.roots)]
+    fusion = fuse_components(forest, region_roots, heuristic=fusion_heuristic)
+
+    if ld_src is None:
+        if src_loop_depths and closure:
+            depths = [src_loop_depths.get(f, 0) for f in closure]
+            ld_src = max(depths) if depths else ld_bin
+        else:
+            ld_src = ld_bin
+
+    return RegionMetrics(
+        label=label,
+        prog_ops=prog_ops,
+        pct_aff=pct_aff,
+        pct_ops=100.0 * sum(fs.count for fs in region_stmts) / prog_ops
+        if prog_ops
+        else 0.0,
+        pct_mops=100.0 * mem_ops / region_ops,
+        pct_fpops=100.0 * fp_ops / region_ops,
+        interprocedural=interproc,
+        skew=skew,
+        pct_parallel_ops=100.0 * parallel_ops / region_ops,
+        pct_simd_ops=100.0 * simd_ops / region_ops,
+        pct_reuse=100.0 * reuse_good / reuse_total if reuse_total else 0.0,
+        pct_potential_reuse=100.0 * preuse_good / reuse_total
+        if reuse_total
+        else 0.0,
+        ld_src=ld_src,
+        ld_bin=ld_bin,
+        tile_depth=tile_depth,
+        pct_tile_ops=100.0 * tile_ops / region_ops,
+        components_before=fusion.components_before,
+        components_after=fusion.components_after,
+        fusion=fusion_heuristic,
+    )

@@ -1,0 +1,31 @@
+"""Compact polyhedral DDG: streaming folding of statement and
+dependence point streams (paper section 5 / tech report RR-9244).
+"""
+
+from .domains import DomainFolder, fold_under
+from .fitter import IncrementalAffineFitter, VectorAffineFitter
+from .folder import (
+    FoldedDDG,
+    FoldedDep,
+    FoldedStatement,
+    FoldingSink,
+    SCEV_OPCODES,
+)
+from .piecewise import PiecewiseVectorFolder
+from .stats import CompressionStats, compression_stats, scheduler_statement_count
+
+__all__ = [
+    "CompressionStats",
+    "DomainFolder",
+    "fold_under",
+    "FoldedDDG",
+    "FoldedDep",
+    "FoldedStatement",
+    "FoldingSink",
+    "IncrementalAffineFitter",
+    "PiecewiseVectorFolder",
+    "SCEV_OPCODES",
+    "VectorAffineFitter",
+    "compression_stats",
+    "scheduler_statement_count",
+]

@@ -1,0 +1,246 @@
+"""Incremental exact affine fitting with bounded memory.
+
+The folding stage must decide, for streams of (point, value) pairs
+arriving one by one, whether the values are an exact affine function
+of the point coordinates -- without storing the stream.  The classic
+trick: an affine function on ``Q^d`` is determined by its values on an
+affinely independent set, so it suffices to keep at most ``d + 1``
+support points.
+
+Invariant maintained by :class:`IncrementalAffineFitter`: the current
+expression (if any) matches *every* point seen so far.
+
+* a new point consistent with the expression is either inside the
+  affine span of the support (nothing to do) or extends it (add to the
+  support; the expression is still a valid interpolant on the larger
+  span);
+* an inconsistent point inside the span is a contradiction: no affine
+  function fits, fail permanently;
+* an inconsistent point outside the span triggers a refit on
+  support + point; the refit agrees with the old expression on the old
+  span (both interpolate the support), so all previously verified
+  points remain matched.
+
+The affine-span membership test is the hot path (every consistent
+point hits it until the support spans the whole space), so it is
+implemented as an *incremental integer echelon basis* of difference
+vectors: one O(d^2) integer reduction per query, no rational
+arithmetic.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import List, Optional, Sequence, Tuple
+
+from ..poly.affine import AffineExpr, fit_affine
+
+
+def _vec_gcd(v: Sequence[int]) -> int:
+    g = 0
+    for x in v:
+        g = gcd(g, abs(x))
+        if g == 1:
+            return 1
+    return g
+
+
+class _IntSpan:
+    """Incremental integer row space: echelon basis with pivots."""
+
+    __slots__ = ("dim", "rows", "pivots")
+
+    def __init__(self, dim: int) -> None:
+        self.dim = dim
+        self.rows: List[List[int]] = []
+        self.pivots: List[int] = []
+
+    @property
+    def rank(self) -> int:
+        return len(self.rows)
+
+    def reduce(self, vec: Sequence[int]) -> List[int]:
+        v = list(vec)
+        for row, piv in zip(self.rows, self.pivots):
+            if v[piv]:
+                a, b = row[piv], v[piv]
+                v = [a * x - b * y for x, y in zip(v, row)]
+                g = _vec_gcd(v)
+                if g > 1:
+                    v = [x // g for x in v]
+        return v
+
+    def contains(self, vec: Sequence[int]) -> bool:
+        return not any(self.reduce(vec))
+
+    def add(self, vec: Sequence[int]) -> bool:
+        """Insert if independent; returns True when rank grew."""
+        v = self.reduce(vec)
+        piv = next((j for j, x in enumerate(v) if x), None)
+        if piv is None:
+            return False
+        self.rows.append(v)
+        self.pivots.append(piv)
+        return True
+
+
+class IncrementalAffineFitter:
+    """Streaming exact affine fit of scalar integer labels."""
+
+    __slots__ = (
+        "dim", "_support", "_values", "_span", "_origin",
+        "_coeffs", "_const", "_den", "expr", "failed", "count",
+    )
+
+    def __init__(self, dim: int) -> None:
+        self.dim = dim
+        self._support: List[Tuple[int, ...]] = []
+        self._values: List[int] = []
+        self._span = _IntSpan(dim)
+        self._origin: Optional[Tuple[int, ...]] = None
+        self._coeffs: Optional[Tuple[int, ...]] = None
+        self._const = 0
+        self._den = 1
+        self.expr: Optional[AffineExpr] = None
+        self.failed = False
+        self.count = 0
+
+    # -- span bookkeeping -----------------------------------------------------
+
+    def _in_span(self, point: Tuple[int, ...]) -> bool:
+        if self._origin is None:
+            return False
+        if self._span.rank == self.dim:
+            return True
+        diff = [b - a for a, b in zip(self._origin, point)]
+        return self._span.contains(diff)
+
+    def _extend_span(self, point: Tuple[int, ...]) -> None:
+        if self._origin is None:
+            self._origin = point
+            return
+        diff = [b - a for a, b in zip(self._origin, point)]
+        self._span.add(diff)
+
+    # -- fitting ----------------------------------------------------------------
+
+    def add(self, point: Sequence[int], value: int) -> None:
+        self.count += 1
+        if self.failed:
+            return
+        point = tuple(point)
+        value = int(value)
+        if self.expr is not None:
+            # fast exact evaluation: (coeffs . p + const) == value * den
+            num = self._const
+            for c, x in zip(self._coeffs, point):
+                num += c * x
+            if num == value * self._den:
+                if not self._in_span(point):
+                    self._support.append(point)
+                    self._values.append(value)
+                    self._extend_span(point)
+                return
+            if self._in_span(point):
+                self._fail()
+                return
+            self._support.append(point)
+            self._values.append(value)
+            self._extend_span(point)
+            self._refit()
+            return
+        # first points: fit eagerly (underdetermined fits are verified
+        # interpolants, refined as the span grows)
+        self._support.append(point)
+        self._values.append(value)
+        self._extend_span(point)
+        self._refit()
+
+    def _refit(self) -> None:
+        expr = fit_affine(self._support, self._values)
+        if expr is None:
+            self._fail()
+        else:
+            self.expr = expr
+            self._coeffs = expr.coeffs
+            self._const = expr.const
+            self._den = expr.den
+
+    def _fail(self) -> None:
+        self.failed = True
+        self.expr = None
+        self._coeffs = None
+        self._support = []
+        self._values = []
+
+    def would_accept(self, point: Sequence[int], value: int) -> bool:
+        """Would ``add`` keep this fitter alive?  (No mutation.)
+
+        False exactly when the point lies in the affine span of the
+        support but contradicts the fitted expression.
+        """
+        if self.failed:
+            return False
+        if self.expr is None:
+            return True
+        point = tuple(point)
+        num = self._const
+        for c, x in zip(self._coeffs, point):
+            num += c * x
+        if num == int(value) * self._den:
+            return True
+        return not self._in_span(point)
+
+    def result(self) -> Optional[AffineExpr]:
+        """The exact affine expression, if the whole stream fit.
+
+        Streams shorter than dim+1 points still return the (verified)
+        interpolant through what was seen -- fitting is attempted
+        lazily here.
+        """
+        if self.failed or self.count == 0:
+            return None
+        if self.expr is None:
+            self._refit()
+            if self.failed:
+                return None
+        return self.expr
+
+
+class VectorAffineFitter:
+    """Streaming fit of vector labels: one scalar fitter per component."""
+
+    __slots__ = ("dim", "out_dim", "fitters", "count", "failed")
+
+    def __init__(self, dim: int, out_dim: int) -> None:
+        self.dim = dim
+        self.out_dim = out_dim
+        self.fitters = [IncrementalAffineFitter(dim) for _ in range(out_dim)]
+        self.count = 0
+        self.failed = False
+
+    def add(self, point: Sequence[int], values: Sequence[int]) -> None:
+        self.count += 1
+        if len(values) != self.out_dim:
+            self.failed = True
+            return
+        for f, v in zip(self.fitters, values):
+            f.add(point, v)
+
+    def would_accept(self, point: Sequence[int], values: Sequence[int]) -> bool:
+        if self.failed or len(values) != self.out_dim:
+            return False
+        return all(
+            f.would_accept(point, v) for f, v in zip(self.fitters, values)
+        )
+
+    def result(self) -> Optional[List[AffineExpr]]:
+        if self.failed or self.count == 0:
+            return None
+        out = []
+        for f in self.fitters:
+            e = f.result()
+            if e is None:
+                return None
+            out.append(e)
+        return out

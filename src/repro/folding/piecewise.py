@@ -1,0 +1,83 @@
+"""Piecewise-affine label folding.
+
+The paper's folding produces, per statement/dependence, "a union of
+polyhedra ... and for each polyhedron P an affine function A" -- the
+label function is *piecewise*: boundary-clamped accesses (srad's
+``iN[i] = max(i-1, 0)`` index arrays), double-buffered pointer swaps,
+and peeled iterations all need more than one affine piece.
+
+:class:`PiecewiseVectorFolder` maintains up to ``max_pieces`` pieces,
+each a :class:`~repro.folding.fitter.VectorAffineFitter` plus its own
+:class:`~repro.folding.domains.DomainFolder`.  Every incoming point is
+assigned to the first piece that stays consistent (the fitter
+invariant guarantees any accepting piece remains an exact interpolant
+of everything it absorbed); a point no piece accepts opens a new piece
+until the budget is exhausted, after which the stream is marked
+non-affine -- the paper's over-approximation switch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..poly.affine import AffineFunction
+from ..poly.pset import ISet
+from .domains import DomainFolder
+from .fitter import VectorAffineFitter
+
+
+class PiecewiseVectorFolder:
+    """Streaming piecewise-affine fit of vector labels with domains."""
+
+    __slots__ = ("dim", "out_dim", "max_pieces", "pieces", "failed", "count")
+
+    def __init__(self, dim: int, out_dim: int, max_pieces: int = 6) -> None:
+        self.dim = dim
+        self.out_dim = out_dim
+        self.max_pieces = max_pieces
+        self.pieces: List[Tuple[VectorAffineFitter, DomainFolder]] = []
+        self.failed = False
+        self.count = 0
+
+    def add(self, point: Sequence[int], values: Sequence[int]) -> None:
+        self.count += 1
+        if self.failed:
+            return
+        for fitter, dom in self.pieces:
+            if fitter.would_accept(point, values):
+                fitter.add(point, values)
+                dom.add(point)
+                if fitter.failed:  # pragma: no cover - defensive
+                    self.failed = True
+                return
+        if len(self.pieces) >= self.max_pieces:
+            self.failed = True
+            self.pieces = []
+            return
+        fitter = VectorAffineFitter(self.dim, self.out_dim)
+        dom = DomainFolder(self.dim)
+        fitter.add(point, values)
+        dom.add(point)
+        self.pieces.append((fitter, dom))
+
+    def result(
+        self, max_pieces: Optional[int] = None
+    ) -> Optional[List[Tuple[ISet, AffineFunction, int]]]:
+        """The folded pieces: (domain, function, point count) triples.
+
+        Piece domains are folded independently (over-approximated when
+        their point sets are not trapezoidal, which is harmless: the
+        *assignment* of points to functions was exact).  Returns None
+        when the stream exceeded the piece budget or a fit failed.
+        """
+        if self.failed or self.count == 0:
+            return None
+        out = []
+        budget = max_pieces if max_pieces is not None else self.max_pieces
+        for fitter, dom in self.pieces:
+            exprs = fitter.result()
+            if exprs is None:
+                return None
+            domain, _exact = dom.fold(budget)
+            out.append((domain, AffineFunction(exprs), dom.count))
+        return out

@@ -1,0 +1,85 @@
+"""Compression statistics for the folded DDG.
+
+The paper's scalability claim is quantitative: the raw DDG of a
+seconds-long run has billions of vertices, while the folded polyhedral
+program has a few hundred statements -- small enough for a polyhedral
+scheduler ("our DDG folding and over-approximation techniques allow
+going from programs with thousands of statements ... to only a few
+hundreds").  This module measures that compression on our runs:
+dynamic instances per folded object, piece counts, and the shrinkage
+of the dependence representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .folder import FoldedDDG
+
+
+@dataclass
+class CompressionStats:
+    """How much the folding compressed one execution's DDG."""
+
+    dynamic_instances: int          # DDG vertices (dynamic instructions)
+    statements: int                 # folded statements
+    statement_pieces: int           # domain polyhedra across statements
+    exact_statements: int
+    scev_statements: int
+
+    dynamic_deps: int               # DDG edges (dynamic dependences)
+    dep_relations: int              # folded dependence relations
+    dep_pieces: int                 # relation polyhedra
+    affine_relations: int
+
+    @property
+    def vertex_ratio(self) -> float:
+        """Dynamic instructions per folded statement."""
+        return self.dynamic_instances / self.statements if self.statements else 0.0
+
+    @property
+    def edge_ratio(self) -> float:
+        """Dynamic dependences per folded relation."""
+        return self.dynamic_deps / self.dep_relations if self.dep_relations else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.dynamic_instances} dynamic instructions -> "
+            f"{self.statements} statements "
+            f"({self.vertex_ratio:.0f}x, {self.statement_pieces} pieces, "
+            f"{self.scev_statements} SCEVs); "
+            f"{self.dynamic_deps} dynamic deps -> "
+            f"{self.dep_relations} relations ({self.edge_ratio:.0f}x)"
+        )
+
+
+def compression_stats(ddg: FoldedDDG) -> CompressionStats:
+    """Measure the fold of one execution."""
+    dyn_inst = sum(fs.count for fs in ddg.statements.values())
+    pieces = sum(len(fs.domain.pieces) for fs in ddg.statements.values())
+    exact = sum(1 for fs in ddg.statements.values() if fs.exact)
+    scev = len(ddg.scev_statements())
+    dyn_deps = sum(d.count for d in ddg.deps.values())
+    dep_pieces = sum(
+        len(d.relation.pieces) if d.relation is not None else 0
+        for d in ddg.deps.values()
+    )
+    affine_rel = sum(1 for d in ddg.deps.values() if d.relation is not None)
+    return CompressionStats(
+        dynamic_instances=dyn_inst,
+        statements=len(ddg.statements),
+        statement_pieces=pieces,
+        exact_statements=exact,
+        scev_statements=scev,
+        dynamic_deps=dyn_deps,
+        dep_relations=len(ddg.deps),
+        dep_pieces=dep_pieces,
+        affine_relations=affine_rel,
+    )
+
+
+def scheduler_statement_count(ddg: FoldedDDG) -> int:
+    """Statements the polyhedral backend actually schedules: the folded
+    statements minus the SCEV chains it discards."""
+    return len(ddg.statements) - len(ddg.scev_statements())

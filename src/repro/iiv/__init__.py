@@ -1,0 +1,27 @@
+"""Dynamic interprocedural iteration vectors and related structures
+(paper section 4): Algorithm 3, the dynamic schedule tree, Kelly's
+mapping, and the calling-context tree.
+"""
+
+from .cct import CallingContextTree, CCTNode
+from .diiv import Dimension, DynamicIIV
+from .kelly import (
+    ScheduleNode,
+    kelly_mapping,
+    kelly_vector,
+    schedule_precedes,
+)
+from .schedule_tree import DynamicScheduleTree, DynNode
+
+__all__ = [
+    "CCTNode",
+    "CallingContextTree",
+    "Dimension",
+    "DynNode",
+    "DynamicIIV",
+    "DynamicScheduleTree",
+    "ScheduleNode",
+    "kelly_mapping",
+    "kelly_vector",
+    "schedule_precedes",
+]

@@ -1,0 +1,84 @@
+"""Calling-context trees (Ammons-Ball-Larus), call-site labelled.
+
+The CCT is the comparison structure of the paper's Fig. 5: it encodes
+calling contexts compactly for non-recursive programs, but its paths
+grow linearly with recursion depth -- the problem the dynamic IIV's
+recursive-component folding solves.  We keep a faithful CCT
+implementation both for that comparison (tested explicitly) and for
+the flame-graph fallback view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..isa.events import CallEvent, Instrumentation, ReturnEvent
+
+
+@dataclass
+class CCTNode:
+    """One calling context: a function labelled with its call site."""
+
+    func: str
+    call_site: Optional[str]            # caller block containing the call
+    calls: int = 0
+    instrs: int = 0
+    children: Dict[Tuple[str, Optional[str]], "CCTNode"] = field(
+        default_factory=dict
+    )
+
+    def child(self, func: str, call_site: Optional[str]) -> "CCTNode":
+        key = (func, call_site)
+        node = self.children.get(key)
+        if node is None:
+            node = CCTNode(func, call_site)
+            self.children[key] = node
+        return node
+
+    def walk(self, depth: int = 0) -> Iterator[Tuple[int, "CCTNode"]]:
+        yield depth, self
+        for key in sorted(self.children, key=lambda k: (k[0], k[1] or "")):
+            yield from self.children[key].walk(depth + 1)
+
+
+class CallingContextTree(Instrumentation):
+    """Instrumentation observer that builds the CCT during execution."""
+
+    def __init__(self) -> None:
+        self.root = CCTNode("<root>", None)
+        self._stack: List[CCTNode] = [self.root]
+
+    # -- event hooks ---------------------------------------------------------
+
+    def on_call(self, event: CallEvent) -> None:
+        node = self._stack[-1].child(event.callee, event.callsite_bb)
+        node.calls += 1
+        self._stack.append(node)
+
+    def on_return(self, event: ReturnEvent) -> None:
+        if len(self._stack) > 1:
+            self._stack.pop()
+
+    def on_instr(self, instr, frame_id: int, value, addr) -> None:
+        self._stack[-1].instrs += 1
+
+    # -- views ------------------------------------------------------------------
+
+    def depth(self) -> int:
+        return max((d for d, _ in self.root.walk()), default=0)
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.root.walk()) - 1
+
+    def render_text(self) -> str:
+        lines: List[str] = []
+        for depth, node in self.root.walk():
+            if node is self.root:
+                continue
+            site = f" ({node.call_site})" if node.call_site else ""
+            lines.append(
+                "  " * (depth - 1)
+                + f"{node.func}{site} calls={node.calls} instrs={node.instrs}"
+            )
+        return "\n".join(lines)

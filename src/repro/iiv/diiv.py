@@ -1,0 +1,138 @@
+"""Algorithm 3: maintenance of the dynamic interprocedural iteration
+vector (dynamic IIV).
+
+A dynamic IIV alternates *context* entries (stacks of calling contexts
+ending in a loop id or basic-block id) and *canonical induction
+variables* (integers starting at 0, incremented by 1 on every loop
+iteration event).  It unifies Kelly's mapping (intraprocedural
+schedule-tree coordinates) with calling-context paths, and stays
+bounded in the presence of recursion: recursive calls/returns to a
+component header *increment* the innermost induction variable instead
+of growing the vector (paper section 4, Fig. 3f-k).
+
+The update rules follow the paper's Algorithm 3, completed with two
+behaviours its pseudo-code leaves to the examples:
+
+* a plain jump event ``N(B)`` updates the innermost context's last
+  element to ``B`` (visible in every row of Fig. 3d/3i);
+* a recursive-loop exit ``Xr(L, B)`` also pops the context element
+  that the entering call pushed (step 22 of Fig. 3i ends at ``(M1)``,
+  not ``(M1/L1)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..cfg.loop_events import LoopEvent
+
+
+@dataclass
+class Dimension:
+    """One (induction variable, context) pair of the dynamic IIV.
+
+    The outermost dimension of a program execution has no induction
+    variable (``iv is None``): it is pure calling context, like the
+    ``(M0)`` root of the paper's examples.
+    """
+
+    iv: Optional[int]
+    ctx: List[str] = field(default_factory=list)
+
+    def ctx_last_set(self, element: str) -> None:
+        if self.ctx:
+            self.ctx[-1] = element
+        else:
+            self.ctx.append(element)
+
+    def snapshot(self) -> Tuple[Optional[int], Tuple[str, ...]]:
+        return self.iv, tuple(self.ctx)
+
+
+class DynamicIIV:
+    """The dynamic IIV of the executing program point."""
+
+    def __init__(self) -> None:
+        self.dims: List[Dimension] = [Dimension(iv=None)]
+
+    # -- event application ---------------------------------------------------
+
+    def apply(self, ev: LoopEvent) -> None:
+        kind = ev.kind
+        inner = self.dims[-1]
+        if kind == "N":
+            inner.ctx_last_set(ev.block)
+        elif kind == "C":
+            inner.ctx.append(ev.block)
+        elif kind == "E":
+            inner.ctx_last_set(ev.loop.id)
+            self.dims.append(Dimension(iv=0, ctx=[ev.block]))
+        elif kind == "Ec":
+            inner.ctx.append(ev.loop.id)
+            self.dims.append(Dimension(iv=0, ctx=[ev.block]))
+        elif kind in ("I", "Ic", "Ir"):
+            if inner.iv is None:
+                raise ValueError(f"iteration event {ev} on context-only dim")
+            inner.iv += 1
+            inner.ctx_last_set(ev.block)
+        elif kind == "X":
+            self._pop_dim()
+            if ev.block is not None:
+                self.dims[-1].ctx_last_set(ev.block)
+        elif kind == "Xr":
+            self._pop_dim()
+            inner = self.dims[-1]
+            if inner.ctx:
+                inner.ctx.pop()
+            if ev.block is not None:
+                inner.ctx_last_set(ev.block)
+        elif kind == "R":
+            if inner.ctx:
+                inner.ctx.pop()
+            if ev.block is not None:
+                inner.ctx_last_set(ev.block)
+        else:  # pragma: no cover
+            raise ValueError(f"unknown loop event kind {kind!r}")
+
+    def _pop_dim(self) -> None:
+        if len(self.dims) <= 1:
+            raise ValueError("removeDimension() on the root dimension")
+        self.dims.pop()
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Number of induction variables (loop dimensions)."""
+        return len(self.dims) - 1
+
+    def coords(self) -> Tuple[int, ...]:
+        """The numerical part: induction variables, outer to inner."""
+        return tuple(d.iv for d in self.dims[1:])
+
+    def context(self) -> Tuple[Tuple[str, ...], ...]:
+        """The non-numerical part: per-dimension context stacks.
+
+        This is the folding key: dynamic instructions with equal
+        contexts fold into the same statement domain.
+        """
+        return tuple(tuple(d.ctx) for d in self.dims)
+
+    def snapshot(self) -> Tuple:
+        """Full printable value, alternating contexts and IVs."""
+        parts: List[object] = []
+        for d in self.dims:
+            if d.iv is not None:
+                parts.append(d.iv)
+            parts.append("/".join(d.ctx))
+        return tuple(parts)
+
+    def pretty(self) -> str:
+        """Render like the paper: ``(M0/L1, 0, A1/L2, 1, B1)``."""
+        parts: List[str] = []
+        for d in self.dims:
+            if d.iv is not None:
+                parts.append(str(d.iv))
+            parts.append("/".join(d.ctx))
+        return "(" + ", ".join(parts) + ")"

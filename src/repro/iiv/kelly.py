@@ -1,0 +1,114 @@
+"""Kelly's mapping: schedule trees for static loop nests (paper Fig. 4).
+
+A schedule tree is a decorated loop-nesting forest: every node carries
+a *static index* (its topological position among the siblings of its
+loop region) and every loop node a *canonical induction variable*.
+The iteration vector of a statement is the root-to-leaf alternation of
+static indices and induction variables; lexicographic order of the
+numerical vectors is exactly the original execution order.
+
+This module implements the static form, used by the feedback stage to
+describe transformed code structure; the *dynamic* analogue built from
+executions lives in :mod:`repro.iiv.schedule_tree`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+
+@dataclass
+class ScheduleNode:
+    """A node of a static schedule tree.
+
+    ``kind`` is 'loop', 'stmt', or 'root'.  Loops carry an induction
+    variable name; all nodes carry the static index assigned within
+    their parent region.
+    """
+
+    kind: str
+    name: str
+    static_index: int = 0
+    iv: Optional[str] = None
+    children: List["ScheduleNode"] = field(default_factory=list)
+    parent: Optional["ScheduleNode"] = None
+
+    def add(self, child: "ScheduleNode") -> "ScheduleNode":
+        child.static_index = len(self.children)
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    # -- construction sugar ----------------------------------------------------
+
+    @classmethod
+    def root(cls, name: str = "root") -> "ScheduleNode":
+        return cls("root", name)
+
+    def loop(self, name: str, iv: str) -> "ScheduleNode":
+        return self.add(ScheduleNode("loop", name, iv=iv))
+
+    def stmt(self, name: str) -> "ScheduleNode":
+        return self.add(ScheduleNode("stmt", name))
+
+    # -- queries ------------------------------------------------------------------
+
+    def leaves(self) -> Iterator["ScheduleNode"]:
+        if self.kind == "stmt":
+            yield self
+        for c in self.children:
+            yield from c.leaves()
+
+    def find(self, name: str) -> Optional["ScheduleNode"]:
+        if self.name == name:
+            return self
+        for c in self.children:
+            r = c.find(name)
+            if r is not None:
+                return r
+        return None
+
+    def path_from_root(self) -> List["ScheduleNode"]:
+        path: List[ScheduleNode] = []
+        node: Optional[ScheduleNode] = self
+        while node is not None and node.kind != "root":
+            path.append(node)
+            node = node.parent
+        path.reverse()
+        return path
+
+
+def kelly_mapping(stmt: ScheduleNode) -> List[Union[str, int]]:
+    """Textual Kelly mapping of a statement: alternating region names
+    and induction variables, e.g. ``[L_i, i, L_j, j, S]`` (Fig. 4c)."""
+    out: List[Union[str, int]] = []
+    for node in stmt.path_from_root():
+        out.append(node.name)
+        if node.kind == "loop":
+            out.append(node.iv)
+    return out
+
+
+def kelly_vector(stmt: ScheduleNode) -> List[Union[str, int]]:
+    """Numerical Kelly mapping: alternating static indices and
+    induction variables, e.g. ``[0, i, 0, j, 1]`` (Fig. 4c)."""
+    out: List[Union[str, int]] = []
+    for node in stmt.path_from_root():
+        out.append(node.static_index)
+        if node.kind == "loop":
+            out.append(node.iv)
+    return out
+
+
+def schedule_precedes(a: Sequence[Union[str, int]], b: Sequence[Union[str, int]]) -> bool:
+    """Does statement instance vector ``a`` execute before ``b``?
+
+    Vectors are fully-instantiated numerical Kelly vectors (all ints).
+    Comparison is lexicographic, padding the shorter with -infinity
+    (a prefix executes before its extensions' later instances).
+    """
+    for x, y in zip(a, b):
+        if x != y:
+            return x < y
+    return len(a) < len(b)

@@ -1,0 +1,116 @@
+"""The dynamic schedule tree (paper Fig. 3e/3j and Fig. 5).
+
+The dynamic schedule tree is to dynamic IIVs what the calling-context
+tree is to calling-context paths: one node per distinct *context
+element path*, merging all dynamic instances.  POLY-PROF renders it as
+a flame graph (root at the bottom); each node carries weight metrics
+(dynamic instruction counts) that set box widths.
+
+Nodes are keyed by the flattened context path of the dynamic IIV:
+every context element (call-stack entries, loop ids, block ids) is one
+tree level, so loops and calls appear uniformly -- the unification of
+schedule trees and CCTs that section 4 describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .diiv import DynamicIIV
+
+
+@dataclass
+class DynNode:
+    """One node of the dynamic schedule tree."""
+
+    element: str                       # context element (block / loop / call)
+    is_loop: bool = False
+    weight: int = 0                    # dynamic instructions at/below this path
+    self_weight: int = 0               # dynamic instructions exactly here
+    visits: int = 0                    # dynamic instances merged into the node
+    children: Dict[str, "DynNode"] = field(default_factory=dict)
+
+    def child(self, element: str, is_loop: bool = False) -> "DynNode":
+        node = self.children.get(element)
+        if node is None:
+            node = DynNode(element, is_loop=is_loop)
+            self.children[element] = node
+        return node
+
+    def walk(self, depth: int = 0) -> Iterator[Tuple[int, "DynNode"]]:
+        yield depth, self
+        for key in sorted(self.children):
+            yield from self.children[key].walk(depth + 1)
+
+
+class DynamicScheduleTree:
+    """Accumulates dynamic IIV contexts into a schedule tree."""
+
+    def __init__(self) -> None:
+        self.root = DynNode("<root>")
+
+    def record(self, diiv: DynamicIIV, ninstr: int = 1) -> None:
+        """Merge the current context (ignoring induction values) into
+        the tree, attributing ``ninstr`` dynamic instructions to the
+        leaf."""
+        self.record_context(diiv.context(), ninstr)
+
+    def record_context(
+        self, context: Sequence[Sequence[str]], ninstr: int = 1
+    ) -> None:
+        node = self.root
+        node.weight += ninstr
+        for dim_index, ctx in enumerate(context):
+            for j, element in enumerate(ctx):
+                is_loop = dim_index + 1 < len(context) and j == len(ctx) - 1
+                node = node.child(element, is_loop=is_loop)
+                node.weight += ninstr
+        node.self_weight += ninstr
+        node.visits += 1
+
+    # -- views ----------------------------------------------------------------------
+
+    def depth(self) -> int:
+        return max((d for d, _ in self.root.walk()), default=0)
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.root.walk()) - 1
+
+    def render_text(self) -> str:
+        """Indented text rendering (flame-graph data source)."""
+        lines: List[str] = []
+        for depth, node in self.root.walk():
+            if node is self.root:
+                continue
+            tag = " [loop]" if node.is_loop else ""
+            lines.append(
+                "  " * (depth - 1)
+                + f"{node.element}{tag} weight={node.weight} visits={node.visits}"
+            )
+        return "\n".join(lines)
+
+    def frames(self) -> Iterator[Tuple[Tuple[str, ...], DynNode]]:
+        """(path, node) pairs for flame-graph emission."""
+
+        def rec(node: DynNode, path: Tuple[str, ...]) -> Iterator:
+            for key in sorted(node.children):
+                child = node.children[key]
+                cpath = path + (key,)
+                yield cpath, child
+                yield from rec(child, cpath)
+
+        yield from rec(self.root, ())
+
+    def to_collapsed(self) -> str:
+        """Collapsed-stack rendering (Brendan Gregg's format).
+
+        One line per leaf path, ``elem;elem;... self_weight`` --
+        directly consumable by the standard ``flamegraph.pl`` tooling
+        the paper's flame graphs build on.
+        """
+        lines: List[str] = []
+        for path, node in self.frames():
+            if node.self_weight:
+                lines.append(";".join(path) + f" {node.self_weight}")
+        return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""The mini-ISA substrate: programs, an instrumenting VM, and a
+structured frontend that lowers loops/ifs/calls to branch-level code.
+
+This package substitutes for "x86 binary + QEMU instrumentation" in the
+POLY-PROF pipeline (see DESIGN.md, substitution table).
+"""
+
+from .events import CallEvent, Instrumentation, JumpEvent, ReturnEvent
+from .frontend import FunctionBuilder, ProgramBuilder
+from .instructions import Call, CondBr, Halt, Instr, Jump, Return
+from .program import BasicBlock, Function, Memory, MemoryFault, Program
+from .vm import VM, RunStats, VMError, run_program
+
+__all__ = [
+    "BasicBlock",
+    "Call",
+    "CallEvent",
+    "CondBr",
+    "Function",
+    "FunctionBuilder",
+    "Halt",
+    "Instr",
+    "Instrumentation",
+    "Jump",
+    "JumpEvent",
+    "Memory",
+    "MemoryFault",
+    "Program",
+    "ProgramBuilder",
+    "Return",
+    "ReturnEvent",
+    "RunStats",
+    "VM",
+    "VMError",
+    "run_program",
+]

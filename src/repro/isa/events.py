@@ -1,0 +1,91 @@
+"""Raw execution events -- the profiler's view of a run.
+
+These mirror what POLY-PROF's QEMU plugins deliver: control events
+(``jump`` / ``call`` / ``return``) used by Instrumentation I to build
+the control structure and by Algorithms 1-2 to synthesize loop events,
+and per-instruction events (values + memory addresses) used by
+Instrumentation II to build the DDG.
+
+The classes are plain data; identity of basic blocks and functions is
+by name (strings), since the profiler of a real binary only sees
+addresses/symbols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class JumpEvent:
+    """A local (intraprocedural) transfer of control."""
+
+    func: str
+    src_bb: Optional[str]  # None for the initial entry into main
+    dst_bb: str
+
+
+@dataclass(frozen=True)
+class CallEvent:
+    """A call; ``dst_bb`` is the callee's entry block.
+
+    ``args`` are the static operands of the call instruction (register
+    names or immediates) and ``dest`` the register in the caller that
+    receives the return value -- information any instrumenter reads off
+    the call site's machine code, needed to thread register
+    dependences through calls.
+    """
+
+    caller: Optional[str]  # None for the synthetic call into main
+    callsite_bb: Optional[str]
+    callee: str
+    dst_bb: str
+    frame_id: int
+    args: Tuple = ()
+    dest: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ReturnEvent:
+    """A return; ``dst_bb`` is the continuation block in the caller.
+
+    ``value`` is the static operand of the return instruction.
+    """
+
+    callee: str
+    caller: Optional[str]
+    dst_bb: Optional[str]  # None when main itself returns/halts
+    frame_id: int
+    value: Optional[object] = None
+
+
+ControlEvent = Union[JumpEvent, CallEvent, ReturnEvent]
+
+
+class Instrumentation:
+    """Base observer; the VM invokes these hooks during execution.
+
+    Subclasses override what they need.  ``on_instr`` is the hot path:
+    it receives the static instruction, the executing frame's id, the
+    produced value (``None`` for stores), and the effective memory
+    address (``None`` for non-memory instructions).
+    """
+
+    def on_start(self, main: str, entry_bb: str) -> None:  # pragma: no cover
+        pass
+
+    def on_jump(self, event: JumpEvent) -> None:  # pragma: no cover
+        pass
+
+    def on_call(self, event: CallEvent) -> None:  # pragma: no cover
+        pass
+
+    def on_return(self, event: ReturnEvent) -> None:  # pragma: no cover
+        pass
+
+    def on_instr(self, instr, frame_id: int, value, addr) -> None:  # pragma: no cover
+        pass
+
+    def on_halt(self) -> None:  # pragma: no cover
+        pass

@@ -1,0 +1,415 @@
+"""Structured frontend: build mini-ISA programs from loops and calls.
+
+Workloads are written against this builder, which *lowers* structured
+control flow to plain basic blocks and conditional branches -- the way
+a compiler lowers C.  The profiler never sees this structure: it
+re-discovers loops from the branch-level code, exactly as POLY-PROF
+re-discovers them from optimized x86.
+
+Example::
+
+    pb = ProgramBuilder("demo")
+    with pb.function("main", []) as f:
+        base = ...  # address passed in via memory setup
+        with f.loop(0, 10) as i:          # for (i = 0; i < 10; i++)
+            v = f.load("A", index=i)      #   v = A[i]
+            f.store("B", f.add(v, 1), index=i)
+        f.halt()
+
+Loops are lowered in the classic top-test shape::
+
+    pre:    iv = start; jump header
+    header: if !(iv REL bound) goto exit; else goto body
+    body:   ...body..., iv = iv + step; jump header
+
+so the loop header dominates the body and the back-edge goes from the
+increment block to the header; Havlak's algorithm recovers exactly one
+loop per source loop.  A ``bottom_test=True`` variant emits rotated
+(do-while) loops for CFG diversity.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from .instructions import Call, CondBr, Halt, Instr, Jump, Operand, Return
+from .program import BasicBlock, Function, Program
+
+@dataclass
+class IfHandle:
+    join: str
+    else_block: Optional[str]
+    has_else: bool = False
+
+
+@dataclass
+class WhileHandle:
+    header: str
+    exit: str
+
+
+class FunctionBuilder:
+    """Builds one function; obtained from :meth:`ProgramBuilder.function`."""
+
+    def __init__(self, pb: "ProgramBuilder", fn: Function) -> None:
+        self._pb = pb
+        self.fn = fn
+        self._block_counter = 0
+        self._reg_counter = 0
+        self._cur: Optional[BasicBlock] = fn.add_block(fn.entry)
+        self._line: Optional[int] = None
+        self._src_depth = 0
+
+    # -- naming ------------------------------------------------------------------
+
+    def fresh_reg(self, hint: str = "t") -> str:
+        self._reg_counter += 1
+        return f"%{hint}{self._reg_counter}"
+
+    def _fresh_block(self, hint: str) -> BasicBlock:
+        self._block_counter += 1
+        return self.fn.add_block(f"{hint}{self._block_counter}")
+
+    # -- lines -------------------------------------------------------------------
+
+    def at_line(self, line: Optional[int]) -> None:
+        """Set the pretend debug-info line for subsequent instructions."""
+        self._line = line
+
+    # -- emission ------------------------------------------------------------------
+
+    def emit(
+        self,
+        opcode: str,
+        srcs: Sequence[Operand],
+        dest: Optional[str] = None,
+        offset: int = 0,
+        line: Optional[int] = None,
+    ) -> Optional[str]:
+        if self._cur is None:
+            raise ValueError(
+                f"{self.fn.name}: emitting into a terminated region "
+                "(code after ret/halt?)"
+            )
+        ins = Instr(
+            uid=self._pb._next_uid(),
+            opcode=opcode,
+            dest=dest,
+            srcs=tuple(srcs),
+            offset=offset,
+            src_line=line if line is not None else self._line,
+        )
+        self._cur.instrs.append(ins)
+        return dest
+
+    def _binop(
+        self, opcode: str, a: Operand, b: Operand, hint: str,
+        into: Optional[str] = None,
+    ) -> str:
+        d = into if into is not None else self.fresh_reg(hint)
+        self.emit(opcode, [a, b], dest=d)
+        return d
+
+    def _unop(
+        self, opcode: str, a: Operand, hint: str, into: Optional[str] = None
+    ) -> str:
+        d = into if into is not None else self.fresh_reg(hint)
+        self.emit(opcode, [a], dest=d)
+        return d
+
+    # integer ops
+    def add(self, a: Operand, b: Operand, into: Optional[str] = None) -> str:
+        return self._binop("add", a, b, into=into, hint="add")
+
+    def sub(self, a: Operand, b: Operand, into: Optional[str] = None) -> str:
+        return self._binop("sub", a, b, into=into, hint="sub")
+
+    def mul(self, a: Operand, b: Operand, into: Optional[str] = None) -> str:
+        return self._binop("mul", a, b, into=into, hint="mul")
+
+    def div(self, a: Operand, b: Operand) -> str:
+        return self._binop("div", a, b, "div")
+
+    def mod(self, a: Operand, b: Operand) -> str:
+        return self._binop("mod", a, b, "mod")
+
+    def cmp(self, rel: str, a: Operand, b: Operand) -> str:
+        return self._binop("cmp" + rel, a, b, "cmp")
+
+    # float ops
+    def fadd(self, a: Operand, b: Operand, into: Optional[str] = None) -> str:
+        return self._binop("fadd", a, b, into=into, hint="f")
+
+    def fsub(self, a: Operand, b: Operand, into: Optional[str] = None) -> str:
+        return self._binop("fsub", a, b, into=into, hint="f")
+
+    def fmul(self, a: Operand, b: Operand, into: Optional[str] = None) -> str:
+        return self._binop("fmul", a, b, into=into, hint="f")
+
+    def fdiv(self, a: Operand, b: Operand, into: Optional[str] = None) -> str:
+        return self._binop("fdiv", a, b, into=into, hint="f")
+
+    def fmin(self, a: Operand, b: Operand, into: Optional[str] = None) -> str:
+        return self._binop("fmin", a, b, into=into, hint="f")
+
+    def fmax(self, a: Operand, b: Operand, into: Optional[str] = None) -> str:
+        return self._binop("fmax", a, b, into=into, hint="f")
+
+    def fneg(self, a: Operand) -> str:
+        return self._unop("fneg", a, "f")
+
+    def fabs(self, a: Operand) -> str:
+        return self._unop("fabs", a, "f")
+
+    def fsqrt(self, a: Operand) -> str:
+        return self._unop("fsqrt", a, "f")
+
+    def fexp(self, a: Operand) -> str:
+        return self._unop("fexp", a, "f")
+
+    def flog(self, a: Operand) -> str:
+        return self._unop("flog", a, "f")
+
+    def itof(self, a: Operand) -> str:
+        return self._unop("itof", a, "f")
+
+    def ftoi(self, a: Operand) -> str:
+        return self._unop("ftoi", a, "i")
+
+    def const(self, value: Union[int, float], hint: str = "c") -> str:
+        d = self.fresh_reg(hint)
+        self.emit("const", [value], dest=d)
+        return d
+
+    def set(self, reg: str, value: Operand) -> str:
+        """Assign into a *named* register (for accumulators)."""
+        self.emit("mov", [value], dest=reg)
+        return reg
+
+    # -- memory ---------------------------------------------------------------------
+
+    def addr(
+        self,
+        base: Operand,
+        index: Optional[Operand] = None,
+        scale: int = 1,
+        offset: int = 0,
+    ) -> Tuple[Operand, int]:
+        """Lower an address expression ``base + index*scale + offset``.
+
+        Emits the address arithmetic as ordinary integer instructions
+        (the SCEVs the folding stage must recognize and discard) and
+        returns ``(address_register_or_base, immediate_offset)``.
+        """
+        if index is None:
+            return base, offset
+        if scale != 1:
+            index = self.mul(index, scale)
+        a = self.add(base, index)
+        return a, offset
+
+    def load(
+        self,
+        base: Operand,
+        index: Optional[Operand] = None,
+        scale: int = 1,
+        offset: int = 0,
+        line: Optional[int] = None,
+    ) -> str:
+        a, off = self.addr(base, index, scale, offset)
+        d = self.fresh_reg("ld")
+        self.emit("load", [a], dest=d, offset=off, line=line)
+        return d
+
+    def store(
+        self,
+        base: Operand,
+        value: Operand,
+        index: Optional[Operand] = None,
+        scale: int = 1,
+        offset: int = 0,
+        line: Optional[int] = None,
+    ) -> None:
+        a, off = self.addr(base, index, scale, offset)
+        self.emit("store", [a, value], offset=off, line=line)
+
+    # -- control flow ------------------------------------------------------------------
+
+    def _terminate(self, term) -> None:
+        if self._cur is None:
+            raise ValueError("terminating a terminated region")
+        self._cur.terminator = term
+        self._cur = None
+
+    def _start(self, bb: BasicBlock) -> None:
+        self._cur = bb
+
+    @contextmanager
+    def loop(
+        self,
+        start: Operand,
+        bound: Operand,
+        rel: str = "lt",
+        step: Operand = 1,
+        line: Optional[int] = None,
+        bottom_test: bool = False,
+        hint: str = "L",
+    ) -> Iterator[str]:
+        """Counted loop ``for (iv = start; iv REL bound; iv += step)``.
+
+        Yields the induction-variable register.  ``bottom_test`` emits a
+        rotated (do-while) loop, which executes the body at least once.
+        """
+        self._src_depth += 1
+        self.fn.src_loop_depth = max(self.fn.src_loop_depth, self._src_depth)
+        iv = self.fresh_reg("iv")
+        self.emit("mov", [start], dest=iv, line=line)
+        if not bottom_test:
+            header = self._fresh_block(f"{hint}head")
+            body = self._fresh_block(f"{hint}body")
+            exit_ = self._fresh_block(f"{hint}exit")
+            self._terminate(Jump(header.name))
+            header.terminator = CondBr(rel, iv, bound, body.name, exit_.name)
+            self._start(body)
+            yield iv
+            self.emit("add", [iv, step], dest=iv, line=line)
+            self._terminate(Jump(header.name))
+            self._start(exit_)
+        else:
+            body = self._fresh_block(f"{hint}body")
+            exit_ = self._fresh_block(f"{hint}exit")
+            self._terminate(Jump(body.name))
+            self._start(body)
+            yield iv
+            self.emit("add", [iv, step], dest=iv, line=line)
+            latch = self._cur
+            self._terminate(CondBr(rel, iv, bound, body.name, exit_.name))
+            self._start(exit_)
+        self._src_depth -= 1
+
+    def if_begin(self, rel: str, a: Operand, b: Operand) -> IfHandle:
+        """Open ``if (a rel b) { ... }``; close with :meth:`if_end`,
+        optionally after :meth:`if_else`."""
+        then = self._fresh_block("then")
+        join = self._fresh_block("join")
+        self._terminate(CondBr(rel, a, b, then.name, join.name))
+        self._start(then)
+        return IfHandle(join=join.name, else_block=None)
+
+    def if_else(self, h: IfHandle) -> None:
+        els = self._fresh_block("else")
+        # re-point the conditional's not-taken edge at the else block
+        self._retarget_fallthrough(h.join, els.name)
+        if self._cur is not None:
+            self._terminate(Jump(h.join))
+        self._start(els)
+        h.has_else = True
+
+    def _retarget_fallthrough(self, old: str, new: str) -> None:
+        for bb in self.fn.blocks.values():
+            t = bb.terminator
+            if isinstance(t, CondBr) and t.not_taken == old:
+                bb.terminator = CondBr(t.rel, t.a, t.b, t.taken, new)
+                return
+        raise ValueError("if_else: matching branch not found")
+
+    def if_end(self, h: IfHandle) -> None:
+        if self._cur is not None:
+            self._terminate(Jump(h.join))
+        self._start(self.fn.blocks[h.join])
+
+    @contextmanager
+    def if_then(self, rel: str, a: Operand, b: Operand) -> Iterator[None]:
+        h = self.if_begin(rel, a, b)
+        yield
+        self.if_end(h)
+
+    def while_begin(self) -> WhileHandle:
+        """Open a general while loop: the condition is computed inside
+        the header block (call :meth:`while_cond` after emitting it)."""
+        self._src_depth += 1
+        self.fn.src_loop_depth = max(self.fn.src_loop_depth, self._src_depth)
+        header = self._fresh_block("whead")
+        exit_ = self._fresh_block("wexit")
+        self._terminate(Jump(header.name))
+        self._start(header)
+        return WhileHandle(header=header.name, exit=exit_.name)
+
+    def while_cond(self, h: WhileHandle, rel: str, a: Operand, b: Operand) -> None:
+        body = self._fresh_block("wbody")
+        self._terminate(CondBr(rel, a, b, body.name, h.exit))
+        self._start(body)
+
+    def while_end(self, h: WhileHandle) -> None:
+        self._terminate(Jump(h.header))
+        self._start(self.fn.blocks[h.exit])
+        self._src_depth -= 1
+
+    def break_to(self, exit_block: str) -> None:
+        """Early exit: jump out of the enclosing structured region.
+
+        Leaves the builder without a current block; the caller must be
+        inside an ``if`` arm (the usual ``if (cond) break;`` shape).
+        """
+        self._terminate(Jump(exit_block))
+
+    def call(
+        self,
+        callee: str,
+        args: Sequence[Operand] = (),
+        want_result: bool = False,
+        line: Optional[int] = None,
+    ) -> Optional[str]:
+        """Call a function; splits the current block at the call site."""
+        cont = self._fresh_block("cont")
+        dest = self.fresh_reg("ret") if want_result else None
+        self._terminate(Call(callee=callee, args=tuple(args), dest=dest, cont=cont.name))
+        self._start(cont)
+        return dest
+
+    def ret(self, value: Optional[Operand] = None) -> None:
+        self._terminate(Return(value))
+
+    def halt(self) -> None:
+        self._terminate(Halt())
+
+    def goto_new_block(self, hint: str = "bb") -> None:
+        """Force a block split (unconditional jump to a fresh block)."""
+        nxt = self._fresh_block(hint)
+        self._terminate(Jump(nxt.name))
+        self._start(nxt)
+
+
+class ProgramBuilder:
+    """Builds a whole :class:`Program`."""
+
+    def __init__(self, name: str = "program", main: str = "main") -> None:
+        self.program = Program(name=name, main=main)
+        self._uid = 0
+
+    def _next_uid(self) -> int:
+        self._uid += 1
+        return self._uid
+
+    @contextmanager
+    def function(
+        self,
+        name: str,
+        params: Sequence[str],
+        src_file: Optional[str] = None,
+    ) -> Iterator[FunctionBuilder]:
+        fn = Function(name=name, params=tuple(params), src_file=src_file)
+        self.program.add_function(fn)
+        fb = FunctionBuilder(self, fn)
+        yield fb
+        if fb._cur is not None:
+            raise ValueError(
+                f"function {name!r} not terminated (missing ret/halt)"
+            )
+        fn.validate()
+
+    def build(self) -> Program:
+        self.program.validate()
+        return self.program

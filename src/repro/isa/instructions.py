@@ -1,0 +1,190 @@
+"""The mini-ISA instruction set.
+
+POLY-PROF analyzes *binaries*; this reproduction substitutes a small
+register-based virtual ISA whose programs expose exactly the features
+the paper's pipeline must handle: lowered loops (conditional branches +
+back-edges, no loop metadata), linearized multi-dimensional arrays
+(explicit address arithmetic, so SCEV recognition has real work to do),
+calls/returns across deep call chains, and recursion.
+
+Instruction operands are registers (strings) or integer/float
+immediates.  Register files are per-activation (per frame), mirroring
+callee-saved registers plus a private stack in a real ABI; values cross
+function boundaries only through call arguments, return values, and
+memory.
+
+Straight-line instructions (inside a basic block):
+
+====================  =======================================
+``const d, imm``      d := imm (int or float)
+``mov d, a``          d := a
+``add/sub/mul``       integer arithmetic, d := a op b
+``div/mod``           integer division (C semantics, trunc)
+``and/or/xor``        bitwise
+``shl/shr``           shifts
+``cmp<rel>``          d := 1 if a rel b else 0  (rel: lt le gt ge eq ne)
+``fadd/fsub/fmul/fdiv``  float arithmetic
+``fneg/fabs/fsqrt/fexp/flog``  float unary
+``fmin/fmax``         float binary
+``itof/ftoi``         conversions
+``load d, a, off``    d := MEM[a + off]
+``store a, off, b``   MEM[a + off] := b
+====================  =======================================
+
+Terminators (end a basic block):
+
+* :class:`Jump` -- unconditional local jump.
+* :class:`CondBr` -- two-way conditional branch (relation + operands).
+* :class:`Call` -- call a function, bind its return value, continue in
+  a continuation block (call sites end blocks, as in the paper's
+  Fig. 3 where ``B1`` / ``B2`` are split around the call to ``C``).
+* :class:`Return` -- return (optionally a value) to the caller.
+* :class:`Halt` -- stop the machine (program exit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple, Union
+
+Operand = Union[str, int, float]
+
+#: opcodes that read/write floating-point data (drives the %FPops metric)
+FLOAT_OPS = frozenset(
+    "fadd fsub fmul fdiv fneg fabs fsqrt fexp flog fmin fmax itof".split()
+)
+
+#: integer ALU opcodes
+INT_OPS = frozenset(
+    "add sub mul div mod and or xor shl shr ftoi "
+    "cmplt cmple cmpgt cmpge cmpeq cmpne".split()
+)
+
+UNARY_OPS = frozenset("mov fneg fabs fsqrt fexp flog itof ftoi".split())
+
+MEM_OPS = frozenset(("load", "store"))
+
+VALID_OPCODES = (
+    FLOAT_OPS | INT_OPS | MEM_OPS | frozenset(("const", "mov"))
+)
+
+RELATIONS = ("lt", "le", "gt", "ge", "eq", "ne")
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One straight-line instruction.
+
+    ``uid`` is the static instruction id, globally unique within a
+    :class:`~repro.isa.program.Program`; the profiling stages key
+    statements by it.  ``src_line`` is the pretend debug-info line used
+    in feedback reports (the paper reports ``file:line`` references).
+    """
+
+    uid: int
+    opcode: str
+    dest: Optional[str] = None
+    srcs: Tuple[Operand, ...] = ()
+    offset: int = 0  # immediate offset for load/store
+    src_line: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.opcode not in VALID_OPCODES:
+            raise ValueError(f"unknown opcode {self.opcode!r}")
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode == "load"
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode == "store"
+
+    @property
+    def is_mem(self) -> bool:
+        return self.opcode in MEM_OPS
+
+    @property
+    def is_float(self) -> bool:
+        return self.opcode in FLOAT_OPS
+
+    def reg_reads(self) -> Tuple[str, ...]:
+        return tuple(s for s in self.srcs if isinstance(s, str))
+
+    def __str__(self) -> str:
+        parts = [self.opcode]
+        if self.dest:
+            parts.append(self.dest + " <-")
+        parts.append(", ".join(map(str, self.srcs)))
+        if self.is_mem:
+            parts.append(f"+{self.offset}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Jump:
+    target: str
+
+    def successors(self) -> Tuple[str, ...]:
+        return (self.target,)
+
+
+@dataclass(frozen=True)
+class CondBr:
+    rel: str
+    a: Operand
+    b: Operand
+    taken: str
+    not_taken: str
+
+    def __post_init__(self) -> None:
+        if self.rel not in RELATIONS:
+            raise ValueError(f"unknown relation {self.rel!r}")
+
+    def successors(self) -> Tuple[str, ...]:
+        return (self.taken, self.not_taken)
+
+
+@dataclass(frozen=True)
+class Call:
+    callee: str
+    args: Tuple[Operand, ...]
+    dest: Optional[str]  # register receiving the return value
+    cont: str            # continuation block in the caller
+
+    def successors(self) -> Tuple[str, ...]:
+        # local successor only; the interprocedural edge lives in the CG
+        return (self.cont,)
+
+
+@dataclass(frozen=True)
+class Return:
+    value: Optional[Operand] = None
+
+    def successors(self) -> Tuple[str, ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Halt:
+    def successors(self) -> Tuple[str, ...]:
+        return ()
+
+
+Terminator = Union[Jump, CondBr, Call, Return, Halt]
+
+
+def eval_relation(rel: str, a: Union[int, float], b: Union[int, float]) -> bool:
+    if rel == "lt":
+        return a < b
+    if rel == "le":
+        return a <= b
+    if rel == "gt":
+        return a > b
+    if rel == "ge":
+        return a >= b
+    if rel == "eq":
+        return a == b
+    if rel == "ne":
+        return a != b
+    raise ValueError(f"unknown relation {rel!r}")

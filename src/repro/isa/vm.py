@@ -1,0 +1,354 @@
+"""The instrumenting virtual machine.
+
+Executes a :class:`~repro.isa.program.Program` while feeding raw events
+to attached :class:`~repro.isa.events.Instrumentation` observers.  This
+is the substitute for QEMU + the paper's instrumentation plugins: the
+observers see only what binary instrumentation would see -- control
+transfers, executed instructions, produced values, and effective
+addresses -- never the frontend's structured source.
+
+The interpreter is a straightforward dispatch loop.  Performance
+matters only enough to run the scaled Rodinia workloads (10^5-10^6
+dynamic instructions) in seconds; the hot path avoids allocation where
+easy but otherwise favours being obviously correct.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .events import CallEvent, Instrumentation, JumpEvent, ReturnEvent
+from .instructions import (
+    Call,
+    CondBr,
+    Halt,
+    Instr,
+    Jump,
+    Return,
+    eval_relation,
+)
+from .program import Function, Memory, Program
+
+Number = Union[int, float]
+
+
+class VMError(RuntimeError):
+    pass
+
+
+@dataclass
+class _Frame:
+    func: Function
+    regs: Dict[str, Number]
+    frame_id: int
+    ret_dest: Optional[str]   # register in the *caller* receiving the value
+    cont_bb: Optional[str]    # block in the caller to resume
+    caller_index: int         # index of caller frame on the stack
+
+
+@dataclass
+class RunStats:
+    """Aggregate dynamic counts of one execution."""
+
+    dyn_instrs: int = 0
+    dyn_branches: int = 0
+    dyn_calls: int = 0
+    mem_ops: int = 0
+    fp_ops: int = 0
+    per_opcode: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_ops(self) -> int:
+        return self.dyn_instrs + self.dyn_branches
+
+
+class VM:
+    """Interprets a program, driving instrumentation observers."""
+
+    def __init__(
+        self,
+        program: Program,
+        memory: Optional[Memory] = None,
+        observers: Sequence[Instrumentation] = (),
+        fuel: int = 50_000_000,
+    ) -> None:
+        program.validate()
+        self.program = program
+        self.memory = memory if memory is not None else Memory()
+        self.observers: List[Instrumentation] = list(observers)
+        self.fuel = fuel
+        self.stats = RunStats()
+        self._next_frame_id = 0
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, args: Sequence[Number] = ()) -> Optional[Number]:
+        """Run ``main(args...)``; returns main's return value."""
+        main = self.program.function(self.program.main)
+        if len(args) != len(main.params):
+            raise VMError(
+                f"main expects {len(main.params)} args, got {len(args)}"
+            )
+        frame = _Frame(
+            func=main,
+            regs=dict(zip(main.params, args)),
+            frame_id=self._new_frame_id(),
+            ret_dest=None,
+            cont_bb=None,
+            caller_index=-1,
+        )
+        stack: List[_Frame] = [frame]
+        for ob in self.observers:
+            ob.on_start(main.name, main.entry)
+            ob.on_call(
+                CallEvent(
+                    caller=None,
+                    callsite_bb=None,
+                    callee=main.name,
+                    dst_bb=main.entry,
+                    frame_id=frame.frame_id,
+                )
+            )
+            ob.on_jump(JumpEvent(main.name, None, main.entry))
+        result = self._exec(stack)
+        for ob in self.observers:
+            ob.on_halt()
+        return result
+
+    # -- internals --------------------------------------------------------------
+
+    def _new_frame_id(self) -> int:
+        self._next_frame_id += 1
+        return self._next_frame_id
+
+    def _operand(self, frame: _Frame, op) -> Number:
+        if isinstance(op, str):
+            try:
+                return frame.regs[op]
+            except KeyError:
+                raise VMError(
+                    f"read of undefined register {op!r} in {frame.func.name}"
+                ) from None
+        return op
+
+    def _exec(self, stack: List[_Frame]) -> Optional[Number]:
+        program = self.program
+        memory = self.memory
+        observers = self.observers
+        stats = self.stats
+        fuel = self.fuel
+
+        frame = stack[-1]
+        bb = frame.func.blocks[frame.func.entry]
+
+        while True:
+            if stats.dyn_instrs + stats.dyn_branches >= fuel:
+                raise VMError("out of fuel (infinite loop?)")
+            regs = frame.regs
+            for instr in bb.instrs:
+                if stats.dyn_instrs >= fuel:
+                    raise VMError("out of fuel (infinite loop?)")
+                value, addr = self._exec_instr(instr, frame, memory)
+                stats.dyn_instrs += 1
+                op = instr.opcode
+                stats.per_opcode[op] = stats.per_opcode.get(op, 0) + 1
+                if instr.is_mem:
+                    stats.mem_ops += 1
+                if instr.is_float:
+                    stats.fp_ops += 1
+                for ob in observers:
+                    ob.on_instr(instr, frame.frame_id, value, addr)
+
+            term = bb.terminator
+            if isinstance(term, Jump):
+                for ob in observers:
+                    ob.on_jump(JumpEvent(frame.func.name, bb.name, term.target))
+                bb = frame.func.blocks[term.target]
+            elif isinstance(term, CondBr):
+                stats.dyn_branches += 1
+                a = self._operand(frame, term.a)
+                b = self._operand(frame, term.b)
+                dst = term.taken if eval_relation(term.rel, a, b) else term.not_taken
+                for ob in observers:
+                    ob.on_jump(JumpEvent(frame.func.name, bb.name, dst))
+                bb = frame.func.blocks[dst]
+            elif isinstance(term, Call):
+                stats.dyn_calls += 1
+                callee = program.function(term.callee)
+                if len(term.args) != len(callee.params):
+                    raise VMError(
+                        f"call {frame.func.name}->{callee.name}: arity mismatch"
+                    )
+                argvals = [self._operand(frame, a) for a in term.args]
+                new_frame = _Frame(
+                    func=callee,
+                    regs=dict(zip(callee.params, argvals)),
+                    frame_id=self._new_frame_id(),
+                    ret_dest=term.dest,
+                    cont_bb=term.cont,
+                    caller_index=len(stack) - 1,
+                )
+                for ob in observers:
+                    ob.on_call(
+                        CallEvent(
+                            caller=frame.func.name,
+                            callsite_bb=bb.name,
+                            callee=callee.name,
+                            dst_bb=callee.entry,
+                            frame_id=new_frame.frame_id,
+                            args=term.args,
+                            dest=term.dest,
+                        )
+                    )
+                stack.append(new_frame)
+                frame = new_frame
+                bb = callee.blocks[callee.entry]
+            elif isinstance(term, Return):
+                retval = (
+                    self._operand(frame, term.value)
+                    if term.value is not None
+                    else None
+                )
+                popped = stack.pop()
+                if not stack:
+                    for ob in observers:
+                        ob.on_return(
+                            ReturnEvent(
+                                callee=popped.func.name,
+                                caller=None,
+                                dst_bb=None,
+                                frame_id=popped.frame_id,
+                                value=term.value,
+                            )
+                        )
+                    return retval
+                frame = stack[-1]
+                if popped.ret_dest is not None:
+                    if retval is None:
+                        raise VMError(
+                            f"{popped.func.name} returned no value but caller "
+                            f"expects one"
+                        )
+                    frame.regs[popped.ret_dest] = retval
+                for ob in observers:
+                    ob.on_return(
+                        ReturnEvent(
+                            callee=popped.func.name,
+                            caller=frame.func.name,
+                            dst_bb=popped.cont_bb,
+                            frame_id=popped.frame_id,
+                            value=term.value,
+                        )
+                    )
+                bb = frame.func.blocks[popped.cont_bb]
+            elif isinstance(term, Halt):
+                return None
+            else:  # pragma: no cover
+                raise VMError(f"unknown terminator {term!r}")
+
+    def _exec_instr(
+        self, instr: Instr, frame: _Frame, memory: Memory
+    ) -> Tuple[Optional[Number], Optional[int]]:
+        """Execute one instruction; returns (produced value, mem addr)."""
+        op = instr.opcode
+        regs = frame.regs
+
+        if op == "const":
+            v = instr.srcs[0]
+            regs[instr.dest] = v
+            return v, None
+        if op == "mov":
+            v = self._operand(frame, instr.srcs[0])
+            regs[instr.dest] = v
+            return v, None
+        if op == "load":
+            base = self._operand(frame, instr.srcs[0])
+            addr = int(base) + instr.offset
+            v = memory.load(addr)
+            regs[instr.dest] = v
+            return v, addr
+        if op == "store":
+            base = self._operand(frame, instr.srcs[0])
+            addr = int(base) + instr.offset
+            v = self._operand(frame, instr.srcs[1])
+            memory.store(addr, v)
+            return v, addr
+
+        a = self._operand(frame, instr.srcs[0])
+        b = self._operand(frame, instr.srcs[1]) if len(instr.srcs) > 1 else None
+
+        if op == "add":
+            v = a + b
+        elif op == "sub":
+            v = a - b
+        elif op == "mul":
+            v = a * b
+        elif op == "div":
+            # C semantics: truncate toward zero
+            if b == 0:
+                raise VMError("integer division by zero")
+            q = abs(a) // abs(b)
+            v = q if (a >= 0) == (b >= 0) else -q
+        elif op == "mod":
+            if b == 0:
+                raise VMError("integer modulo by zero")
+            q = abs(a) // abs(b)
+            qq = q if (a >= 0) == (b >= 0) else -q
+            v = a - b * qq
+        elif op == "and":
+            v = a & b
+        elif op == "or":
+            v = a | b
+        elif op == "xor":
+            v = a ^ b
+        elif op == "shl":
+            v = a << b
+        elif op == "shr":
+            v = a >> b
+        elif op.startswith("cmp"):
+            v = 1 if eval_relation(op[3:], a, b) else 0
+        elif op == "fadd":
+            v = float(a) + float(b)
+        elif op == "fsub":
+            v = float(a) - float(b)
+        elif op == "fmul":
+            v = float(a) * float(b)
+        elif op == "fdiv":
+            v = float(a) / float(b)
+        elif op == "fneg":
+            v = -float(a)
+        elif op == "fabs":
+            v = abs(float(a))
+        elif op == "fsqrt":
+            v = math.sqrt(a)
+        elif op == "fexp":
+            v = math.exp(min(a, 700.0))
+        elif op == "flog":
+            v = math.log(a)
+        elif op == "fmin":
+            v = min(float(a), float(b))
+        elif op == "fmax":
+            v = max(float(a), float(b))
+        elif op == "itof":
+            v = float(a)
+        elif op == "ftoi":
+            v = int(a)
+        else:  # pragma: no cover
+            raise VMError(f"unhandled opcode {op!r}")
+        regs[instr.dest] = v
+        return v, None
+
+
+def run_program(
+    program: Program,
+    args: Sequence[Number] = (),
+    memory: Optional[Memory] = None,
+    observers: Sequence[Instrumentation] = (),
+    fuel: int = 50_000_000,
+) -> Tuple[Optional[Number], RunStats]:
+    """Convenience wrapper: run and return (result, stats)."""
+    vm = VM(program, memory=memory, observers=observers, fuel=fuel)
+    result = vm.run(args)
+    return result, vm.stats

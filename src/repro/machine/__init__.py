@@ -1,0 +1,25 @@
+"""Performance-estimation substrate: cache simulation + cost model
+(stand-in for the paper's Xeon measurements; see DESIGN.md).
+"""
+
+from .cache import Cache, CacheStats, Hierarchy
+from .costmodel import (
+    CostConfig,
+    CostEstimate,
+    estimate_speedup,
+    iteration_points,
+    replay_cost,
+    tiled_points,
+)
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "CostConfig",
+    "CostEstimate",
+    "Hierarchy",
+    "estimate_speedup",
+    "iteration_points",
+    "replay_cost",
+    "tiled_points",
+]

@@ -1,0 +1,89 @@
+"""Set-associative LRU cache simulation.
+
+Stand-in for the paper's Xeon measurements (see DESIGN.md): the
+case-study speedups come from locality (interchange/tiling) and SIMD,
+so we replay the *actual transformed address streams* through a small
+cache hierarchy and convert hit/miss counts into cycle estimates.
+
+Addresses are in words (the mini-ISA's memory unit); a line holds
+``line_words`` words.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """One level: ``sets x assoc`` lines of ``line_words`` words, LRU."""
+
+    def __init__(self, size_words: int, line_words: int = 8, assoc: int = 4) -> None:
+        if size_words % (line_words * assoc):
+            raise ValueError("size must be a multiple of line_words * assoc")
+        self.line_words = line_words
+        self.assoc = assoc
+        self.nsets = size_words // (line_words * assoc)
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.nsets)]
+        self.stats = CacheStats()
+
+    def access(self, addr: int) -> bool:
+        """Touch one word; returns True on hit."""
+        line = addr // self.line_words
+        s = self._sets[line % self.nsets]
+        self.stats.accesses += 1
+        if line in s:
+            s.move_to_end(line)
+            return True
+        self.stats.misses += 1
+        s[line] = True
+        if len(s) > self.assoc:
+            s.popitem(last=False)
+        return False
+
+    def reset(self) -> None:
+        for s in self._sets:
+            s.clear()
+        self.stats = CacheStats()
+
+
+@dataclass
+class Hierarchy:
+    """A two-level hierarchy with per-level hit latencies.
+
+    Default geometry is a scaled-down Ivy Bridge (the paper's testbed):
+    latencies 1 / 8 / 40 cycles for L1 / L2 / memory.
+    """
+
+    l1: Cache = field(default_factory=lambda: Cache(512, line_words=8, assoc=4))
+    l2: Cache = field(default_factory=lambda: Cache(4096, line_words=8, assoc=8))
+    lat_l1: int = 1
+    lat_l2: int = 8
+    lat_mem: int = 40
+
+    def access(self, addr: int) -> int:
+        """Touch one word; returns the access cost in cycles."""
+        if self.l1.access(addr):
+            return self.lat_l1
+        if self.l2.access(addr):
+            return self.lat_l2
+        return self.lat_mem
+
+    def reset(self) -> None:
+        self.l1.reset()
+        self.l2.reset()

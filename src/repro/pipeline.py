@@ -1,0 +1,201 @@
+"""POLY-PROF end-to-end pipeline (paper Fig. 1).
+
+The stages, mirroring the figure:
+
+1. **Instrumentation I** -- run the program once, reconstruct dynamic
+   CFGs and the call graph; build loop-nesting forests and the
+   recursive-component-set (:mod:`repro.cfg`).
+2. **Instrumentation II** -- run again with the DDG builder: loop
+   events, dynamic IIVs, shadow memory; stream statement/dependence
+   points (:mod:`repro.ddg`).
+3. **Folding** -- compress the point streams into a compact polyhedral
+   DDG (:mod:`repro.folding`).
+4. **Polyhedral feedback** -- dependence analysis, transformation
+   search, metrics, reports (:mod:`repro.schedule`,
+   :mod:`repro.feedback`).
+
+Because a mini-ISA program consumes its :class:`~repro.isa.Memory`,
+workloads are described by a :class:`ProgramSpec` whose ``make_state``
+returns a *fresh* (args, memory) pair per run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .cfg import (
+    ControlStructureBuilder,
+    DynCallGraph,
+    DynCFG,
+    LoopForest,
+    RecursiveComponentSet,
+    build_loop_forest,
+    build_recursive_component_set,
+)
+from .ddg import DDGBuilder, DDGSink, RecordingSink
+from .isa import Memory, Program, RunStats, run_program
+
+
+@dataclass
+class ProgramSpec:
+    """A runnable workload: a program plus fresh-state factory.
+
+    The ``region_*`` fields model the paper's hand-selected region of
+    interest per benchmark (Table 5): the kernel functions, the label
+    printed in the Region column, the fusion heuristic used, and the
+    source loop depth (``ld-src``) when it differs from what the
+    frontend records (e.g. a compiler unrolled a source loop away).
+    """
+
+    name: str
+    program: Program
+    make_state: Callable[[], Tuple[Sequence, Memory]]
+
+    #: optional human annotations used by reports (not by analysis)
+    description: str = ""
+    region_funcs: Optional[Tuple[str, ...]] = None
+    region_label: str = ""
+    fusion_heuristic: str = "S"
+    ld_src: Optional[int] = None
+    #: emulates the paper's scheduler memory budget (streamcluster
+    #: exhausted memory at scheduling); None = unlimited
+    scheduler_stmt_budget: Optional[int] = None
+
+
+@dataclass
+class ControlProfile:
+    """Result of Instrumentation I."""
+
+    cfgs: Dict[str, DynCFG]
+    callgraph: DynCallGraph
+    forests: Dict[str, LoopForest]
+    rcs: RecursiveComponentSet
+    stats: RunStats
+    wall_seconds: float = 0.0
+
+
+@dataclass
+class DDGProfile:
+    """Result of Instrumentation II."""
+
+    builder: DDGBuilder
+    sink: DDGSink
+    stats: RunStats
+    wall_seconds: float = 0.0
+
+
+def profile_control(spec: ProgramSpec, fuel: int = 50_000_000) -> ControlProfile:
+    """Stage 1: reconstruct the interprocedural control structure."""
+    args, memory = spec.make_state()
+    csb = ControlStructureBuilder()
+    t0 = time.perf_counter()
+    _, stats = run_program(
+        spec.program, args=args, memory=memory, observers=[csb], fuel=fuel
+    )
+    dt = time.perf_counter() - t0
+    forests = {
+        f: build_loop_forest(f, cfg.nodes, cfg.edges, cfg.entry)
+        for f, cfg in csb.cfgs.items()
+    }
+    rcs = build_recursive_component_set(
+        csb.callgraph.nodes, csb.callgraph.edges, csb.callgraph.root
+    )
+    return ControlProfile(
+        cfgs=csb.cfgs,
+        callgraph=csb.callgraph,
+        forests=forests,
+        rcs=rcs,
+        stats=stats,
+        wall_seconds=dt,
+    )
+
+
+def profile_ddg(
+    spec: ProgramSpec,
+    control: ControlProfile,
+    sink: Optional[DDGSink] = None,
+    track_anti_output: bool = True,
+    build_schedule_tree: bool = True,
+    fuel: int = 50_000_000,
+) -> DDGProfile:
+    """Stage 2: build the DDG point streams (fresh execution)."""
+    args, memory = spec.make_state()
+    if sink is None:
+        sink = RecordingSink()
+    builder = DDGBuilder(
+        spec.program,
+        control.forests,
+        control.rcs,
+        sink,
+        track_anti_output=track_anti_output,
+        build_schedule_tree=build_schedule_tree,
+    )
+    t0 = time.perf_counter()
+    _, stats = run_program(
+        spec.program, args=args, memory=memory, observers=[builder], fuel=fuel
+    )
+    dt = time.perf_counter() - t0
+    return DDGProfile(builder=builder, sink=sink, stats=stats, wall_seconds=dt)
+
+
+@dataclass
+class AnalysisResult:
+    """Everything the feedback stages need, bundled."""
+
+    spec: ProgramSpec
+    control: ControlProfile
+    ddg_profile: DDGProfile
+    folded: "FoldedDDG"
+    forest: "NestForest"
+    plans: List["NestPlan"] = field(default_factory=list)
+
+    @property
+    def schedule_tree(self):
+        return self.ddg_profile.builder.schedule_tree
+
+    def total_wall_seconds(self) -> float:
+        return self.control.wall_seconds + self.ddg_profile.wall_seconds
+
+
+def analyze(
+    spec: ProgramSpec,
+    track_anti_output: bool = True,
+    build_schedule_tree: bool = True,
+    max_pieces: int = 6,
+    clamp: Optional[int] = None,
+    fuel: int = 50_000_000,
+) -> AnalysisResult:
+    """The full POLY-PROF pipeline: profile, fold, analyze, plan.
+
+    ``clamp`` bounds the points folded per stream (Fig. 1's relevance
+    scalability clamping); clamped streams degrade to conservative
+    over-approximations.
+    """
+    from .folding import FoldingSink
+    from .schedule import analyze_forest, build_nest_forest, plan_all
+    from .feedback.stride import stride_scores
+
+    control = profile_control(spec, fuel=fuel)
+    sink = FoldingSink(max_pieces=max_pieces, clamp=clamp)
+    ddgp = profile_ddg(
+        spec,
+        control,
+        sink=sink,
+        track_anti_output=track_anti_output,
+        build_schedule_tree=build_schedule_tree,
+        fuel=fuel,
+    )
+    folded = sink.finalize()
+    forest = build_nest_forest(folded)
+    analyze_forest(forest)
+    plans = plan_all(forest, stride_scores_of=stride_scores)
+    return AnalysisResult(
+        spec=spec,
+        control=control,
+        ddg_profile=ddgp,
+        folded=folded,
+        forest=forest,
+        plans=plans,
+    )

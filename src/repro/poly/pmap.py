@@ -1,0 +1,124 @@
+"""Affine relations (maps) between named integer spaces.
+
+A :class:`IMap` pairs a domain :class:`~repro.poly.pset.ISet` with a
+piecewise-constant assignment of one :class:`AffineFunction` per
+domain piece.  POLY-PROF's folded dependences are exactly this shape
+(Table 2 of the paper): a polyhedron over the *consumer* coordinates
+plus an affine expression giving the *producer* coordinates.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .affine import AffineExpr, AffineFunction
+from .polyhedron import Polyhedron
+from .pset import ISet, Space
+
+
+class IMap:
+    """Union of (polyhedron, affine function) pieces: domain -> range."""
+
+    __slots__ = ("in_space", "out_space", "pieces")
+
+    def __init__(
+        self,
+        in_space: Space,
+        out_space: Space,
+        pieces: Iterable[Tuple[Polyhedron, AffineFunction]] = (),
+    ) -> None:
+        self.in_space = in_space
+        self.out_space = out_space
+        ps: List[Tuple[Polyhedron, AffineFunction]] = []
+        for dom, fn in pieces:
+            if dom.dim != in_space.dim:
+                raise ValueError("domain dimension mismatch")
+            if fn.out_dim != out_space.dim:
+                raise ValueError("range dimension mismatch")
+            # an empty function (0-D range) has no expressions to carry
+            # its input arity, so only check non-empty functions
+            if fn.exprs and fn.in_dim != in_space.dim:
+                raise ValueError("function arity mismatch")
+            ps.append((dom, fn))
+        self.pieces: Tuple[Tuple[Polyhedron, AffineFunction], ...] = tuple(ps)
+
+    def domain(self) -> ISet:
+        return ISet(self.in_space, [dom for dom, _ in self.pieces])
+
+    def apply(self, point: Sequence[int]) -> Optional[Tuple[int, ...]]:
+        """Image of one point (None if outside the domain)."""
+        for dom, fn in self.pieces:
+            if dom.contains(point):
+                return fn.eval_int(point)
+        return None
+
+    def is_empty(self) -> bool:
+        return all(dom.is_empty() for dom, _ in self.pieces)
+
+    # -- dependence-analysis helpers ------------------------------------------------
+
+    def delta_exprs(self) -> List[Tuple[Polyhedron, List[AffineExpr]]]:
+        """Per piece, the componentwise difference ``in - out`` on the
+        common dimensions (consumer minus producer for dependences,
+        i.e. the dependence *distance* as a function of the consumer).
+        Requires ``in_space.dim == out_space.dim``.
+        """
+        if self.in_space.dim != self.out_space.dim:
+            raise ValueError("delta on heterogeneous map")
+        out = []
+        d = self.in_space.dim
+        for dom, fn in self.pieces:
+            deltas = [
+                AffineExpr.var(j, d) - fn[j] for j in range(d)
+            ]
+            out.append((dom, deltas))
+        return out
+
+    def delta_signs(self) -> List[Tuple[str, ...]]:
+        """Per piece, the sign pattern of the dependence distance along
+        each common dimension: '+', '-', '0', '+0' (>=0 with 0 attained
+        possible), '-0', or '*' (both signs occur).
+
+        Signs are computed exactly from rational bounds of the delta
+        expression over the piece's (nonempty) domain.
+        """
+        patterns = []
+        for dom, deltas in self.delta_exprs():
+            if dom.is_empty():
+                continue
+            sig = []
+            for e in deltas:
+                if not e.is_integral():
+                    # scale away the denominator: sign is unaffected
+                    e = AffineExpr(e.coeffs, e.const, 1)
+                lo, hi = dom.bounds(e.as_row())
+                sig.append(_sign_pattern(lo, hi))
+            patterns.append(tuple(sig))
+        return patterns
+
+    def pretty(self) -> str:
+        parts = []
+        innames = self.in_space.names
+        for dom, fn in self.pieces:
+            parts.append(
+                f"[{', '.join(innames)}] -> {fn.pretty(innames)}"
+            )
+        return "{ " + "; ".join(parts) + " }"
+
+    def __repr__(self) -> str:
+        return f"IMap({self.pretty()})"
+
+
+def _sign_pattern(lo: Optional[Fraction], hi: Optional[Fraction]) -> str:
+    if lo is not None and lo > 0:
+        return "+"
+    if hi is not None and hi < 0:
+        return "-"
+    if lo is not None and hi is not None and lo == hi == 0:
+        return "0"
+    if lo is not None and lo == 0:
+        return "+0"
+    if hi is not None and hi == 0:
+        return "-0"
+    return "*"

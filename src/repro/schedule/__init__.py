@@ -1,0 +1,57 @@
+"""Polyhedral feedback backend (paper section 6): dependence vectors,
+nest analyses (parallelism / permutability / skewing / tiling), fusion
+structure, transformation suggestion, and simplified AST output.
+"""
+
+from .analysis import (
+    analyze_forest,
+    loop_parallel,
+    mark_bands,
+    mark_parallel,
+    permutable_band,
+    permutation_legal,
+    tilable_depth,
+)
+from .ast_out import render_ast
+from .deps import DepVector, analyze_deps, common_depth, loop_path
+from .fusion import COMPONENT_THRESHOLD, FusionResult, fuse_components
+from .nest import NestForest, NestNode, build_nest_forest
+from .transform import NestPlan, TransformStep, best_permutation, plan_all, plan_nest
+from .verify import (
+    VerificationResult,
+    Violation,
+    schedule_exprs,
+    verify_dep,
+    verify_plan,
+)
+
+__all__ = [
+    "COMPONENT_THRESHOLD",
+    "DepVector",
+    "FusionResult",
+    "NestForest",
+    "NestNode",
+    "NestPlan",
+    "TransformStep",
+    "analyze_deps",
+    "analyze_forest",
+    "best_permutation",
+    "build_nest_forest",
+    "common_depth",
+    "fuse_components",
+    "loop_parallel",
+    "loop_path",
+    "mark_bands",
+    "mark_parallel",
+    "permutable_band",
+    "permutation_legal",
+    "plan_all",
+    "plan_nest",
+    "render_ast",
+    "schedule_exprs",
+    "tilable_depth",
+    "VerificationResult",
+    "verify_dep",
+    "verify_plan",
+    "Violation",
+]

@@ -1,0 +1,242 @@
+"""Parallelism, permutability, skewing, and tiling analyses.
+
+These run on the :class:`~repro.schedule.nest.NestForest` and annotate
+its nodes, providing the raw material for the feedback metrics of the
+paper's Tables 3-5:
+
+* **parallel loops** -- a loop is parallel iff no dependence may be
+  carried exactly at its depth (outer distances zero, its own nonzero);
+* **permutable bands** -- a band of consecutive dimensions is fully
+  permutable iff every dependence not carried outside the band has
+  non-negative distance in *all* band dimensions (the classic tiling
+  legality condition; tiled code is then also wavefront-parallel, as
+  the paper recalls for GemsFDTD);
+* **skewing** -- when a negative inner distance blocks a band, we
+  search small skews ``inner' = inner + f * outer`` that make every
+  in-band distance non-negative (exact rational bounds, not heuristics);
+* **tilable depth** -- the maximal permutable band ending at each
+  innermost loop, reported as TileD in Table 5.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..poly.affine import AffineExpr
+from .deps import DepVector
+from .nest import NestForest, NestNode
+
+#: maximal skew factor tried (paper-scale skews are 1)
+MAX_SKEW = 3
+
+
+def loop_parallel(
+    forest: NestForest, node: NestNode, ignore_reductions: bool = False
+) -> bool:
+    """No dependence carried exactly at this loop's dimension.
+
+    With ``ignore_reductions`` the associative register recurrences are
+    discounted (an OpenMP reduction clause / array expansion removes
+    them) -- this is the paper's %||ops notion, while the strict form
+    is what Table 3 reports per dimension.
+    """
+    level = node.depth - 1
+    for dv in forest.deps_under(node.path):
+        if ignore_reductions and dv.is_reduction:
+            continue
+        if dv.may_be_carried_at(level):
+            return False
+    return True
+
+
+def mark_parallel(forest: NestForest) -> None:
+    for node in forest.walk():
+        node.parallel = loop_parallel(forest, node)
+        node.parallel_reduction = node.parallel or loop_parallel(
+            forest, node, ignore_reductions=True
+        )
+
+
+def _nonneg_in_dims(
+    dv: DepVector, dims: Sequence[int], skews: Dict[int, int]
+) -> bool:
+    """All distances of ``dv`` non-negative in the given dimensions,
+    after applying ``skews`` (dim -> skew factor w.r.t. dim-1)."""
+    for j in dims:
+        if j >= dv.common:
+            continue
+        f = skews.get(j, 0)
+        if f:
+            lo_j = dv.bounds[j][0]
+            lo_o = dv.bounds[j - 1][0]
+            if lo_j is None or lo_o is None:
+                return False
+            if lo_j + f * lo_o < 0:
+                return False
+        else:
+            if dv.may_be_negative(j):
+                return False
+    return True
+
+
+def _dep_outside_band(dv: DepVector, band_start: int) -> bool:
+    """Is the dependence necessarily carried by a loop outer to the
+    band (some strictly positive distance before band_start)?"""
+    return any(dv.signs[j] == "+" for j in range(min(band_start, dv.common)))
+
+
+def permutable_band(
+    forest: NestForest, leaf: NestNode, band_start: int
+) -> Tuple[bool, Dict[int, int]]:
+    """Is [band_start .. leaf.depth-1] a legal permutable band for the
+    statements under ``leaf``'s path prefix?  Returns (legal, skews).
+
+    Tries no skew first, then small skews on dimensions whose negative
+    distances block legality.
+    """
+    dims = list(range(band_start, leaf.depth))
+    deps = [
+        dv
+        for dv in forest.deps_under(leaf.path[: band_start + 1])
+        if not _dep_outside_band(dv, band_start)
+    ]
+    if all(_nonneg_in_dims(dv, dims, {}) for dv in deps):
+        return True, {}
+    # skew search: per offending inner dimension, try factors 1..MAX_SKEW
+    skews: Dict[int, int] = {}
+    for j in dims:
+        if j == 0:
+            continue
+        bad = [dv for dv in deps if j < dv.common and dv.may_be_negative(j)]
+        if not bad:
+            continue
+        found = None
+        for f in range(1, MAX_SKEW + 1):
+            trial = dict(skews)
+            trial[j] = f
+            if all(_nonneg_in_dims(dv, dims[: dims.index(j) + 1], trial) for dv in deps):
+                found = f
+                break
+        if found is None:
+            return False, {}
+        skews[j] = found
+    if all(_nonneg_in_dims(dv, dims, skews) for dv in deps):
+        return True, skews
+    return False, {}
+
+
+def _min_band_start(forest: NestForest, leaf: NestNode) -> int:
+    """Outermost dimension the leaf's band may include.
+
+    A band dimension must *funnel* through the leaf's chain: if an
+    enclosing loop has other children with operations (sibling
+    sub-nests, like the two update kernels under GemsFDTD's time
+    loop), permuting/tiling that dimension for this leaf alone is not
+    a per-nest transformation -- it would require fusing the siblings
+    first -- so the band stops below it.
+    """
+    start = leaf.depth - 1
+    for k in range(leaf.depth - 1, 0, -1):
+        parent = forest.node_at(leaf.path[:k])
+        if parent is None:
+            break
+        on_chain = leaf.path[:k + 1][-1]
+        others = [
+            c
+            for key, c in parent.children.items()
+            if key != on_chain and c.ops_total > 0
+        ]
+        if others:
+            break
+        start = k - 1
+    return start
+
+
+def tilable_depth(forest: NestForest, leaf: NestNode) -> Tuple[int, Dict[int, int]]:
+    """Size of the maximal permutable band ending at this innermost
+    loop, with the skews (if any) that legalize it.
+
+    Following the paper ("we tend to avoid skewing unless it really
+    provides improvements"), an unskewed band of >= 2 dimensions is
+    preferred over a larger band that needs skewing; skewed bands are
+    reported only when they *enable* tiling (unskewed band of size 1).
+    """
+    min_start = _min_band_start(forest, leaf)
+    best_plain = 1
+    best_skewed = 1
+    skewed_skews: Dict[int, int] = {}
+    for start in range(leaf.depth - 1, min_start - 1, -1):
+        ok, skews = permutable_band(forest, leaf, start)
+        if not ok:
+            break
+        size = leaf.depth - start
+        if not skews:
+            best_plain = max(best_plain, size)
+        elif size > best_skewed:
+            best_skewed = size
+            skewed_skews = skews
+    if best_plain >= 2 or best_plain >= best_skewed:
+        return best_plain, {}
+    return best_skewed, skewed_skews
+
+
+def mark_bands(forest: NestForest) -> None:
+    """Annotate every innermost loop's ancestors with band membership."""
+    for node in forest.walk():
+        if not node.is_innermost():
+            continue
+        depth, skews = tilable_depth(forest, node)
+        start = node.depth - depth
+        cur: Optional[NestNode] = node
+        while cur is not None and cur.depth > start:
+            if cur.band_start is None or cur.band_start > start:
+                cur.band_start = start
+            sk = skews.get(cur.depth - 1)
+            if sk:
+                cur.skew_factor = sk
+            cur = forest.node_at(cur.path[:-1])
+
+
+def analyze_forest(forest: NestForest) -> NestForest:
+    """Run all analyses; returns the (annotated) forest."""
+    mark_parallel(forest)
+    mark_bands(forest)
+    return forest
+
+
+def permutation_legal(
+    forest: NestForest, leaf: NestNode, perm: Sequence[int]
+) -> bool:
+    """Is the full permutation ``perm`` of the leaf's dimensions legal?
+
+    Classic criterion: after permuting every dependence's distance
+    vector, it must remain lexicographically non-negative.  Evaluated
+    conservatively on sign patterns (a '*' that could break order
+    rejects the permutation).
+    """
+    deps = forest.deps_under(leaf.path[:1])
+    deps = [dv for dv in deps if dv.dst_path[: leaf.depth] == leaf.path]
+    d = leaf.depth
+    for dv in deps:
+        signs = [dv.signs[p] if p < dv.common else "0" for p in perm]
+        # lexicographic non-negativity of the permuted sign vector
+        ok = False
+        definitely_bad = False
+        for s in signs:
+            if s == "+":
+                ok = True
+                break
+            if s == "0":
+                continue
+            if s in ("+0",):
+                # may be zero here and decided later: continue, but a
+                # later '-' can still break it; treat as undecided-safe
+                continue
+            # '-', '-0', '*' can make the leading nonzero negative
+            definitely_bad = True
+            break
+        if definitely_bad:
+            return False
+        # all-zero (loop independent) is fine; ok==True is fine
+    return True

@@ -1,0 +1,61 @@
+"""Simplified post-transformation AST rendering.
+
+The paper's feedback includes "a decorated simplified AST describing
+the program structure after transformation" -- loop structure with
+per-loop properties (parallel, tilable, skewed) and the statements
+each loop surrounds, letting the user gauge the effort of writing the
+transformed code by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .nest import NestForest, NestNode
+from .transform import NestPlan
+
+
+def render_ast(
+    forest: NestForest,
+    plans: Optional[List[NestPlan]] = None,
+    show_stmts: bool = True,
+) -> str:
+    """Text rendering of the (annotated, possibly transformed) nest."""
+    plan_by_leaf: Dict[tuple, NestPlan] = {}
+    for p in plans or []:
+        plan_by_leaf[p.leaf.path] = p
+
+    lines: List[str] = []
+
+    def props(node: NestNode) -> str:
+        tags = []
+        if node.parallel:
+            tags.append("parallel")
+        if node.band_start is not None and node.depth - node.band_start >= 2:
+            tags.append("tilable")
+        if node.skew_factor:
+            tags.append(f"skew+{node.skew_factor}")
+        plan = plan_by_leaf.get(node.path)
+        if plan is not None:
+            if plan.interchange:
+                tags.append(f"interchange{plan.permutation}")
+            if plan.simd:
+                tags.append("simd")
+        return (" [" + ", ".join(tags) + "]") if tags else ""
+
+    def rec(node: NestNode, indent: int) -> None:
+        pad = "  " * indent
+        lines.append(
+            f"{pad}for {node.loop_id}  // ops={node.ops_total}{props(node)}"
+        )
+        if show_stmts and node.stmts:
+            mems = sum(1 for s in node.stmts if s.stmt.instr.is_mem)
+            lines.append(
+                f"{pad}  S[{len(node.stmts)} stmts, {mems} mem refs]"
+            )
+        for key in sorted(node.children):
+            rec(node.children[key], indent + 1)
+
+    for key in sorted(forest.roots):
+        rec(forest.roots[key], 0)
+    return "\n".join(lines)

@@ -1,0 +1,243 @@
+"""Dependence vectors from the folded DDG.
+
+Bridges the compact polyhedral DDG to classic dependence-based loop
+analysis: for every transformation-relevant dependence we determine
+the *common loop nest* of its endpoints (via the dynamic-IIV contexts)
+and the exact sign pattern / rational bounds of the dependence
+distance along each common dimension.
+
+Sign patterns per dimension:
+
+=======  ===============================================
+``'0'``  distance is exactly 0 (loop-independent here)
+``'+'``  strictly positive (carried forward)
+``'-'``  strictly negative
+``'+0'`` non-negative, zero attained
+``'-0'`` non-positive, zero attained
+``'*'``  unknown / both signs (incl. non-affine deps)
+=======  ===============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ddg.graph import DepKey, Statement
+from ..folding.folder import FoldedDDG, FoldedDep, FoldedStatement
+from ..poly.affine import AffineExpr
+from ..poly.pmap import _sign_pattern
+
+Bound = Tuple[Optional[Fraction], Optional[Fraction]]
+
+
+def loop_path(stmt: Statement) -> Tuple[Tuple[str, ...], ...]:
+    """The loop identities enclosing a statement, outermost first.
+
+    Each element is the statement's *full* context entry for that
+    dimension -- calling-context elements plus the loop id as the last
+    component (set there by the ``E``/``Ec`` loop events).  Using the
+    full entry keeps two invocations of the same static loop from
+    different call sites distinct (the paper's backprop feedback treats
+    the two ``bpnn_layerforward`` calls separately), while recursion
+    still folds (recursive components keep contexts bounded).
+    """
+    ctx = stmt.context
+    return tuple(ctx[j] for j in range(len(ctx) - 1))
+
+
+def path_loop_id(elem: Tuple[str, ...]) -> str:
+    """The loop id of one path element (its last component)."""
+    return elem[-1]
+
+
+def common_depth(src: Statement, dst: Statement) -> int:
+    """Number of loop dimensions shared by two statements.
+
+    Contexts matching on a prefix of length ``k`` share the loops of
+    the first ``k`` dimensions (the k-th context entry pins the k-th
+    loop id as its last element).
+    """
+    k = 0
+    for a, b in zip(src.context, dst.context):
+        if a != b:
+            break
+        k += 1
+    return min(k, src.depth, dst.depth)
+
+
+#: opcodes whose self-recurrences are reassociable reductions
+ASSOCIATIVE_OPS = frozenset(
+    "add mul fadd fmul fmin fmax and or xor".split()
+)
+
+
+@dataclass
+class DepVector:
+    """One dependence with its distance signature on the common nest."""
+
+    dep: FoldedDep
+    src_path: Tuple[str, ...]
+    dst_path: Tuple[str, ...]
+    common: int
+    signs: Tuple[str, ...]       # per common dimension
+    bounds: Tuple[Bound, ...]    # rational (lo, hi) per common dimension
+    #: a register self-recurrence through an associative operation: an
+    #: OpenMP reduction clause (or the paper's array expansion of
+    #: ``sum``) removes it, so it does not block parallelization --
+    #: though the loop is not plainly parallel either (Table 3 reports
+    #: L_layer's k loop as non-parallel)
+    is_reduction: bool = False
+
+    @property
+    def kind(self) -> str:
+        return self.dep.key.kind
+
+    def may_be_zero(self, dim: int) -> bool:
+        return self.signs[dim] in ("0", "+0", "-0", "*")
+
+    def may_be_nonzero(self, dim: int) -> bool:
+        return self.signs[dim] != "0"
+
+    def may_be_negative(self, dim: int) -> bool:
+        return self.signs[dim] in ("-", "-0", "*")
+
+    def may_be_carried_at(self, level: int) -> bool:
+        """Can this dependence be carried exactly at ``level`` (0-based
+        dimension index): all outer distances zero, this one nonzero?"""
+        if level >= self.common:
+            return False
+        return all(self.may_be_zero(j) for j in range(level)) and \
+            self.may_be_nonzero(level)
+
+    def carried_somewhere_within(self, first: int) -> bool:
+        """May the dependence be carried at any level >= first?"""
+        return any(
+            self.may_be_carried_at(l) for l in range(first, self.common)
+        )
+
+    def is_loop_independent(self) -> bool:
+        return all(s == "0" for s in self.signs)
+
+
+def _delta_info(dep: FoldedDep, common: int) -> Tuple[Tuple[str, ...], Tuple[Bound, ...]]:
+    """Sign pattern and bounds of (dst_j - src_j) for each common dim."""
+    if common == 0:
+        return (), ()
+    if dep.relation is None:
+        # the full relation did not fold, but individual producer
+        # components may have (paper: one affine function per label
+        # component) -- use them for exact per-dimension signs
+        if dep.partial_src is not None:
+            return _partial_delta_info(dep, common)
+        return ("*",) * common, ((None, None),) * common
+    signs: List[str] = []
+    bounds: List[Bound] = []
+    d = dep.dst_depth
+    for j in range(common):
+        lo_all: Optional[Fraction] = None
+        hi_all: Optional[Fraction] = None
+        lo_unbounded = False
+        hi_unbounded = False
+        seen = False
+        for piece, fn in dep.relation.pieces:
+            if piece.is_empty():
+                continue
+            e = AffineExpr.var(j, d) - fn[j]
+            if not e.is_integral():
+                # scaling by the (positive) denominator preserves signs
+                e = AffineExpr(e.coeffs, e.const, 1)
+            lo, hi = piece.bounds(e.as_row())
+            seen = True
+            if lo is None:
+                lo_unbounded = True
+            elif lo_all is None or lo < lo_all:
+                lo_all = lo
+            if hi is None:
+                hi_unbounded = True
+            elif hi_all is None or hi > hi_all:
+                hi_all = hi
+        if not seen:
+            signs.append("0")
+            bounds.append((Fraction(0), Fraction(0)))
+            continue
+        if lo_unbounded:
+            lo_all = None
+        if hi_unbounded:
+            hi_all = None
+        signs.append(_sign_pattern(lo_all, hi_all))
+        bounds.append((lo_all, hi_all))
+    return tuple(signs), tuple(bounds)
+
+
+def _partial_delta_info(
+    dep: FoldedDep, common: int
+) -> Tuple[Tuple[str, ...], Tuple[Bound, ...]]:
+    d = dep.dst_depth
+    signs: List[str] = []
+    bounds: List[Bound] = []
+    for j in range(common):
+        expr = dep.partial_src[j] if j < len(dep.partial_src) else None
+        if expr is None:
+            signs.append("*")
+            bounds.append((None, None))
+            continue
+        e = AffineExpr.var(j, d) - expr
+        if not e.is_integral():
+            e = AffineExpr(e.coeffs, e.const, 1)
+        lo_all: Optional[Fraction] = None
+        hi_all: Optional[Fraction] = None
+        unb_lo = unb_hi = False
+        seen = False
+        for piece in dep.domain.pieces:
+            if piece.is_empty():
+                continue
+            lo, hi = piece.bounds(e.as_row())
+            seen = True
+            if lo is None:
+                unb_lo = True
+            elif lo_all is None or lo < lo_all:
+                lo_all = lo
+            if hi is None:
+                unb_hi = True
+            elif hi_all is None or hi > hi_all:
+                hi_all = hi
+        if not seen:
+            signs.append("*")
+            bounds.append((None, None))
+            continue
+        if unb_lo:
+            lo_all = None
+        if unb_hi:
+            hi_all = None
+        signs.append(_sign_pattern(lo_all, hi_all))
+        bounds.append((lo_all, hi_all))
+    return tuple(signs), tuple(bounds)
+
+
+def analyze_deps(ddg: FoldedDDG) -> List[DepVector]:
+    """Dependence vectors for every transformation-relevant dependence."""
+    out: List[DepVector] = []
+    for dep in ddg.transform_deps():
+        src_stmt = ddg.statements[dep.key.src].stmt
+        dst_stmt = ddg.statements[dep.key.dst].stmt
+        common = common_depth(src_stmt, dst_stmt)
+        signs, bounds = _delta_info(dep, common)
+        is_red = (
+            dep.key.kind == "reg"
+            and dep.key.src == dep.key.dst
+            and dst_stmt.instr.opcode in ASSOCIATIVE_OPS
+        )
+        out.append(
+            DepVector(
+                dep=dep,
+                src_path=loop_path(src_stmt),
+                dst_path=loop_path(dst_stmt),
+                common=common,
+                signs=signs,
+                bounds=bounds,
+                is_reduction=is_red,
+            )
+        )
+    return out

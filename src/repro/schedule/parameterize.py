@@ -1,0 +1,148 @@
+"""Iteration-domain parameterization (paper section 6).
+
+Large integer constants in iteration domains cause combinatorial
+blow-up in the ILP solvers of polyhedral schedulers.  The paper's
+mitigation: replace each large constant by a *parameter* (an unknown
+but fixed integer), reusing one parameter for a whole window of nearby
+values -- "if x in [1024-s, 1024+s] ... replace x by n + (x - 1024)"
+with s typically 20.
+
+We reproduce this as a rewrite of folded statement domains: constants
+with absolute value above a threshold become symbolic parameters; a
+parameter is reused for every constant within ``slack`` of its anchor
+value.  The result reports the rewritten constraints plus parameter
+bookkeeping (how many distinct parameters the region needs -- the
+scalability statistic that motivated the feature).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..folding.folder import FoldedDDG, FoldedStatement
+from ..poly.polyhedron import Polyhedron
+
+#: constants at or above this magnitude get parameterized by default
+DEFAULT_THRESHOLD = 64
+
+#: window of values sharing one parameter (the paper sets s = 20)
+DEFAULT_SLACK = 20
+
+
+@dataclass
+class Parameter:
+    """One introduced parameter with its anchor value."""
+
+    name: str
+    value: int       # the anchor (the first constant that created it)
+
+    def covers(self, x: int, slack: int) -> bool:
+        return abs(x - self.value) <= slack
+
+
+@dataclass
+class ParameterizedConstraint:
+    """One constraint row with the constant split into parameter uses."""
+
+    coeffs: Tuple[int, ...]
+    const: int                      # residual constant
+    is_eq: bool
+    #: (parameter, multiplier) uses folded out of the constant
+    params: Tuple[Tuple[Parameter, int], ...] = ()
+
+    def pretty(self, names: Sequence[str]) -> str:
+        terms = []
+        for c, n in zip(self.coeffs, names):
+            if c == 0:
+                continue
+            terms.append(n if c == 1 else (f"-{n}" if c == -1 else f"{c}{n}"))
+        for p, m in self.params:
+            terms.append(p.name if m == 1 else f"{m}{p.name}")
+        if self.const or not terms:
+            terms.append(str(self.const))
+        op = "=" if self.is_eq else ">="
+        return " + ".join(terms).replace("+ -", "- ") + f" {op} 0"
+
+
+@dataclass
+class ParameterizedDomain:
+    stmt: FoldedStatement
+    constraints: List[ParameterizedConstraint]
+
+
+@dataclass
+class ParameterizationResult:
+    domains: List[ParameterizedDomain]
+    parameters: List[Parameter]
+    constants_seen: int = 0
+    constants_parameterized: int = 0
+
+    @property
+    def parameter_count(self) -> int:
+        return len(self.parameters)
+
+
+class Parameterizer:
+    """Rewrites large constants into (reusable) parameters."""
+
+    def __init__(
+        self,
+        threshold: int = DEFAULT_THRESHOLD,
+        slack: int = DEFAULT_SLACK,
+    ) -> None:
+        self.threshold = threshold
+        self.slack = slack
+        self.parameters: List[Parameter] = []
+        self.constants_seen = 0
+        self.constants_parameterized = 0
+
+    def _param_for(self, value: int) -> Tuple[Parameter, int]:
+        """The parameter covering ``value`` (reusing within the slack
+        window), plus the residual offset: value = param.value + off."""
+        for p in self.parameters:
+            if p.covers(value, self.slack):
+                return p, value - p.value
+        p = Parameter(name=f"n{len(self.parameters)}", value=value)
+        self.parameters.append(p)
+        return p, 0
+
+    def rewrite_row(
+        self, row: Sequence[int], is_eq: bool
+    ) -> ParameterizedConstraint:
+        coeffs, k = tuple(row[:-1]), int(row[-1])
+        self.constants_seen += 1
+        if abs(k) < self.threshold:
+            return ParameterizedConstraint(coeffs, k, is_eq)
+        self.constants_parameterized += 1
+        sign = 1 if k > 0 else -1
+        p, off = self._param_for(abs(k))
+        return ParameterizedConstraint(
+            coeffs, sign * off, is_eq, params=((p, sign),)
+        )
+
+    def rewrite_polyhedron(self, poly: Polyhedron) -> List[ParameterizedConstraint]:
+        out = [self.rewrite_row(e, True) for e in poly.eqs]
+        out += [self.rewrite_row(i, False) for i in poly.ineqs]
+        return out
+
+
+def parameterize_domains(
+    ddg: FoldedDDG,
+    threshold: int = DEFAULT_THRESHOLD,
+    slack: int = DEFAULT_SLACK,
+) -> ParameterizationResult:
+    """Parameterize every statement domain of a folded DDG."""
+    pz = Parameterizer(threshold=threshold, slack=slack)
+    domains = []
+    for fs in ddg.statements.values():
+        cons: List[ParameterizedConstraint] = []
+        for piece in fs.domain.pieces:
+            cons.extend(pz.rewrite_polyhedron(piece))
+        domains.append(ParameterizedDomain(stmt=fs, constraints=cons))
+    return ParameterizationResult(
+        domains=domains,
+        parameters=pz.parameters,
+        constants_seen=pz.constants_seen,
+        constants_parameterized=pz.constants_parameterized,
+    )

@@ -1,0 +1,190 @@
+"""Structured-transformation suggestion (the paper's feedback core).
+
+Assembles, per innermost nest, the sequence of transformations the
+polyhedral analysis justifies: skewing (when it legalizes a band),
+interchange (when a legal permutation improves spatial locality),
+tiling (when a band of >= 2 permutable dimensions exists),
+OpenMP-style parallelization (outermost parallel dimension), and
+SIMDization (parallel innermost dimension with mostly stride-0/1
+accesses) -- the vocabulary of the paper's case studies (Tables 3-4)
+and flame-graph annotations (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import permutations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .analysis import permutation_legal
+from .nest import NestForest, NestNode
+
+
+@dataclass
+class TransformStep:
+    kind: str            # 'skew' | 'interchange' | 'tile' | 'parallel' | 'simd'
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.detail}"
+
+
+@dataclass
+class NestPlan:
+    """Suggested transformation for one innermost nest."""
+
+    leaf: NestNode
+    steps: List[TransformStep] = field(default_factory=list)
+    permutation: Optional[Tuple[int, ...]] = None   # suggested dim order
+    tile_dims: int = 0
+    parallel_dims: List[int] = field(default_factory=list)
+    simd: bool = False
+
+    @property
+    def interchange(self) -> bool:
+        return self.permutation is not None and list(self.permutation) != list(
+            range(self.leaf.depth)
+        )
+
+
+def best_permutation(
+    forest: NestForest,
+    leaf: NestNode,
+    stride_scores: Sequence[float],
+) -> Optional[Tuple[int, ...]]:
+    """The legal permutation placing the best-stride dimension
+    innermost (and otherwise preserving relative order).
+
+    ``stride_scores[d]`` is the fraction of the nest's memory accesses
+    that would be stride-0/1 if dimension ``d`` were innermost.
+    """
+    d = leaf.depth
+    if d < 2 or not stride_scores:
+        return None
+    best: Optional[Tuple[int, ...]] = None
+    best_score = -1.0
+    for inner in range(d):
+        perm = tuple([j for j in range(d) if j != inner] + [inner])
+        if not permutation_legal(forest, leaf, perm):
+            continue
+        score = stride_scores[inner]
+        if score > best_score:
+            best_score = score
+            best = perm
+    return best
+
+
+def plan_nest(
+    forest: NestForest,
+    leaf: NestNode,
+    stride_scores: Optional[Sequence[float]] = None,
+) -> NestPlan:
+    """Build the transformation plan for one innermost nest."""
+    plan = NestPlan(leaf=leaf)
+    d = leaf.depth
+
+    # skewing recorded by the band analysis
+    node: Optional[NestNode] = leaf
+    chain: List[NestNode] = []
+    while node is not None:
+        chain.append(node)
+        node = forest.node_at(node.path[:-1])
+    chain.reverse()   # outermost first
+    for n in chain:
+        if n.skew_factor:
+            plan.steps.append(
+                TransformStep(
+                    "skew",
+                    f"dim {n.depth - 1} += {n.skew_factor} * dim {n.depth - 2}",
+                )
+            )
+
+    # interchange for spatial locality
+    if stride_scores is not None:
+        perm = best_permutation(forest, leaf, stride_scores)
+        if perm is not None and list(perm) != list(range(d)):
+            plan.permutation = perm
+            plan.steps.append(
+                TransformStep("interchange", f"dimension order {perm}")
+            )
+        elif perm is not None:
+            plan.permutation = perm
+
+    # tiling: band of >= 2 permutable dims
+    band_start = leaf.band_start if leaf.band_start is not None else d - 1
+    band_size = d - band_start
+    if band_size >= 2:
+        plan.tile_dims = band_size
+        plan.steps.append(
+            TransformStep("tile", f"{band_size}D band, tile size 32")
+        )
+
+    # parallelization: every parallel dim, outermost first
+    for n in chain:
+        if n.parallel:
+            plan.parallel_dims.append(n.depth - 1)
+    if plan.parallel_dims:
+        plan.steps.append(
+            TransformStep(
+                "parallel", f"omp parallel for at dim {plan.parallel_dims[0]}"
+            )
+        )
+    elif any(n.parallel_reduction for n in chain):
+        # parallel modulo a reduction recurrence: privatize/expand
+        dim = next(i for i, n in enumerate(chain) if n.parallel_reduction)
+        plan.parallel_dims.append(dim)
+        plan.steps.append(
+            TransformStep(
+                "parallel",
+                f"omp parallel for reduction at dim {dim} "
+                "(array-expand the accumulator)",
+            )
+        )
+    elif band_size >= 2:
+        # no parallel dimension, but a permutable band: tiled wavefront
+        # (skewed) coarse-grain parallelism is available -- the paper's
+        # GemsFDTD/nw/pathfinder pattern
+        plan.steps.append(
+            TransformStep(
+                "skew",
+                f"wavefront over the {band_size}D band "
+                "(tile + skew tile loops, parallel wavefronts)",
+            )
+        )
+        plan.steps.append(
+            TransformStep("parallel", "omp parallel for over wavefronts")
+        )
+
+    # SIMD: the (post-interchange) innermost dim must be parallel
+    inner_dim = plan.permutation[-1] if plan.permutation is not None else d - 1
+    inner_parallel = (
+        chain[inner_dim].parallel if inner_dim < len(chain) else False
+    )
+    stride_ok = (
+        stride_scores[inner_dim] >= 0.5
+        if stride_scores is not None and inner_dim < len(stride_scores)
+        else True
+    )
+    if inner_parallel and stride_ok:
+        plan.simd = True
+        plan.steps.append(TransformStep("simd", f"vectorize dim {inner_dim}"))
+
+    return plan
+
+
+def plan_all(
+    forest: NestForest,
+    stride_scores_of=None,
+) -> List[NestPlan]:
+    """Plans for every innermost nest.
+
+    ``stride_scores_of(leaf) -> Sequence[float]`` supplies locality
+    scores (see :mod:`repro.feedback.stride`); ``None`` disables the
+    interchange/SIMD stride reasoning.
+    """
+    plans = []
+    for node in forest.walk():
+        if node.is_innermost():
+            scores = stride_scores_of(node) if stride_scores_of else None
+            plans.append(plan_nest(forest, node, scores))
+    return plans

@@ -1,0 +1,203 @@
+"""Polyhedral verification of suggested transformations.
+
+The paper's feedback is advisory -- a human applies the transformation
+-- and its conclusion points at polyhedral equivalence checking
+(PolyCheck & friends) as the road to validating the rewritten code.
+This module provides the analysis-side half of that story: given a
+nest's suggested transformation (permutation and/or skew), *prove*
+from the folded dependence relations that the new schedule preserves
+every dependence, by exact emptiness checks on the violation sets.
+
+For a dependence with consumer domain ``D`` and producer function
+``src(dst)``, the transformed distance along dimension ``j`` is::
+
+    delta'_j(dst) = T_j(dst) - T_j(src(dst))
+
+with ``T`` the (affine) new schedule.  The transformation is legal iff
+no point of ``D`` has a lexicographically negative transformed
+distance -- i.e. for every prefix ``j`` the set::
+
+    { dst in D : delta'_0 = ... = delta'_{j-1} = 0,  delta'_j <= -1 }
+
+is empty.  Each emptiness question is decided exactly by the
+Fourier-Motzkin core of :mod:`repro.poly`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..poly.affine import AffineExpr
+from ..poly.polyhedron import Polyhedron
+from .deps import DepVector
+from .nest import NestForest, NestNode
+from .transform import NestPlan
+
+
+@dataclass
+class Violation:
+    """One dependence broken by the transformation."""
+
+    dep: DepVector
+    dimension: int
+    witness: Optional[Tuple[int, ...]]  # a consumer point exhibiting it
+
+    def __str__(self) -> str:
+        return (
+            f"dependence {self.dep.dep.key.kind} "
+            f"{self.dep.dep.key.src}->{self.dep.dep.key.dst} violated at "
+            f"dim {self.dimension}"
+            + (f" (witness {self.witness})" if self.witness else "")
+        )
+
+
+@dataclass
+class VerificationResult:
+    legal: bool
+    checked: int
+    skipped: int                       # non-affine deps (conservative)
+    violations: List[Violation] = field(default_factory=list)
+
+
+def schedule_exprs(
+    depth: int,
+    permutation: Optional[Sequence[int]] = None,
+    skews: Optional[Dict[int, int]] = None,
+) -> List[AffineExpr]:
+    """The affine schedule ``T`` for a nest of ``depth`` dimensions.
+
+    ``skews[j] = f`` applies ``x_j += f * x_{j-1}`` *before* the
+    permutation (matching how the band analysis reports skews).
+    """
+    skews = skews or {}
+    base: List[AffineExpr] = []
+    for j in range(depth):
+        e = AffineExpr.var(j, depth)
+        f = skews.get(j, 0)
+        if f:
+            e = e + AffineExpr.var(j - 1, depth).scale(f)
+        base.append(e)
+    if permutation is not None:
+        base = [base[p] for p in permutation]
+    return base
+
+
+def _transformed_deltas(
+    dv: DepVector,
+    sched: Sequence[AffineExpr],
+) -> Optional[List[List[Tuple[Polyhedron, AffineExpr]]]]:
+    """Per schedule dimension, (domain piece, delta expression) pairs.
+
+    Each schedule expression ``T`` ranges over the ``c`` common
+    dimensions; the delta over the consumer's full coordinate space is
+    ``T(dst[:c]) - T(src(dst)[:c])``.
+    """
+    rel = dv.dep.relation
+    if rel is None:
+        return None
+    d = dv.dep.dst_depth
+    out: List[List[Tuple[Polyhedron, AffineExpr]]] = []
+    for T in sched:
+        c = T.dim
+        if c > dv.common or c > dv.dep.src_depth:
+            return None  # schedule uses a dimension the pair doesn't share
+        per_piece = []
+        # lift T's input arity from c to d (extra dst dims unused)
+        T_dst = AffineExpr(
+            tuple(T.coeffs) + (0,) * (d - c), T.const, T.den
+        )
+        for piece, fn in rel.pieces:
+            # producer side: substitute src_j = fn_j(dst), j < c
+            T_src = T.substitute([fn[j] for j in range(c)]) if c else \
+                AffineExpr.constant(T.const, d)
+            per_piece.append((piece, T_dst - T_src))
+        out.append(per_piece)
+    return out
+
+
+def verify_dep(
+    dv: DepVector, sched: Sequence[AffineExpr]
+) -> Optional[Violation]:
+    """None when the dependence is preserved; a Violation otherwise."""
+    deltas = _transformed_deltas(dv, sched)
+    if deltas is None:
+        return Violation(dep=dv, dimension=-1, witness=None)
+    ndims = len(sched)
+    for piece_idx in range(len(dv.dep.relation.pieces)):
+        piece = dv.dep.relation.pieces[piece_idx][0]
+        if piece.is_empty():
+            continue
+        for j in range(ndims):
+            # violation set: outer transformed deltas zero, this one < 0
+            p = piece
+            ok = True
+            for k in range(j):
+                e = deltas[k][piece_idx][1]
+                if not e.is_integral():
+                    e = AffineExpr(e.coeffs, e.const, 1)
+                p = p.add_constraint(e.as_row(), is_eq=True)
+            e = deltas[j][piece_idx][1]
+            if not e.is_integral():
+                e = AffineExpr(e.coeffs, e.const, 1)
+            neg = tuple(-c for c in e.coeffs) + (-e.const - 1,)
+            p = p.add_constraint(neg)
+            if not p.is_empty():
+                return Violation(
+                    dep=dv, dimension=j, witness=p.sample()
+                )
+    return None
+
+
+def verify_plan(
+    forest: NestForest, plan: NestPlan
+) -> VerificationResult:
+    """Verify a nest plan's reordering against every dependence shared
+    by statements under the nest."""
+    leaf = plan.leaf
+    skews = {}
+    node: Optional[NestNode] = leaf
+    while node is not None and len(node.path) > 0:
+        if node.skew_factor:
+            skews[node.depth - 1] = node.skew_factor
+        node = forest.node_at(node.path[:-1])
+    sched_full = schedule_exprs(leaf.depth, plan.permutation, skews)
+
+    checked = 0
+    skipped = 0
+    violations: List[Violation] = []
+    for dv in forest.deps_under(leaf.path[:1]):
+        if dv.dst_path[: leaf.depth] != leaf.path and (
+            len(dv.dst_path) < leaf.depth
+            or dv.dst_path[: leaf.depth] != leaf.path
+        ):
+            continue
+        if dv.is_reduction:
+            continue  # removed by privatization/expansion
+        if dv.dep.relation is None:
+            skipped += 1
+            continue
+        # restrict the schedule to the shared dimensions
+        c = min(dv.common, leaf.depth)
+        if c == 0:
+            continue
+        sched = [
+            AffineExpr(e.coeffs[:c], e.const, e.den)
+            for e in schedule_exprs(
+                c,
+                tuple(p for p in (plan.permutation or range(leaf.depth)) if p < c)
+                if plan.permutation
+                else None,
+                {k: v for k, v in skews.items() if k < c},
+            )
+        ]
+        checked += 1
+        v = verify_dep(dv, sched)
+        if v is not None:
+            violations.append(v)
+    return VerificationResult(
+        legal=not violations,
+        checked=checked,
+        skipped=skipped,
+        violations=violations,
+    )

@@ -1,0 +1,19 @@
+"""Static polyhedral modeling baseline (the paper's Experiment II:
+LLVM Polly over Rodinia), with R/C/B/F/A/P failure codes.
+"""
+
+from .analyzer import (
+    ALIAS_CHECK_BUDGET,
+    NestVerdict,
+    REASON_ORDER,
+    StaticReport,
+    analyze_static,
+)
+
+__all__ = [
+    "ALIAS_CHECK_BUDGET",
+    "NestVerdict",
+    "REASON_ORDER",
+    "StaticReport",
+    "analyze_static",
+]

@@ -1,0 +1,418 @@
+"""Static affine-region modeling: the LLVM-Polly stand-in.
+
+Experiment II of the paper runs Polly over Rodinia and reports, per
+benchmark, why *static* polyhedral modeling of the region of interest
+fails.  This module re-creates that baseline over mini-ISA programs:
+it attempts to model loop nests from the static code alone -- no
+execution, no dynamic disambiguation -- and reports the paper's
+failure codes:
+
+====  ==========================================================
+R     unhandled function call (not a simple math leaf function)
+C     complex CFG: break/return inside a loop, irreducible loop
+B     non-affine loop bound or non-affine conditional
+F     non-affine access function (includes pointer indirection)
+A     possible pointer aliasing beyond the runtime-check budget
+P     base pointer of an access not loop-invariant
+====  ==========================================================
+
+The contrast with the dynamic pipeline is the reproduction's point:
+a loaded row pointer is *F* statically but folds to an affine access
+dynamically; two heap arrays *may* alias statically but never do in
+the trace.
+
+Static value analysis: a deliberately simple one-pass abstract
+interpretation.  Registers with a single static definition evaluate
+structurally (constants, parameters, affine combinations); registers
+matching the canonical induction-variable pattern become loop
+symbols; everything else -- loads, call results, floats, multi-def
+registers -- is non-affine.  This mirrors the scalar-evolution
+precision a production compiler has at -O2 without profile data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..cfg.looptree import Loop, LoopForest, build_loop_forest
+from ..isa.instructions import Call, CondBr, Instr, Jump, Return
+from ..isa.program import BasicBlock, Function, Program
+
+#: canonical order of the failure codes in reports (paper Table 5)
+REASON_ORDER = "RCBFAP"
+
+#: how many may-alias pointer pairs Polly-like runtime checks absorb
+ALIAS_CHECK_BUDGET = 3
+
+
+class _Affine:
+    """Abstract value: affine combination of symbols, or unknown."""
+
+    __slots__ = ("terms", "const", "roots")
+
+    def __init__(self, terms=None, const=0, roots=frozenset()):
+        self.terms: Dict[str, int] = terms or {}
+        self.const = const
+        #: parameter roots this value is derived from (for aliasing)
+        self.roots: frozenset = roots
+
+    @classmethod
+    def constant(cls, c):
+        return cls({}, c)
+
+    @classmethod
+    def symbol(cls, name, root=None):
+        return cls({name: 1}, 0, frozenset([root]) if root else frozenset())
+
+    def add(self, other, sign=1):
+        t = dict(self.terms)
+        for k, v in other.terms.items():
+            t[k] = t.get(k, 0) + sign * v
+            if t[k] == 0:
+                del t[k]
+        return _Affine(t, self.const + sign * other.const, self.roots | other.roots)
+
+    def scale(self, k):
+        return _Affine(
+            {s: v * k for s, v in self.terms.items()}, self.const * k, self.roots
+        )
+
+    def is_const(self):
+        return not self.terms
+
+
+UNKNOWN = None
+
+
+@dataclass
+class NestVerdict:
+    """Static modelability of one top-level loop nest."""
+
+    func: str
+    header: str
+    depth: int
+    reasons: str          # subset of RCBFAP, '' when modelable
+
+    @property
+    def modelable(self) -> bool:
+        return not self.reasons
+
+
+@dataclass
+class StaticReport:
+    """Result of static analysis over a region (set of functions)."""
+
+    region: Tuple[str, ...]
+    reasons: str                       # whole-region failure codes
+    nests: List[NestVerdict] = field(default_factory=list)
+
+    @property
+    def whole_region_modelable(self) -> bool:
+        return not self.reasons
+
+    def modelable_nests(self) -> List[NestVerdict]:
+        return [n for n in self.nests if n.modelable]
+
+    def max_modelable_depth(self) -> int:
+        return max((n.depth for n in self.modelable_nests()), default=0)
+
+
+def _static_cfg(fn: Function):
+    nodes = set(fn.blocks)
+    edges = set()
+    for bb in fn.blocks.values():
+        for s in bb.successors():
+            edges.add((bb.name, s))
+    return nodes, edges
+
+
+def _is_simple_leaf(fn: Function) -> bool:
+    """A 'simple' function Polly-like analysis tolerates (exp, sqrt...):
+    straight-line float math, no loops, no memory."""
+    nodes, edges = _static_cfg(fn)
+    forest = build_loop_forest(fn.name, nodes, edges, fn.entry)
+    if forest.all_loops:
+        return False
+    for bb in fn.blocks.values():
+        for ins in bb.instrs:
+            if ins.is_mem:
+                return False
+        if isinstance(bb.terminator, Call):
+            return False
+    return True
+
+
+class _FunctionAnalysis:
+    """Static per-function facts: loop forest, IVs, abstract values."""
+
+    def __init__(self, program: Program, fn: Function) -> None:
+        self.program = program
+        self.fn = fn
+        nodes, edges = _static_cfg(fn)
+        self.forest = build_loop_forest(fn.name, nodes, edges, fn.entry)
+        self.block_of_instr: Dict[int, str] = {}
+        self.values: Dict[str, Optional[_Affine]] = {}
+        self._analyze_values()
+
+    # -- value analysis -----------------------------------------------------------
+
+    def _analyze_values(self) -> None:
+        fn = self.fn
+        defs: Dict[str, List[Tuple[str, Instr]]] = {}
+        for bb in fn.blocks.values():
+            for ins in bb.instrs:
+                self.block_of_instr[ins.uid] = bb.name
+                if ins.dest is not None:
+                    defs.setdefault(ins.dest, []).append((bb.name, ins))
+        vals: Dict[str, Optional[_Affine]] = {
+            p: _Affine.symbol(f"param:{p}", root=p) for p in fn.params
+        }
+
+        def operand(op) -> Optional[_Affine]:
+            if isinstance(op, (int,)):
+                return _Affine.constant(op)
+            if isinstance(op, float):
+                return UNKNOWN
+            return vals.get(op, UNKNOWN)
+
+        # induction variables: multi-def registers matching the pattern
+        # {mov r, init} + {add r, r, const} with the add inside a loop
+        for reg, sites in defs.items():
+            if len(sites) != 2:
+                continue
+            movs = [i for _, i in sites if i.opcode == "mov"]
+            adds = [
+                (b, i)
+                for b, i in sites
+                if i.opcode == "add"
+                and i.srcs
+                and i.srcs[0] == reg
+                and isinstance(i.srcs[1], int)
+            ]
+            if len(movs) == 1 and len(adds) == 1:
+                add_block = adds[0][0]
+                loop = self.forest.innermost_containing(add_block)
+                if loop is not None:
+                    vals[reg] = _Affine.symbol(f"iv:{fn.name}:{loop.id}")
+
+        # single-def registers evaluate structurally in any order that
+        # respects def-before-use; the frontend emits defs in order, so
+        # a block-order pass suffices (unknown on forward refs is safe)
+        for bb in fn.blocks.values():
+            for ins in bb.instrs:
+                d = ins.dest
+                if d is None or d in vals:
+                    continue
+                if len(defs.get(d, ())) != 1:
+                    vals[d] = UNKNOWN
+                    continue
+                vals[d] = self._eval(ins, operand)
+        self.values = vals
+
+    def _eval(self, ins: Instr, operand) -> Optional[_Affine]:
+        op = ins.opcode
+        if op == "const":
+            v = ins.srcs[0]
+            return _Affine.constant(v) if isinstance(v, int) else UNKNOWN
+        if op == "mov":
+            return operand(ins.srcs[0])
+        if op in ("add", "sub"):
+            a, b = operand(ins.srcs[0]), operand(ins.srcs[1])
+            if a is UNKNOWN or b is UNKNOWN:
+                return UNKNOWN
+            return a.add(b, 1 if op == "add" else -1)
+        if op == "mul":
+            a, b = operand(ins.srcs[0]), operand(ins.srcs[1])
+            if a is UNKNOWN or b is UNKNOWN:
+                return UNKNOWN
+            if a.is_const():
+                return b.scale(a.const)
+            if b.is_const():
+                return a.scale(b.const)
+            return UNKNOWN
+        return UNKNOWN  # loads, calls, floats, divisions, ...
+
+    def value_of(self, op) -> Optional[_Affine]:
+        if isinstance(op, int):
+            return _Affine.constant(op)
+        if isinstance(op, float):
+            return UNKNOWN
+        return self.values.get(op, UNKNOWN)
+
+
+def _analyze_loop_nest(
+    program: Program,
+    analyses: Dict[str, _FunctionAnalysis],
+    fa: _FunctionAnalysis,
+    loop: Loop,
+) -> Set[str]:
+    """Failure reasons for one loop (and its nest), statically."""
+    reasons: Set[str] = set()
+    fn = fa.fn
+
+    if len(loop.entries) > 1:
+        reasons.add("C")
+
+    bases_read: Set[str] = set()
+    bases_written: Set[str] = set()
+
+    def visit_block(bb: BasicBlock, in_loop: Loop) -> None:
+        for ins in bb.instrs:
+            if ins.is_mem:
+                base = fa.value_of(ins.srcs[0])
+                if base is UNKNOWN:
+                    reasons.add("F")
+                    # pointer loaded inside this loop: not loop-invariant
+                    src = ins.srcs[0]
+                    if isinstance(src, str):
+                        reasons.add("P") if _defined_in(fa, src, in_loop) else None
+                else:
+                    # affine address: track parameter roots for aliasing
+                    roots = base.roots or {"?anon"}
+                    if ins.is_store:
+                        bases_written.update(roots)
+                    else:
+                        bases_read.update(roots)
+        term = bb.terminator
+        if isinstance(term, Call):
+            callee = program.functions.get(term.callee)
+            if callee is None or not _is_simple_leaf(callee):
+                reasons.add("R")
+        elif isinstance(term, Return):
+            reasons.add("C")  # return from inside a loop
+        elif isinstance(term, CondBr):
+            header = bb.name == in_loop.header or any(
+                bb.name == l.header
+                for l in fa.forest.all_loops
+                if bb.name in l.region
+            )
+            a = fa.value_of(term.a)
+            b = fa.value_of(term.b)
+            if a is UNKNOWN or b is UNKNOWN:
+                reasons.add("B")
+            # multi-exit loops (break): an in-loop non-header block
+            # jumping out of the loop region
+            if not header:
+                for s in term.successors():
+                    if s not in in_loop.region:
+                        reasons.add("C")
+
+    for name in loop.region:
+        visit_block(fn.blocks[name], loop)
+
+    # aliasing: distinct parameter-rooted arrays with a writer; a small
+    # number of pairs is absorbed by Polly-style runtime checks
+    all_bases = bases_read | bases_written
+    if bases_written and len(all_bases) > 1:
+        pairs = len(bases_written) * len(all_bases) - len(bases_written)
+        if pairs > ALIAS_CHECK_BUDGET or "?anon" in all_bases:
+            reasons.add("A")
+    return reasons
+
+
+def _defined_in(fa: _FunctionAnalysis, reg: str, loop: Loop) -> bool:
+    for bb_name in loop.region:
+        for ins in fa.fn.blocks[bb_name].instrs:
+            if ins.dest == reg:
+                return True
+    return False
+
+
+def _loop_depth(loop: Loop) -> int:
+    best = loop.depth
+    for c in loop.children:
+        best = max(best, _loop_depth(c))
+    return best
+
+
+def analyze_static(
+    program: Program, region_funcs: Optional[Sequence[str]] = None
+) -> StaticReport:
+    """Static modeling attempt over a region of functions.
+
+    Returns the whole-region failure codes plus per-top-level-nest
+    verdicts ("Polly could model some smaller subregions").
+    """
+    if region_funcs is None:
+        region_funcs = sorted(program.functions)
+    analyses = {
+        f: _FunctionAnalysis(program, program.functions[f])
+        for f in region_funcs
+        if f in program.functions
+    }
+    all_reasons: Set[str] = set()
+    nests: List[NestVerdict] = []
+    region_read: Set[str] = set()
+    region_written: Set[str] = set()
+    for fname, fa in sorted(analyses.items()):
+        in_loop_blocks = set()
+        for lp in fa.forest.all_loops:
+            in_loop_blocks |= lp.region
+        # region-level control: a data-dependent conditional *around*
+        # the loops (e.g. an error-controlled step-acceptance test)
+        # makes the surrounding region non-affine for static tools
+        for bb in fa.fn.blocks.values():
+            if bb.name in in_loop_blocks:
+                continue
+            term = bb.terminator
+            if isinstance(term, CondBr):
+                if fa.value_of(term.a) is UNKNOWN or fa.value_of(term.b) is UNKNOWN:
+                    all_reasons.add("B")
+            for ins in bb.instrs:
+                if ins.is_mem:
+                    base = fa.value_of(ins.srcs[0])
+                    roots = base.roots if base is not UNKNOWN else {"?anon"}
+                    (region_written if ins.is_store else region_read).update(
+                        roots or {"?anon"}
+                    )
+        # accumulate loop-level bases for the whole-region alias check
+        for lp in fa.forest.all_loops:
+            for name in lp.region:
+                for ins in fa.fn.blocks[name].instrs:
+                    if ins.is_mem:
+                        base = fa.value_of(ins.srcs[0])
+                        roots = base.roots if base is not UNKNOWN else {"?anon"}
+                        (region_written if ins.is_store else region_read).update(
+                            roots or {"?anon"}
+                        )
+        for root in fa.forest.roots:
+            rs: Set[str] = set()
+
+            def rec(l: Loop) -> None:
+                rs.update(_analyze_loop_nest(program, analyses, fa, l))
+                for c in l.children:
+                    rec(c)
+
+            rec(root)
+            nests.append(
+                NestVerdict(
+                    func=fname,
+                    header=root.header,
+                    depth=_loop_depth(root) - root.depth + 1,
+                    reasons="".join(r for r in REASON_ORDER if r in rs),
+                )
+            )
+            all_reasons.update(rs)
+        # calls at region top level (outside loops) also break
+        # whole-region modeling
+        for bb in fa.fn.blocks.values():
+            if isinstance(bb.terminator, Call):
+                callee = program.functions.get(bb.terminator.callee)
+                inside_region = bb.terminator.callee in analyses
+                if not inside_region and (
+                    callee is None or not _is_simple_leaf(callee)
+                ):
+                    all_reasons.add("R")
+    # whole-region aliasing: the union of pointer roots across the
+    # (conceptually inlined) region must fit the runtime-check budget
+    all_bases = region_read | region_written
+    if region_written and len(all_bases) > 1:
+        pairs = len(region_written) * len(all_bases) - len(region_written)
+        if pairs > ALIAS_CHECK_BUDGET or "?anon" in all_bases:
+            all_reasons.add("A")
+    return StaticReport(
+        region=tuple(sorted(analyses)),
+        reasons="".join(r for r in REASON_ORDER if r in all_reasons),
+        nests=nests,
+    )

@@ -1,0 +1,66 @@
+"""The workload suite: all 19 Rodinia 3.1 CPU benchmarks (paper
+Table 5), the GemsFDTD kernels (Table 4), and the paper's running
+examples (Figs. 3/6, Tables 1-2) -- re-implemented in the mini-ISA at
+profiler-friendly scale (see DESIGN.md for the substitution argument).
+"""
+
+from typing import Callable, Dict
+
+from ..pipeline import ProgramSpec
+from . import (  # noqa: F401  (imports register the workloads)
+    backprop,
+    bfs,
+    btree,
+    cfd,
+    examples_paper,
+    gemsfdtd,
+    heartwall,
+    hotspot,
+    hotspot3d,
+    kmeans,
+    lavamd,
+    leukocyte,
+    lud,
+    myocyte,
+    nn,
+    nw,
+    particlefilter,
+    pathfinder,
+    srad,
+    streamcluster,
+)
+from ._util import registry
+
+#: the Rodinia 3.1 (CPU) benchmark order of the paper's Table 5
+RODINIA_ORDER = (
+    "backprop",
+    "bfs",
+    "b+tree",
+    "cfd",
+    "heartwall",
+    "hotspot",
+    "hotspot3D",
+    "kmeans",
+    "lavaMD",
+    "leukocyte",
+    "lud",
+    "myocyte",
+    "nn",
+    "nw",
+    "particlefilter",
+    "pathfinder",
+    "srad_v1",
+    "srad_v2",
+    "streamcluster",
+)
+
+
+def all_workloads() -> Dict[str, Callable[[], ProgramSpec]]:
+    """All registered workload factories, by name."""
+    return registry()
+
+
+def rodinia_workloads() -> Dict[str, Callable[[], ProgramSpec]]:
+    """The 19 Rodinia benchmarks in the paper's table order."""
+    reg = registry()
+    return {name: reg[name] for name in RODINIA_ORDER}

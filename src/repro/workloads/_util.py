@@ -1,0 +1,52 @@
+"""Shared helpers for the workload suite.
+
+Workloads are deterministic: all pseudo-random data comes from a tiny
+explicit LCG seeded per workload, so every profile run folds to the
+same polyhedral DDG.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List
+
+from ..pipeline import ProgramSpec
+
+
+class Lcg:
+    """Deterministic 32-bit LCG for workload data."""
+
+    def __init__(self, seed: int = 1) -> None:
+        self.state = seed & 0x7FFFFFFF or 1
+
+    def next_int(self, bound: int) -> int:
+        self.state = (1103515245 * self.state + 12345) & 0x7FFFFFFF
+        return self.state % bound
+
+    def next_float(self) -> float:
+        return self.next_int(1_000_000) / 1_000_000.0
+
+    def floats(self, n: int) -> List[float]:
+        return [self.next_float() for _ in range(n)]
+
+    def ints(self, n: int, bound: int) -> List[int]:
+        return [self.next_int(bound) for _ in range(n)]
+
+
+#: name -> factory() -> ProgramSpec
+_REGISTRY: Dict[str, Callable[[], ProgramSpec]] = {}
+
+
+def workload(name: str):
+    """Decorator registering a workload factory under a name."""
+
+    def deco(fn: Callable[[], ProgramSpec]):
+        _REGISTRY[name] = fn
+        return fn
+
+    return deco
+
+
+def registry() -> Dict[str, Callable[[], ProgramSpec]]:
+    """All registered workload factories (import side effects matter:
+    use :func:`repro.workloads.all_workloads` which imports them)."""
+    return dict(_REGISTRY)

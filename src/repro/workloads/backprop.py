@@ -1,0 +1,201 @@
+"""Rodinia ``backprop``: back-propagation training of a 3-layer MLP.
+
+The paper's running example (case study I, Fig. 6/7, Tables 1-3).
+Faithful scaled-down re-implementation of the Rodinia CPU version:
+
+* weight matrices are **arrays of row pointers** (``conn[k][j]`` goes
+  through a loaded pointer), the indirection that defeats static
+  modeling (Polly reason F/A) but folds dynamically;
+* ``bpnn_layerforward`` is called twice (input->hidden with the large
+  input layer, hidden->output with the tiny one) -- the paper's
+  feedback specializes only the hot call;
+* ``squash`` (the sigmoid) is a function call inside the 2-D nest,
+  making the region interprocedural;
+* the training step runs 6 kernels in sequence (2x layerforward,
+  output_error, hidden_error, 2x adjust_weights), giving the multi-
+  component structure of Table 5 (C=6).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..isa import Memory, ProgramBuilder
+from ..pipeline import ProgramSpec
+from ._util import Lcg, workload
+
+
+def _emit_layerforward(pb: ProgramBuilder) -> None:
+    """for j in 1..n2: l2[j] = squash(sum_k conn[k][j] * l1[k])."""
+    with pb.function(
+        "bpnn_layerforward", ["l1", "l2", "conn", "n1", "n2"],
+        src_file="backprop.c",
+    ) as f:
+        with f.loop(1, "n2", rel="le", line=253) as j:
+            sum_ = f.set(f.fresh_reg("sum"), 0.0)
+            with f.loop(0, "n1", rel="le", line=254) as k:
+                row = f.load("conn", index=k, line=254)
+                w = f.load(row, index=j, line=254)
+                x = f.load("l1", index=k, line=254)
+                f.fadd(sum_, f.fmul(w, x), into=sum_)
+            out = f.call("squash", [sum_], want_result=True, line=256)
+            f.store("l2", out, index=j, line=256)
+        f.ret()
+
+
+def _emit_adjust_weights(pb: ProgramBuilder) -> None:
+    """w[k][j] += eta*delta[j]*ly[k] + momentum*oldw[k][j]."""
+    with pb.function(
+        "bpnn_adjust_weights", ["delta", "ndelta", "ly", "nly", "w", "oldw"],
+        src_file="backprop.c",
+    ) as f:
+        with f.loop(1, "ndelta", rel="le", line=320) as j:
+            with f.loop(0, "nly", rel="le", line=322) as k:
+                wrow = f.load("w", index=k, line=322)
+                orow = f.load("oldw", index=k, line=322)
+                dj = f.load("delta", index=j, line=323)
+                lyk = f.load("ly", index=k, line=323)
+                old = f.load(orow, index=j, line=324)
+                upd = f.fadd(
+                    f.fmul(f.fmul(0.3, dj), lyk), f.fmul(0.3, old)
+                )
+                cur = f.load(wrow, index=j, line=325)
+                f.store(wrow, f.fadd(cur, upd), index=j, line=325)
+                f.store(orow, upd, index=j, line=326)
+        f.ret()
+
+
+def _emit_output_error(pb: ProgramBuilder) -> None:
+    """delta[j] = o*(1-o)*(t-o) over output units; returns error sum."""
+    with pb.function(
+        "bpnn_output_error", ["delta", "target", "output", "nj"],
+        src_file="backprop.c",
+    ) as f:
+        err = f.set(f.fresh_reg("err"), 0.0)
+        with f.loop(1, "nj", rel="le", line=270) as j:
+            o = f.load("output", index=j)
+            t = f.load("target", index=j)
+            d = f.fmul(f.fmul(o, f.fsub(1.0, o)), f.fsub(t, o))
+            f.store("delta", d, index=j)
+            f.fadd(err, f.fabs(d), into=err)
+        f.ret(err)
+
+
+def _emit_hidden_error(pb: ProgramBuilder) -> None:
+    """delta_h[j] = h*(1-h) * sum_k delta_o[k]*who[j][k]."""
+    with pb.function(
+        "bpnn_hidden_error",
+        ["delta_h", "nh", "delta_o", "no", "who", "hidden"],
+        src_file="backprop.c",
+    ) as f:
+        err = f.set(f.fresh_reg("err"), 0.0)
+        with f.loop(1, "nh", rel="le", line=285) as j:
+            h = f.load("hidden", index=j)
+            sum_ = f.set(f.fresh_reg("sum"), 0.0)
+            with f.loop(1, "no", rel="le", line=287) as k:
+                do = f.load("delta_o", index=k)
+                row = f.load("who", index=j)
+                w = f.load(row, index=k)
+                f.fadd(sum_, f.fmul(do, w), into=sum_)
+            d = f.fmul(f.fmul(h, f.fsub(1.0, h)), sum_)
+            f.store("delta_h", d, index=j)
+            f.fadd(err, f.fabs(d), into=err)
+        f.ret(err)
+
+
+def build_backprop(n_in: int = 12, n_hidden: int = 8, n_out: int = 6) -> ProgramSpec:
+    """The full backprop training step (one epoch, one pattern)."""
+    pb = ProgramBuilder("backprop")
+    with pb.function(
+        "main",
+        [
+            "input_units", "hidden_units", "output_units",
+            "input_weights", "hidden_weights",
+            "input_prev", "hidden_prev",
+            "hidden_delta", "output_delta", "target",
+            "n_in", "n_hid", "n_out",
+        ],
+        src_file="facetrain.c",
+    ) as f:
+        f.at_line(25)
+        f.call(
+            "bpnn_layerforward",
+            ["input_units", "hidden_units", "input_weights", "n_in", "n_hid"],
+        )
+        f.call(
+            "bpnn_layerforward",
+            ["hidden_units", "output_units", "hidden_weights", "n_hid", "n_out"],
+        )
+        f.call(
+            "bpnn_output_error",
+            ["output_delta", "target", "output_units", "n_out"],
+        )
+        f.call(
+            "bpnn_hidden_error",
+            ["hidden_delta", "n_hid", "output_delta", "n_out",
+             "hidden_weights", "hidden_units"],
+        )
+        f.call(
+            "bpnn_adjust_weights",
+            ["output_delta", "n_out", "hidden_units", "n_hid",
+             "hidden_weights", "hidden_prev"],
+        )
+        f.call(
+            "bpnn_adjust_weights",
+            ["hidden_delta", "n_hid", "input_units", "n_in",
+             "input_weights", "input_prev"],
+        )
+        f.halt()
+
+    _emit_layerforward(pb)
+    _emit_adjust_weights(pb)
+    _emit_output_error(pb)
+    _emit_hidden_error(pb)
+    with pb.function("squash", ["x"], src_file="backprop.c") as f:
+        e = f.fexp(f.fneg("x"))
+        f.ret(f.fdiv(1.0, f.fadd(1.0, e)))
+
+    program = pb.build()
+
+    def make_state() -> Tuple[Sequence, Memory]:
+        mem = Memory()
+        rng = Lcg(42)
+
+        def rowptr_matrix(rows: int, cols: int) -> int:
+            ptrs = [mem.alloc_array(rng.floats(cols)) for _ in range(rows)]
+            return mem.alloc_array(ptrs)
+
+        input_units = mem.alloc_array(rng.floats(n_in + 2))
+        hidden_units = mem.alloc(n_hidden + 2, init=0.0)
+        output_units = mem.alloc(n_out + 2, init=0.0)
+        input_weights = rowptr_matrix(n_in + 1, n_hidden + 2)
+        hidden_weights = rowptr_matrix(n_hidden + 1, n_out + 2)
+        input_prev = rowptr_matrix(n_in + 1, n_hidden + 2)
+        hidden_prev = rowptr_matrix(n_hidden + 1, n_out + 2)
+        hidden_delta = mem.alloc(n_hidden + 2, init=0.0)
+        output_delta = mem.alloc(n_out + 2, init=0.0)
+        target = mem.alloc_array(rng.floats(n_out + 2))
+        return (
+            input_units, hidden_units, output_units,
+            input_weights, hidden_weights,
+            input_prev, hidden_prev,
+            hidden_delta, output_delta, target,
+            n_in, n_hidden, n_out,
+        ), mem
+
+    return ProgramSpec(
+        name="backprop",
+        program=program,
+        make_state=make_state,
+        description="Rodinia backprop: MLP training step",
+        region_funcs=("bpnn_layerforward", "bpnn_adjust_weights",
+                      "bpnn_output_error", "bpnn_hidden_error"),
+        region_label="facetrain.c:25",
+        fusion_heuristic="S",
+        ld_src=2,
+    )
+
+
+@workload("backprop")
+def backprop_default() -> ProgramSpec:
+    return build_backprop()

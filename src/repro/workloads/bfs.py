@@ -1,0 +1,128 @@
+"""Rodinia ``bfs``: level-synchronous breadth-first search.
+
+CSR graph traversal: the frontier loop's body only runs for masked
+nodes (data-dependent guards), and the edge loop's bounds come from
+``row_ptr`` loads -- data-dependent trip counts and indirect accesses
+everywhere.  This is the paper's low-%Aff, low-parallelism benchmark
+(Table 5: %Aff 21, %||ops 1, reasons B F): the structure is real
+parallelism the polyhedral model cannot see because domains and
+accesses are not affine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..isa import Memory, ProgramBuilder
+from ..pipeline import ProgramSpec
+from ._util import Lcg, workload
+
+
+def build_bfs(nnodes: int = 48, avg_degree: int = 5, seed: int = 41) -> ProgramSpec:
+    pb = ProgramBuilder("bfs")
+    with pb.function(
+        "main",
+        ["row_ptr", "col_idx", "mask", "updating", "visited", "cost",
+         "nnodes"],
+        src_file="bfs.cpp",
+    ) as f:
+        # in-program initialization of the per-node state arrays
+        with f.loop(0, "nnodes", line=120) as i:
+            f.store("mask", 0, index=i)
+            f.store("updating", 0, index=i)
+            f.store("visited", 0, index=i)
+            f.store("cost", 0, index=i)
+        f.store("mask", 1, index=0)
+        f.store("visited", 1, index=0)
+        stop = f.set(f.fresh_reg("stop"), 1)
+        w = f.while_begin()
+        f.while_cond(w, "eq", stop, 1)
+        f.set(stop, 0)
+        f.call(
+            "bfs_kernel",
+            ["row_ptr", "col_idx", "mask", "updating", "visited", "cost",
+             "nnodes"],
+        )
+        # second phase: promote 'updating' to 'mask'
+        with f.loop(0, "nnodes", line=155) as i:
+            u = f.load("updating", index=i)
+            with f.if_then("eq", u, 1):
+                f.store("mask", 1, index=i)
+                f.store("visited", 1, index=i)
+                f.store("updating", 0, index=i)
+                f.set(stop, 1)
+        f.while_end(w)
+        f.halt()
+
+    with pb.function(
+        "bfs_kernel",
+        ["row_ptr", "col_idx", "mask", "updating", "visited", "cost",
+         "nnodes"],
+        src_file="bfs.cpp",
+    ) as f:
+        with f.loop(0, "nnodes", line=137) as tid:
+            m = f.load("mask", index=tid, line=138)
+            with f.if_then("eq", m, 1):
+                f.store("mask", 0, index=tid)
+                start = f.load("row_ptr", index=tid, line=140)
+                end = f.load("row_ptr", index=f.add(tid, 1), line=140)
+                my_cost = f.load("cost", index=tid)
+                with f.loop(start, end, line=141) as e:
+                    nb = f.load("col_idx", index=e, line=142)
+                    vis = f.load("visited", index=nb, line=143)
+                    with f.if_then("eq", vis, 0):
+                        f.store("cost", f.add(my_cost, 1), index=nb, line=144)
+                        f.store("updating", 1, index=nb, line=145)
+        f.ret()
+
+    program = pb.build()
+
+    def make_state() -> Tuple[Sequence, Memory]:
+        mem = Memory()
+        rng = Lcg(seed)
+        # heap-shaped tree in CSR form: every node has a unique parent,
+        # so no two frontier nodes ever update the same neighbour in
+        # this execution -- the per-level node loop is observably
+        # parallel, which is exactly what the paper's *dynamic*
+        # analysis reports for bfs (%||ops 100: "the result is only
+        # valid for that particular execution"); degrees still vary,
+        # keeping the edge-loop bounds data-dependent
+        rows: List[List[int]] = []
+        next_child = 1
+        for u in range(nnodes):
+            deg = 1 + rng.next_int(avg_degree)
+            children = []
+            for _ in range(deg):
+                if next_child < nnodes:
+                    children.append(next_child)
+                    next_child += 1
+            rows.append(children)
+        row_ptr_vals = [0]
+        col_vals: List[int] = []
+        for r in rows:
+            col_vals.extend(r)
+            row_ptr_vals.append(len(col_vals))
+        row_ptr = mem.alloc_array(row_ptr_vals)
+        col_idx = mem.alloc_array(col_vals if col_vals else [0])
+        mask = mem.alloc(nnodes, init=0)
+        updating = mem.alloc(nnodes, init=0)
+        visited = mem.alloc(nnodes, init=0)
+        cost = mem.alloc(nnodes, init=0)
+        mem.store(mask, 1)      # source node 0
+        mem.store(visited, 1)
+        return (row_ptr, col_idx, mask, updating, visited, cost, nnodes), mem
+
+    return ProgramSpec(
+        name="bfs",
+        program=program,
+        make_state=make_state,
+        description="Rodinia bfs: level-synchronous BFS over CSR",
+        region_funcs=("bfs_kernel",),
+        region_label="bfs.cpp:137",
+        ld_src=3,
+    )
+
+
+@workload("bfs")
+def bfs_default() -> ProgramSpec:
+    return build_bfs()

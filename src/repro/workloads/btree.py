@@ -1,0 +1,124 @@
+"""Rodinia ``b+tree``: bulk point queries against a B+ tree.
+
+Array-backed order-``k`` tree; each query descends from the root
+through child pointers loaded from the current node (pointer chasing:
+the base of the next access is produced by a load -- statically
+Polly's B/F, dynamically a data-dependent access stream).  The scan
+over a node's keys is a small counted loop, so roughly half the
+dynamic work folds affinely (Table 5: %Aff 49).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..isa import Memory, ProgramBuilder
+from ..pipeline import ProgramSpec
+from ._util import Lcg, workload
+
+ORDER = 4  # keys per node
+
+
+def build_btree(nkeys: int = 32, nqueries: int = 12) -> ProgramSpec:
+    pb = ProgramBuilder("b+tree")
+    with pb.function(
+        "main", ["root", "queries", "answers", "nq"], src_file="main.c"
+    ) as f:
+        with f.loop(0, "nq", line=2345) as q:
+            key = f.load("queries", index=q, line=2346)
+            v = f.call("kernel_query", ["root", key], want_result=True, line=2347)
+            f.store("answers", v, index=q, line=2348)
+        f.halt()
+
+    # node layout: [is_leaf, nkeys, key0..key{ORDER-1}, val_or_child0..]
+    with pb.function("kernel_query", ["node", "key"], src_file="main.c") as f:
+        cur = f.set(f.fresh_reg("cur"), "node")
+        w = f.while_begin()
+        leaf = f.load(cur, offset=0)
+        f.while_cond(w, "eq", leaf, 0)
+        # find the child slot: count keys smaller than the query
+        n = f.load(cur, offset=1)
+        slot = f.set(f.fresh_reg("slot"), 0)
+        with f.loop(0, n, line=2352) as i:
+            k = f.load(cur, index=i, offset=2)
+            with f.if_then("le", k, "key"):
+                f.set(slot, f.add(slot, 1))
+        child = f.load(cur, index=slot, offset=2 + ORDER)
+        f.set(cur, child)            # pointer chase
+        f.while_end(w)
+        # leaf: linear scan for the key
+        n = f.load(cur, offset=1)
+        found = f.set(f.fresh_reg("found"), -1)
+        with f.loop(0, n, line=2360) as i:
+            k = f.load(cur, index=i, offset=2)
+            with f.if_then("eq", k, "key"):
+                f.set(found, f.load(cur, index=i, offset=2 + ORDER))
+        f.ret(found)
+
+    program = pb.build()
+
+    def make_state() -> Tuple[Sequence, Memory]:
+        mem = Memory()
+        rng = Lcg(47)
+        keys = sorted(set(rng.ints(nkeys, 1000)))
+
+        def make_leaf(ks: List[int]) -> int:
+            node = [0] * (2 + 2 * ORDER)
+            node[0] = 1
+            node[1] = len(ks)
+            for i, k in enumerate(ks):
+                node[2 + i] = k
+                node[2 + ORDER + i] = k * 10  # the stored value
+            return mem.alloc_array(node)
+
+        # build leaves then one level of internal nodes (two levels
+        # suffice for pointer chasing at this scale)
+        leaves = [make_leaf(keys[i:i + ORDER]) for i in range(0, len(keys), ORDER)]
+
+        def make_internal(children: List[int], seps: List[int]) -> int:
+            node = [0] * (2 + 2 * ORDER)
+            node[0] = 0
+            node[1] = len(seps)
+            for i, s in enumerate(seps):
+                node[2 + i] = s
+            for i, c in enumerate(children):
+                node[2 + ORDER + i] = c
+            return mem.alloc_array(node)
+
+        internals = []
+        for i in range(0, len(leaves), ORDER):
+            group = leaves[i:i + ORDER]
+            seps = [
+                mem.load(c + 2) for c in group[1:]
+            ]  # first key of each following child
+            internals.append(make_internal(group, seps))
+        if len(internals) == 1:
+            root = internals[0]
+        else:
+            seps = [mem.load(c + 2 + ORDER) for c in internals[1:]]
+            # separator: first key under each following subtree
+            seps = []
+            for c in internals[1:]:
+                first_leaf = mem.load(c + 2 + ORDER)
+                seps.append(mem.load(first_leaf + 2))
+            root = make_internal(internals, seps)
+        queries = mem.alloc_array(
+            [keys[rng.next_int(len(keys))] for _ in range(nqueries)]
+        )
+        answers = mem.alloc(nqueries, init=0)
+        return (root, queries, answers, nqueries), mem
+
+    return ProgramSpec(
+        name="b+tree",
+        program=program,
+        make_state=make_state,
+        description="Rodinia b+tree: point queries via pointer chasing",
+        region_funcs=("kernel_query",),
+        region_label="main.c:2345",
+        ld_src=3,
+    )
+
+
+@workload("b+tree")
+def btree_default() -> ProgramSpec:
+    return build_btree()

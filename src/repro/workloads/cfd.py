@@ -1,0 +1,110 @@
+"""Rodinia ``cfd`` (euler3d_cpu): unstructured-grid Euler solver.
+
+Per time step: a per-cell step factor, then the flux computation --
+for every cell, accumulate contributions from its (fixed number of)
+neighbours found through the ``elements_surrounding_elements``
+indirection table, then a per-cell time integration.
+
+The source writes the neighbour accumulation as a loop of 4 (ld-src
+5D); compilers fully unroll it (the paper's ld-bin 4D for cfd), which
+we mirror by emitting the four neighbour bodies straight-line.  The
+indirection table makes the neighbour loads non-affine statically
+(Polly reason F) but the bulk of the arithmetic is affine (%Aff 98).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..isa import Memory, ProgramBuilder
+from ..pipeline import ProgramSpec
+from ._util import Lcg, workload
+
+NNB = 4  # neighbours per element (tetrahedral grid)
+
+
+def build_cfd(ncells: int = 16, steps: int = 2) -> ProgramSpec:
+    pb = ProgramBuilder("cfd")
+    with pb.function(
+        "main",
+        ["vars", "fluxes", "step_factors", "ese", "normals", "n", "steps"],
+        src_file="euler3d_cpu.cpp",
+    ) as f:
+        with f.loop(0, "steps", line=470) as t:
+            f.call("compute_step_factor", ["vars", "step_factors", "n"])
+            f.call("compute_flux", ["vars", "fluxes", "ese", "normals", "n"])
+            f.call("time_step", ["vars", "fluxes", "step_factors", "n"])
+        f.halt()
+
+    with pb.function(
+        "compute_step_factor", ["vars", "step_factors", "n"],
+        src_file="euler3d_cpu.cpp",
+    ) as f:
+        with f.loop(0, "n", line=475) as i:
+            density = f.load("vars", index=i, line=476)
+            speed = f.fsqrt(f.fabs(density))
+            f.store(
+                "step_factors", f.fdiv(0.5, f.fadd(speed, 0.01)), index=i,
+                line=477,
+            )
+        f.ret()
+
+    with pb.function(
+        "compute_flux", ["vars", "fluxes", "ese", "normals", "n"],
+        src_file="euler3d_cpu.cpp",
+    ) as f:
+        with f.loop(0, "n", line=480) as i:
+            mine = f.load("vars", index=i, line=481)
+            acc = f.set(f.fresh_reg("acc"), 0.0)
+            # the source loops over 4 neighbours; the binary is unrolled
+            for nb in range(NNB):
+                idx = f.load("ese", index=f.add(f.mul(i, NNB), nb), line=483)
+                other = f.load("vars", index=idx, line=484)      # indirect
+                normal = f.load(
+                    "normals", index=f.add(f.mul(i, NNB), nb), line=485
+                )
+                f.fadd(acc, f.fmul(normal, f.fsub(other, mine)), into=acc)
+            f.store("fluxes", acc, index=i, line=488)
+        f.ret()
+
+    with pb.function(
+        "time_step", ["vars", "fluxes", "step_factors", "n"],
+        src_file="euler3d_cpu.cpp",
+    ) as f:
+        with f.loop(0, "n", line=492) as i:
+            v = f.load("vars", index=i)
+            fl = f.load("fluxes", index=i)
+            sf = f.load("step_factors", index=i)
+            f.store("vars", f.fadd(v, f.fmul(sf, fl)), index=i, line=494)
+        f.ret()
+
+    program = pb.build()
+
+    def make_state() -> Tuple[Sequence, Memory]:
+        mem = Memory()
+        rng = Lcg(59)
+        vars_ = mem.alloc_array([1.0 + x for x in rng.floats(ncells)])
+        fluxes = mem.alloc(ncells, init=0.0)
+        sf = mem.alloc(ncells, init=0.0)
+        ese = mem.alloc_array(
+            [rng.next_int(ncells) for _ in range(ncells * NNB)]
+        )
+        normals = mem.alloc_array(
+            [x - 0.5 for x in rng.floats(ncells * NNB)]
+        )
+        return (vars_, fluxes, sf, ese, normals, ncells, steps), mem
+
+    return ProgramSpec(
+        name="cfd",
+        program=program,
+        make_state=make_state,
+        description="Rodinia cfd: unstructured Euler solver step",
+        region_funcs=("compute_step_factor", "compute_flux", "time_step"),
+        region_label="*3d_cpu.cpp:480",
+        ld_src=5,   # source: steps/kernels/cells/neighbours(+fields)
+    )
+
+
+@workload("cfd")
+def cfd_default() -> ProgramSpec:
+    return build_cfd()

@@ -1,0 +1,141 @@
+"""The paper's own running examples, as mini-ISA programs.
+
+* :func:`build_fig3_example1` / :func:`build_fig3_example2` -- the
+  interprocedural-nest and recursion skeletons of Fig. 3;
+* :func:`layerforward_kernel` -- the pseudo-assembler of Fig. 6, the
+  first kernel of backprop (``bpnn_layerforward``), whose dependence
+  stream and folded output are the paper's Tables 1 and 2.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+from ..isa import Memory, ProgramBuilder
+from ..pipeline import ProgramSpec
+
+
+def build_fig3_example1(outer_trips: int = 2, inner_trips: int = 2) -> ProgramSpec:
+    """Fig. 3a: main -> A; A's loop calls B; B contains a loop."""
+    pb = ProgramBuilder("fig3_ex1")
+    with pb.function("main", []) as f:
+        f.call("A", [])
+        f.halt()
+    with pb.function("A", []) as f:
+        with f.loop(0, outer_trips) as i:
+            f.call("B", [])
+        f.ret()
+    with pb.function("B", []) as f:
+        with f.loop(0, inner_trips) as j:
+            f.add(j, 1)
+        f.ret()
+    program = pb.build()
+    return ProgramSpec(
+        name="fig3_ex1",
+        program=program,
+        make_state=lambda: ((), Memory()),
+        description="paper Fig. 3 Example 1: loop nest spread across a call",
+    )
+
+
+def build_fig3_example2(depth: int = 3) -> ProgramSpec:
+    """Fig. 3f: main calls D (calls C) then B; B recurses, calling C."""
+    pb = ProgramBuilder("fig3_ex2")
+    with pb.function("main", []) as f:
+        f.call("D", [])
+        f.call("B", [0])
+        f.halt()
+    with pb.function("D", []) as f:
+        f.call("C", [])
+        f.ret()
+    with pb.function("C", []) as f:
+        f.add(1, 1)
+        f.ret()
+    with pb.function("B", ["n"]) as f:
+        f.call("C", [])
+        with f.if_then("lt", "n", depth - 1):
+            f.call("B", [f.add("n", 1)])
+        f.ret()
+    program = pb.build()
+    return ProgramSpec(
+        name="fig3_ex2",
+        program=program,
+        make_state=lambda: ((), Memory()),
+        description="paper Fig. 3 Example 2: recursion folded to one loop",
+    )
+
+
+def layerforward_kernel(n1: int = 41, n2: int = 15) -> ProgramSpec:
+    """Fig. 6: the first kernel of backprop, in pseudo-assembler.
+
+    ::
+
+        for (j = 1; j <= n2)
+          sum = 0.0
+          for (k = 0; k <= n1)
+            tmp1 = load(&conn + k)     // I1: row pointer of conn[k]
+            tmp2 = load(tmp1 + j)      // I2: conn[k][j]
+            tmp3 = load(&l1 + k)       // I3: l1[k]
+            sum = sum + tmp2 * tmp3    // I4
+            k = k + 1                  // I5
+          tmp4 = call squash(sum)      // I6
+          store(&l2 + j, tmp4)         // I7
+          j = j + 1                    // I8
+
+    The defaults reproduce Table 2's bounds exactly: ``j`` runs
+    ``1..n2`` (15 iterations, canonical ``0 <= cj < 15``) and ``k``
+    runs ``0..n1`` (42 iterations, ``0 <= ck < 42``).
+
+    ``conn`` is an array of *row pointers* (pointer indirection: the
+    exact feature that defeats static analysis, paper Table 5 reason
+    code F), ``l1`` the input layer, ``l2`` the output layer.
+    """
+    pb = ProgramBuilder("layerforward")
+    with pb.function(
+        "main", ["conn", "l1", "l2", "n1", "n2"], src_file="backprop.c"
+    ) as f:
+        f.call("bpnn_layerforward", ["conn", "l1", "l2", "n1", "n2"])
+        f.halt()
+    with pb.function(
+        "bpnn_layerforward",
+        ["conn", "l1", "l2", "n1", "n2"],
+        src_file="backprop.c",
+    ) as f:
+        with f.loop(1, "n2", rel="le", line=253) as j:
+            sum_ = f.set(f.fresh_reg("sum"), 0.0)
+            with f.loop(0, "n1", rel="le", line=254) as k:
+                tmp1 = f.load("conn", index=k, line=254)       # I1
+                tmp2 = f.load(tmp1, index=j, line=254)         # I2
+                tmp3 = f.load("l1", index=k, line=254)         # I3
+                prod = f.fmul(tmp2, tmp3)
+                f.fadd(sum_, prod, into=sum_)                  # I4
+            tmp4 = f.call("squash", [sum_], want_result=True, line=256)  # I6
+            f.store("l2", tmp4, index=j, line=256)             # I7
+        f.ret()
+    with pb.function("squash", ["x"], src_file="backprop.c") as f:
+        # sigmoid: 1 / (1 + exp(-x))
+        e = f.fexp(f.fneg("x"))
+        f.ret(f.fdiv(1.0, f.fadd(1.0, e)))
+    program = pb.build()
+
+    def make_state() -> Tuple[Sequence, Memory]:
+        mem = Memory()
+        # row-pointer matrix conn[(n1+1)][(n2+2)]
+        rows = [
+            mem.alloc_array(
+                [math.sin(0.3 * k + 0.7 * j) for j in range(n2 + 2)]
+            )
+            for k in range(n1 + 1)
+        ]
+        conn = mem.alloc_array(rows)
+        l1 = mem.alloc_array([math.cos(0.2 * k) for k in range(n1 + 1)])
+        l2 = mem.alloc(n2 + 2, init=0.0)
+        return (conn, l1, l2, n1, n2), mem
+
+    return ProgramSpec(
+        name="layerforward",
+        program=program,
+        make_state=make_state,
+        description="paper Fig. 6 kernel (Tables 1-2)",
+    )

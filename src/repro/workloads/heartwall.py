@@ -1,0 +1,110 @@
+"""Rodinia ``heartwall``: ultrasound heart-wall tracking.
+
+Per video frame, per tracked sample point, a template-matching
+correlation slides a small template over a search window -- the
+deepest nest of the suite (paper: 7-D source, 6-D binary, 5-D tilable
+band).  The Rodinia code hand-linearizes the 2-D windows with
+division/modulo index recovery, keeping almost everything outside the
+exactly-affine fold (Table 5: %Aff 1) despite massive parallelism.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..isa import Memory, ProgramBuilder
+from ..pipeline import ProgramSpec
+from ._util import Lcg, workload
+
+
+def build_heartwall(
+    frames: int = 2, npoints: int = 2, tmpl: int = 3, win: int = 5
+) -> ProgramSpec:
+    pb = ProgramBuilder("heartwall")
+    with pb.function(
+        "main",
+        ["video", "templates", "corr", "best", "frames", "npoints",
+         "tmpl", "win", "fsize"],
+        src_file="main.c",
+    ) as f:
+        with f.loop(0, "frames", line=536) as fr:
+            f.call(
+                "track_frame",
+                ["video", "templates", "corr", "best", fr, "npoints",
+                 "tmpl", "win", "fsize"],
+            )
+        f.halt()
+
+    with pb.function(
+        "track_frame",
+        ["video", "templates", "corr", "best", "fr", "npoints",
+         "tmpl", "win", "fsize"],
+        src_file="main.c",
+    ) as f:
+        frame_base = f.mul("fr", "fsize")
+        tarea = f.mul("tmpl", "tmpl")
+        warea = f.mul("win", "win")
+        with f.loop(0, "npoints", line=540) as p:
+            # slide the template over the window (linearized positions)
+            with f.loop(0, warea, line=545) as wpos:
+                wy = f.div(wpos, "win")          # hand-linearized:
+                wx = f.mod(wpos, "win")          # div/mod recovery
+                acc = f.set(f.fresh_reg("acc"), 0.0)
+                with f.loop(0, tarea, line=548) as tpos:
+                    ty = f.div(tpos, "tmpl")
+                    tx = f.mod(tpos, "tmpl")
+                    pix = f.load(
+                        "video",
+                        index=f.add(
+                            frame_base,
+                            f.add(f.mul(f.add(wy, ty), "win"), f.add(wx, tx)),
+                        ),
+                        line=550,
+                    )
+                    tv = f.load(
+                        "templates",
+                        index=f.add(f.mul(p, tarea), tpos),
+                        line=551,
+                    )
+                    f.fadd(acc, f.fmul(pix, tv), into=acc)
+                f.store(
+                    "corr", acc, index=f.add(f.mul(p, warea), wpos), line=553
+                )
+            # argmax over window positions
+            bestv = f.set(f.fresh_reg("bestv"), -1e30)
+            besti = f.set(f.fresh_reg("besti"), 0)
+            with f.loop(0, warea, line=556) as wpos:
+                c = f.load("corr", index=f.add(f.mul(p, warea), wpos))
+                with f.if_then("gt", c, bestv):
+                    f.set(bestv, c)
+                    f.set(besti, wpos)
+            f.store("best", besti, index=p, line=560)
+        f.ret()
+
+    program = pb.build()
+
+    def make_state() -> Tuple[Sequence, Memory]:
+        mem = Memory()
+        rng = Lcg(71)
+        fsize = (win + tmpl) * (win + tmpl)
+        video = mem.alloc_array(rng.floats(frames * fsize))
+        templates = mem.alloc_array(rng.floats(npoints * tmpl * tmpl))
+        corr = mem.alloc(npoints * win * win, init=0.0)
+        best = mem.alloc(npoints, init=0)
+        return (video, templates, corr, best, frames, npoints,
+                tmpl, win, fsize), mem
+
+    return ProgramSpec(
+        name="heartwall",
+        program=program,
+        make_state=make_state,
+        description="Rodinia heartwall: template-matching tracking",
+        region_funcs=("track_frame",),
+        region_label="main.c:536",
+        ld_src=7,   # frame/point/wy/wx/ty/tx (+channel) in the source
+    )
+
+
+@workload("heartwall")
+def heartwall_default() -> ProgramSpec:
+    return build_heartwall()

@@ -1,0 +1,100 @@
+"""Rodinia ``hotspot``: thermal simulation on a 2-D grid.
+
+Table 5 signature: **%Aff ~0** -- the Rodinia CPU code processes the
+grid through *hand-linearized* loops whose row extraction uses integer
+division/modulo, which the folding stage does not recognize as affine
+(the paper calls this out explicitly for heartwall/hotspot/lud); the
+loops are nevertheless 100% parallel and the (r, c) band is tilable.
+
+Statically the bounds/addresses built from ``div``/``mod`` are opaque
+(reason B), matching Polly's failure.
+
+Structure: a time loop around a single linearized sweep::
+
+    for t:                          # hotspot_openmp.cpp:318
+      for idx in 0 .. rows*cols:
+        r = idx / cols; c = idx % cols
+        result[idx] = temp[idx] + k*(neighbours - 4*temp[idx]) + power
+      swap-less update: temp[idx] = result[idx]   (second sweep)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..isa import Memory, ProgramBuilder
+from ..pipeline import ProgramSpec
+from ._util import Lcg, workload
+
+
+def build_hotspot(rows: int = 10, cols: int = 10, steps: int = 2) -> ProgramSpec:
+    pb = ProgramBuilder("hotspot")
+    with pb.function(
+        "main", ["temp", "power", "result", "rows", "cols", "steps"],
+        src_file="hotspot_openmp.cpp",
+    ) as f:
+        total = f.mul("rows", "cols")
+        with f.loop(0, "steps", line=317) as t:
+            f.call(
+                "single_iteration",
+                ["temp", "power", "result", "rows", "cols", total],
+            )
+            with f.loop(0, total, line=330) as idx:
+                f.store("temp", f.load("result", index=idx), index=idx)
+        f.halt()
+
+    with pb.function(
+        "single_iteration",
+        ["temp", "power", "result", "rows", "cols", "total"],
+        src_file="hotspot_openmp.cpp",
+    ) as f:
+        with f.loop(0, "total", line=318) as idx:
+            # hand-linearized row/col recovery (div/mod: non-affine)
+            r = f.div(idx, "cols")
+            c = f.mod(idx, "cols")
+            center = f.load("temp", index=idx, line=320)
+            acc = f.set(f.fresh_reg("acc"), 0.0)
+            # clamped neighbours: the boundary tests use the computed
+            # r/c (statically opaque), the accesses use idx +- cols/1
+            with f.if_then("gt", r, 0):
+                up = f.load("temp", index=f.sub(idx, "cols"), line=321)
+                f.fadd(acc, f.fsub(up, center), into=acc)
+            with f.if_then("lt", r, f.sub("rows", 1)):
+                dn = f.load("temp", index=f.add(idx, "cols"), line=322)
+                f.fadd(acc, f.fsub(dn, center), into=acc)
+            with f.if_then("gt", c, 0):
+                lf = f.load("temp", index=f.sub(idx, 1), line=323)
+                f.fadd(acc, f.fsub(lf, center), into=acc)
+            with f.if_then("lt", c, f.sub("cols", 1)):
+                rt = f.load("temp", index=f.add(idx, 1), line=324)
+                f.fadd(acc, f.fsub(rt, center), into=acc)
+            p = f.load("power", index=idx, line=326)
+            new = f.fadd(center, f.fadd(f.fmul(0.25, acc), p))
+            f.store("result", new, index=idx, line=327)
+        f.ret()
+
+    program = pb.build()
+
+    def make_state() -> Tuple[Sequence, Memory]:
+        mem = Memory()
+        rng = Lcg(11)
+        n = rows * cols
+        temp = mem.alloc_array([300.0 + x for x in rng.floats(n)])
+        power = mem.alloc_array([0.01 * x for x in rng.floats(n)])
+        result = mem.alloc(n, init=0.0)
+        return (temp, power, result, rows, cols, steps), mem
+
+    return ProgramSpec(
+        name="hotspot",
+        program=program,
+        make_state=make_state,
+        description="Rodinia hotspot: linearized 2-D thermal stencil",
+        region_funcs=("single_iteration",),
+        region_label="*_openmp.cpp:318",
+        ld_src=4,   # the source nests t/chunk/r/c before linearization
+    )
+
+
+@workload("hotspot")
+def hotspot_default() -> ProgramSpec:
+    return build_hotspot()

@@ -1,0 +1,97 @@
+"""Rodinia ``hotspot3D``: thermal simulation on a 3-D grid.
+
+Unlike 2-D hotspot, the 3-D version keeps proper nested loops, so it
+is almost fully affine (Table 5: %Aff 99), fully parallel in space,
+and the spatial (z, y, x) band is tilable (TileD 3D); the time
+dimension does not join the band (double-buffered stencils carry
+(1, *, *, *) dependences).  Statically, Polly fails on the boundary
+clamping and the power coefficients (reasons B, F).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..isa import Memory, ProgramBuilder
+from ..pipeline import ProgramSpec
+from ._util import Lcg, workload
+
+
+def build_hotspot3d(n: int = 5, steps: int = 2) -> ProgramSpec:
+    pb = ProgramBuilder("hotspot3D")
+    with pb.function(
+        "main", ["tin", "tout", "power", "n", "plane", "row", "steps", "amb"],
+        src_file="3D.c",
+    ) as f:
+        with f.loop(0, "steps", line=258) as t:
+            f.call(
+                "compute_tran_temp",
+                ["tin", "tout", "power", "n", "plane", "row", "amb"],
+            )
+            # 3-D copy-back, as in the Rodinia code (triple loop)
+            with f.loop(0, "n", line=275) as z:
+                with f.loop(0, "n", line=276) as y:
+                    with f.loop(0, "n", line=277) as x:
+                        idx = f.add(
+                            f.add(f.mul(z, "plane"), f.mul(y, "row")), x
+                        )
+                        f.store("tin", f.load("tout", index=idx), index=idx)
+        f.halt()
+
+    with pb.function(
+        "compute_tran_temp",
+        ["tin", "tout", "power", "n", "plane", "row", "amb"],
+        src_file="3D.c",
+    ) as f:
+        with f.loop(1, f.sub("n", 1), line=261) as z:
+            with f.loop(1, f.sub("n", 1), line=262) as y:
+                with f.loop(1, f.sub("n", 1), line=263) as x:
+                    base = f.add(
+                        f.add(f.mul(z, "plane"), f.mul(y, "row")), x
+                    )
+                    c = f.load("tin", index=base, line=265)
+                    e = f.load("tin", index=f.add(base, 1), line=265)
+                    w = f.load("tin", index=f.sub(base, 1), line=265)
+                    no = f.load("tin", index=f.sub(base, "row"), line=266)
+                    s = f.load("tin", index=f.add(base, "row"), line=266)
+                    a = f.load("tin", index=f.sub(base, "plane"), line=267)
+                    b = f.load("tin", index=f.add(base, "plane"), line=267)
+                    p = f.load("power", index=base, line=268)
+                    lap = f.fadd(
+                        f.fadd(f.fadd(e, w), f.fadd(no, s)), f.fadd(a, b)
+                    )
+                    new = f.fadd(
+                        c,
+                        f.fadd(
+                            f.fmul(0.1, f.fsub(lap, f.fmul(6.0, c))),
+                            f.fadd(p, f.fmul(0.01, f.fsub("amb", c))),
+                        ),
+                    )
+                    f.store("tout", new, index=base, line=270)
+        f.ret()
+
+    program = pb.build()
+
+    def make_state() -> Tuple[Sequence, Memory]:
+        mem = Memory()
+        rng = Lcg(13)
+        size = n * n * n
+        tin = mem.alloc_array([320.0 + x for x in rng.floats(size)])
+        tout = mem.alloc(size, init=0.0)
+        power = mem.alloc_array([0.005 * x for x in rng.floats(size)])
+        return (tin, tout, power, n, n * n, n, steps, 300.0), mem
+
+    return ProgramSpec(
+        name="hotspot3D",
+        program=program,
+        make_state=make_state,
+        description="Rodinia hotspot3D: double-buffered 3-D stencil",
+        region_funcs=("compute_tran_temp",),
+        region_label="3D.c:261",
+        ld_src=4,
+    )
+
+
+@workload("hotspot3D")
+def hotspot3d_default() -> ProgramSpec:
+    return build_hotspot3d()

@@ -1,0 +1,116 @@
+"""Rodinia ``kmeans``: iterative clustering.
+
+Per iteration: every point computes its distance to every cluster
+over all features (a fully affine 3-D core, hence %Aff 97) and joins
+the nearest cluster -- the membership update writes through a
+*data-dependent index* (``new_centers[closest][f] += ...``), which is
+non-affine and the source of Polly's R/F/A failures on the real code.
+The convergence test makes the outer iteration loop's trip count
+data-dependent (bounded here for determinism).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..isa import Memory, ProgramBuilder
+from ..pipeline import ProgramSpec
+from ._util import Lcg, workload
+
+
+def build_kmeans(
+    npoints: int = 12, nclusters: int = 3, nfeatures: int = 4, iters: int = 2
+) -> ProgramSpec:
+    pb = ProgramBuilder("kmeans")
+    with pb.function(
+        "main",
+        ["feat", "clusters", "membership", "newc", "newcount",
+         "np", "nc", "nf", "iters"],
+        src_file="kmeans_clustering.c",
+    ) as f:
+        with f.loop(0, "iters", line=158) as it:
+            f.call(
+                "assign_points",
+                ["feat", "clusters", "membership", "newc", "newcount",
+                 "np", "nc", "nf"],
+            )
+            f.call(
+                "update_centers", ["clusters", "newc", "newcount", "nc", "nf"]
+            )
+        f.halt()
+
+    with pb.function(
+        "assign_points",
+        ["feat", "clusters", "membership", "newc", "newcount",
+         "np", "nc", "nf"],
+        src_file="kmeans_clustering.c",
+    ) as f:
+        with f.loop(0, "np", line=160) as i:
+            best = f.set(f.fresh_reg("best"), 1e30)
+            besti = f.set(f.fresh_reg("besti"), 0)
+            with f.loop(0, "nc", line=162) as c:
+                dist = f.set(f.fresh_reg("dist"), 0.0)
+                with f.loop(0, "nf", line=164) as ft:
+                    x = f.load("feat", index=f.add(f.mul(i, "nf"), ft), line=165)
+                    y = f.load(
+                        "clusters", index=f.add(f.mul(c, "nf"), ft), line=165
+                    )
+                    d = f.fsub(x, y)
+                    f.fadd(dist, f.fmul(d, d), into=dist)
+                with f.if_then("lt", dist, best):
+                    f.set(best, dist)
+                    f.set(besti, c)
+            f.store("membership", besti, index=i, line=170)
+            # data-dependent accumulation into the winning cluster
+            cnt = f.load("newcount", index=besti, line=171)
+            f.store("newcount", f.add(cnt, 1), index=besti, line=171)
+            with f.loop(0, "nf", line=172) as ft:
+                x = f.load("feat", index=f.add(f.mul(i, "nf"), ft))
+                idx = f.add(f.mul(besti, "nf"), ft)
+                cur = f.load("newc", index=idx)
+                f.store("newc", f.fadd(cur, x), index=idx, line=173)
+        f.ret()
+
+    with pb.function(
+        "update_centers", ["clusters", "newc", "newcount", "nc", "nf"],
+        src_file="kmeans_clustering.c",
+    ) as f:
+        with f.loop(0, "nc", line=180) as c:
+            cnt = f.load("newcount", index=c)
+            with f.if_then("gt", cnt, 0):
+                fcnt = f.itof(cnt)
+                with f.loop(0, "nf", line=182) as ft:
+                    idx = f.add(f.mul(c, "nf"), ft)
+                    s = f.load("newc", index=idx)
+                    f.store("clusters", f.fdiv(s, fcnt), index=idx)
+                    f.store("newc", 0.0, index=idx)
+            f.store("newcount", 0, index=c)
+        f.ret()
+
+    program = pb.build()
+
+    def make_state() -> Tuple[Sequence, Memory]:
+        mem = Memory()
+        rng = Lcg(37)
+        feat = mem.alloc_array(rng.floats(npoints * nfeatures))
+        clusters = mem.alloc_array(rng.floats(nclusters * nfeatures))
+        membership = mem.alloc(npoints, init=0)
+        newc = mem.alloc(nclusters * nfeatures, init=0.0)
+        newcount = mem.alloc(nclusters, init=0)
+        return (feat, clusters, membership, newc, newcount,
+                npoints, nclusters, nfeatures, iters), mem
+
+    return ProgramSpec(
+        name="kmeans",
+        program=program,
+        make_state=make_state,
+        description="Rodinia kmeans: iterative clustering",
+        region_funcs=("assign_points", "update_centers"),
+        region_label="*_clustering.c:160",
+        ld_src=4,
+    )
+
+
+@workload("kmeans")
+def kmeans_default() -> ProgramSpec:
+    return build_kmeans()

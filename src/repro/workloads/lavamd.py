@@ -1,0 +1,84 @@
+"""Rodinia ``lavaMD``: particle interactions within neighbour boxes.
+
+For every box, for every neighbour in its *neighbour list* (an
+indirection table), all particle pairs interact through an exponential
+kernel.  The neighbour-list indirection puts the inner loops' data in
+non-affine territory (Table 5: %Aff 0, reasons B F) even though the
+loop structure itself is a clean 4-D nest with outer parallelism.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..isa import Memory, ProgramBuilder
+from ..pipeline import ProgramSpec
+from ._util import Lcg, workload
+
+
+def build_lavamd(nboxes: int = 8, nper: int = 3, nnb: int = 4) -> ProgramSpec:
+    pb = ProgramBuilder("lavaMD")
+    with pb.function(
+        "main", ["pos", "charge", "force", "nblist", "nboxes", "nper", "nnb"],
+        src_file="kernel_cpu.c",
+    ) as f:
+        f.call(
+            "kernel_cpu",
+            ["pos", "charge", "force", "nblist", "nboxes", "nper", "nnb"],
+        )
+        f.halt()
+
+    with pb.function(
+        "kernel_cpu",
+        ["pos", "charge", "force", "nblist", "nboxes", "nper", "nnb"],
+        src_file="kernel_cpu.c",
+    ) as f:
+        with f.loop(0, "nboxes", line=123) as b:
+            home_base = f.mul(b, "nper")
+            with f.loop(0, "nnb", line=126) as k:
+                nb = f.load("nblist", index=f.add(f.mul(b, "nnb"), k), line=127)
+                nb_base = f.mul(nb, "nper")           # data-dependent base
+                with f.loop(0, "nper", line=129) as i:
+                    xi = f.load("pos", index=f.add(home_base, i), line=130)
+                    acc = f.set(f.fresh_reg("acc"), 0.0)
+                    with f.loop(0, "nper", line=132) as j:
+                        xj = f.load("pos", index=f.add(nb_base, j), line=133)
+                        qj = f.load("charge", index=f.add(nb_base, j), line=133)
+                        r2 = f.fmul(f.fsub(xi, xj), f.fsub(xi, xj))
+                        u = f.fexp(f.fneg(r2))
+                        f.fadd(acc, f.fmul(qj, u), into=acc)
+                    fi = f.add(home_base, i)
+                    cur = f.load("force", index=fi, line=137)
+                    f.store("force", f.fadd(cur, acc), index=fi, line=137)
+        f.ret()
+
+    program = pb.build()
+
+    def make_state() -> Tuple[Sequence, Memory]:
+        mem = Memory()
+        rng = Lcg(61)
+        n = nboxes * nper
+        pos = mem.alloc_array(rng.floats(n))
+        charge = mem.alloc_array(rng.floats(n))
+        force = mem.alloc(n, init=0.0)
+        nblist: List[int] = []
+        for b in range(nboxes):
+            nbs = [b] + [rng.next_int(nboxes) for _ in range(nnb - 1)]
+            nblist.extend(nbs[:nnb])
+        nbl = mem.alloc_array(nblist)
+        return (pos, charge, force, nbl, nboxes, nper, nnb), mem
+
+    return ProgramSpec(
+        name="lavaMD",
+        program=program,
+        make_state=make_state,
+        description="Rodinia lavaMD: boxed particle interactions",
+        region_funcs=("kernel_cpu",),
+        region_label="kernel_cpu.c:123",
+        ld_src=4,
+    )
+
+
+@workload("lavaMD")
+def lavamd_default() -> ProgramSpec:
+    return build_lavamd()

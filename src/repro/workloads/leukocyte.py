@@ -1,0 +1,121 @@
+"""Rodinia ``leukocyte``: white-blood-cell detection and tracking.
+
+The detection stage evaluates the GICOV score along ellipse contours:
+frames -> cells -> sample angles -> gradient stencil, with contour
+coordinates read from precomputed tables (indirection), early
+rejection of low-variance cells (break), helper calls, and
+re-based image windows per cell -- the full house of static failure
+reasons (Table 5 lists R C B F A P for leukocyte) around a core that
+is about one-third affine (%Aff 39).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+from ..isa import Memory, ProgramBuilder
+from ..pipeline import ProgramSpec
+from ._util import Lcg, workload
+
+
+def build_leukocyte(
+    frames: int = 2, ncells: int = 6, nangles: int = 10, imgsize: int = 12
+) -> ProgramSpec:
+    pb = ProgramBuilder("leukocyte")
+    with pb.function(
+        "main",
+        ["img", "smooth", "xcoords", "ycoords", "centers", "gicov",
+         "frames", "ncells", "nangles", "row"],
+        src_file="detect_main.c",
+    ) as f:
+        with f.loop(0, "frames", line=51) as fr:
+            f.call(
+                "detect_cells",
+                ["img", "smooth", "xcoords", "ycoords", "centers",
+                 "gicov", "ncells", "nangles", "row"],
+            )
+        f.halt()
+
+    with pb.function(
+        "detect_cells",
+        ["img", "smooth", "xcoords", "ycoords", "centers", "gicov",
+         "ncells", "nangles", "row"],
+        src_file="detect_main.c",
+    ) as f:
+        # regular image preprocessing (the real code dilates/smooths
+        # the gradient images before scoring): out-of-place, so the
+        # sweep is fully parallel -- an affine warm region
+        area = f.mul("row", "row")
+        with f.loop(1, f.sub(area, 1), line=53) as p:
+            a = f.load("img", index=f.sub(p, 1))
+            b = f.load("img", index=p)
+            cc = f.load("img", index=f.add(p, 1))
+            sm = f.fmul(0.3333, f.fadd(f.fadd(a, b), cc))
+            f.store("smooth", sm, index=p)
+        with f.loop(0, "ncells", line=55) as c:
+            # per-cell window base: a loaded *offset* into the smoothed
+            # image (not provably loop-invariant statically)
+            off_c = f.load("centers", index=c, line=56)
+            base = f.add("smooth", off_c)
+            mean = f.set(f.fresh_reg("mean"), 0.0)
+            var = f.set(f.fresh_reg("var"), 0.0)
+            with f.loop(0, "nangles", line=58) as a:
+                # contour coordinates through indirection tables
+                dx = f.load("xcoords", index=a, line=59)
+                dy = f.load("ycoords", index=a, line=59)
+                off = f.add(f.mul(dy, "row"), dx)
+                g = f.call(
+                    "gradient_at", ["img", f.add(base, off), "row"],
+                    want_result=True, line=61,
+                )
+                f.fadd(mean, g, into=mean)
+                f.fadd(var, f.fmul(g, g), into=var)
+            m = f.fdiv(mean, f.itof("nangles"))
+            v = f.fsub(f.fdiv(var, f.itof("nangles")), f.fmul(m, m))
+            # early rejection: low-variance cells are skipped (break)
+            with f.if_then("gt", v, 1e-6):
+                f.store("gicov", f.fdiv(f.fmul(m, m), v), index=c, line=68)
+        f.ret()
+
+    with pb.function("gradient_at", ["img", "pos", "row"],
+                     src_file="avilib.c") as f:
+        a = f.load("img", index=f.add("pos", 1))
+        b = f.load("img", index=f.sub("pos", 1))
+        c = f.load("img", index=f.add("pos", "row"))
+        d = f.load("img", index=f.sub("pos", "row"))
+        f.ret(f.fadd(f.fsub(a, b), f.fsub(c, d)))
+
+    program = pb.build()
+
+    def make_state() -> Tuple[Sequence, Memory]:
+        mem = Memory()
+        rng = Lcg(73)
+        img = mem.alloc_array(rng.floats(imgsize * imgsize))
+        smooth = mem.alloc(imgsize * imgsize, init=0.0)
+        xs = [int(2 * math.cos(2 * math.pi * a / nangles)) for a in range(nangles)]
+        ys = [int(2 * math.sin(2 * math.pi * a / nangles)) for a in range(nangles)]
+        xcoords = mem.alloc_array(xs)
+        ycoords = mem.alloc_array(ys)
+        centers = mem.alloc_array(
+            [(3 + rng.next_int(imgsize - 6)) * imgsize + 3 +
+             rng.next_int(imgsize - 6) for _ in range(ncells)]
+        )
+        gicov = mem.alloc(ncells, init=0.0)
+        return (img, smooth, xcoords, ycoords, centers, gicov, frames,
+                ncells, nangles, imgsize), mem
+
+    return ProgramSpec(
+        name="leukocyte",
+        program=program,
+        make_state=make_state,
+        description="Rodinia leukocyte: GICOV cell detection",
+        region_funcs=("detect_cells", "gradient_at"),
+        region_label="detect_main.c:51",
+        ld_src=4,
+    )
+
+
+@workload("leukocyte")
+def leukocyte_default() -> ProgramSpec:
+    return build_leukocyte()

@@ -1,0 +1,93 @@
+"""Rodinia ``myocyte``: cardiac myocyte ODE integration.
+
+A time loop drives an embedded Runge-Kutta-style solver whose stages
+call the model evaluation: a sweep over the state equations mixing
+long straight-line arithmetic with ``exp`` calls.  The region is one
+big sequential component dominated by the equation sweep; the solver
+control (step acceptance tests on computed error) is the paper's
+reason C/B, the shared state/parameter arrays its reason A.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..isa import Memory, ProgramBuilder
+from ..pipeline import ProgramSpec
+from ._util import Lcg, workload
+
+
+def build_myocyte(neq: int = 12, steps: int = 4) -> ProgramSpec:
+    pb = ProgramBuilder("myocyte")
+    with pb.function(
+        "main", ["y", "dy", "ytmp", "params", "neq", "steps"],
+        src_file="main.c",
+    ) as f:
+        with f.loop(0, "steps", line=283) as t:
+            f.call("solver_step", ["y", "dy", "ytmp", "params", "neq"])
+        f.halt()
+
+    with pb.function(
+        "solver_step", ["y", "dy", "ytmp", "params", "neq"],
+        src_file="main.c",
+    ) as f:
+        # stage 1: dy = model(y)
+        f.call("model_eval", ["y", "dy", "params", "neq"])
+        # stage 2: ytmp = y + h/2 * dy ; dy2 = model(ytmp)
+        with f.loop(0, "neq", line=300) as i:
+            v = f.fadd(
+                f.load("y", index=i), f.fmul(0.005, f.load("dy", index=i))
+            )
+            f.store("ytmp", v, index=i)
+        f.call("model_eval", ["ytmp", "dy", "params", "neq"])
+        # error-controlled acceptance: data-dependent step rejection
+        err = f.set(f.fresh_reg("err"), 0.0)
+        with f.loop(0, "neq", line=310) as i:
+            f.fadd(err, f.fabs(f.load("dy", index=i)), into=err)
+        with f.if_then("lt", err, 1e6):
+            with f.loop(0, "neq", line=312) as i:
+                v = f.fadd(
+                    f.load("y", index=i),
+                    f.fmul(0.01, f.load("dy", index=i)),
+                )
+                f.store("y", v, index=i)
+        f.ret()
+
+    with pb.function(
+        "model_eval", ["y", "dy", "params", "neq"], src_file="main.c"
+    ) as f:
+        # gating-variable style equations: dy[i] = (inf(y) - y) / tau
+        with f.loop(0, "neq", line=320) as i:
+            yi = f.load("y", index=i, line=321)
+            p = f.load("params", index=i, line=321)
+            e = f.fexp(f.fneg(f.fmul(yi, p)))
+            inf = f.fdiv(1.0, f.fadd(1.0, e))
+            tau = f.fadd(0.5, f.fmul(0.1, p))
+            f.store("dy", f.fdiv(f.fsub(inf, yi), tau), index=i, line=323)
+        f.ret()
+
+    program = pb.build()
+
+    def make_state() -> Tuple[Sequence, Memory]:
+        mem = Memory()
+        rng = Lcg(53)
+        y = mem.alloc_array(rng.floats(neq))
+        dy = mem.alloc(neq, init=0.0)
+        ytmp = mem.alloc(neq, init=0.0)
+        params = mem.alloc_array([0.5 + x for x in rng.floats(neq)])
+        return (y, dy, ytmp, params, neq, steps), mem
+
+    return ProgramSpec(
+        name="myocyte",
+        program=program,
+        make_state=make_state,
+        description="Rodinia myocyte: ODE solver with embedded stages",
+        region_funcs=("solver_step", "model_eval"),
+        region_label="main.c:283",
+        ld_src=4,
+    )
+
+
+@workload("myocyte")
+def myocyte_default() -> ProgramSpec:
+    return build_myocyte()

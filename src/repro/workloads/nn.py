@@ -1,0 +1,87 @@
+"""Rodinia ``nn``: nearest neighbours of a target among records.
+
+A single 1-D scan computing Euclidean distances plus a running argmin
+whose update executes only when a new minimum appears -- a
+data-dependent domain with holes, which keeps the hot loop outside the
+exactly-affine fold (Table 5: %Aff 1, reasons R F, 1-D region, no
+exploitable parallelism reported by the paper beyond the distance
+computation itself).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..isa import Memory, ProgramBuilder
+from ..pipeline import ProgramSpec
+from ._util import Lcg, workload
+
+
+def build_nn(nrecords: int = 48) -> ProgramSpec:
+    pb = ProgramBuilder("nn")
+    with pb.function(
+        "main", ["recs", "dist", "n", "tlat", "tlng"],
+        src_file="nn_openmp.c",
+    ) as f:
+        f.call("find_distances", ["recs", "dist", "n", "tlat", "tlng"])
+        best = f.set(f.fresh_reg("best"), 1e30)
+        besti = f.set(f.fresh_reg("besti"), -1)
+        with f.loop(0, "n", line=125) as i:
+            d = f.load("dist", index=i)
+            with f.if_then("lt", d, best):
+                f.set(best, d)
+                f.set(besti, i)
+        f.ret(besti)
+
+    with pb.function(
+        "find_distances", ["recs", "dist", "n", "tlat", "tlng"],
+        src_file="nn_openmp.c",
+    ) as f:
+        with f.loop(0, "n", line=119) as i:
+            # records are structs behind a pointer array (the real code
+            # parses hurricane records into heap structs): pointer
+            # indirection (F) plus a non-leaf helper call (R) statically
+            rec = f.load("recs", index=i, line=120)
+            d = f.call(
+                "euclid", [rec, "tlat", "tlng"], want_result=True, line=121
+            )
+            f.store("dist", d, index=i, line=121)
+        f.ret()
+
+    with pb.function("euclid", ["rec", "tlat", "tlng"],
+                     src_file="nn_openmp.c") as f:
+        la = f.load("rec", offset=0)
+        lo = f.load("rec", offset=1)
+        dla = f.fsub(la, "tlat")
+        dlo = f.fsub(lo, "tlng")
+        f.ret(f.fsqrt(f.fadd(f.fmul(dla, dla), f.fmul(dlo, dlo))))
+
+    program = pb.build()
+
+    def make_state() -> Tuple[Sequence, Memory]:
+        mem = Memory()
+        rng = Lcg(43)
+        recs = mem.alloc_array(
+            [
+                mem.alloc_array([90.0 * rng.next_float(),
+                                 180.0 * rng.next_float()])
+                for _ in range(nrecords)
+            ]
+        )
+        dist = mem.alloc(nrecords, init=0.0)
+        return (recs, dist, nrecords, 45.0, 90.0), mem
+
+    return ProgramSpec(
+        name="nn",
+        program=program,
+        make_state=make_state,
+        description="Rodinia nn: nearest neighbour scan",
+        region_funcs=("find_distances", "euclid"),
+        region_label="nn_openmp.c:119",
+        ld_src=1,
+    )
+
+
+@workload("nn")
+def nn_default() -> ProgramSpec:
+    return build_nn()

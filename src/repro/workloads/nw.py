@@ -1,0 +1,77 @@
+"""Rodinia ``nw``: Needleman-Wunsch sequence alignment.
+
+The score matrix is a 2-D dynamic program::
+
+    score[i][j] = max(score[i-1][j-1] + ref[i][j],
+                      score[i-1][j]   - penalty,
+                      score[i][j-1]   - penalty)
+
+Dependence distances (1,1), (1,0), (0,1): no loop is parallel as
+written, but the band is fully permutable, so tiling + skewed
+wavefront execution applies (Table 5: skew Y, TileD 2D, and 100%
+post-transformation %||ops).  Statically the region is
+interprocedural (the max is a helper call) with indirect reference
+scores (reasons R, F).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..isa import Memory, ProgramBuilder
+from ..pipeline import ProgramSpec
+from ._util import Lcg, workload
+
+
+def build_nw(n: int = 10, penalty: float = 1.0) -> ProgramSpec:
+    pb = ProgramBuilder("nw")
+    with pb.function(
+        "main", ["score", "ref", "n", "row"],
+        src_file="needle.cpp",
+    ) as f:
+        with f.loop(1, "n", line=308) as i:
+            with f.loop(1, "n", line=309) as j:
+                k = f.add(f.mul(i, "row"), j)
+                diag = f.load("score", index=f.sub(f.sub(k, "row"), 1), line=311)
+                up = f.load("score", index=f.sub(k, "row"), line=312)
+                left = f.load("score", index=f.sub(k, 1), line=313)
+                r = f.load("ref", index=k, line=314)
+                m = f.call(
+                    "maximum",
+                    [f.fadd(diag, r), f.fsub(up, penalty), f.fsub(left, penalty)],
+                    want_result=True,
+                    line=315,
+                )
+                f.store("score", m, index=k, line=315)
+        f.halt()
+
+    with pb.function("maximum", ["a", "b", "c"], src_file="needle.cpp") as f:
+        f.ret(f.fmax(f.fmax("a", "b"), "c"))
+
+    program = pb.build()
+
+    def make_state() -> Tuple[Sequence, Memory]:
+        mem = Memory()
+        rng = Lcg(29)
+        size = (n + 1) * (n + 1)
+        score = mem.alloc_array(
+            [-(i % (n + 1)) * 1.0 if i < n + 1 or i % (n + 1) == 0 else 0.0
+             for i in range(size)]
+        )
+        ref = mem.alloc_array([x * 10 - 5 for x in rng.floats(size)])
+        return (score, ref, n + 1, n + 1), mem
+
+    return ProgramSpec(
+        name="nw",
+        program=program,
+        make_state=make_state,
+        description="Rodinia nw: Needleman-Wunsch wavefront DP",
+        region_funcs=("main", "maximum"),
+        region_label="needle.cpp:308",
+        ld_src=4,   # the source is tiled by hand (4 loop levels)
+    )
+
+
+@workload("nw")
+def nw_default() -> ProgramSpec:
+    return build_nw()

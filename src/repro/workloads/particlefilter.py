@@ -1,0 +1,117 @@
+"""Rodinia ``particlefilter``: sequential Monte Carlo tracking.
+
+Each frame: propagate particles, compute likelihoods against the
+frame (indirect pixel accesses), normalize weights, then systematic
+resampling through ``findIndex`` -- a search loop whose result feeds a
+data-dependent gather.  The many small per-frame sweeps give the large
+component count of Table 5 (C=22 collapsing to 2 after fusion);
+resampling and the search give reasons C, F and the 27% %Aff.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..isa import Memory, ProgramBuilder
+from ..pipeline import ProgramSpec
+from ._util import Lcg, workload
+
+
+def build_particlefilter(
+    nparticles: int = 14, npixels: int = 17, frames: int = 2
+) -> ProgramSpec:
+    pb = ProgramBuilder("particlefilter")
+    with pb.function(
+        "main",
+        ["x", "w", "cdf", "xnew", "frame_px", "seeds", "np", "npx", "frames"],
+        src_file="ex_particle_seq.c",
+    ) as f:
+        with f.loop(0, "frames", line=590) as fr:
+            f.call(
+                "pf_step",
+                ["x", "w", "cdf", "xnew", "frame_px", "seeds", "np", "npx"],
+            )
+        f.halt()
+
+    with pb.function(
+        "pf_step",
+        ["x", "w", "cdf", "xnew", "frame_px", "seeds", "np", "npx"],
+        src_file="ex_particle_seq.c",
+    ) as f:
+        # 1. propagate with a cheap LCG noise (integer, deterministic)
+        with f.loop(0, "np", line=593) as i:
+            s = f.load("seeds", index=i)
+            s2 = f.mod(f.add(f.mul(s, 1103515245), 12345), 2147483647)
+            f.store("seeds", s2, index=i)
+            noise = f.fmul(0.001, f.itof(f.mod(s2, 100)))
+            f.store("x", f.fadd(f.load("x", index=i), noise), index=i)
+        # 2. likelihood: average intensity at particle-dependent pixels
+        with f.loop(0, "np", line=600) as i:
+            xi = f.load("x", index=i)
+            px = f.mod(f.ftoi(xi), "npx")       # data-dependent pixel
+            acc = f.set(f.fresh_reg("acc"), 0.0)
+            with f.loop(0, 3, line=603) as k:
+                p = f.load(
+                    "frame_px", index=f.mod(f.add(px, k), "npx"), line=604
+                )
+                f.fadd(acc, p, into=acc)
+            f.store("w", f.fmul(f.load("w", index=i), acc), index=i)
+        # 3. normalize
+        total = f.set(f.fresh_reg("total"), 0.0)
+        with f.loop(0, "np", line=610) as i:
+            f.fadd(total, f.load("w", index=i), into=total)
+        with f.loop(0, "np", line=612) as i:
+            f.store("w", f.fdiv(f.load("w", index=i), total), index=i)
+        # 4. cumulative distribution
+        run = f.set(f.fresh_reg("run"), 0.0)
+        with f.loop(0, "np", line=616) as i:
+            f.fadd(run, f.load("w", index=i), into=run)
+            f.store("cdf", run, index=i)
+        # 5. systematic resampling via findIndex (search with early out)
+        with f.loop(0, "np", line=620) as i:
+            u = f.fmul(f.fadd(f.itof(i), 0.5), f.fdiv(1.0, f.itof("np")))
+            j = f.call("find_index", ["cdf", "np", u], want_result=True)
+            f.store("xnew", f.load("x", index=j), index=i, line=623)
+        with f.loop(0, "np", line=625) as i:
+            f.store("x", f.load("xnew", index=i), index=i)
+            f.store("w", f.fdiv(1.0, f.itof("np")), index=i)
+        f.ret()
+
+    with pb.function("find_index", ["cdf", "np", "u"], src_file="ex_particle_seq.c") as f:
+        found = f.set(f.fresh_reg("found"), 0)
+        done = f.set(f.fresh_reg("done"), 0)
+        with f.loop(0, "np", line=575) as i:
+            c = f.load("cdf", index=i)
+            with f.if_then("eq", done, 0):
+                with f.if_then("ge", c, "u"):
+                    f.set(found, i)
+                    f.set(done, 1)
+        f.ret(found)
+
+    program = pb.build()
+
+    def make_state() -> Tuple[Sequence, Memory]:
+        mem = Memory()
+        rng = Lcg(67)
+        x = mem.alloc_array([float(rng.next_int(npixels)) for _ in range(nparticles)])
+        w = mem.alloc_array([1.0 / nparticles] * nparticles)
+        cdf = mem.alloc(nparticles, init=0.0)
+        xnew = mem.alloc(nparticles, init=0.0)
+        frame_px = mem.alloc_array([0.2 + x for x in rng.floats(npixels)])
+        seeds = mem.alloc_array([rng.next_int(10000) + 1 for _ in range(nparticles)])
+        return (x, w, cdf, xnew, frame_px, seeds, nparticles, npixels, frames), mem
+
+    return ProgramSpec(
+        name="particlefilter",
+        program=program,
+        make_state=make_state,
+        description="Rodinia particlefilter: SMC tracking step",
+        region_funcs=("pf_step", "find_index"),
+        region_label="*_seq.c:593",
+        ld_src=3,
+    )
+
+
+@workload("particlefilter")
+def particlefilter_default() -> ProgramSpec:
+    return build_particlefilter()

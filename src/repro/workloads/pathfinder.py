@@ -1,0 +1,81 @@
+"""Rodinia ``pathfinder``: dynamic programming over a grid.
+
+Each row's cost depends on the three nearest cells of the previous
+row -- a wavefront DP.  The Rodinia code double-buffers ``src``/``dst``
+and *swaps the base pointers* every row (Polly reason P: base pointer
+not loop invariant; plus B from the clamped neighbour bounds).
+Dynamically the swap makes the buffer accesses alternate between two
+bases, which is not affine in the row index -- hence Table 5's %Aff of
+67 (the ``wall`` reads stay affine).  The (t, j) band is tilable after
+skewing (skew Y), giving wavefront parallelism, but the skewed inner
+dimension is stride-hostile (%simdops 0).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..isa import Memory, ProgramBuilder
+from ..pipeline import ProgramSpec
+from ._util import Lcg, workload
+
+
+def build_pathfinder(rows: int = 20, cols: int = 12) -> ProgramSpec:
+    pb = ProgramBuilder("pathfinder")
+    with pb.function(
+        "main", ["wall", "buf_a", "buf_b", "rows", "cols"],
+        src_file="pathfinder.cpp",
+    ) as f:
+        # in-program data initialization (the paper instruments the
+        # full execution, so init sweeps are part of the profile)
+        total = f.mul("rows", "cols")
+        with f.loop(0, total, line=80) as i:
+            f.store("wall", f.fmul(0.37, f.itof(i)), index=i, line=81)
+        src = f.set(f.fresh_reg("src"), "buf_a")
+        dst = f.set(f.fresh_reg("dst"), "buf_b")
+        # first row initializes the DP
+        with f.loop(0, "cols", line=97) as j:
+            f.store(src, f.load("wall", index=j), index=j)
+        with f.loop(1, "rows", line=99) as t:
+            with f.loop(0, "cols", line=100) as j:
+                best = f.set(f.fresh_reg("best"), 0.0)
+                f.set(best, f.load(src, index=j, line=101))
+                with f.if_then("gt", j, 0):
+                    left = f.load(src, index=f.sub(j, 1), line=102)
+                    f.fmin(best, left, into=best)
+                with f.if_then("lt", j, f.sub("cols", 1)):
+                    right = f.load(src, index=f.add(j, 1), line=103)
+                    f.fmin(best, right, into=best)
+                w = f.load("wall", index=f.add(f.mul(t, "cols"), j), line=105)
+                f.store(dst, f.fadd(best, w), index=j, line=105)
+            # pointer swap: src/dst bases alternate every row
+            tmp = f.set(f.fresh_reg("tmp"), src)
+            f.set(src, dst)
+            f.set(dst, tmp)
+        f.halt()
+
+    program = pb.build()
+
+    def make_state() -> Tuple[Sequence, Memory]:
+        mem = Memory()
+        rng = Lcg(23)
+        wall = mem.alloc_array(rng.floats(rows * cols))
+        a = mem.alloc(cols, init=0.0)
+        b = mem.alloc(cols, init=0.0)
+        return (wall, a, b, rows, cols), mem
+
+    return ProgramSpec(
+        name="pathfinder",
+        program=program,
+        make_state=make_state,
+        description="Rodinia pathfinder: wavefront DP with pointer swap",
+        region_funcs=("main",),
+        region_label="pathfinder.cpp:99",
+        fusion_heuristic="M",
+        ld_src=2,
+    )
+
+
+@workload("pathfinder")
+def pathfinder_default() -> ProgramSpec:
+    return build_pathfinder()

@@ -1,0 +1,100 @@
+"""Rodinia ``streamcluster``: online k-median clustering.
+
+The ``pgain`` kernel evaluates, for a candidate center, the cost delta
+of opening it: for every point, a distance over all dimensions against
+its current center (loaded indirectly), plus data-dependent
+reassignment bookkeeping.  The paper's run *exhausted memory in the
+polyhedral scheduler* -- Table 5 shows no transformation columns for
+streamcluster.  We model that resource wall with the spec's
+``scheduler_stmt_budget``: the benchmark harness treats a region whose
+folded statement count exceeds the budget as "scheduler out of
+memory" and prints dashes, as the paper does.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..isa import Memory, ProgramBuilder
+from ..pipeline import ProgramSpec
+from ._util import Lcg, workload
+
+
+def build_streamcluster(
+    npoints: int = 10, ndims: int = 4, ncandidates: int = 3
+) -> ProgramSpec:
+    pb = ProgramBuilder("streamcluster")
+    with pb.function(
+        "main",
+        ["coords", "assign", "cost", "gains", "np", "nd", "ncand"],
+        src_file="streamcluster_omp.cpp",
+    ) as f:
+        with f.loop(0, "ncand", line=1269) as cand:
+            g = f.call(
+                "pgain", ["coords", "assign", "cost", cand, "np", "nd"],
+                want_result=True,
+            )
+            f.store("gains", g, index=cand)
+        f.halt()
+
+    with pb.function(
+        "pgain", ["coords", "assign", "cost", "cand", "np", "nd"],
+        src_file="streamcluster_omp.cpp",
+    ) as f:
+        gain = f.set(f.fresh_reg("gain"), 0.0)
+        with f.loop(0, "np", line=1272) as i:
+            # distance of point i to the candidate center
+            d = f.set(f.fresh_reg("d"), 0.0)
+            with f.loop(0, "nd", line=1275) as k:
+                xi = f.load("coords", index=f.add(f.mul(i, "nd"), k), line=1276)
+                xc = f.load(
+                    "coords", index=f.add(f.mul("cand", "nd"), k), line=1276
+                )
+                dd = f.fsub(xi, xc)
+                f.fadd(d, f.fmul(dd, dd), into=d)
+            # compare against the current assignment cost (indirect)
+            cur_center = f.load("assign", index=i, line=1280)
+            cur = f.set(f.fresh_reg("cur"), 0.0)
+            with f.loop(0, "nd", line=1282) as k:
+                xi = f.load("coords", index=f.add(f.mul(i, "nd"), k))
+                xc = f.load(
+                    "coords", index=f.add(f.mul(cur_center, "nd"), k)
+                )
+                dd = f.fsub(xi, xc)
+                f.fadd(cur, f.fmul(dd, dd), into=cur)
+            with f.if_then("lt", d, cur):
+                f.fadd(gain, f.fsub(cur, d), into=gain)
+                f.store("assign", "cand", index=i, line=1288)
+        f.ret(gain)
+
+    program = pb.build()
+
+    def make_state() -> Tuple[Sequence, Memory]:
+        mem = Memory()
+        rng = Lcg(79)
+        coords = mem.alloc_array(rng.floats(npoints * ndims))
+        # points arrive pre-clustered (as after a few pgain rounds):
+        # runs of consecutive points share a center
+        assign = mem.alloc_array(
+            [min(3 * (i // max(npoints // 3, 1)), npoints - 1)
+             for i in range(npoints)]
+        )
+        cost = mem.alloc(npoints, init=0.0)
+        gains = mem.alloc(ncandidates, init=0.0)
+        return (coords, assign, cost, gains, npoints, ndims, ncandidates), mem
+
+    return ProgramSpec(
+        name="streamcluster",
+        program=program,
+        make_state=make_state,
+        description="Rodinia streamcluster: pgain candidate evaluation",
+        region_funcs=("pgain",),
+        region_label="*_omp.cpp:1269",
+        ld_src=6,
+        scheduler_stmt_budget=10,   # emulates the paper's scheduler OOM
+    )
+
+
+@workload("streamcluster")
+def streamcluster_default() -> ProgramSpec:
+    return build_streamcluster()

@@ -1,0 +1,98 @@
+"""Dynamic CFG/CG reconstruction tests (Instrumentation I)."""
+
+import pytest
+
+from repro.cfg import ControlStructureBuilder
+from repro.isa import Memory, ProgramBuilder, run_program
+
+
+def reconstruct(program, args=(), memory=None):
+    csb = ControlStructureBuilder()
+    run_program(program, args=args, memory=memory, observers=[csb])
+    return csb
+
+
+class TestDynamicCFG:
+    def test_loop_edges_recovered(self):
+        pb = ProgramBuilder("t")
+        with pb.function("main", []) as f:
+            with f.loop(0, 3) as i:
+                f.add(i, 1)
+            f.halt()
+        csb = reconstruct(pb.build())
+        cfg = csb.cfgs["main"]
+        assert cfg.entry == "entry"
+        # header has both body and exit successors; body jumps back
+        headers = [b for b in cfg.nodes if "head" in b]
+        assert len(headers) == 1
+        h = headers[0]
+        assert len(cfg.successors(h)) == 2
+        assert h in {s for b in cfg.nodes for s in cfg.successors(b)}
+
+    def test_only_executed_edges_present(self):
+        """Dead branches never appear -- the paper's 'only the part of
+        a program that is actually executed will be analyzed'."""
+        pb = ProgramBuilder("t")
+        with pb.function("main", ["x"]) as f:
+            h = f.if_begin("lt", "x", 10)
+            f.add(1, 1)
+            f.if_else(h)
+            f.add(2, 2)   # dead for x < 10
+            f.if_end(h)
+            f.halt()
+        csb = reconstruct(pb.build(), args=[5])
+        cfg = csb.cfgs["main"]
+        elses = [b for b in cfg.nodes if b.startswith("else")]
+        assert not elses  # the else block never executed
+
+    def test_call_fallthrough_edge(self):
+        """The call-site block gets an intraprocedural edge to the
+        continuation block once the call returns."""
+        pb = ProgramBuilder("t")
+        with pb.function("main", []) as f:
+            f.call("leaf", [])
+            f.halt()
+        with pb.function("leaf", []) as f:
+            f.ret()
+        csb = reconstruct(pb.build())
+        cfg = csb.cfgs["main"]
+        assert ("entry", "cont1") in cfg.edges
+
+    def test_callgraph(self):
+        pb = ProgramBuilder("t")
+        with pb.function("main", []) as f:
+            f.call("a", [])
+            f.call("b", [])
+            f.halt()
+        with pb.function("a", []) as f:
+            f.call("b", [])
+            f.ret()
+        with pb.function("b", []) as f:
+            f.ret()
+        csb = reconstruct(pb.build())
+        cg = csb.callgraph
+        assert cg.root == "main"
+        assert set(cg.callees("main")) == {"a", "b"}
+        assert cg.callers("b") == ["a", "main"]
+        # call sites recorded per block
+        assert any(c[0] == "a" and c[2] == "b" for c in cg.call_sites)
+
+    def test_uncalled_function_absent(self):
+        pb = ProgramBuilder("t")
+        with pb.function("main", []) as f:
+            f.halt()
+        with pb.function("ghost", []) as f:
+            f.ret()
+        csb = reconstruct(pb.build())
+        assert "ghost" not in csb.cfgs
+        assert "ghost" not in csb.callgraph.nodes
+
+    def test_trace_recording(self):
+        pb = ProgramBuilder("t")
+        with pb.function("main", []) as f:
+            with f.loop(0, 2) as i:
+                f.add(i, 0)
+            f.halt()
+        csb = ControlStructureBuilder(record_trace=True)
+        run_program(pb.build(), observers=[csb])
+        assert len(csb.trace) > 4  # entry + header visits + exits

@@ -1,0 +1,214 @@
+"""Loop-event generation (Algorithms 1-2) on executed programs.
+
+These tests run real mini-ISA programs, reconstruct the control
+structure, replay the trace through the loop-event generator, and
+check the emitted event stream -- covering the paper's Fig. 3
+scenarios: loops across calls (Example 1) and recursion (Example 2).
+"""
+
+from repro.cfg import (
+    ControlStructureBuilder,
+    LoopEventGenerator,
+    build_loop_forest,
+    build_recursive_component_set,
+)
+from repro.isa import ProgramBuilder, run_program
+
+
+def trace_loop_events(program, args=(), memory=None):
+    csb = ControlStructureBuilder(record_trace=True)
+    run_program(program, args=args, memory=memory, observers=[csb])
+    forests = {
+        f: build_loop_forest(f, cfg.nodes, cfg.edges, cfg.entry)
+        for f, cfg in csb.cfgs.items()
+    }
+    rcs = build_recursive_component_set(
+        csb.callgraph.nodes, csb.callgraph.edges, csb.callgraph.root
+    )
+    gen = LoopEventGenerator(forests, rcs)
+    return list(gen.process_all(csb.trace)), forests, rcs
+
+
+def build_example1():
+    """Paper Fig. 3a: main calls A; A's loop calls B; B contains a loop."""
+    pb = ProgramBuilder("ex1")
+    with pb.function("main", []) as f:
+        f.call("A", [])
+        f.halt()
+    with pb.function("A", []) as f:
+        with f.loop(0, 2) as i:
+            f.call("B", [])
+        f.ret()
+    with pb.function("B", []) as f:
+        with f.loop(0, 3) as j:
+            f.add(j, 1)
+        f.ret()
+    return pb.build()
+
+
+def build_example2(depth=3):
+    """Paper Fig. 3f: main calls D (calls C), then B; B recurses and
+    calls C each activation."""
+    pb = ProgramBuilder("ex2")
+    with pb.function("main", []) as f:
+        f.call("D", [])
+        f.call("B", [0])
+        f.halt()
+    with pb.function("D", []) as f:
+        f.call("C", [])
+        f.ret()
+    with pb.function("C", []) as f:
+        f.add(1, 1)
+        f.ret()
+    with pb.function("B", ["n"]) as f:
+        f.call("C", [])
+        with f.if_then("lt", "n", depth - 1):
+            f.call("B", [f.add("n", 1)])
+        f.ret()
+    return pb.build()
+
+
+def kinds(events):
+    return [e.kind for e in events]
+
+
+class TestExample1:
+    def test_loop_structure_found(self):
+        _, forests, rcs = trace_loop_events(build_example1())
+        assert len(forests["A"].all_loops) == 1
+        assert len(forests["B"].all_loops) == 1
+        assert rcs.components == []  # no recursion
+
+    def test_event_kinds(self):
+        events, _, _ = trace_loop_events(build_example1())
+        ks = kinds(events)
+        assert ks.count("Ec") == 0       # no recursion anywhere
+        # A's loop entered once + B's loop entered on each of 2 calls
+        assert ks.count("E") == 3
+        assert ks.count("C") == 3        # main->A, A->B twice
+
+    def test_entry_iteration_exit_counts(self):
+        events, forests, _ = trace_loop_events(build_example1())
+        la = forests["A"].all_loops[0]
+        lb = forests["B"].all_loops[0]
+        per_loop = {}
+        for e in events:
+            if e.loop is not None:
+                per_loop.setdefault(e.loop.id, []).append(e.kind)
+        # A's loop: one execution; every back-edge jump to the header is
+        # an iteration event, including the final exit-test visit, so a
+        # 2-trip top-test loop yields E, I, I, X
+        assert per_loop[la.id].count("E") == 1
+        assert per_loop[la.id].count("I") == 2
+        assert per_loop[la.id].count("X") == 1
+        # B's loop: two executions, 3 trips each -> 2x (E, I, I, I, X)
+        assert per_loop[lb.id].count("E") == 2
+        assert per_loop[lb.id].count("I") == 6
+        assert per_loop[lb.id].count("X") == 2
+
+    def test_nesting_order_on_stack(self):
+        """B's loop events all happen while A's loop is live."""
+        events, forests, _ = trace_loop_events(build_example1())
+        la = forests["A"].all_loops[0]
+        lb = forests["B"].all_loops[0]
+        live = set()
+        for e in events:
+            if e.kind == "E":
+                live.add(e.loop.id)
+                if e.loop.id == lb.id:
+                    assert la.id in live
+            elif e.kind == "X":
+                live.discard(e.loop.id)
+
+
+class TestExample2:
+    def test_recursive_component_found(self):
+        _, _, rcs = trace_loop_events(build_example2())
+        assert len(rcs.components) == 1
+        c = rcs.components[0]
+        assert c.functions == {"B"}
+        assert c.entries == {"B"} and c.headers == {"B"}
+
+    def test_recursive_loop_events(self):
+        events, _, rcs = trace_loop_events(build_example2(depth=3))
+        ks = kinds(events)
+        # one entry (first call to B), two recursive calls -> 2 Ic,
+        # two matching returns -> 2 Ir, one final exit -> Xr
+        assert ks.count("Ec") == 1
+        assert ks.count("Ic") == 2
+        assert ks.count("Ir") == 2
+        assert ks.count("Xr") == 1
+
+    def test_non_component_calls_stay_plain(self):
+        events, _, _ = trace_loop_events(build_example2())
+        plain_calls = [e for e in events if e.kind == "C"]
+        # main->D, D->C, and C called from each of 3 B activations
+        assert len(plain_calls) == 2 + 3
+
+    def test_stack_balanced_at_end(self):
+        prog = build_example2()
+        csb = ControlStructureBuilder(record_trace=True)
+        run_program(prog, observers=[csb])
+        forests = {
+            f: build_loop_forest(f, cfg.nodes, cfg.edges, cfg.entry)
+            for f, cfg in csb.cfgs.items()
+        }
+        rcs = build_recursive_component_set(
+            csb.callgraph.nodes, csb.callgraph.edges, csb.callgraph.root
+        )
+        gen = LoopEventGenerator(forests, rcs)
+        list(gen.process_all(csb.trace))
+        assert gen.in_loops == []
+
+
+class TestMixedShapes:
+    def test_loop_in_recursive_function_reentered(self):
+        """A CFG loop inside a recursive function must be exited (X)
+        when the recursion iterates (Algorithm 2 lines 7-9)."""
+        pb = ProgramBuilder("t")
+        with pb.function("main", []) as f:
+            f.call("R", [0])
+            f.halt()
+        with pb.function("R", ["n"]) as f:
+            with f.loop(0, 2) as i:
+                f.add(i, 1)
+            with f.if_then("lt", "n", 2):
+                f.call("R", [f.add("n", 1)])
+            f.ret()
+        events, forests, rcs = trace_loop_events(pb.build())
+        lr = forests["R"].all_loops[0]
+        per = [e.kind for e in events if e.loop is not None and e.loop.id == lr.id]
+        # three activations each enter and exit the loop
+        assert per.count("E") == 3
+        assert per.count("X") == 3
+
+    def test_sequential_sibling_loops(self):
+        pb = ProgramBuilder("t")
+        with pb.function("main", []) as f:
+            with f.loop(0, 2) as i:
+                f.add(i, 0)
+            with f.loop(0, 3) as j:
+                f.add(j, 0)
+            f.halt()
+        events, forests, _ = trace_loop_events(pb.build())
+        assert len(forests["main"].all_loops) == 2
+        ks = kinds(events)
+        assert ks.count("E") == 2
+        assert ks.count("X") == 2
+
+    def test_nested_loop_inner_exited_on_outer_iteration(self):
+        """Algorithm 1 lines 3-4: starting a new outer iteration exits
+        live inner loops."""
+        pb = ProgramBuilder("t")
+        with pb.function("main", []) as f:
+            with f.loop(0, 2) as i:
+                with f.loop(0, 2) as j:
+                    f.add(i, j)
+            f.halt()
+        events, forests, _ = trace_loop_events(pb.build())
+        inner = forests["main"].max_depth
+        assert inner == 2
+        deep = [l for l in forests["main"].all_loops if l.depth == 2][0]
+        per = [e.kind for e in events if e.loop is not None and e.loop.id == deep.id]
+        assert per.count("E") == 2  # re-entered on each outer iteration
+        assert per.count("X") == 2

@@ -1,0 +1,133 @@
+"""Loop-nesting-forest tests, including the paper's Fig. 2 example."""
+
+from repro.cfg import build_loop_forest
+
+
+def forest(nodes, edges, entry):
+    return build_loop_forest("f", nodes, edges, entry)
+
+
+class TestFig2:
+    """Paper Fig. 2a/2b: CFG A->B->C<->D, D->B back-edge, B->E exit.
+
+    One SCC {B, C, D} gives loop L1 with header B; removing (D, B)
+    leaves the sub-SCC {C, D}, an *irreducible* loop L2 with entries
+    {C, D} of which C is selected header.
+    """
+
+    NODES = {"A", "B", "C", "D", "E"}
+    EDGES = {
+        ("A", "B"),
+        ("B", "C"),
+        ("B", "D"),   # makes D a second entry of the inner loop
+        ("C", "D"),
+        ("D", "C"),
+        ("D", "B"),   # back-edge of L1
+        ("B", "E"),
+    }
+
+    def test_two_nested_loops(self):
+        f = forest(self.NODES, self.EDGES, "A")
+        assert len(f.all_loops) == 2
+        assert len(f.roots) == 1
+
+    def test_outer_loop(self):
+        f = forest(self.NODES, self.EDGES, "A")
+        l1 = f.roots[0]
+        assert l1.header == "B"
+        assert l1.region == {"B", "C", "D"}
+        assert l1.back_edges == {("D", "B")}
+        assert l1.depth == 1
+
+    def test_inner_irreducible_loop(self):
+        f = forest(self.NODES, self.EDGES, "A")
+        l2 = f.roots[0].children[0]
+        assert l2.region == {"C", "D"}
+        assert l2.entries == {"C", "D"}  # two entries: irreducible
+        assert l2.header == "C"          # RPO-first entry, as in Fig. 2b
+        assert l2.depth == 2
+        assert l2.parent is f.roots[0]
+
+    def test_lookup_helpers(self):
+        f = forest(self.NODES, self.EDGES, "A")
+        assert f.loop_of_header("B").depth == 1
+        assert f.loop_of_header("C").depth == 2
+        assert f.loop_of_header("A") is None
+        assert f.innermost_containing("D").header == "C"
+        assert f.innermost_containing("B").header == "B"
+        assert f.innermost_containing("E") is None
+        assert f.max_depth == 2
+
+
+class TestBasicShapes:
+    def test_no_loops(self):
+        f = forest({"A", "B"}, {("A", "B")}, "A")
+        assert f.all_loops == []
+        assert f.max_depth == 0
+
+    def test_self_loop(self):
+        f = forest({"A", "B"}, {("A", "A"), ("A", "B")}, "A")
+        assert len(f.all_loops) == 1
+        lp = f.all_loops[0]
+        assert lp.header == "A"
+        assert lp.region == {"A"}
+        assert lp.back_edges == {("A", "A")}
+
+    def test_simple_while(self):
+        # entry -> head <-> body, head -> exit
+        f = forest(
+            {"entry", "head", "body", "exit"},
+            {("entry", "head"), ("head", "body"), ("body", "head"), ("head", "exit")},
+            "entry",
+        )
+        assert len(f.all_loops) == 1
+        lp = f.all_loops[0]
+        assert lp.header == "head"
+        assert lp.region == {"head", "body"}
+
+    def test_triple_nest_depths(self):
+        nodes = {"e", "h1", "h2", "h3", "b", "x"}
+        edges = {
+            ("e", "h1"),
+            ("h1", "h2"),
+            ("h2", "h3"),
+            ("h3", "b"),
+            ("b", "h3"),
+            ("h3", "h2"),
+            ("h2", "h1"),
+            ("h1", "x"),
+        }
+        f = forest(nodes, edges, "e")
+        assert f.max_depth == 3
+        assert f.loop_of_header("h1").depth == 1
+        assert f.loop_of_header("h2").depth == 2
+        assert f.loop_of_header("h3").depth == 3
+        assert f.loop_of_header("h3").parent is f.loop_of_header("h2")
+
+    def test_sequential_loops_are_siblings(self):
+        nodes = {"e", "h1", "b1", "m", "h2", "b2", "x"}
+        edges = {
+            ("e", "h1"),
+            ("h1", "b1"),
+            ("b1", "h1"),
+            ("h1", "m"),
+            ("m", "h2"),
+            ("h2", "b2"),
+            ("b2", "h2"),
+            ("h2", "x"),
+        }
+        f = forest(nodes, edges, "e")
+        assert len(f.roots) == 2
+        assert {l.header for l in f.roots} == {"h1", "h2"}
+        assert all(l.depth == 1 for l in f.roots)
+
+    def test_header_is_rpo_first_entry(self):
+        # diamond into a 2-entry loop: entries x and y, x first in RPO
+        nodes = {"e", "x", "y", "z"}
+        edges = {("e", "x"), ("e", "y"), ("x", "y"), ("y", "z"), ("z", "x")}
+        f = forest(nodes, edges, "e")
+        assert len(f.all_loops) == 1
+        lp = f.all_loops[0]
+        assert lp.region == {"x", "y", "z"}
+        assert lp.entries == {"x", "y"}
+        assert lp.header == "x"

@@ -1,0 +1,101 @@
+"""Recursive-component-set tests, including the paper's Fig. 2c/2d."""
+
+from repro.cfg import build_recursive_component_set
+
+
+class TestFig2d:
+    """Fig. 2c/2d: call graph with one recursive component.
+
+    The figure reports ``components = {L1}``, ``L1.entries = {B}``,
+    ``L1.headers = {B, C}``: the SCC is {B, C} entered through B; after
+    peeling header B the remaining cycle through C requires a second
+    header.  That shape needs B->C, C->B plus a second cycle C->C (or
+    an inner 2-cycle not through B); we use C->C.
+    """
+
+    NODES = {"M", "A", "B", "C", "E"}
+    EDGES = {
+        ("M", "A"),
+        ("A", "B"),
+        ("B", "C"),
+        ("C", "B"),
+        ("C", "C"),
+        ("B", "E"),
+    }
+
+    def test_single_component(self):
+        rcs = build_recursive_component_set(self.NODES, self.EDGES, "M")
+        assert len(rcs.components) == 1
+        c = rcs.components[0]
+        assert c.functions == {"B", "C"}
+
+    def test_entries_and_headers(self):
+        rcs = build_recursive_component_set(self.NODES, self.EDGES, "M")
+        c = rcs.components[0]
+        assert c.entries == {"B"}
+        assert c.headers == {"B", "C"}
+
+    def test_lookups(self):
+        rcs = build_recursive_component_set(self.NODES, self.EDGES, "M")
+        assert rcs.component_of("B") is rcs.components[0]
+        assert rcs.component_of("C") is rcs.components[0]
+        assert rcs.component_of("A") is None
+        assert rcs.is_entry("B") and not rcs.is_entry("C")
+        assert rcs.is_header("B") and rcs.is_header("C")
+        assert not rcs.is_header("A")
+
+
+class TestShapes:
+    def test_acyclic_cg_has_no_components(self):
+        rcs = build_recursive_component_set(
+            {"m", "f", "g"}, {("m", "f"), ("f", "g"), ("m", "g")}, "m"
+        )
+        assert rcs.components == []
+
+    def test_self_recursion(self):
+        rcs = build_recursive_component_set(
+            {"m", "b"}, {("m", "b"), ("b", "b")}, "m"
+        )
+        assert len(rcs.components) == 1
+        c = rcs.components[0]
+        assert c.functions == {"b"}
+        assert c.entries == {"b"}
+        assert c.headers == {"b"}
+
+    def test_mutual_recursion_single_header(self):
+        # even/odd: m -> even <-> odd; peeling 'even' leaves no cycle
+        rcs = build_recursive_component_set(
+            {"m", "even", "odd"},
+            {("m", "even"), ("even", "odd"), ("odd", "even")},
+            "m",
+        )
+        c = rcs.components[0]
+        assert c.functions == {"even", "odd"}
+        assert c.entries == {"even"}
+        assert c.headers == {"even"}
+
+    def test_two_disjoint_components(self):
+        rcs = build_recursive_component_set(
+            {"m", "a", "b"},
+            {("m", "a"), ("m", "b"), ("a", "a"), ("b", "b")},
+            "m",
+        )
+        assert len(rcs.components) == 2
+        assert {frozenset(c.functions) for c in rcs.components} == {
+            frozenset({"a"}),
+            frozenset({"b"}),
+        }
+
+    def test_component_entered_two_ways(self):
+        rcs = build_recursive_component_set(
+            {"m", "f", "g", "r"},
+            {("m", "f"), ("m", "g"), ("f", "r"), ("g", "r"), ("r", "r")},
+            "m",
+        )
+        c = rcs.components[0]
+        assert c.functions == {"r"}
+        assert c.entries == {"r"}
+
+    def test_is_cfg_flag(self):
+        rcs = build_recursive_component_set({"m", "b"}, {("m", "b"), ("b", "b")}, "m")
+        assert rcs.components[0].is_cfg is False

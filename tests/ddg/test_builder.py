@@ -1,0 +1,264 @@
+"""DDG construction tests, centred on the paper's Fig. 6 / Table 1.
+
+We profile the ``bpnn_layerforward`` pseudo-assembler kernel and check
+that the recorded (uncompressed) dependence streams have exactly the
+shape of Table 1: same-iteration register/memory dependences carried
+at distance (0,0) and the ``sum`` accumulation carried at (0,1).
+"""
+
+import pytest
+
+from repro.ddg import MEM_ANTI, MEM_FLOW, MEM_OUTPUT, REG_FLOW, RecordingSink
+from repro.isa import Memory, ProgramBuilder
+from repro.pipeline import ProgramSpec, profile_control, profile_ddg
+from repro.workloads.examples_paper import layerforward_kernel
+
+
+def profile(spec, **kw):
+    control = profile_control(spec)
+    ddg = profile_ddg(spec, control, **kw)
+    return control, ddg
+
+
+@pytest.fixture(scope="module")
+def layerforward():
+    spec = layerforward_kernel(n1=5, n2=4)  # scaled: 4 x 6 iterations
+    control, ddg = profile(spec)
+    return spec, control, ddg
+
+
+def find_uid(program, func, opcode, n=0):
+    """uid of the n-th instruction with the given opcode in a function."""
+    hits = [
+        ins.uid
+        for fn, bb, ins in program.all_instrs()
+        if fn.name == func and ins.opcode == opcode
+    ]
+    return sorted(hits)[n]
+
+
+class TestLayerforwardDeps:
+    def test_sum_accumulation_carried_at_distance_one(self, layerforward):
+        """Table 1, I4 -> I4: (cj, ck) depends on (cj, ck-1)."""
+        spec, control, ddg = layerforward
+        sink = ddg.sink
+        fadd = find_uid(spec.program, "bpnn_layerforward", "fadd")
+        pts = sink.deps_between(fadd, fadd, REG_FLOW)
+        assert pts  # the recurrence exists
+        for dst, src in pts:
+            assert len(dst) == 2 and len(src) == 2
+            assert src == (dst[0], dst[1] - 1)
+        # every iteration except ck = 0 consumes the previous one
+        dsts = sorted(d for d, _ in pts)
+        assert all(d[1] >= 1 for d in dsts)
+
+    def test_row_pointer_feeds_inner_load(self, layerforward):
+        """Table 1, I1 -> I2 at distance (0,0): tmp1 feeds load."""
+        spec, control, ddg = layerforward
+        sink = ddg.sink
+        # I1 = first load in the kernel (conn row pointer), I2 = second
+        l1_uid = find_uid(spec.program, "bpnn_layerforward", "load", 0)
+        # I2 reads tmp1 through an address add; the reg dep chain is
+        # I1 -> add -> I2, so check I1 feeds *something* same-iteration
+        consumers = [
+            (dep, pts)
+            for dep, pts in sink.deps.items()
+            if dep.src[0] == l1_uid and dep.kind == REG_FLOW
+        ]
+        assert consumers
+        for dep, pts in consumers:
+            for dst, src in pts:
+                assert dst == src  # same iteration
+
+    def test_memory_flow_into_squash_store(self, layerforward):
+        """I7 stores squash's result: a cross-function register chain."""
+        spec, control, ddg = layerforward
+        sink = ddg.sink
+        store_uid = find_uid(spec.program, "bpnn_layerforward", "store")
+        feeding = [
+            dep for dep in sink.deps if dep.dst[0] == store_uid and dep.kind == REG_FLOW
+        ]
+        assert feeding  # value flowed from the squash call's return
+
+
+class TestRegisterDeps:
+    def test_intra_block_chain(self):
+        pb = ProgramBuilder("t")
+        with pb.function("main", []) as f:
+            a = f.add(1, 2)
+            b = f.add(a, 3)
+            f.ret(b)
+        spec = ProgramSpec("t", pb.build(), lambda: ((), Memory()))
+        _, ddg = profile(spec)
+        sink = ddg.sink
+        assert len(sink.deps) == 1
+        dep = next(iter(sink.deps))
+        assert dep.kind == REG_FLOW
+
+    def test_arguments_thread_through_calls(self):
+        pb = ProgramBuilder("t")
+        with pb.function("main", []) as f:
+            x = f.add(20, 22)
+            r = f.call("id", [x], want_result=True)
+            f.ret(f.add(r, 0))
+        with pb.function("id", ["v"]) as f:
+            f.ret(f.add("v", 0))
+        spec = ProgramSpec("t", pb.build(), lambda: ((), Memory()))
+        _, ddg = profile(spec)
+        sink = ddg.sink
+        prog = spec.program
+        producer = find_uid(prog, "main", "add", 0)
+        callee_use = find_uid(prog, "id", "add", 0)
+        assert sink.deps_between(producer, callee_use, REG_FLOW)
+
+    def test_return_value_threads_back(self):
+        pb = ProgramBuilder("t")
+        with pb.function("main", []) as f:
+            r = f.call("mk", [], want_result=True)
+            f.ret(f.add(r, 1))
+        with pb.function("mk", []) as f:
+            f.ret(f.add(2, 3))
+        spec = ProgramSpec("t", pb.build(), lambda: ((), Memory()))
+        _, ddg = profile(spec)
+        prog = spec.program
+        producer = find_uid(prog, "mk", "add", 0)
+        consumer = find_uid(prog, "main", "add", 0)
+        assert ddg.sink.deps_between(producer, consumer, REG_FLOW)
+
+
+class TestMemoryDeps:
+    def make_spec(self, body, nwords=8):
+        pb = ProgramBuilder("t")
+        with pb.function("main", ["A"]) as f:
+            body(f)
+            f.halt()
+
+        def state():
+            mem = Memory()
+            base = mem.alloc(nwords)
+            return (base,), mem
+
+        return ProgramSpec("t", pb.build(), state)
+
+    def test_raw(self):
+        def body(f):
+            f.store("A", 42, index=0)
+            f.load("A", index=0)
+
+        spec = self.make_spec(body)
+        _, ddg = profile(spec)
+        flows = [d for d in ddg.sink.deps if d.kind == MEM_FLOW]
+        assert len(flows) == 1
+
+    def test_waw(self):
+        def body(f):
+            f.store("A", 1, index=0)
+            f.store("A", 2, index=0)
+
+        spec = self.make_spec(body)
+        _, ddg = profile(spec)
+        outs = [d for d in ddg.sink.deps if d.kind == MEM_OUTPUT]
+        assert len(outs) == 1
+
+    def test_war(self):
+        def body(f):
+            f.store("A", 1, index=0)
+            f.load("A", index=0)
+            f.store("A", 2, index=0)
+
+        spec = self.make_spec(body)
+        _, ddg = profile(spec)
+        antis = [d for d in ddg.sink.deps if d.kind == MEM_ANTI]
+        assert len(antis) == 1
+
+    def test_no_false_sharing_across_addresses(self):
+        def body(f):
+            f.store("A", 1, index=0)
+            f.load("A", index=1)
+
+        spec = self.make_spec(body)
+        _, ddg = profile(spec)
+        assert not [d for d in ddg.sink.deps if d.kind == MEM_FLOW]
+
+    def test_loop_carried_stencil_distance(self):
+        # A[i] = A[i-1]: flow dep at distance 1
+        def body(f):
+            with f.loop(1, 6) as i:
+                v = f.load("A", index=f.sub(i, 1))
+                f.store("A", v, index=i)
+
+        spec = self.make_spec(body)
+        _, ddg = profile(spec)
+        sink = ddg.sink
+        store_uid = find_uid(spec.program, "main", "store")
+        load_uid = find_uid(spec.program, "main", "load")
+        pts = sink.deps_between(store_uid, load_uid, MEM_FLOW)
+        assert pts
+        for dst, src in pts:
+            assert dst[0] - src[0] == 1
+
+    def test_anti_output_tracking_can_be_disabled(self):
+        def body(f):
+            f.store("A", 1, index=0)
+            f.load("A", index=0)
+            f.store("A", 2, index=0)
+
+        spec = self.make_spec(body)
+        control = profile_control(spec)
+        ddg = profile_ddg(spec, control, track_anti_output=False)
+        kinds = {d.kind for d in ddg.sink.deps}
+        assert MEM_ANTI not in kinds and MEM_OUTPUT not in kinds
+        assert MEM_FLOW in kinds
+
+
+class TestStatementsAndDomains:
+    def test_statement_contexts_distinguish_call_paths(self):
+        pb = ProgramBuilder("t")
+        with pb.function("main", []) as f:
+            f.call("leaf", [])
+            f.call("leaf", [])
+            f.halt()
+        with pb.function("leaf", []) as f:
+            f.add(1, 1)
+            f.ret()
+        spec = ProgramSpec("t", pb.build(), lambda: ((), Memory()))
+        _, ddg = profile(spec)
+        sink = ddg.sink
+        uid = find_uid(spec.program, "leaf", "add")
+        stmts = [s for k, s in sink.statements.items() if k[0] == uid]
+        assert len(stmts) == 2  # two calling contexts
+
+    def test_recursive_contexts_fold_to_one_statement(self):
+        pb = ProgramBuilder("t")
+        with pb.function("main", []) as f:
+            f.call("R", [0])
+            f.halt()
+        with pb.function("R", ["n"]) as f:
+            f.add("n", 100)
+            with f.if_then("lt", "n", 5):
+                f.call("R", [f.add("n", 1)])
+            f.ret()
+        spec = ProgramSpec("t", pb.build(), lambda: ((), Memory()))
+        _, ddg = profile(spec)
+        sink = ddg.sink
+        uid = find_uid(spec.program, "R", "add", 0)
+        stmts = [s for k, s in sink.statements.items() if k[0] == uid]
+        assert len(stmts) == 1  # recursion folds: one context
+        pts = sink.dynamic_instances(uid)
+        coords = sorted(c for c, _ in pts)
+        assert coords == [(0,), (1,), (2,), (3,), (4,), (5,)]
+
+    def test_domain_points_of_2d_nest(self, layerforward):
+        spec, control, ddg = layerforward
+        fadd = find_uid(spec.program, "bpnn_layerforward", "fadd")
+        pts = ddg.sink.dynamic_instances(fadd)
+        coords = sorted(c for c, _ in pts)
+        # n2=4 -> 4 j-iterations; n1=5 -> 6 k-iterations
+        assert coords == [(j, k) for j in range(4) for k in range(6)]
+
+    def test_labels_memory_addresses(self, layerforward):
+        spec, control, ddg = layerforward
+        l3 = find_uid(spec.program, "bpnn_layerforward", "load", 0)
+        pts = ddg.sink.dynamic_instances(l3)
+        for coords, label in pts:
+            assert len(label) == 1  # an address

@@ -1,0 +1,63 @@
+"""Shadow-memory unit tests."""
+
+import pytest
+
+from repro.ddg import ShadowMemory
+
+
+def ref(uid, *coords):
+    return ((uid, 0), tuple(coords))
+
+
+class TestShadowMemory:
+    def test_read_before_write_has_no_producer(self):
+        sm = ShadowMemory()
+        assert sm.on_read(100, ref(1, 0)) is None
+
+    def test_raw_chain(self):
+        sm = ShadowMemory()
+        w = ref(1, 0)
+        sm.on_write(100, w)
+        assert sm.on_read(100, ref(2, 0)) == w
+        assert sm.on_read(100, ref(2, 1)) == w  # both reads see the write
+
+    def test_waw_returns_previous_writer(self):
+        sm = ShadowMemory()
+        w1, w2 = ref(1, 0), ref(1, 1)
+        sm.on_write(100, w1)
+        prev, readers = sm.on_write(100, w2)
+        assert prev == w1
+        assert readers == []
+
+    def test_war_collects_readers_since_write(self):
+        sm = ShadowMemory()
+        sm.on_write(100, ref(1, 0))
+        r1, r2 = ref(2, 0), ref(3, 0)
+        sm.on_read(100, r1)
+        sm.on_read(100, r2)
+        prev, readers = sm.on_write(100, ref(1, 1))
+        assert readers == [r1, r2]
+        # the next write sees no stale readers
+        _, readers2 = sm.on_write(100, ref(1, 2))
+        assert readers2 == []
+
+    def test_addresses_independent(self):
+        sm = ShadowMemory()
+        sm.on_write(100, ref(1, 0))
+        assert sm.on_read(101, ref(2, 0)) is None
+
+    def test_reads_without_write_not_tracked(self):
+        """Readers of never-written locations create no WAR bookkeeping
+        (there is no value to protect)."""
+        sm = ShadowMemory()
+        sm.on_read(100, ref(2, 0))
+        sm.on_write(100, ref(1, 0))
+        _, readers = sm.on_write(100, ref(1, 1))
+        assert readers == []
+
+    def test_touched_words(self):
+        sm = ShadowMemory()
+        sm.on_write(1, ref(1, 0))
+        sm.on_write(2, ref(1, 1))
+        sm.on_write(1, ref(1, 2))
+        assert sm.touched_words == 2

@@ -1,0 +1,49 @@
+"""Automatic region-selection tests."""
+
+import pytest
+
+from repro.feedback.regions import suggest_region, suggest_regions
+from repro.pipeline import analyze
+from repro.workloads import rodinia_workloads
+from repro.workloads.backprop import build_backprop
+
+
+class TestSuggestRegion:
+    @pytest.fixture(scope="class")
+    def backprop(self):
+        return analyze(build_backprop())
+
+    def test_picks_a_kernel_not_nothing(self, backprop):
+        cand = suggest_region(backprop)
+        assert cand is not None
+        assert cand.transformable_ops > 0
+
+    def test_candidates_ranked(self, backprop):
+        cands = suggest_regions(backprop, top=5)
+        scores = [c.score for c in cands]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_region_funcs_form_closure(self, backprop):
+        cand = suggest_region(backprop)
+        # squash is called from layerforward: a region containing the
+        # latter must contain the former
+        if "bpnn_layerforward" in cand.funcs:
+            assert "squash" in cand.funcs
+
+    def test_agrees_with_hand_selection_on_suite(self):
+        """For most benchmarks the automatic pick covers the workload's
+        hand-annotated kernel functions (the paper's by-hand choice)."""
+        hits = 0
+        total = 0
+        for name in ("backprop", "srad_v1", "hotspot", "nw", "kmeans"):
+            spec = rodinia_workloads()[name]()
+            result = analyze(spec)
+            cand = suggest_region(result)
+            total += 1
+            if cand and set(spec.region_funcs) & set(cand.funcs):
+                hits += 1
+        assert hits >= total - 1
+
+    def test_transformable_never_exceeds_ops(self, backprop):
+        for cand in suggest_regions(backprop, top=10):
+            assert 0 <= cand.transformable_ops <= cand.ops

@@ -1,0 +1,117 @@
+"""Report / AST rendering edge-case tests."""
+
+import pytest
+
+from repro.feedback import nest_report, render_report
+from repro.feedback.report import loop_src_line
+from repro.isa import Memory, ProgramBuilder
+from repro.pipeline import ProgramSpec, analyze
+from repro.schedule import plan_nest, render_ast
+
+
+@pytest.fixture(scope="module")
+def result():
+    pb = ProgramBuilder("t")
+    with pb.function("main", ["A", "B"]) as f:
+        with f.loop(0, 6, line=100) as i:
+            with f.loop(0, 6, line=101) as j:
+                idx = f.add(f.mul(i, 6), j)
+                f.store("B", f.load("A", index=idx, line=102), index=idx,
+                        line=102)
+        with f.loop(0, 4, line=200) as i:
+            f.store("B", 0.0, index=i, line=201)
+        f.halt()
+
+    def state():
+        mem = Memory()
+        return (mem.alloc_array([1.0] * 36), mem.alloc(36, 0.0)), mem
+
+    return analyze(ProgramSpec("t", pb.build(), state))
+
+
+class TestLoopSrcLine:
+    def test_line_recovered_from_debug_info(self, result):
+        deep = [n for n in result.forest.walk() if n.depth == 2][0]
+        # min over the nest's instructions: the loop's own induction
+        # update (line 101) or the body accesses (line 102)
+        assert loop_src_line(result.forest, deep) in (101, 102)
+
+    def test_outer_includes_inner_lines(self, result):
+        outer = [
+            n for n in result.forest.walk()
+            if n.depth == 1 and n.children
+        ][0]
+        # min over the whole region: the innermost access line
+        assert loop_src_line(result.forest, outer) == 100 or \
+            loop_src_line(result.forest, outer) == 102
+
+
+class TestNestReport:
+    def test_dims_ordered_outer_first(self, result):
+        leaf = [n for n in result.forest.walk() if n.depth == 2][0]
+        plan = plan_nest(result.forest, leaf, [1.0, 1.0])
+        rep = nest_report(result.forest, leaf, plan)
+        assert len(rep.dims) == 2
+        assert rep.ops == leaf.ops_total
+
+    def test_flags(self, result):
+        leaf = [n for n in result.forest.walk() if n.depth == 2][0]
+        plan = plan_nest(result.forest, leaf, [1.0, 1.0])
+        rep = nest_report(result.forest, leaf, plan)
+        assert rep.simd_suggested() == plan.simd
+        assert rep.tile_suggested() == (plan.tile_dims >= 2)
+
+
+class TestRenderReport:
+    def test_top_limits_output(self, result):
+        full = render_report(result.forest, result.plans, top=10)
+        one = render_report(result.forest, result.plans, top=1)
+        assert full.count("nest ") > one.count("nest ")
+
+    def test_hot_nest_listed_first(self, result):
+        text = render_report(result.forest, result.plans)
+        first = text.index("main:L")
+        assert "ops" in text[first:first + 120]
+
+    def test_no_transformation_case(self):
+        pb = ProgramBuilder("t")
+        with pb.function("main", ["A"]) as f:
+            # a 1-D sequential pointer-chase: nothing to suggest
+            cur = f.set(f.fresh_reg("p"), "A")
+            w = f.while_begin()
+            nxt = f.load(cur, offset=0)
+            f.while_cond(w, "ne", nxt, 0)
+            f.set(cur, nxt)
+            f.while_end(w)
+            f.halt()
+
+        def state():
+            mem = Memory()
+            c = mem.alloc_array([0])
+            b = mem.alloc_array([c])
+            a = mem.alloc_array([b])
+            return (a,), mem
+
+        r = analyze(ProgramSpec("chase", pb.build(), state))
+        text = render_report(r.forest, r.plans)
+        assert "nest" in text  # still reported, possibly without steps
+
+
+class TestRenderAst:
+    def test_structure_and_annotations(self, result):
+        out = render_ast(result.forest, result.plans)
+        assert out.count("for ") >= 3
+        assert "ops=" in out
+        assert "[parallel" in out or "parallel" in out
+
+    def test_statement_summaries(self, result):
+        out = render_ast(result.forest, result.plans, show_stmts=True)
+        assert "mem refs" in out
+        bare = render_ast(result.forest, result.plans, show_stmts=False)
+        assert "mem refs" not in bare
+
+    def test_indentation_reflects_nesting(self, result):
+        out = render_ast(result.forest, [])
+        lines = [l for l in out.splitlines() if "for" in l]
+        depths = [len(l) - len(l.lstrip()) for l in lines]
+        assert max(depths) > min(depths)

@@ -1,0 +1,48 @@
+"""Clamping tests (Fig. 1's "relevance scalability clamping" knob)."""
+
+import pytest
+
+from repro.folding import FoldingSink
+from repro.pipeline import profile_control, profile_ddg
+from repro.workloads.examples_paper import layerforward_kernel
+
+
+def run(clamp):
+    spec = layerforward_kernel(n1=20, n2=10)
+    control = profile_control(spec)
+    sink = FoldingSink(clamp=clamp)
+    profile_ddg(spec, control, sink=sink)
+    return sink, sink.finalize()
+
+
+class TestClamping:
+    def test_disabled_by_default(self):
+        sink, folded = run(clamp=None)
+        assert sink.clamped_points == 0
+        assert folded.affine_ops() == folded.dyn_ops()
+
+    def test_counts_stay_honest(self):
+        full_sink, full = run(clamp=None)
+        sink, folded = run(clamp=16)
+        assert sink.clamped_points > 0
+        # dynamic tallies unchanged: clamping drops detail, not ops
+        assert folded.dyn_ops() == full.dyn_ops()
+
+    def test_clamped_streams_marked_inexact(self):
+        sink, folded = run(clamp=16)
+        big = [fs for fs in folded.statements.values() if fs.count > 16]
+        assert big
+        assert all(not fs.exact for fs in big)
+        small = [fs for fs in folded.statements.values() if fs.count <= 16]
+        assert any(fs.exact for fs in small)
+
+    def test_clamped_deps_conservative(self):
+        sink, folded = run(clamp=16)
+        clamped = [d for d in folded.deps.values() if d.count > 17]
+        assert clamped
+        assert all(d.relation is None for d in clamped)
+
+    def test_affinity_degrades_gracefully(self):
+        _, folded = run(clamp=16)
+        aff = folded.affine_ops() / folded.dyn_ops()
+        assert 0.0 <= aff < 1.0

@@ -1,0 +1,144 @@
+"""Domain folder tests: exact trapezoids, splits, over-approximation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.folding import DomainFolder
+
+
+def fold_points(points, dim, max_pieces=6):
+    f = DomainFolder(dim)
+    for p in points:
+        f.add(p)
+    return f.fold(max_pieces)
+
+
+class TestExactShapes:
+    def test_box(self):
+        pts = [(i, j) for i in range(4) for j in range(3)]
+        dom, exact = fold_points(pts, 2)
+        assert exact
+        assert dom.card() == 12
+        assert all(dom.contains(p) for p in pts)
+
+    def test_triangle(self):
+        pts = [(i, j) for i in range(5) for j in range(i + 1)]
+        dom, exact = fold_points(pts, 2)
+        assert exact
+        assert len(dom.pieces) == 1
+        assert dom.card() == 15
+        assert dom.contains((4, 4)) and not dom.contains((2, 3))
+
+    def test_single_point(self):
+        dom, exact = fold_points([(7, 8)], 2)
+        assert exact and dom.card() == 1
+
+    def test_zero_dim(self):
+        dom, exact = fold_points([()], 0)
+        assert exact and dom.card() == 1
+
+    def test_1d_range(self):
+        dom, exact = fold_points([(i,) for i in range(3, 9)], 1)
+        assert exact
+        assert dom.card() == 6
+        assert dom.contains((3,)) and dom.contains((8,))
+        assert not dom.contains((9,))
+
+    def test_3d_prism(self):
+        pts = [
+            (i, j, k)
+            for i in range(3)
+            for j in range(i + 1)
+            for k in range(2)
+        ]
+        dom, exact = fold_points(pts, 3)
+        assert exact
+        assert dom.card() == len(pts)
+
+    def test_shifted_bounds(self):
+        # j from i to i+2: affine lower AND upper bounds
+        pts = [(i, j) for i in range(4) for j in range(i, i + 3)]
+        dom, exact = fold_points(pts, 2)
+        assert exact
+        assert len(dom.pieces) == 1
+        assert dom.card() == 12
+
+    def test_empty(self):
+        dom, exact = fold_points([], 2)
+        assert exact and dom.is_empty()
+
+
+class TestSplitting:
+    def test_piecewise_inner_bound(self):
+        # inner trip count jumps at i == 3: two exact pieces
+        pts = [(i, j) for i in range(6) for j in range(3 if i < 3 else 7)]
+        dom, exact = fold_points(pts, 2)
+        assert exact
+        assert len(dom.pieces) == 2
+        assert dom.card() == 3 * 3 + 3 * 7
+
+    def test_too_many_pieces_over_approximates(self):
+        # inner bound oscillates: not piecewise-affine in <= 2 pieces
+        pts = [(i, j) for i in range(8) for j in range((i * 37 % 5) + 1)]
+        dom, exact = fold_points(pts, 2, max_pieces=2)
+        assert not exact
+        # over-approximation is a superset
+        assert all(dom.contains(p) for p in pts)
+
+
+class TestOverApproximation:
+    def test_holes_flagged(self):
+        pts = [(i,) for i in range(0, 10, 2)]  # stride-2: holes
+        dom, exact = fold_points(pts, 1)
+        assert not exact
+        assert all(dom.contains(p) for p in pts)
+
+    def test_duplicate_points_flagged(self):
+        f = DomainFolder(1)
+        f.add((0,))
+        f.add((0,))
+        f.add((1,))
+        dom, exact = f.fold()
+        assert not exact  # count mismatch reveals re-execution
+        assert f.count == 3
+
+    def test_data_dependent_bound(self):
+        # "random" inner bounds: bounding box, never exact
+        import random
+
+        rng = random.Random(7)
+        pts = []
+        for i in range(6):
+            for j in range(rng.randint(1, 5)):
+                pts.append((i, j))
+        dom, exact = fold_points(pts, 2, max_pieces=2)
+        assert all(dom.contains(p) for p in pts)
+
+
+class TestProperties:
+    @given(
+        n=st.integers(1, 6),
+        m=st.integers(1, 6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_rectangles_always_exact(self, n, m):
+        pts = [(i, j) for i in range(n) for j in range(m)]
+        dom, exact = fold_points(pts, 2)
+        assert exact and dom.card() == n * m
+
+    @given(
+        pts=st.sets(
+            st.tuples(st.integers(0, 6), st.integers(0, 6)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_soundness_fold_is_superset(self, pts):
+        """The folded domain always contains every observed point, and
+        when flagged exact it contains nothing else."""
+        dom, exact = fold_points(sorted(pts), 2)
+        for p in pts:
+            assert dom.contains(p)
+        if exact:
+            assert dom.card() == len(pts)

@@ -1,0 +1,152 @@
+"""Unit + property tests for the incremental affine fitter."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.folding import IncrementalAffineFitter, VectorAffineFitter
+from repro.poly import AffineExpr
+
+
+class TestIncrementalFitter:
+    def test_exact_line(self):
+        f = IncrementalAffineFitter(1)
+        for x in range(10):
+            f.add((x,), 3 * x + 7)
+        assert f.result() == AffineExpr((3,), 7)
+
+    def test_plane(self):
+        f = IncrementalAffineFitter(2)
+        for i in range(4):
+            for j in range(4):
+                f.add((i, j), 5 * i - 2 * j + 1)
+        assert f.result() == AffineExpr((5, -2), 1)
+
+    def test_non_affine_fails(self):
+        f = IncrementalAffineFitter(1)
+        for x in range(5):
+            f.add((x,), x * x)
+        assert f.result() is None
+        assert f.failed
+
+    def test_late_violation_fails(self):
+        f = IncrementalAffineFitter(1)
+        for x in range(100):
+            f.add((x,), x)
+        f.add((100,), 0)
+        assert f.result() is None
+
+    def test_short_stream_still_fits(self):
+        f = IncrementalAffineFitter(2)
+        f.add((0, 0), 5)
+        e = f.result()
+        assert e is not None and e((0, 0)) == 5
+
+    def test_degenerate_stream_single_column(self):
+        # all points share i = 3: fit is underdetermined but verified
+        f = IncrementalAffineFitter(2)
+        for j in range(5):
+            f.add((3, j), 2 * j)
+        e = f.result()
+        assert e is not None
+        for j in range(5):
+            assert e((3, j)) == 2 * j
+
+    def test_rational_fit(self):
+        f = IncrementalAffineFitter(1)
+        for x in range(0, 10, 2):
+            f.add((x,), x // 2)
+        assert f.result() == AffineExpr((1,), 0, 2)
+
+    def test_constant_stream(self):
+        # degenerate sample (all points on a line): any verified
+        # interpolant is acceptable; it must match every point
+        f = IncrementalAffineFitter(3)
+        for i in range(3):
+            f.add((i, i + 1, 2 * i), 9)
+        e = f.result()
+        assert e is not None
+        for i in range(3):
+            assert e((i, i + 1, 2 * i)) == 9
+
+    def test_truly_constant_stream(self):
+        f = IncrementalAffineFitter(2)
+        for i in range(3):
+            for j in range(3):
+                f.add((i, j), 9)
+        e = f.result()
+        assert e is not None and e.is_constant()
+
+    def test_failed_stays_failed(self):
+        f = IncrementalAffineFitter(1)
+        f.add((0,), 0)
+        f.add((1,), 1)
+        f.add((2,), 5)
+        f.add((3,), 3)  # would fit x again, but stream already failed
+        assert f.result() is None
+
+    @given(
+        a=st.integers(-20, 20),
+        b=st.integers(-20, 20),
+        c=st.integers(-50, 50),
+        pts=st.lists(
+            st.tuples(st.integers(-30, 30), st.integers(-30, 30)),
+            min_size=1,
+            max_size=30,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_recovers_any_affine_function(self, a, b, c, pts):
+        f = IncrementalAffineFitter(2)
+        for (x, y) in pts:
+            f.add((x, y), a * x + b * y + c)
+        e = f.result()
+        assert e is not None
+        for (x, y) in pts:
+            assert e((x, y)) == a * x + b * y + c
+
+    @given(
+        pts=st.lists(
+            st.tuples(st.integers(0, 10), st.integers(-100, 100)),
+            min_size=2,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_result_matches_all_points_or_none(self, pts):
+        f = IncrementalAffineFitter(1)
+        for x, v in pts:
+            f.add((x,), v)
+        e = f.result()
+        if e is not None:
+            for x, v in pts:
+                assert e((x,)) == v
+        else:
+            # verify a genuine conflict exists (same x, different v, or
+            # three non-collinear samples)
+            assert len({x for x, _ in pts}) >= 2 or len(
+                {v for _, v in pts}
+            ) > 1
+
+
+class TestVectorFitter:
+    def test_vector_fit(self):
+        f = VectorAffineFitter(2, 2)
+        for i in range(3):
+            for j in range(3):
+                f.add((i, j), (i, j - 1))
+        rs = f.result()
+        assert rs is not None
+        assert rs[0] == AffineExpr((1, 0), 0)
+        assert rs[1] == AffineExpr((0, 1), -1)
+
+    def test_one_bad_component_fails_all(self):
+        f = VectorAffineFitter(1, 2)
+        for x in range(4):
+            f.add((x,), (x, x * x))
+        assert f.result() is None
+
+    def test_arity_mismatch_fails(self):
+        f = VectorAffineFitter(1, 2)
+        f.add((0,), (1, 2))
+        f.add((1,), (1,))
+        assert f.result() is None

@@ -1,0 +1,196 @@
+"""End-to-end folding tests reproducing the paper's Table 2.
+
+The ``bpnn_layerforward`` kernel of Fig. 6 is profiled with the exact
+bounds of the paper (``0 <= cj < 15``, ``0 <= ck < 42``) and the folded
+output is checked against Table 2:
+
+=========  =======================  =============================
+dep        polyhedron               label expression
+=========  =======================  =============================
+I1 -> I2   0<=cj<15, 0<=ck<42       cj' = cj, ck' = ck
+I2 -> I4   0<=cj<15, 0<=ck<42       cj' = cj, ck' = ck
+I4 -> I4   0<=cj<15, 1<=ck<42       cj' = cj, ck' = ck - 1
+=========  =======================  =============================
+
+(in our lowering the I1 -> I2 address flow goes through an explicit
+address ``add``, which SCEV recognition then removes, and I2 -> I4
+through the ``fmul`` -- the checks below follow those chains).
+"""
+
+import pytest
+
+from repro.ddg import REG_FLOW
+from repro.folding import FoldingSink
+from repro.pipeline import profile_control, profile_ddg
+from repro.poly import AffineExpr
+from repro.workloads.examples_paper import layerforward_kernel
+
+
+@pytest.fixture(scope="module")
+def folded():
+    spec = layerforward_kernel(n1=41, n2=15)  # Table 2's exact bounds
+    control = profile_control(spec)
+    sink = FoldingSink()
+    profile_ddg(spec, control, sink=sink)
+    return spec, sink.finalize()
+
+
+def uid_of(program, func, opcode, n=0):
+    hits = sorted(
+        ins.uid
+        for fn, bb, ins in program.all_instrs()
+        if fn.name == func and ins.opcode == opcode
+    )
+    return hits[n]
+
+
+class TestTable2:
+    def test_i4_i4_recurrence(self, folded):
+        """Row 3 of Table 2: the sum recurrence."""
+        spec, ddg = folded
+        fadd = uid_of(spec.program, "bpnn_layerforward", "fadd")
+        deps = ddg.deps_between_uids(fadd, fadd, REG_FLOW)
+        assert len(deps) == 1
+        dep = deps[0]
+        assert dep.exact
+        # domain: 0 <= cj < 15, 1 <= ck < 42
+        dom = dep.domain
+        assert dom.card() == 15 * 41
+        assert dom.contains((0, 1)) and dom.contains((14, 41))
+        assert not dom.contains((0, 0))       # first iteration has no source
+        assert not dom.contains((15, 1))
+        # relation: (cj, ck) -> (cj, ck - 1)
+        fn = dep.relation.pieces[0][1]
+        assert fn[0] == AffineExpr((1, 0), 0)
+        assert fn[1] == AffineExpr((0, 1), -1)
+
+    def test_same_iteration_flow_into_fmul(self, folded):
+        """Row 2 analogue: I2/I3 feed the multiply at distance (0,0)."""
+        spec, ddg = folded
+        fmul = uid_of(spec.program, "bpnn_layerforward", "fmul")
+        incoming = [
+            d
+            for d in ddg.deps.values()
+            if d.key.dst[0] == fmul and d.key.kind == REG_FLOW
+        ]
+        assert len(incoming) == 2  # tmp2 and tmp3
+        for dep in incoming:
+            assert dep.exact
+            assert dep.domain.card() == 15 * 42
+            fn = dep.relation.pieces[0][1]
+            assert fn[0] == AffineExpr((1, 0), 0)
+            assert fn[1] == AffineExpr((0, 1), 0)
+
+    def test_row_pointer_chain_i1_i2(self, folded):
+        """Row 1: I1's row pointer flows into I2's address add."""
+        spec, ddg = folded
+        i1 = uid_of(spec.program, "bpnn_layerforward", "load", 0)
+        consumers = [
+            d
+            for d in ddg.deps.values()
+            if d.key.src[0] == i1 and d.key.kind == REG_FLOW
+        ]
+        assert consumers
+        for dep in consumers:
+            assert dep.exact
+            fn = dep.relation.pieces[0][1]
+            assert fn[0] == AffineExpr((1, 0), 0)
+            assert fn[1] == AffineExpr((0, 1), 0)
+
+
+class TestStatementFolding:
+    def test_inner_statement_domain(self, folded):
+        spec, ddg = folded
+        fadd = uid_of(spec.program, "bpnn_layerforward", "fadd")
+        (fs,) = ddg.statements_of_uid(fadd)
+        assert fs.exact
+        assert fs.count == 15 * 42
+        assert fs.domain.card() == 15 * 42
+        assert fs.depth == 2
+
+    def test_store_domain_is_1d(self, folded):
+        spec, ddg = folded
+        st = uid_of(spec.program, "bpnn_layerforward", "store")
+        (fs,) = ddg.statements_of_uid(st)
+        assert fs.exact and fs.depth == 1
+        assert fs.count == 15
+
+    def test_access_functions_recognized(self, folded):
+        """Memory labels fold to affine access functions: l1[k] has
+        stride 1 in ck and stride 0 in cj."""
+        spec, ddg = folded
+        i3 = uid_of(spec.program, "bpnn_layerforward", "load", 2)
+        (fs,) = ddg.statements_of_uid(i3)
+        assert fs.label_fn is not None
+        (addr,) = fs.label_fn.exprs
+        assert addr.coeffs[0] == 0   # invariant in cj
+        assert addr.coeffs[1] == 1   # stride 1 in ck
+
+    def test_conn_access_function_strides(self, folded):
+        """conn[k][j]: stride (row length) in ck, stride 1 in cj."""
+        spec, ddg = folded
+        i2 = uid_of(spec.program, "bpnn_layerforward", "load", 1)
+        (fs,) = ddg.statements_of_uid(i2)
+        assert fs.label_fn is not None
+        (addr,) = fs.label_fn.exprs
+        assert addr.coeffs[0] == 1    # +1 word per cj
+        assert addr.coeffs[1] == 17   # n2 + 2 words per ck row
+
+    def test_squash_context_statements(self, folded):
+        """squash's instructions live in their own calling context with
+        a 1-D domain (one instance per cj)."""
+        spec, ddg = folded
+        fexp = uid_of(spec.program, "squash", "fexp")
+        stmts = ddg.statements_of_uid(fexp)
+        assert len(stmts) == 1
+        assert stmts[0].depth == 1
+        assert stmts[0].count == 15
+
+
+class TestSCEV:
+    def test_induction_increments_are_scev(self, folded):
+        """I5/I8 (the k/j increments) fold to affine values."""
+        spec, ddg = folded
+        scev_uids = {k[0] for k in ddg.scev_statements()}
+        adds = [
+            ins
+            for fn, bb, ins in spec.program.all_instrs()
+            if fn.name == "bpnn_layerforward" and ins.opcode == "add"
+        ]
+        assert adds
+        # every integer add in the kernel is address/induction work
+        assert {i.uid for i in adds} <= scev_uids
+
+    def test_loads_never_scev(self, folded):
+        spec, ddg = folded
+        scev_uids = {k[0] for k in ddg.scev_statements()}
+        loads = {
+            ins.uid
+            for fn, bb, ins in spec.program.all_instrs()
+            if ins.opcode == "load"
+        }
+        assert not (loads & scev_uids)
+
+    def test_transform_deps_exclude_scev_chains(self, folded):
+        spec, ddg = folded
+        scev = ddg.scev_statements()
+        for dep in ddg.transform_deps():
+            assert dep.key.src not in scev
+            assert dep.key.dst not in scev
+
+    def test_float_recurrence_survives_scev_filter(self, folded):
+        spec, ddg = folded
+        fadd = uid_of(spec.program, "bpnn_layerforward", "fadd")
+        kept = [
+            d
+            for d in ddg.transform_deps()
+            if d.key.src[0] == fadd and d.key.dst[0] == fadd
+        ]
+        assert len(kept) == 1
+
+
+class TestAffMetric:
+    def test_kernel_is_fully_affine(self, folded):
+        spec, ddg = folded
+        assert ddg.dyn_ops() > 0
+        assert ddg.affine_ops() == ddg.dyn_ops()

@@ -1,0 +1,108 @@
+"""Piecewise-affine label folder tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.folding.piecewise import PiecewiseVectorFolder
+
+
+def fold(points_values, dim, out_dim=1, max_pieces=6):
+    f = PiecewiseVectorFolder(dim, out_dim, max_pieces)
+    for p, v in points_values:
+        f.add(p, v)
+    return f
+
+
+class TestSinglePiece:
+    def test_affine_stream(self):
+        f = fold([((i,), (3 * i + 1,)) for i in range(10)], 1)
+        pieces = f.result()
+        assert pieces is not None and len(pieces) == 1
+        dom, fn, cnt = pieces[0]
+        assert cnt == 10
+        assert fn.eval_int((4,)) == (13,)
+
+    def test_empty(self):
+        f = PiecewiseVectorFolder(1, 1)
+        assert f.result() is None
+
+
+class TestMultiPiece:
+    def test_boundary_clamp(self):
+        """max(i-1, 0): two affine pieces."""
+        data = [((i,), (max(i - 1, 0),)) for i in range(12)]
+        pieces = fold(data, 1).result()
+        assert pieces is not None
+        assert len(pieces) == 2
+        # each recorded point is reproduced by its own piece
+        for (p, v) in data:
+            assert any(
+                dom.contains(p) and fn.eval_int(p) == v
+                for dom, fn, _ in pieces
+            )
+
+    def test_2d_clamp_stays_two_pieces(self):
+        """i*C + max(j-1, 0): the 2-D assignment must not fragment."""
+        data = []
+        for i in range(6):
+            for j in range(6):
+                data.append(((i, j), (10 * i + max(j - 1, 0),)))
+        pieces = fold(data, 2).result()
+        assert pieces is not None
+        assert len(pieces) == 2
+
+    def test_budget_exhaustion_fails(self):
+        # pseudo-random values: no small piecewise-affine structure
+        data = [((i,), ((i * 37) % 11,)) for i in range(40)]
+        f = fold(data, 1, max_pieces=4)
+        assert f.result() is None
+        assert f.failed
+
+    def test_piece_counts_sum(self):
+        data = [((i,), (max(i - 3, 0),)) for i in range(10)]
+        pieces = fold(data, 1).result()
+        assert sum(cnt for _, _, cnt in pieces) == 10
+
+
+class TestVectorLabels:
+    def test_dependence_style_labels(self):
+        # (i, j) -> (i, j-1) producer coordinates
+        data = [((i, j), (i, j - 1)) for i in range(4) for j in range(1, 4)]
+        pieces = fold(data, 2, out_dim=2).result()
+        assert len(pieces) == 1
+        _, fn, _ = pieces[0]
+        assert fn.eval_int((2, 3)) == (2, 2)
+
+    def test_mixed_component_split(self):
+        # first component affine, second clamped: pieces split on both
+        data = [((i,), (i, max(i - 2, 0))) for i in range(8)]
+        pieces = fold(data, 1, out_dim=2).result()
+        assert pieces is not None
+        assert len(pieces) == 2
+
+
+class TestProperty:
+    @given(
+        breaks=st.lists(st.integers(1, 19), min_size=0, max_size=2, unique=True),
+        slope=st.integers(-3, 3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_piecewise_linear_streams_fold(self, breaks, slope):
+        """Any <=3-piece piecewise-affine stream folds exactly."""
+        bs = sorted(breaks)
+
+        def value(i):
+            v = 0
+            for b in bs:
+                v += max(i - b, 0)
+            return slope * i + v
+
+        data = [((i,), (value(i),)) for i in range(20)]
+        pieces = fold(data, 1, max_pieces=6).result()
+        assert pieces is not None
+        for p, v in data:
+            assert any(
+                dom.contains(p) and fn.eval_int(p) == v
+                for dom, fn, _ in pieces
+            )

@@ -1,0 +1,60 @@
+"""Compression-statistics tests (paper section 5 scalability claims)."""
+
+import pytest
+
+from repro.folding import FoldingSink, compression_stats, scheduler_statement_count
+from repro.pipeline import profile_control, profile_ddg
+from repro.workloads.examples_paper import layerforward_kernel
+
+
+@pytest.fixture(scope="module")
+def folded():
+    spec = layerforward_kernel(n1=41, n2=15)
+    control = profile_control(spec)
+    sink = FoldingSink()
+    profile_ddg(spec, control, sink=sink)
+    return sink.finalize()
+
+
+class TestCompressionStats:
+    def test_counts_consistent(self, folded):
+        cs = compression_stats(folded)
+        assert cs.dynamic_instances == folded.dyn_ops()
+        assert cs.statements == folded.stmt_count()
+        assert cs.dep_relations == len(folded.deps)
+        assert cs.exact_statements == cs.statements  # kernel is affine
+        assert cs.scev_statements == len(folded.scev_statements())
+
+    def test_vertex_compression_substantial(self, folded):
+        cs = compression_stats(folded)
+        # 15x42 iterations through ~20 statements: > 100x fold
+        assert cs.vertex_ratio > 100
+
+    def test_edge_compression_substantial(self, folded):
+        cs = compression_stats(folded)
+        assert cs.edge_ratio > 50
+        assert cs.affine_relations == cs.dep_relations
+
+    def test_summary_text(self, folded):
+        s = compression_stats(folded).summary()
+        assert "->" in s and "statements" in s
+
+    def test_scheduler_statement_count(self, folded):
+        n = scheduler_statement_count(folded)
+        assert 0 < n < folded.stmt_count()  # SCEVs removed
+
+    def test_scale_invariance_of_statement_count(self):
+        """The folded size depends on the *code*, not the trip counts --
+        the essence of the paper's scalability argument."""
+        sizes = []
+        for n1, n2 in ((5, 4), (41, 15)):
+            spec = layerforward_kernel(n1=n1, n2=n2)
+            control = profile_control(spec)
+            sink = FoldingSink()
+            profile_ddg(spec, control, sink=sink)
+            f = sink.finalize()
+            sizes.append((f.stmt_count(), len(f.deps), f.dyn_ops()))
+        (s1, d1, o1), (s2, d2, o2) = sizes
+        assert o2 > 5 * o1            # much more dynamic work...
+        assert s1 == s2               # ...same folded statements
+        assert d1 == d2               # ...same folded relations

@@ -1,0 +1,78 @@
+"""Under-approximation tests (the paper's section 10 future-work item,
+implemented here as fold_under)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.folding import DomainFolder, fold_under
+
+
+def folder_of(points, dim):
+    f = DomainFolder(dim)
+    for p in points:
+        f.add(p)
+    return f
+
+
+class TestFoldUnder:
+    def test_exact_domain_unchanged(self):
+        pts = [(i, j) for i in range(4) for j in range(i + 1)]
+        f = folder_of(pts, 2)
+        under = fold_under(f)
+        assert under.card() == len(pts)
+        assert all(under.contains(p) for p in pts)
+
+    def test_holes_dropped_not_widened(self):
+        # rows 0..3 contiguous, row 4 has a hole
+        pts = [(i, j) for i in range(4) for j in range(3)]
+        pts += [(4, 0), (4, 2)]
+        f = folder_of(pts, 2)
+        under = fold_under(f)
+        # subset of the observed points...
+        for p in under.points():
+            assert p in set(pts)
+        # ...retaining the clean rows
+        assert under.card() >= 12
+
+    def test_irregular_bounds_keep_some(self):
+        import random
+
+        rng = random.Random(3)
+        pts = []
+        for i in range(8):
+            for j in range(rng.randint(1, 6)):
+                pts.append((i, j))
+        f = folder_of(pts, 2)
+        under = fold_under(f)
+        observed = set(pts)
+        for p in under.points():
+            assert p in observed
+
+    def test_empty(self):
+        f = folder_of([], 2)
+        assert fold_under(f).is_empty()
+
+    def test_1d(self):
+        f = folder_of([(i,) for i in range(5)], 1)
+        under = fold_under(f)
+        assert under.card() == 5
+
+    @given(
+        pts=st.sets(
+            st.tuples(st.integers(0, 5), st.integers(0, 5)),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_under_subset_over_superset(self, pts):
+        """fold_under ⊆ points ⊆ fold."""
+        f = folder_of(sorted(pts), 2)
+        over, _ = f.fold()
+        under = fold_under(f)
+        observed = set(pts)
+        for p in under.points():
+            assert p in observed
+        for p in observed:
+            assert over.contains(p)

@@ -1,0 +1,220 @@
+"""Step-by-step reproduction of the paper's Fig. 3 IIV traces.
+
+We hand-feed the control-event streams of Example 1 (interprocedural
+loop nest) and Example 2 (recursion) through the loop-event generator
+and Algorithm 3, checking the dynamic IIV after every step against the
+values printed in Fig. 3d / Fig. 3i (modulo our qualified block and
+loop naming: the paper's ``A1`` is our ``A.A1``, its ``L1`` is the
+generated loop id).
+"""
+
+import pytest
+
+from repro.cfg import (
+    LoopEventGenerator,
+    build_loop_forest,
+    build_recursive_component_set,
+)
+from repro.iiv import DynamicIIV
+from repro.isa.events import CallEvent, JumpEvent, ReturnEvent
+
+
+def make_gen_ex1():
+    forests = {
+        "M": build_loop_forest("M", {"M0", "M1"}, {("M0", "M1")}, "M0"),
+        "A": build_loop_forest(
+            "A",
+            {"A0", "A1", "A2", "A3"},
+            {("A0", "A1"), ("A1", "A2"), ("A2", "A1"), ("A1", "A3")},
+            "A0",
+        ),
+        "B": build_loop_forest(
+            "B",
+            {"B0", "B1", "B2", "B3"},
+            {("B0", "B1"), ("B1", "B2"), ("B2", "B1"), ("B1", "B3")},
+            "B0",
+        ),
+    }
+    rcs = build_recursive_component_set(
+        {"M", "A", "B"}, {("M", "A"), ("A", "B")}, "M"
+    )
+    return LoopEventGenerator(forests, rcs), forests
+
+
+class TestExample1Trace:
+    """Fig. 3d, adapted to our naming; ``LA``/``LB`` are the loop ids."""
+
+    def run_trace(self):
+        gen, forests = make_gen_ex1()
+        LA = forests["A"].all_loops[0].id
+        LB = forests["B"].all_loops[0].id
+        diiv = DynamicIIV()
+        steps = []
+        events = [
+            JumpEvent("M", None, "M0"),
+            CallEvent("M", "M0", "A", "A0", 1),
+            JumpEvent("A", "A0", "A1"),
+            CallEvent("A", "A1", "B", "B0", 2),
+            JumpEvent("B", "B0", "B1"),
+            JumpEvent("B", "B1", "B2"),
+            JumpEvent("B", "B2", "B1"),
+            JumpEvent("B", "B1", "B3"),
+            ReturnEvent("B", "A", "A2", 2),
+            JumpEvent("A", "A2", "A1"),
+        ]
+        for ev in events:
+            for le in gen.process(ev):
+                diiv.apply(le)
+            steps.append(diiv.pretty())
+        return steps, LA, LB
+
+    def test_full_trace(self):
+        steps, LA, LB = self.run_trace()
+        assert steps == [
+            "(M.M0)",                                   # 1: N(M0)
+            "(M.M0/A.A0)",                              # 2: C(A0)
+            f"(M.M0/{LA}, 0, A.A1)",                    # 3: E(LA, A1)
+            f"(M.M0/{LA}, 0, A.A1/B.B0)",               # 4: C(B0)
+            f"(M.M0/{LA}, 0, A.A1/{LB}, 0, B.B1)",      # 5: E(LB, B1)
+            f"(M.M0/{LA}, 0, A.A1/{LB}, 0, B.B2)",      # 6: N(B2)
+            f"(M.M0/{LA}, 0, A.A1/{LB}, 1, B.B1)",      # 7: I(LB, B1)
+            f"(M.M0/{LA}, 0, A.A1/B.B3)",               # 8: X(LB, B3)
+            f"(M.M0/{LA}, 0, A.A2)",                    # 9: R(A2)
+            f"(M.M0/{LA}, 1, A.A1)",                    # 10: I(LA, A1)
+        ]
+
+    def test_depth_inside_b_loop_is_two(self):
+        steps, _, _ = self.run_trace()
+        # the 2-D interprocedural nest is visible: two IVs at step 5
+        assert steps[4].count(", ") == 4
+
+
+def make_gen_ex2():
+    forests = {
+        "M": build_loop_forest(
+            "M", {"M0", "M1", "M2"}, {("M0", "M1"), ("M1", "M2")}, "M0"
+        ),
+        "D": build_loop_forest("D", {"D0", "D1"}, {("D0", "D1")}, "D0"),
+        "C": build_loop_forest("C", {"C0"}, set(), "C0"),
+        "B": build_loop_forest(
+            "B",
+            {"B0", "B1", "B2"},
+            {("B0", "B1"), ("B1", "B2")},
+            "B0",
+        ),
+    }
+    rcs = build_recursive_component_set(
+        {"M", "D", "C", "B"},
+        {("M", "D"), ("M", "B"), ("D", "C"), ("B", "C"), ("B", "B")},
+        "M",
+    )
+    return LoopEventGenerator(forests, rcs), rcs
+
+
+class TestExample2Trace:
+    """Fig. 3i: recursion folded into one loop dimension."""
+
+    def run_trace(self):
+        gen, rcs = make_gen_ex2()
+        RC = rcs.components[0].id
+        diiv = DynamicIIV()
+        steps = []
+        events = [
+            JumpEvent("M", None, "M0"),           # 1
+            CallEvent("M", "M0", "D", "D0", 1),   # 2
+            CallEvent("D", "D0", "C", "C0", 2),   # 3
+            ReturnEvent("C", "D", "D1", 2),       # 4a
+            ReturnEvent("D", "M", "M1", 1),       # 4b  (the paper's R^2)
+            CallEvent("M", "M1", "B", "B0", 3),   # 5: Ec
+            CallEvent("B", "B0", "C", "C0", 4),   # 6
+            ReturnEvent("C", "B", "B1", 4),       # 7
+            CallEvent("B", "B1", "B", "B0", 5),   # 8: Ic (depth 2)
+            CallEvent("B", "B0", "C", "C0", 6),   # 9
+            ReturnEvent("C", "B", "B1", 6),       # 10
+            CallEvent("B", "B1", "B", "B0", 7),   # 11: Ic (depth 3)
+            CallEvent("B", "B0", "C", "C0", 8),   # 12
+            ReturnEvent("C", "B", "B1", 8),       # 13
+            JumpEvent("B", "B1", "B2"),           # 14: leaf stops recursing
+            ReturnEvent("B", "B", "B2", 7),       # 15: Ir
+            ReturnEvent("B", "B", "B2", 5),       # 16: Ir
+            ReturnEvent("B", "M", "M2", 3),       # 17: Xr
+        ]
+        for ev in events:
+            for le in gen.process(ev):
+                diiv.apply(le)
+            steps.append(diiv.pretty())
+        return steps, RC
+
+    def test_full_trace(self):
+        steps, RC = self.run_trace()
+        assert steps == [
+            "(M.M0)",
+            "(M.M0/D.D0)",
+            "(M.M0/D.D0/C.C0)",
+            "(M.M0/D.D1)",
+            "(M.M1)",
+            f"(M.M1/{RC}, 0, B.B0)",
+            f"(M.M1/{RC}, 0, B.B0/C.C0)",
+            f"(M.M1/{RC}, 0, B.B1)",
+            f"(M.M1/{RC}, 1, B.B0)",       # recursion: iv++ not depth++
+            f"(M.M1/{RC}, 1, B.B0/C.C0)",
+            f"(M.M1/{RC}, 1, B.B1)",
+            f"(M.M1/{RC}, 2, B.B0)",
+            f"(M.M1/{RC}, 2, B.B0/C.C0)",
+            f"(M.M1/{RC}, 2, B.B1)",
+            f"(M.M1/{RC}, 2, B.B2)",
+            f"(M.M1/{RC}, 3, B.B2)",       # Ir: return also iterates
+            f"(M.M1/{RC}, 4, B.B2)",
+            "(M.M2)",                      # Xr unwinds to plain context
+        ]
+
+    def test_c_instances_indexed_by_recursion_depth(self):
+        """Fig. 3k: the folded domain of C0 is {M1 L1 B0 C0 (i) : 0<=i<=2}."""
+        steps, RC = self.run_trace()
+        c_steps = [s for s in steps if s.endswith("C.C0)") and RC in s]
+        ivs = [int(s.split(", ")[1]) for s in c_steps]
+        assert ivs == [0, 1, 2]
+
+    def test_vector_length_bounded(self):
+        """The IIV does not grow with recursion depth (the CCT does)."""
+        steps, _ = self.run_trace()
+        max_commas = max(s.count(", ") for s in steps)
+        assert max_commas == 2  # one loop dimension, ever
+
+
+class TestDIIVBasics:
+    def test_initial_state(self):
+        d = DynamicIIV()
+        assert d.depth == 0
+        assert d.coords() == ()
+        assert d.pretty() == "()"
+
+    def test_pop_root_dim_rejected(self):
+        from repro.cfg.loop_events import LoopEvent
+
+        d = DynamicIIV()
+        with pytest.raises(ValueError):
+            d.apply(LoopEvent("X", "f.b", None))
+
+    def test_iteration_on_root_rejected(self):
+        from repro.cfg.loop_events import LoopEvent
+
+        d = DynamicIIV()
+        with pytest.raises(ValueError):
+            d.apply(LoopEvent("I", "f.b", None))
+
+    def test_context_and_coords_views(self):
+        from repro.cfg.loop_events import LoopEvent
+        from repro.cfg.looptree import Loop
+
+        lp = Loop(
+            id="f:L1", func="f", header="h", region=frozenset({"h", "b"}),
+            entries=frozenset({"h"}), back_edges=frozenset(),
+        )
+        d = DynamicIIV()
+        d.apply(LoopEvent("N", "f.e", None))
+        d.apply(LoopEvent("E", "f.h", lp))
+        d.apply(LoopEvent("I", "f.h", lp))
+        assert d.coords() == (1,)
+        assert d.context() == (("f:L1",), ("f.h",))
+        assert d.depth == 1

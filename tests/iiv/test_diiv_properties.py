@@ -1,0 +1,134 @@
+"""Property tests: dynamic-IIV invariants over randomized programs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg import (
+    ControlStructureBuilder,
+    LoopEventGenerator,
+    build_loop_forest,
+    build_recursive_component_set,
+)
+from repro.iiv import DynamicIIV
+from repro.isa import Memory, ProgramBuilder, run_program
+from repro.pipeline import ProgramSpec
+
+
+@st.composite
+def nest_shape(draw):
+    depth = draw(st.integers(1, 3))
+    bounds = [draw(st.integers(1, 4)) for _ in range(depth)]
+    call_leaf = draw(st.booleans())
+    second_nest = draw(st.booleans())
+    recursion = draw(st.integers(0, 3))
+    return bounds, call_leaf, second_nest, recursion
+
+
+def build_program(shape):
+    bounds, call_leaf, second_nest, recursion = shape
+    pb = ProgramBuilder("r")
+    with pb.function("main", []) as f:
+        ctxs = []
+        for b in bounds:
+            c = f.loop(0, b)
+            c.__enter__()
+            ctxs.append(c)
+        if call_leaf:
+            f.call("leaf", [])
+        else:
+            f.add(1, 1)
+        for c in reversed(ctxs):
+            c.__exit__(None, None, None)
+        if second_nest:
+            with f.loop(0, 2) as i:
+                f.add(i, 1)
+        if recursion:
+            f.call("rec", [0])
+        f.halt()
+    with pb.function("leaf", []) as f:
+        with f.loop(0, 2) as i:
+            f.add(i, 1)
+        f.ret()
+    with pb.function("rec", ["n"]) as f:
+        f.add("n", 1)
+        with f.if_then("lt", "n", max(recursion - 1, 0)):
+            f.call("rec", [f.add("n", 1)])
+        f.ret()
+    return pb.build()
+
+
+@given(nest_shape())
+@settings(max_examples=40, deadline=None)
+def test_iiv_invariants_hold_throughout(shape):
+    """At every point of any execution:
+
+    * the IIV's coordinate count equals its dimension count;
+    * all induction values are non-negative;
+    * the loop stack unwinds completely by program end;
+    * context stacks never go empty mid-run.
+    """
+    program = build_program(shape)
+    csb = ControlStructureBuilder(record_trace=True)
+    run_program(program, observers=[csb])
+    forests = {
+        f: build_loop_forest(f, c.nodes, c.edges, c.entry)
+        for f, c in csb.cfgs.items()
+    }
+    rcs = build_recursive_component_set(
+        csb.callgraph.nodes, csb.callgraph.edges, csb.callgraph.root
+    )
+    gen = LoopEventGenerator(forests, rcs)
+    diiv = DynamicIIV()
+    max_depth = 0
+    for ev in csb.trace:
+        for le in gen.process(ev):
+            diiv.apply(le)
+            coords = diiv.coords()
+            assert len(coords) == diiv.depth
+            assert all(c >= 0 for c in coords)
+            assert all(len(ctx) >= 0 for ctx in diiv.context())
+        max_depth = max(max_depth, diiv.depth)
+    assert gen.in_loops == []
+    # depth bounded by static nesting + one recursion dimension
+    bounds, call_leaf, second_nest, recursion = shape
+    static_bound = len(bounds) + (1 if call_leaf else 0) + 1 + (
+        1 if recursion else 0
+    )
+    assert max_depth <= static_bound
+
+
+@given(st.integers(2, 10))
+@settings(max_examples=10, deadline=None)
+def test_recursion_depth_never_grows_iiv(depth):
+    """The central Fig. 3 property, checked across depths."""
+    pb = ProgramBuilder("r")
+    with pb.function("main", []) as f:
+        f.call("rec", [0])
+        f.halt()
+    with pb.function("rec", ["n"]) as f:
+        f.add("n", 1)
+        with f.if_then("lt", "n", depth - 1):
+            f.call("rec", [f.add("n", 1)])
+        f.ret()
+    program = pb.build()
+    csb = ControlStructureBuilder(record_trace=True)
+    run_program(program, observers=[csb])
+    forests = {
+        f: build_loop_forest(f, c.nodes, c.edges, c.entry)
+        for f, c in csb.cfgs.items()
+    }
+    rcs = build_recursive_component_set(
+        csb.callgraph.nodes, csb.callgraph.edges, csb.callgraph.root
+    )
+    gen = LoopEventGenerator(forests, rcs)
+    diiv = DynamicIIV()
+    max_dims = 0
+    max_ctx = 0
+    for ev in csb.trace:
+        for le in gen.process(ev):
+            diiv.apply(le)
+        max_dims = max(max_dims, diiv.depth)
+        max_ctx = max(max_ctx, max(len(c) for c in diiv.context()))
+    assert max_dims == 1           # one recursive-loop dimension
+    assert max_ctx <= 3            # bounded context, any depth

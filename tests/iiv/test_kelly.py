@@ -1,0 +1,57 @@
+"""Kelly's mapping tests reproducing the paper's Fig. 4."""
+
+from repro.iiv import ScheduleNode, kelly_mapping, kelly_vector, schedule_precedes
+
+
+def fused_tree():
+    """Fig. 4 left: one nest containing S and T."""
+    root = ScheduleNode.root()
+    li = root.loop("L_i", "i")
+    lj = li.loop("L_j", "j")
+    lj.stmt("S")
+    lj.stmt("T")
+    return root
+
+
+def fissioned_tree():
+    """Fig. 4 right: two sibling nests, S in the first, T in the second."""
+    root = ScheduleNode.root()
+    li = root.loop("L_i", "i")
+    lj = li.loop("L_j", "j")
+    lj.stmt("S")
+    li2 = root.loop("L_i'", "i'")
+    lj2 = li2.loop("L_j'", "j'")
+    lj2.stmt("T")
+    return root
+
+
+class TestFig4:
+    def test_fused_mappings(self):
+        root = fused_tree()
+        s, t = root.find("S"), root.find("T")
+        assert kelly_mapping(s) == ["L_i", "i", "L_j", "j", "S"]
+        assert kelly_mapping(t) == ["L_i", "i", "L_j", "j", "T"]
+        assert kelly_vector(s) == [0, "i", 0, "j", 0]
+        assert kelly_vector(t) == [0, "i", 0, "j", 1]
+
+    def test_fissioned_mappings(self):
+        root = fissioned_tree()
+        s, t = root.find("S"), root.find("T")
+        assert kelly_vector(s) == [0, "i", 0, "j", 0]
+        assert kelly_vector(t) == [1, "i'", 0, "j'", 0]
+
+    def test_lexicographic_order_is_schedule(self):
+        # fused: S(0,0) < T(0,0) < S(0,1); fissioned: all S before all T
+        assert schedule_precedes([0, 0, 0, 0, 0], [0, 0, 0, 0, 1])
+        assert schedule_precedes([0, 0, 0, 0, 1], [0, 0, 0, 1, 0])
+        assert schedule_precedes([0, 5, 0, 5, 0], [1, 0, 0, 0, 0])
+        assert not schedule_precedes([1, 0, 0, 0, 0], [0, 9, 0, 9, 0])
+
+    def test_static_indices_assigned_in_order(self):
+        root = fissioned_tree()
+        assert [c.static_index for c in root.children] == [0, 1]
+
+    def test_leaves_and_prefix_order(self):
+        root = fused_tree()
+        assert [l.name for l in root.leaves()] == ["S", "T"]
+        assert schedule_precedes([0, 3], [0, 3, 0, 0, 0])

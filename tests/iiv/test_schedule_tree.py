@@ -1,0 +1,127 @@
+"""Dynamic schedule tree and CCT tests (paper Fig. 5 comparison)."""
+
+from repro.iiv import CallingContextTree, DynamicScheduleTree
+from repro.isa import ProgramBuilder, run_program
+
+
+class TestDynamicScheduleTree:
+    def test_record_and_weights(self):
+        t = DynamicScheduleTree()
+        # two instances of the same loop context merge into one path
+        t.record_context((("M.M0", "A:L1"), ("A.A1",)), ninstr=5)
+        t.record_context((("M.M0", "A:L1"), ("A.A1",)), ninstr=7)
+        assert t.node_count() == 3  # M.M0, A:L1, A.A1
+        leaf = t.root.children["M.M0"].children["A:L1"].children["A.A1"]
+        assert leaf.weight == 12
+        assert leaf.self_weight == 12
+        assert leaf.visits == 2
+
+    def test_loop_flag_marks_loop_elements(self):
+        t = DynamicScheduleTree()
+        t.record_context((("M.M0", "A:L1"), ("A.A1",)), 1)
+        assert t.root.children["M.M0"].children["A:L1"].is_loop
+        assert not t.root.children["M.M0"].is_loop
+
+    def test_sibling_contexts_branch(self):
+        t = DynamicScheduleTree()
+        t.record_context((("M.M0", "A:L1"), ("A.A1",)), 1)
+        t.record_context((("M.M0", "A:L1"), ("A.A2",)), 1)
+        lnode = t.root.children["M.M0"].children["A:L1"]
+        assert set(lnode.children) == {"A.A1", "A.A2"}
+        assert lnode.weight == 2
+
+    def test_render_text(self):
+        t = DynamicScheduleTree()
+        t.record_context((("M.M0",),), 3)
+        out = t.render_text()
+        assert "M.M0" in out and "weight=3" in out
+
+    def test_frames_paths(self):
+        t = DynamicScheduleTree()
+        t.record_context((("a", "b"), ("c",)), 1)
+        paths = [p for p, _ in t.frames()]
+        assert ("a",) in paths and ("a", "b", "c") in paths
+
+
+def recursive_program(depth):
+    pb = ProgramBuilder("rec")
+    with pb.function("main", []) as f:
+        f.call("R", [0])
+        f.halt()
+    with pb.function("R", ["n"]) as f:
+        f.add("n", 1)
+        with f.if_then("lt", "n", depth - 1):
+            f.call("R", [f.add("n", 1)])
+        f.ret()
+    return pb.build()
+
+
+class TestCCT:
+    def test_cct_depth_grows_with_recursion(self):
+        """The Fig. 5 point: CCT paths grow with recursion depth."""
+        shallow = CallingContextTree()
+        run_program(recursive_program(2), observers=[shallow])
+        deep = CallingContextTree()
+        run_program(recursive_program(8), observers=[deep])
+        assert deep.depth() == shallow.depth() + 6
+
+    def test_call_sites_distinguish_contexts(self):
+        pb = ProgramBuilder("t")
+        with pb.function("main", []) as f:
+            f.call("leaf", [])
+            f.call("leaf", [])
+            f.halt()
+        with pb.function("leaf", []) as f:
+            f.add(1, 1)
+            f.ret()
+        cct = CallingContextTree()
+        run_program(pb.build(), observers=[cct])
+        main_node = next(iter(cct.root.children.values()))
+        # two distinct call sites -> two distinct CCT children
+        assert len(main_node.children) == 2
+        for child in main_node.children.values():
+            assert child.calls == 1
+            assert child.instrs == 1
+
+    def test_repeated_calls_same_site_merge(self):
+        pb = ProgramBuilder("t")
+        with pb.function("main", []) as f:
+            with f.loop(0, 4) as i:
+                f.call("leaf", [])
+            f.halt()
+        with pb.function("leaf", []) as f:
+            f.add(1, 1)
+            f.ret()
+        cct = CallingContextTree()
+        run_program(pb.build(), observers=[cct])
+        main_node = next(iter(cct.root.children.values()))
+        assert len(main_node.children) == 1
+        leaf = next(iter(main_node.children.values()))
+        assert leaf.calls == 4
+        assert leaf.instrs == 4
+
+    def test_render_text(self):
+        cct = CallingContextTree()
+        run_program(recursive_program(3), observers=[cct])
+        out = cct.render_text()
+        assert "R" in out and "calls=1" in out
+
+
+class TestCollapsedStacks:
+    def test_format(self):
+        t = DynamicScheduleTree()
+        t.record_context((("M.M0", "A:L1"), ("A.A1",)), 5)
+        t.record_context((("M.M0",),), 2)
+        out = t.to_collapsed()
+        lines = sorted(out.splitlines())
+        assert lines == ["M.M0 2", "M.M0;A:L1;A.A1 5"]
+
+    def test_weights_sum_to_total(self):
+        from repro.isa import ProgramBuilder, run_program
+        from repro.cfg import ControlStructureBuilder
+
+        t = DynamicScheduleTree()
+        t.record_context((("a",), ("b",)), 3)
+        t.record_context((("a",), ("c",)), 4)
+        total = sum(int(l.rsplit(" ", 1)[1]) for l in t.to_collapsed().splitlines())
+        assert total == t.root.weight == 7

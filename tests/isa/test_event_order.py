@@ -1,0 +1,110 @@
+"""Event-stream ordering invariants (what instrumentation relies on)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import Instrumentation, Memory, ProgramBuilder, run_program
+
+
+class OrderChecker(Instrumentation):
+    """Asserts the structural invariants of the raw event stream."""
+
+    def __init__(self):
+        self.call_stack = []
+        self.current = None
+        self.errors = []
+        self.events = 0
+
+    def on_call(self, e):
+        self.events += 1
+        if e.caller is not None and e.caller != self.current:
+            self.errors.append(f"call from {e.caller} but current {self.current}")
+        self.call_stack.append((e.callee, e.frame_id))
+        self.current = e.callee
+
+    def on_return(self, e):
+        self.events += 1
+        if not self.call_stack:
+            self.errors.append("return with empty stack")
+            return
+        callee, fid = self.call_stack.pop()
+        if callee != e.callee or fid != e.frame_id:
+            self.errors.append(
+                f"return {e.callee}/{e.frame_id} mismatches call {callee}/{fid}"
+            )
+        self.current = e.caller
+
+    def on_jump(self, e):
+        self.events += 1
+        if e.src_bb is not None and e.func != self.current:
+            self.errors.append(
+                f"jump in {e.func} while current is {self.current}"
+            )
+
+    def on_instr(self, instr, frame_id, value, addr):
+        if not self.call_stack or frame_id != self.call_stack[-1][1]:
+            self.errors.append("instr outside the top frame")
+
+
+def check(program, args=(), memory=None):
+    oc = OrderChecker()
+    run_program(program, args=args, memory=memory, observers=[oc])
+    assert not oc.errors, oc.errors[:3]
+    # only main's synthetic frame remains
+    assert len(oc.call_stack) == 1
+    return oc
+
+
+class TestOrdering:
+    def test_nested_calls(self):
+        pb = ProgramBuilder("t")
+        with pb.function("main", []) as f:
+            with f.loop(0, 3) as i:
+                f.call("a", [])
+            f.halt()
+        with pb.function("a", []) as f:
+            f.call("b", [])
+            f.ret()
+        with pb.function("b", []) as f:
+            f.add(1, 1)
+            f.ret()
+        check(pb.build())
+
+    def test_recursion(self):
+        pb = ProgramBuilder("t")
+        with pb.function("main", []) as f:
+            f.call("r", [0])
+            f.halt()
+        with pb.function("r", ["n"]) as f:
+            with f.if_then("lt", "n", 5):
+                f.call("r", [f.add("n", 1)])
+            f.ret()
+        check(pb.build())
+
+    @given(
+        depth=st.integers(1, 3),
+        trips=st.integers(1, 3),
+        calls=st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_random_nests(self, depth, trips, calls):
+        pb = ProgramBuilder("t")
+        with pb.function("main", []) as f:
+            ctxs = []
+            for _ in range(depth):
+                c = f.loop(0, trips)
+                c.__enter__()
+                ctxs.append(c)
+            if calls:
+                f.call("leaf", [])
+            else:
+                f.add(1, 1)
+            for c in reversed(ctxs):
+                c.__exit__(None, None, None)
+            f.halt()
+        with pb.function("leaf", []) as f:
+            f.add(2, 2)
+            f.ret()
+        oc = check(pb.build())
+        assert oc.events > 0

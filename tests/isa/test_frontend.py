@@ -1,0 +1,158 @@
+"""Frontend-lowering tests: block shapes, control sugar, debug info."""
+
+import pytest
+
+from repro.isa import Jump, CondBr, Memory, ProgramBuilder, run_program
+from repro.isa.instructions import Call, Return
+
+
+class TestLoopLowering:
+    def test_top_test_shape(self):
+        pb = ProgramBuilder("t")
+        with pb.function("main", []) as f:
+            with f.loop(0, 4) as i:
+                f.add(i, 0)
+            f.halt()
+        fn = pb.build().function("main")
+        headers = [b for b in fn.blocks.values() if "head" in b.name]
+        assert len(headers) == 1
+        term = headers[0].terminator
+        assert isinstance(term, CondBr)
+        # body jumps back to the header (the back-edge)
+        bodies = [b for b in fn.blocks.values() if "body" in b.name]
+        assert isinstance(bodies[0].terminator, Jump)
+        assert bodies[0].terminator.target == headers[0].name
+
+    def test_bottom_test_shape(self):
+        pb = ProgramBuilder("t")
+        with pb.function("main", []) as f:
+            with f.loop(0, 4, bottom_test=True) as i:
+                f.add(i, 0)
+            f.halt()
+        fn = pb.build().function("main")
+        bodies = [b for b in fn.blocks.values() if "body" in b.name]
+        assert isinstance(bodies[0].terminator, CondBr)
+        assert bodies[0].terminator.taken == bodies[0].name  # self back-edge
+
+    def test_step_and_relation(self):
+        pb = ProgramBuilder("t")
+        with pb.function("main", []) as f:
+            count = f.set(f.fresh_reg("c"), 0)
+            with f.loop(10, 0, rel="gt", step=-2) as i:
+                f.add(count, 1, into=count)
+            f.ret(count)
+        assert run_program(pb.build())[0] == 5  # 10, 8, 6, 4, 2
+
+
+class TestIfLowering:
+    def test_then_only_join(self):
+        pb = ProgramBuilder("t")
+        with pb.function("main", ["x"]) as f:
+            out = f.set(f.fresh_reg("o"), 0)
+            with f.if_then("gt", "x", 0):
+                f.set(out, 1)
+            f.ret(out)
+        prog = pb.build()
+        assert run_program(prog, args=[5])[0] == 1
+        assert run_program(prog, args=[-5])[0] == 0
+
+    def test_nested_if_else(self):
+        pb = ProgramBuilder("t")
+        with pb.function("main", ["x"]) as f:
+            out = f.set(f.fresh_reg("o"), 0)
+            h = f.if_begin("gt", "x", 0)
+            h2 = f.if_begin("gt", "x", 10)
+            f.set(out, 2)
+            f.if_else(h2)
+            f.set(out, 1)
+            f.if_end(h2)
+            f.if_else(h)
+            f.set(out, -1)
+            f.if_end(h)
+            f.ret(out)
+        prog = pb.build()
+        assert run_program(prog, args=[20])[0] == 2
+        assert run_program(prog, args=[5])[0] == 1
+        assert run_program(prog, args=[-1])[0] == -1
+
+
+class TestDebugInfo:
+    def test_at_line_applies_to_following_instrs(self):
+        pb = ProgramBuilder("t")
+        with pb.function("main", []) as f:
+            f.at_line(42)
+            f.add(1, 2)
+            f.at_line(None)
+            f.add(3, 4)
+            f.halt()
+        fn = pb.build().function("main")
+        lines = [i.src_line for i in fn.blocks["entry"].instrs]
+        assert lines == [42, None]
+
+    def test_loop_line_on_iv_updates(self):
+        pb = ProgramBuilder("t")
+        with pb.function("main", []) as f:
+            with f.loop(0, 2, line=7) as i:
+                f.add(i, 0)
+            f.halt()
+        prog = pb.build()
+        lined = [
+            i for _, _, i in prog.all_instrs() if i.src_line == 7
+        ]
+        assert len(lined) >= 2  # init mov + increment add
+
+    def test_src_loop_depth_recorded(self):
+        pb = ProgramBuilder("t")
+        with pb.function("main", []) as f:
+            with f.loop(0, 2) as i:
+                with f.loop(0, 2) as j:
+                    f.add(i, j)
+            with f.loop(0, 2) as k:
+                f.add(k, 0)
+            f.halt()
+        assert pb.build().function("main").src_loop_depth == 2
+
+
+class TestMisc:
+    def test_goto_new_block_splits(self):
+        pb = ProgramBuilder("t")
+        with pb.function("main", []) as f:
+            f.add(1, 1)
+            f.goto_new_block()
+            f.add(2, 2)
+            f.halt()
+        fn = pb.build().function("main")
+        assert len(fn.blocks) == 2
+
+    def test_addr_scale_emits_mul(self):
+        pb = ProgramBuilder("t")
+        with pb.function("main", ["A"]) as f:
+            f.load("A", index=3, scale=4, offset=2)
+            f.halt()
+        prog = pb.build()
+        ops = [i.opcode for _, _, i in prog.all_instrs()]
+        assert "mul" in ops and "add" in ops and "load" in ops
+
+    def test_want_result_binds_register(self):
+        pb = ProgramBuilder("t")
+        with pb.function("main", []) as f:
+            r = f.call("g", [], want_result=True)
+            f.ret(r)
+        with pb.function("g", []) as f:
+            f.ret(f.add(40, 2))
+        assert run_program(pb.build())[0] == 42
+
+    def test_emitting_after_terminator_rejected(self):
+        pb = ProgramBuilder("t")
+        with pytest.raises(ValueError, match="terminated"):
+            with pb.function("main", []) as f:
+                f.halt()
+                f.add(1, 1)
+
+    def test_duplicate_function_rejected(self):
+        pb = ProgramBuilder("t")
+        with pb.function("main", []) as f:
+            f.halt()
+        with pytest.raises(ValueError, match="duplicate function"):
+            with pb.function("main", []) as f:
+                f.halt()

@@ -1,0 +1,89 @@
+"""Cost-model tests: the speedup estimator's qualitative behaviour."""
+
+import pytest
+
+from repro.machine import CostConfig, estimate_speedup, replay_cost, iteration_points
+from repro.pipeline import analyze
+from repro.workloads.examples_paper import layerforward_kernel
+
+
+@pytest.fixture(scope="module")
+def layer():
+    result = analyze(layerforward_kernel(n1=15, n2=12))
+    leaf = max(
+        (n for n in result.forest.walk() if n.is_innermost() and n.depth == 2),
+        key=lambda n: n.ops_total,
+    )
+    mem_stmts = [
+        s for s in leaf.stmts
+        if s.stmt.instr.is_mem and s.label_fn is not None and s.exact
+    ]
+    dom = max(
+        (s for s in leaf.stmts if s.exact and s.depth == 2),
+        key=lambda s: s.count,
+    ).domain.pieces[0]
+    return result, leaf, mem_stmts, dom
+
+
+class TestEstimateSpeedup:
+    def test_simd_alone_helps(self, layer):
+        _, leaf, mem, dom = layer
+        s, c0, c1 = estimate_speedup(
+            mem, dom, 5.0,
+            {"order": None}, {"order": None, "simd": True},
+            CostConfig(simd_width=4, threads=1),
+        )
+        assert s > 1.0
+        assert c1.alu_cycles < c0.alu_cycles
+
+    def test_threads_scale_sublinearly(self, layer):
+        _, leaf, mem, dom = layer
+        cfg = CostConfig(threads=8, thread_efficiency=0.5)
+        s, c0, c1 = estimate_speedup(
+            mem, dom, 5.0,
+            {"order": None}, {"order": None, "parallel": True}, cfg,
+        )
+        assert 1.0 < s <= 8.0
+        assert c1.thread_factor == pytest.approx(1 + 7 * 0.5)
+
+    def test_identity_transform_is_neutral(self, layer):
+        _, leaf, mem, dom = layer
+        s, _, _ = estimate_speedup(
+            mem, dom, 5.0, {"order": None}, {"order": None}
+        )
+        assert s == pytest.approx(1.0)
+
+    def test_combined_beats_parts(self, layer):
+        _, leaf, mem, dom = layer
+        cfg = CostConfig(simd_width=4, threads=4, thread_efficiency=0.5)
+        s_simd, _, _ = estimate_speedup(
+            mem, dom, 5.0, {"order": None}, {"simd": True}, cfg
+        )
+        s_both, _, _ = estimate_speedup(
+            mem, dom, 5.0, {"order": None},
+            {"simd": True, "parallel": True}, cfg,
+        )
+        assert s_both > s_simd
+
+    def test_tiling_improves_blocked_reuse(self):
+        """A transposed-copy stream that thrashes the cache must get
+        cheaper when tiled."""
+        from repro.poly import AffineExpr, AffineFunction
+        from repro.machine import tiled_points
+        from repro.poly import Polyhedron
+
+        class Stmt:
+            def __init__(self, coeffs):
+                self.label_fn = AffineFunction([AffineExpr(coeffs, 0)])
+
+                class I:
+                    is_mem = True
+
+                self.stmt = type("S", (), {"instr": I()})
+
+        n = 48
+        dom = Polyhedron.box([(0, n - 1), (0, n - 1)])
+        stmts = [Stmt((1, n)), Stmt((n, 1))]  # row-major + col-major
+        plain = replay_cost(stmts, iteration_points(dom))
+        tiled = replay_cost(stmts, tiled_points(dom, tile=8))
+        assert tiled.mem_cycles < plain.mem_cycles

@@ -1,0 +1,125 @@
+"""Unit tests for affine expressions, functions, and exact fitting."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.poly import AffineExpr, AffineFunction, fit_affine, fit_affine_function
+
+
+class TestAffineExpr:
+    def test_eval(self):
+        e = AffineExpr((2, -1), 3)  # 2x - y + 3
+        assert e((1, 2)) == 3
+        assert e.eval_int((0, 0)) == 3
+
+    def test_rational(self):
+        e = AffineExpr((1,), 1, 2)  # (x + 1) / 2
+        assert e((1,)) == 1
+        assert e((2,)) == Fraction(3, 2)
+        with pytest.raises(ValueError):
+            e.eval_int((2,))
+
+    def test_normalization(self):
+        assert AffineExpr((2, 4), 6, 2) == AffineExpr((1, 2), 3, 1)
+        assert AffineExpr((1,), 0, -1) == AffineExpr((-1,), 0, 1)
+
+    def test_zero_den_rejected(self):
+        with pytest.raises(ValueError):
+            AffineExpr((1,), 0, 0)
+
+    def test_algebra(self):
+        a = AffineExpr((1, 0), 1)
+        b = AffineExpr((0, 1), -1)
+        assert (a + b)((3, 4)) == 7
+        assert (a - b)((3, 4)) == 1
+        assert a.scale(3)((2, 0)) == 9
+
+    def test_substitute_compose(self):
+        # f(x, y) = x + 2y; x = u + 1, y = 2u
+        f = AffineExpr((1, 2), 0)
+        x = AffineExpr((1,), 1)
+        y = AffineExpr((2,), 0)
+        g = f.substitute([x, y])
+        assert g((3,)) == (3 + 1) + 2 * 6
+
+    def test_pretty(self):
+        e = AffineExpr((1, -1), 0)
+        assert e.pretty(["i", "j"]) == "i - j"
+        assert AffineExpr.constant(5, 2).pretty() == "5"
+
+    def test_var_constructor(self):
+        v = AffineExpr.var(1, 3)
+        assert v((9, 7, 5)) == 7
+
+    def test_as_row(self):
+        assert AffineExpr((1, -2), 3).as_row() == (1, -2, 3)
+        with pytest.raises(ValueError):
+            AffineExpr((1,), 1, 2).as_row()
+
+
+class TestAffineFunction:
+    def test_eval(self):
+        f = AffineFunction([AffineExpr((1, 0), 0), AffineExpr((0, 1), -1)])
+        assert f.eval_int((5, 3)) == (5, 2)
+
+    def test_compose(self):
+        f = AffineFunction([AffineExpr((1, 1), 0)])  # x+y
+        g = AffineFunction([AffineExpr((2,), 0), AffineExpr((0,), 1)])  # (2u, 1)
+        h = f.compose(g)
+        assert h.eval_int((4,)) == (9,)
+
+    def test_mixed_arity_rejected(self):
+        with pytest.raises(ValueError):
+            AffineFunction([AffineExpr((1,), 0), AffineExpr((1, 0), 0)])
+
+
+class TestFitAffine:
+    def test_exact_line(self):
+        pts = [(0,), (1,), (2,), (5,)]
+        vals = [3, 5, 7, 13]  # 2x + 3
+        e = fit_affine(pts, vals)
+        assert e == AffineExpr((2,), 3)
+
+    def test_2d_plane(self):
+        pts = [(0, 0), (1, 0), (0, 1), (2, 3)]
+        vals = [1, 2, 4, 12]  # x + 3y + 1
+        e = fit_affine(pts, vals)
+        assert e == AffineExpr((1, 3), 1)
+
+    def test_non_affine_rejected(self):
+        pts = [(0,), (1,), (2,)]
+        vals = [0, 1, 4]  # x^2
+        assert fit_affine(pts, vals) is None
+
+    def test_underdetermined_verified(self):
+        # single point: fit must still interpolate it
+        e = fit_affine([(3, 4)], [10])
+        assert e is not None
+        assert e((3, 4)) == 10
+
+    def test_rational_coefficient(self):
+        pts = [(0,), (2,), (4,)]
+        vals = [0, 1, 2]  # x / 2
+        e = fit_affine(pts, vals)
+        assert e == AffineExpr((1,), 0, 2)
+
+    def test_empty(self):
+        assert fit_affine([], []) is None
+
+    def test_constant(self):
+        e = fit_affine([(0, 0), (5, 9)], [7, 7])
+        assert e is not None and e.is_constant()
+        assert e((100, -3)) == 7
+
+    def test_fit_function(self):
+        pts = [(0, 0), (0, 1), (1, 0), (2, 2)]
+        vecs = [(p[0], p[1] - 1) for p in pts]
+        f = fit_affine_function(pts, vecs)
+        assert f is not None
+        assert f.eval_int((4, 7)) == (4, 6)
+
+    def test_fit_function_partial_failure(self):
+        pts = [(0,), (1,), (2,)]
+        vecs = [(0, 0), (1, 1), (2, 4)]  # second component non-affine
+        assert fit_affine_function(pts, vecs) is None

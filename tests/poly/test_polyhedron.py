@@ -1,0 +1,212 @@
+"""Unit tests for the core Polyhedron type."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.poly import Polyhedron
+
+
+def tri(n):
+    """Triangle 0 <= j <= i < n (the paper's Fig. 4 domain)."""
+    # vars (i, j)
+    return Polyhedron(
+        2,
+        ineqs=[
+            (1, 0, 0),        # i >= 0
+            (-1, 0, n - 1),   # i <= n-1
+            (0, 1, 0),        # j >= 0
+            (1, -1, 0),       # j <= i
+        ],
+    )
+
+
+class TestContains:
+    def test_box(self):
+        b = Polyhedron.box([(0, 3), (1, 2)])
+        assert b.contains((0, 1))
+        assert b.contains((3, 2))
+        assert not b.contains((4, 1))
+        assert not b.contains((0, 0))
+
+    def test_point(self):
+        p = Polyhedron.from_point((5, -2))
+        assert p.contains((5, -2))
+        assert not p.contains((5, -1))
+
+    def test_triangle(self):
+        t = tri(4)
+        assert t.contains((0, 0))
+        assert t.contains((3, 3))
+        assert not t.contains((2, 3))
+
+
+class TestEmptiness:
+    def test_universe_nonempty(self):
+        assert not Polyhedron.universe(3).is_empty()
+
+    def test_contradictory_eqs(self):
+        # x = 0 and x = 1
+        p = Polyhedron(1, eqs=[(1, 0), (1, -1)])
+        assert p.is_empty()
+
+    def test_contradictory_ineqs(self):
+        # x >= 1 and x <= 0
+        p = Polyhedron(1, ineqs=[(1, -1), (-1, 0)])
+        assert p.is_empty()
+
+    def test_rationally_feasible_integrally_empty(self):
+        # 2x = 1 has no integer solution
+        p = Polyhedron(1, eqs=[(2, -1)])
+        assert p.is_empty()
+
+    def test_tight_but_feasible(self):
+        # x >= 0 and x <= 0 -> x = 0
+        p = Polyhedron(1, ineqs=[(1, 0), (-1, 0)])
+        assert not p.is_empty()
+        assert p.contains((0,))
+
+    def test_empty_triangle(self):
+        t = tri(4).add_constraint((0, 1, -5))  # j >= 5 impossible
+        assert t.is_empty()
+
+    def test_multidim_interaction(self):
+        # x + y >= 5, x <= 1, y <= 1 -> empty
+        p = Polyhedron(2, ineqs=[(1, 1, -5), (-1, 0, 1), (0, -1, 1)])
+        assert p.is_empty()
+
+
+class TestBounds:
+    def test_box_var_bounds(self):
+        b = Polyhedron.box([(0, 3), (1, 2)])
+        assert b.var_bounds(0) == (0, 3)
+        assert b.var_bounds(1) == (1, 2)
+
+    def test_expr_bounds(self):
+        b = Polyhedron.box([(0, 3), (1, 2)])
+        lo, hi = b.bounds((1, 1, 0))  # x + y
+        assert (lo, hi) == (1, 5)
+
+    def test_triangle_inner_bound_depends_on_outer(self):
+        t = tri(4)
+        lo, hi = t.var_bounds(1)
+        assert (lo, hi) == (0, 3)
+        t0 = t.fix(0, 2)
+        assert t0.var_bounds(0) == (0, 2)
+
+    def test_unbounded(self):
+        p = Polyhedron(1, ineqs=[(1, 0)])  # x >= 0
+        lo, hi = p.var_bounds(0)
+        assert lo == 0 and hi is None
+
+    def test_rational_bound(self):
+        # 2x <= 5, x >= 0
+        p = Polyhedron(1, ineqs=[(-2, 5), (1, 0)])
+        lo, hi = p.var_bounds(0)
+        assert lo == 0
+        # normalization tightens 2x <= 5 to x <= 2 over the integers
+        assert hi == 2
+
+    def test_bounds_empty_raises(self):
+        p = Polyhedron(1, ineqs=[(1, -1), (-1, 0)])
+        with pytest.raises(ValueError):
+            p.bounds((1, 0))
+
+
+class TestElimination:
+    def test_project_box(self):
+        b = Polyhedron.box([(0, 3), (1, 2)])
+        p = b.eliminate(1)
+        assert p.dim == 1
+        assert p.var_bounds(0) == (0, 3)
+
+    def test_project_triangle(self):
+        t = tri(4)
+        pj = t.eliminate(0)  # project out i: j in [0, 3]
+        assert pj.var_bounds(0) == (0, 3)
+        pi = t.eliminate(1)  # project out j: i in [0, 3]
+        assert pi.var_bounds(0) == (0, 3)
+
+    def test_eliminate_through_equality(self):
+        # x = 2y, 0 <= x <= 6 -> y in [0, 3]
+        p = Polyhedron(2, eqs=[(1, -2, 0)], ineqs=[(1, 0, 0), (-1, 0, 6)])
+        py = p.eliminate(0)
+        assert py.var_bounds(0) == (0, 3)
+
+    def test_project_onto_order(self):
+        b = Polyhedron.box([(0, 1), (2, 3), (4, 5)])
+        p = b.project_onto([2, 0])
+        assert p.dim == 2
+        assert p.var_bounds(0) == (4, 5)
+        assert p.var_bounds(1) == (0, 1)
+
+
+class TestCardinality:
+    def test_box(self):
+        assert Polyhedron.box([(0, 3), (1, 2)]).card() == 8
+
+    def test_triangle(self):
+        assert tri(4).card() == 10  # 1+2+3+4
+
+    def test_point(self):
+        assert Polyhedron.from_point((7, 8, 9)).card() == 1
+
+    def test_empty(self):
+        p = Polyhedron(1, ineqs=[(1, -1), (-1, 0)])
+        assert p.card() == 0
+
+    def test_with_equality(self):
+        # diagonal of a 4x4 box
+        p = Polyhedron.box([(0, 3), (0, 3)]).add_constraint((1, -1, 0), is_eq=True)
+        assert p.card() == 4
+
+    def test_lattice_1d(self):
+        # even points in [0, 6]: x = 2y projected representation
+        p = Polyhedron(2, eqs=[(1, -2, 0)], ineqs=[(1, 0, 0), (-1, 0, 6)])
+        assert p.card() == 4  # (0,0),(2,1),(4,2),(6,3)
+
+
+class TestPoints:
+    def test_lexicographic(self):
+        pts = list(Polyhedron.box([(0, 1), (0, 1)]).points())
+        assert pts == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_triangle_points(self):
+        pts = set(tri(3).points())
+        assert pts == {(0, 0), (1, 0), (1, 1), (2, 0), (2, 1), (2, 2)}
+
+    def test_sample(self):
+        assert tri(4).sample() == (0, 0)
+        empty = Polyhedron(1, ineqs=[(1, -1), (-1, 0)])
+        assert empty.sample() is None
+
+
+class TestSubset:
+    def test_box_in_box(self):
+        small = Polyhedron.box([(1, 2), (1, 2)])
+        big = Polyhedron.box([(0, 3), (0, 3)])
+        assert small.is_subset(big)
+        assert not big.is_subset(small)
+
+    def test_equality(self):
+        a = Polyhedron.box([(0, 3)])
+        b = Polyhedron(1, ineqs=[(1, 0), (-1, 3)])
+        assert a == b
+
+    def test_empty_subset_of_all(self):
+        e = Polyhedron(1, ineqs=[(1, -1), (-1, 0)])
+        assert e.is_subset(Polyhedron.box([(5, 6)]))
+
+
+class TestPermute:
+    def test_swap(self):
+        t = tri(4)  # j <= i
+        s = t.permute([1, 0])  # now dims are (j, i): i <= ... wait, j is dim0
+        assert s.contains((0, 3))  # (j=0, i=3)
+        assert not s.contains((3, 0))
+
+    def test_fix(self):
+        b = Polyhedron.box([(0, 3), (1, 2)])
+        f = b.fix(0, 2)
+        assert f.dim == 1
+        assert f.var_bounds(0) == (1, 2)

@@ -1,0 +1,133 @@
+"""Unit tests for named sets (ISet) and piecewise-affine maps (IMap)."""
+
+import pytest
+
+from repro.poly import (
+    AffineExpr,
+    AffineFunction,
+    IMap,
+    ISet,
+    Polyhedron,
+    Space,
+)
+
+
+class TestSpace:
+    def test_basic(self):
+        s = Space(["i", "j"])
+        assert s.dim == 2
+        assert s.index("j") == 1
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Space(["i", "i"])
+
+
+class TestISet:
+    def setup_method(self):
+        self.space = Space(["i", "j"])
+        self.box = ISet(self.space, [Polyhedron.box([(0, 3), (0, 3)])])
+
+    def test_empty_and_universe(self):
+        assert ISet.empty(self.space).is_empty()
+        assert not ISet.universe(self.space).is_empty()
+
+    def test_contains_and_card(self):
+        assert self.box.contains((0, 0))
+        assert not self.box.contains((4, 0))
+        assert self.box.card() == 16
+
+    def test_from_points(self):
+        s = ISet.from_points(self.space, [(1, 2), (3, 0)])
+        assert s.card() == 2
+        assert s.contains((1, 2)) and s.contains((3, 0))
+
+    def test_union_and_intersect(self):
+        a = ISet(self.space, [Polyhedron.box([(0, 1), (0, 1)])])
+        b = ISet(self.space, [Polyhedron.box([(1, 2), (1, 2)])])
+        u = a.union(b)
+        assert u.contains((0, 0)) and u.contains((2, 2))
+        i = a.intersect(b)
+        assert i.card() == 1 and i.contains((1, 1))
+
+    def test_coalesce_drops_subsumed(self):
+        small = Polyhedron.box([(1, 2), (1, 2)])
+        big = Polyhedron.box([(0, 3), (0, 3)])
+        s = ISet(self.space, [small, big]).coalesce()
+        assert len(s.pieces) == 1
+        assert s.card() == 16
+
+    def test_equality(self):
+        a = ISet(self.space, [Polyhedron.box([(0, 3), (0, 3)])])
+        b = ISet(
+            self.space,
+            [
+                Polyhedron.box([(0, 3), (0, 1)]),
+                Polyhedron.box([(0, 3), (2, 3)]),
+            ],
+        )
+        assert a == b  # same point set, different pieces
+
+    def test_space_mismatch_rejected(self):
+        other = ISet(Space(["x", "y"]), [Polyhedron.box([(0, 1), (0, 1)])])
+        with pytest.raises(ValueError):
+            self.box.union(other)
+
+    def test_pretty_mentions_names(self):
+        s = self.box.pretty()
+        assert "i" in s and "j" in s
+
+    def test_points_enumeration(self):
+        s = ISet.from_points(self.space, [(0, 1), (2, 3)])
+        assert sorted(s.points()) == [(0, 1), (2, 3)]
+
+
+class TestIMap:
+    def setup_method(self):
+        self.inp = Space(["i", "j"])
+        self.out = Space(["p", "q"])
+        dom = Polyhedron.box([(0, 3), (1, 3)])
+        fn = AffineFunction(
+            [AffineExpr((1, 0), 0), AffineExpr((0, 1), -1)]
+        )
+        self.m = IMap(self.inp, self.out, [(dom, fn)])
+
+    def test_apply(self):
+        assert self.m.apply((2, 3)) == (2, 2)
+        assert self.m.apply((9, 9)) is None  # outside the domain
+
+    def test_domain(self):
+        d = self.m.domain()
+        assert d.card() == 12
+
+    def test_delta_signs(self):
+        # identity on i (0), shift -1 on j -> producer one behind: '+'
+        sigs = self.m.delta_signs()
+        assert sigs == [("0", "+")]
+
+    def test_multi_piece_map(self):
+        # boundary clamp: j = max(j-1, 0)
+        d1 = Polyhedron.box([(0, 3), (0, 0)])
+        f1 = AffineFunction([AffineExpr((1, 0), 0), AffineExpr((0, 0), 0)])
+        d2 = Polyhedron.box([(0, 3), (1, 3)])
+        f2 = AffineFunction([AffineExpr((1, 0), 0), AffineExpr((0, 1), -1)])
+        m = IMap(self.inp, self.out, [(d1, f1), (d2, f2)])
+        assert m.apply((2, 0)) == (2, 0)
+        assert m.apply((2, 2)) == (2, 1)
+        sigs = m.delta_signs()
+        assert ("0", "0") in sigs and ("0", "+") in sigs
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            IMap(
+                self.inp,
+                self.out,
+                [(Polyhedron.box([(0, 1)]), AffineFunction([]))],
+            )
+
+    def test_empty_map(self):
+        m = IMap(self.inp, self.out, [])
+        assert m.is_empty()
+
+    def test_pretty(self):
+        assert "->" in self.m.pretty()

@@ -1,0 +1,236 @@
+"""Schedule-analysis tests on canonical kernels.
+
+Each kernel is built through the frontend, run through the full
+profile-fold-analyze pipeline, and checked against textbook dependence
+facts: which loops are parallel, which bands are permutable/tilable,
+where skewing is needed, which permutations are legal.
+"""
+
+import pytest
+
+from repro.isa import Memory, ProgramBuilder
+from repro.pipeline import ProgramSpec, analyze
+from repro.schedule import tilable_depth, permutation_legal
+
+
+def make_spec(name, build_main, nwords=512):
+    pb = ProgramBuilder(name)
+    with pb.function("main", ["A", "B", "C"]) as f:
+        build_main(f)
+        f.halt()
+
+    def state():
+        mem = Memory()
+        a = mem.alloc_array([float(i % 7) for i in range(nwords)])
+        b = mem.alloc_array([float(i % 5) for i in range(nwords)])
+        c = mem.alloc(nwords, init=0.0)
+        return (a, b, c), mem
+
+    return ProgramSpec(name, pb.build(), state)
+
+
+N = 8
+
+
+def leaf_nodes(result):
+    return [n for n in result.forest.walk() if n.is_innermost()]
+
+
+def the_leaf(result):
+    leaves = [n for n in leaf_nodes(result) if n.ops_total > 10]
+    assert len(leaves) == 1, f"expected one hot leaf, got {leaves}"
+    return leaves[0]
+
+
+def chain_of(result, leaf):
+    return [result.forest.node_at(leaf.path[: k + 1]) for k in range(leaf.depth)]
+
+
+class TestCopyKernel:
+    """B[i][j] = A[i][j]: fully parallel, fully permutable."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        def body(f):
+            with f.loop(0, N) as i:
+                with f.loop(0, N) as j:
+                    idx = f.add(f.mul(i, N), j)
+                    v = f.load("A", index=idx)
+                    f.store("B", v, index=idx)
+
+        return analyze(make_spec("copy2d", body))
+
+    def test_both_loops_parallel(self, result):
+        leaf = the_leaf(result)
+        outer, inner = chain_of(result, leaf)
+        assert outer.parallel and inner.parallel
+
+    def test_fully_permutable_band(self, result):
+        leaf = the_leaf(result)
+        depth, skews = tilable_depth(result.forest, leaf)
+        assert depth == 2 and skews == {}
+
+    def test_all_permutations_legal(self, result):
+        leaf = the_leaf(result)
+        assert permutation_legal(result.forest, leaf, (0, 1))
+        assert permutation_legal(result.forest, leaf, (1, 0))
+
+    def test_plan_suggests_parallel_and_simd(self, result):
+        (plan,) = [p for p in result.plans if p.leaf.ops_total > 10]
+        kinds = {s.kind for s in plan.steps}
+        assert "parallel" in kinds
+        assert plan.simd
+
+
+class TestReduction:
+    """sum += A[i]: the loop is sequential (carried register dep)."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        def body(f):
+            acc = f.set(f.fresh_reg("acc"), 0.0)
+            with f.loop(0, N * 4) as i:
+                v = f.load("A", index=i)
+                f.fadd(acc, v, into=acc)
+            f.store("C", acc, index=0)
+
+        return analyze(make_spec("reduce", body))
+
+    def test_loop_not_parallel(self, result):
+        leaf = the_leaf(result)
+        assert leaf.parallel is False
+
+    def test_band_is_trivial(self, result):
+        leaf = the_leaf(result)
+        depth, _ = tilable_depth(result.forest, leaf)
+        assert depth == 1
+
+
+class TestLayerforwardShape:
+    """The backprop kernel: outer parallel, inner sequential,
+    2-D permutable band (Table 3's Llayer row)."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.workloads.examples_paper import layerforward_kernel
+
+        return analyze(layerforward_kernel(n1=7, n2=6))
+
+    def leaf(self, result):
+        leaves = [
+            n
+            for n in result.forest.walk()
+            if n.is_innermost() and n.depth == 2
+        ]
+        assert len(leaves) == 1
+        return leaves[0]
+
+    def test_outer_parallel_inner_not(self, result):
+        leaf = self.leaf(result)
+        outer = result.forest.node_at(leaf.path[:1])
+        assert outer.parallel is True     # j iterations independent
+        assert leaf.parallel is False     # sum recurrence on k
+
+    def test_permutable_band_of_two(self, result):
+        leaf = self.leaf(result)
+        depth, skews = tilable_depth(result.forest, leaf)
+        assert depth == 2 and skews == {}
+
+    def test_interchange_legal(self, result):
+        leaf = self.leaf(result)
+        assert permutation_legal(result.forest, leaf, (1, 0))
+
+
+class TestSeidelStencil:
+    """A[i][j] = A[i-1][j] + A[i][j-1]: no parallel loop, but the 2-D
+    band is permutable, hence tilable + wavefront-parallel."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        def body(f):
+            with f.loop(1, N) as i:
+                with f.loop(1, N) as j:
+                    up = f.load("A", index=f.add(f.mul(f.sub(i, 1), N), j))
+                    left = f.load("A", index=f.add(f.mul(i, N), f.sub(j, 1)))
+                    f.store("A", f.fadd(up, left), index=f.add(f.mul(i, N), j))
+
+        return analyze(make_spec("seidel", body))
+
+    def test_no_parallel_loop(self, result):
+        leaf = the_leaf(result)
+        outer, inner = chain_of(result, leaf)
+        assert outer.parallel is False
+        assert inner.parallel is False
+
+    def test_tilable_band_of_two(self, result):
+        leaf = the_leaf(result)
+        depth, skews = tilable_depth(result.forest, leaf)
+        assert depth == 2 and skews == {}
+
+
+class TestJacobiInPlaceSkew:
+    """for t: for i: A[i] = A[i-1] + A[i] + A[i+1] (in place).
+
+    Distance vectors include (1, -1) [flow from A[i+1]'s producer],
+    which blocks plain permutability; a skew i' = i + t legalizes the
+    band -- the classic time-skewing result."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        def body(f):
+            with f.loop(0, N) as t:
+                with f.loop(1, N * 2) as i:
+                    a = f.load("A", index=f.sub(i, 1))
+                    b = f.load("A", index=i)
+                    c = f.load("A", index=f.add(i, 1))
+                    f.store("A", f.fadd(f.fadd(a, b), c), index=i)
+
+        return analyze(make_spec("jacobi1d", body))
+
+    def test_neither_loop_parallel(self, result):
+        leaf = the_leaf(result)
+        outer, inner = chain_of(result, leaf)
+        assert outer.parallel is False
+        assert inner.parallel is False
+
+    def test_band_requires_skew(self, result):
+        leaf = the_leaf(result)
+        depth, skews = tilable_depth(result.forest, leaf)
+        assert depth == 2
+        assert skews == {1: 1}  # inner skewed once by outer
+
+    def test_interchange_illegal(self, result):
+        leaf = the_leaf(result)
+        assert not permutation_legal(result.forest, leaf, (1, 0))
+
+    def test_skew_recorded_on_node(self, result):
+        leaf = the_leaf(result)
+        assert leaf.skew_factor == 1
+
+
+class TestColumnMajorInterchange:
+    """B[j][i] traversal: interchange improves stride and is legal."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        def body(f):
+            with f.loop(0, N) as i:
+                with f.loop(0, N) as j:
+                    # column-major access: stride N in j, stride 1 in i
+                    idx = f.add(f.mul(j, N), i)
+                    v = f.load("A", index=idx)
+                    f.store("B", v, index=idx)
+
+        return analyze(make_spec("colmajor", body))
+
+    def test_interchange_suggested(self, result):
+        (plan,) = [p for p in result.plans if p.leaf.ops_total > 10]
+        assert plan.interchange
+        assert plan.permutation == (1, 0)
+
+    def test_stride_scores_reflect_layout(self, result):
+        from repro.feedback import stride_scores
+
+        leaf = the_leaf(result)
+        scores = stride_scores(leaf)
+        assert scores[0] > scores[1]  # i innermost would be stride-1

@@ -1,0 +1,121 @@
+"""Fusion / component-structure tests (Table 5 columns C, Comp.)."""
+
+import pytest
+
+from repro.isa import Memory, ProgramBuilder
+from repro.pipeline import ProgramSpec, analyze
+from repro.schedule import fuse_components
+
+
+def make_spec(name, build_main, nwords=256):
+    pb = ProgramBuilder(name)
+    with pb.function("main", ["A", "B", "C"]) as f:
+        build_main(f)
+        f.halt()
+
+    def state():
+        mem = Memory()
+        a = mem.alloc_array([float(i % 7) for i in range(nwords)])
+        b = mem.alloc(nwords, init=0.0)
+        c = mem.alloc(nwords, init=0.0)
+        return (a, b, c), mem
+
+    return ProgramSpec(name, pb.build(), state)
+
+
+N = 12
+
+
+class TestProducerConsumerLoops:
+    """B[i] = A[i]; then C[i] = B[i]: fusable, and smartfuse wants it
+    (the loops share data)."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        def body(f):
+            with f.loop(0, N) as i:
+                f.store("B", f.load("A", index=i), index=i)
+            with f.loop(0, N) as i:
+                f.store("C", f.load("B", index=i), index=i)
+
+        return analyze(make_spec("prodcons", body))
+
+    def test_two_components_before(self, result):
+        fr = fuse_components(result.forest, heuristic="S")
+        assert fr.components_before == 2
+
+    def test_smartfuse_merges(self, result):
+        fr = fuse_components(result.forest, heuristic="S")
+        assert fr.components_after == 1
+
+    def test_maxfuse_merges(self, result):
+        fr = fuse_components(result.forest, heuristic="M")
+        assert fr.components_after == 1
+
+
+class TestIndependentLoops:
+    """B[i] = A[i]; C[i] = A[i] + 1: no shared data -> smartfuse keeps
+    them distributed, maxfuse merges."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        def body(f):
+            with f.loop(0, N) as i:
+                f.store("B", f.load("A", index=i), index=i)
+            with f.loop(0, N) as i:
+                f.store("C", f.fadd(f.load("A", index=i), 1.0), index=i)
+
+        return analyze(make_spec("indep", body))
+
+    def test_smartfuse_distributes(self, result):
+        fr = fuse_components(result.forest, heuristic="S")
+        assert fr.components_before == 2
+        assert fr.components_after == 2
+
+    def test_maxfuse_merges(self, result):
+        fr = fuse_components(result.forest, heuristic="M")
+        assert fr.components_after == 1
+
+
+class TestFusionBlockingDep:
+    """C[i] = B[N-1-i] after B[i] = A[i]: reversed consumption makes
+    identity-aligned fusion illegal -> stays distributed everywhere."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        def body(f):
+            with f.loop(0, N) as i:
+                f.store("B", f.load("A", index=i), index=i)
+            with f.loop(0, N) as i:
+                rev = f.sub(N - 1, i)
+                f.store("C", f.load("B", index=rev), index=i)
+
+        return analyze(make_spec("revdep", body))
+
+    def test_neither_heuristic_fuses(self, result):
+        for h in ("S", "M"):
+            fr = fuse_components(result.forest, heuristic=h)
+            assert fr.components_after == 2, h
+
+
+class TestTinyLoopBelowThreshold:
+    """A loop with <5% of region ops is not a component."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        def body(f):
+            with f.loop(0, 2) as i:      # tiny: not a component
+                f.store("B", 0.0, index=i)
+            with f.loop(0, 64) as i:     # hot
+                with f.loop(0, 8) as j:
+                    f.store(
+                        "C",
+                        f.load("A", index=j),
+                        index=f.mod(f.add(i, j), 256),
+                    )
+
+        return analyze(make_spec("tiny", body))
+
+    def test_component_counting(self, result):
+        fr = fuse_components(result.forest, heuristic="S")
+        assert fr.components_before == 1

@@ -1,0 +1,86 @@
+"""Domain-parameterization tests (paper section 6's scalability trick)."""
+
+import pytest
+
+from repro.isa import Memory, ProgramBuilder
+from repro.pipeline import ProgramSpec, analyze
+from repro.schedule.parameterize import (
+    Parameterizer,
+    parameterize_domains,
+)
+
+
+class TestParameterizer:
+    def test_small_constants_untouched(self):
+        pz = Parameterizer(threshold=64)
+        c = pz.rewrite_row((1, 0, -5), False)
+        assert c.const == -5 and not c.params
+
+    def test_large_constant_becomes_parameter(self):
+        pz = Parameterizer(threshold=64)
+        c = pz.rewrite_row((-1, 1023), False)   # i <= 1023
+        assert c.params
+        (p, mult) = c.params[0]
+        assert p.value == 1023 and mult == 1
+        assert c.const == 0
+
+    def test_window_reuse(self):
+        """Constants within the slack window share one parameter --
+        the paper replaces x in [1024-s, 1024+s] by n + (x - 1024)."""
+        pz = Parameterizer(threshold=64, slack=20)
+        a = pz.rewrite_row((-1, 1024), False)
+        b = pz.rewrite_row((-1, 1030), False)
+        assert a.params[0][0] is b.params[0][0]   # same parameter
+        assert b.const == 6                       # n + (1030 - 1024)
+        c = pz.rewrite_row((-1, 2048), False)
+        assert c.params[0][0] is not a.params[0][0]
+        assert pz.constants_parameterized == 3
+
+    def test_negative_constants(self):
+        pz = Parameterizer(threshold=64)
+        c = pz.rewrite_row((1, -100), False)   # i >= 100
+        (p, mult) = c.params[0]
+        assert mult == -1 and p.value == 100
+
+    def test_pretty(self):
+        pz = Parameterizer(threshold=64)
+        c = pz.rewrite_row((-1, 1024), False)
+        s = c.pretty(["i"])
+        assert "n0" in s and ">= 0" in s
+
+
+class TestOnFoldedDDG:
+    def test_counts_parameters_for_large_trip_counts(self):
+        pb = ProgramBuilder("big")
+        with pb.function("main", ["A"]) as f:
+            with f.loop(0, 300) as i:        # large constant bound
+                f.store("A", 0.0, index=f.mod(i, 64))
+            with f.loop(0, 310) as i:        # within one slack window? no (s=20 -> 290..310 not covering 300±20 boundary check)
+                f.store("A", 1.0, index=f.mod(i, 64))
+            f.halt()
+
+        def state():
+            mem = Memory()
+            return (mem.alloc(64, 0.0),), mem
+
+        result = analyze(ProgramSpec("big", pb.build(), state))
+        res = parameterize_domains(result.folded, threshold=64, slack=20)
+        assert res.constants_parameterized > 0
+        # 299 and 309 fall in one window of slack 20 -> one parameter
+        assert res.parameter_count == 1
+        assert res.constants_seen >= res.constants_parameterized
+
+    def test_small_domains_produce_no_parameters(self):
+        pb = ProgramBuilder("small")
+        with pb.function("main", ["A"]) as f:
+            with f.loop(0, 8) as i:
+                f.store("A", 0.0, index=i)
+            f.halt()
+
+        def state():
+            mem = Memory()
+            return (mem.alloc(8, 0.0),), mem
+
+        result = analyze(ProgramSpec("small", pb.build(), state))
+        res = parameterize_domains(result.folded, threshold=64)
+        assert res.parameter_count == 0

@@ -1,0 +1,181 @@
+"""Static-analyzer (mini-Polly) tests: each failure code triggered by
+the program feature named in the paper's Table 5 legend."""
+
+import pytest
+
+from repro.isa import Memory, ProgramBuilder
+from repro.staticpoly import analyze_static
+from repro.workloads.examples_paper import layerforward_kernel
+
+
+def build(body, params=("A", "B", "C")):
+    pb = ProgramBuilder("t")
+    with pb.function("main", list(params)) as f:
+        body(f)
+        f.halt()
+    return pb.build()
+
+
+class TestModelableKernels:
+    def test_clean_affine_nest_models(self):
+        def body(f):
+            with f.loop(0, 16) as i:
+                v = f.load("A", index=i)
+                f.store("B", v, index=i)
+
+        report = analyze_static(build(body), ["main"])
+        assert report.whole_region_modelable, report.reasons
+        assert report.max_modelable_depth() == 1
+
+    def test_2d_affine_nest_models(self):
+        def body(f):
+            with f.loop(0, 8) as i:
+                with f.loop(0, 8) as j:
+                    idx = f.add(f.mul(i, 8), j)
+                    f.store("B", f.load("A", index=idx), index=idx)
+
+        report = analyze_static(build(body), ["main"])
+        assert report.whole_region_modelable
+        assert report.max_modelable_depth() == 2
+
+    def test_triangular_bound_models(self):
+        # bound is an affine function of an outer IV: fine statically
+        def body(f):
+            with f.loop(0, 8) as i:
+                with f.loop(0, i, rel="le") as j:
+                    f.store("B", 0.0, index=f.add(i, j))
+
+        report = analyze_static(build(body), ["main"])
+        assert report.whole_region_modelable
+
+
+class TestFailureReasons:
+    def test_R_unhandled_call(self):
+        pb = ProgramBuilder("t")
+        with pb.function("main", ["A"]) as f:
+            with f.loop(0, 8) as i:
+                f.call("helper", ["A", i])
+            f.halt()
+        with pb.function("helper", ["A", "i"]) as f:
+            f.store("A", 1.0, index="i")
+            f.ret()
+        report = analyze_static(pb.build(), ["main"])
+        assert "R" in report.reasons
+
+    def test_simple_math_leaf_tolerated(self):
+        """Polly handles calls to exp/sqrt-like leaves (paper text)."""
+        pb = ProgramBuilder("t")
+        with pb.function("main", ["A"]) as f:
+            with f.loop(0, 8) as i:
+                v = f.load("A", index=i)
+                r = f.call("myexp", [v], want_result=True)
+                f.store("A", r, index=i)
+            f.halt()
+        with pb.function("myexp", ["x"]) as f:
+            f.ret(f.fexp("x"))
+        report = analyze_static(pb.build(), ["main"])
+        assert "R" not in report.reasons
+
+    def test_C_break_in_loop(self):
+        # a while loop with a conditional break: two exit edges
+        pb = ProgramBuilder("t")
+        with pb.function("main", ["A"]) as f:
+            w = f.while_begin()
+            v = f.load("A", index=0)
+            f.while_cond(w, "lt", v, 100)
+            h = f.if_begin("gt", f.load("A", index=1), 10)
+            f.break_to(w.exit)
+            f._start(f.fn.blocks[h.join])
+            f.store("A", 1.0, index=0)
+            f.while_end(w)
+            f.halt()
+        report = analyze_static(pb.build(), ["main"])
+        assert "C" in report.reasons
+
+    def test_B_data_dependent_bound(self):
+        def body(f):
+            n = f.load("A", index=0)   # bound loaded from memory
+            with f.loop(0, n) as i:
+                f.store("B", 0.0, index=i)
+
+        report = analyze_static(build(body), ["main"])
+        # statically the bound is unknown: B; dynamically it folds fine
+        assert "B" in report.reasons
+
+    def test_F_pointer_indirection(self):
+        def body(f):
+            with f.loop(0, 8) as i:
+                row = f.load("A", index=i)       # row pointer
+                v = f.load(row, index=i)         # indirection
+                f.store("B", v, index=i)
+
+        report = analyze_static(build(body), ["main"])
+        assert "F" in report.reasons
+
+    def test_P_non_invariant_base(self):
+        # pointer chasing: base loaded inside the loop then dereferenced
+        def body(f):
+            ptr = f.set(f.fresh_reg("p"), "A")
+            w = f.while_begin()
+            f.while_cond(w, "ne", ptr, 0)
+            nxt = f.load(ptr, offset=0)
+            f.set(ptr, nxt)
+            f.while_end(w)
+
+        pb = ProgramBuilder("t")
+        with pb.function("main", ["A"]) as f:
+            body(f)
+            f.halt()
+        report = analyze_static(pb.build(), ["main"])
+        assert "P" in report.reasons
+
+    def test_A_many_arrays_with_writes(self):
+        def body(f):
+            with f.loop(0, 8) as i:
+                a = f.load("A", index=i)
+                b = f.load("B", index=i)
+                c = f.load("C", index=i)
+                f.store("D", f.fadd(f.fadd(a, b), c), index=i)
+                f.store("E", a, index=i)
+
+        report = analyze_static(
+            build(body, params=("A", "B", "C", "D", "E")), ["main"]
+        )
+        assert "A" in report.reasons
+
+    def test_two_arrays_within_check_budget(self):
+        def body(f):
+            with f.loop(0, 8) as i:
+                f.store("B", f.load("A", index=i), index=i)
+
+        report = analyze_static(build(body), ["main"])
+        assert "A" not in report.reasons
+
+
+class TestPaperContrast:
+    def test_layerforward_static_vs_dynamic(self):
+        """The paper's headline: the row-pointer indirection defeats
+        static modeling (F) while the dynamic pipeline folds the same
+        accesses into exact affine functions."""
+        spec = layerforward_kernel(n1=5, n2=4)
+        report = analyze_static(spec.program, ["bpnn_layerforward"])
+        assert "F" in report.reasons
+        assert not report.whole_region_modelable
+
+        from repro.pipeline import analyze
+
+        result = analyze(spec)
+        assert result.folded.affine_ops() == result.folded.dyn_ops()
+
+    def test_subnest_reporting(self):
+        pb = ProgramBuilder("t")
+        with pb.function("main", ["A", "B"]) as f:
+            with f.loop(0, 8) as i:          # modelable
+                f.store("B", f.load("A", index=i), index=i)
+            with f.loop(0, 8) as i:          # indirection: fails
+                row = f.load("A", index=i)
+                f.store("B", f.load(row, offset=0), index=i)
+            f.halt()
+        report = analyze_static(pb.build(), ["main"])
+        assert not report.whole_region_modelable
+        assert len(report.modelable_nests()) == 1

@@ -1,0 +1,138 @@
+"""Unit tests for the static analyzer's value analysis internals."""
+
+import pytest
+
+from repro.isa import ProgramBuilder
+from repro.staticpoly.analyzer import UNKNOWN, _FunctionAnalysis, _is_simple_leaf
+
+
+def analysis_of(build):
+    pb = ProgramBuilder("t")
+    with pb.function("main", ["A", "n"]) as f:
+        build(f)
+        f.halt()
+    prog = pb.build()
+    return prog, _FunctionAnalysis(prog, prog.function("main"))
+
+
+class TestValueClasses:
+    def test_params_are_symbols_with_roots(self):
+        _, fa = analysis_of(lambda f: f.add(1, 1))
+        v = fa.value_of("A")
+        assert v is not UNKNOWN
+        assert "A" in v.roots
+
+    def test_constants(self):
+        def body(f):
+            f.const(5, hint="c")
+
+        _, fa = analysis_of(body)
+        reg = "%c1"
+        v = fa.value_of(reg)
+        assert v is not UNKNOWN and v.is_const() and v.const == 5
+
+    def test_affine_combination(self):
+        captured = {}
+
+        def body(f):
+            t = f.add(f.mul("n", 3), 7)
+            captured["t"] = t
+
+        _, fa = analysis_of(body)
+        v = fa.value_of(captured["t"])
+        assert v is not UNKNOWN
+        assert v.terms == {"param:n": 3}
+        assert v.const == 7
+
+    def test_load_is_unknown(self):
+        captured = {}
+
+        def body(f):
+            captured["v"] = f.load("A", index=0)
+
+        _, fa = analysis_of(body)
+        assert fa.value_of(captured["v"]) is UNKNOWN
+
+    def test_var_times_var_unknown(self):
+        captured = {}
+
+        def body(f):
+            captured["v"] = f.mul("n", "n")
+
+        _, fa = analysis_of(body)
+        assert fa.value_of(captured["v"]) is UNKNOWN
+
+    def test_induction_variable_recognized(self):
+        captured = {}
+
+        def body(f):
+            with f.loop(0, "n") as i:
+                captured["iv"] = i
+                f.add(i, 0)
+
+        _, fa = analysis_of(body)
+        v = fa.value_of(captured["iv"])
+        assert v is not UNKNOWN
+        assert any(k.startswith("iv:") for k in v.terms)
+
+    def test_address_affine_in_iv(self):
+        captured = {}
+
+        def body(f):
+            with f.loop(0, "n") as i:
+                a, off = f.addr("A", index=i, scale=2)
+                captured["a"] = a
+
+        _, fa = analysis_of(body)
+        v = fa.value_of(captured["a"])
+        assert v is not UNKNOWN
+        assert "A" in v.roots
+        assert any(c == 2 for c in v.terms.values())
+
+    def test_multi_def_non_iv_unknown(self):
+        captured = {}
+
+        def body(f):
+            r = f.set(f.fresh_reg("r"), 1)
+            f.set(r, 2)  # two defs, not the IV pattern
+            captured["r"] = r
+
+        _, fa = analysis_of(body)
+        assert fa.value_of(captured["r"]) is UNKNOWN
+
+    def test_immediates(self):
+        _, fa = analysis_of(lambda f: f.add(1, 1))
+        assert fa.value_of(7).const == 7
+        assert fa.value_of(1.5) is UNKNOWN  # floats are not index math
+
+
+class TestSimpleLeaf:
+    def test_pure_math_leaf(self):
+        pb = ProgramBuilder("t")
+        with pb.function("main", []) as f:
+            f.halt()
+        with pb.function("exp_like", ["x"]) as f:
+            f.ret(f.fexp("x"))
+        prog = pb.build()
+        assert _is_simple_leaf(prog.function("exp_like"))
+
+    def test_memory_disqualifies(self):
+        pb = ProgramBuilder("t")
+        with pb.function("main", []) as f:
+            f.halt()
+        with pb.function("reader", ["p"]) as f:
+            f.ret(f.load("p", offset=0))
+        prog = pb.build()
+        assert not _is_simple_leaf(prog.function("reader"))
+
+    def test_loop_disqualifies(self):
+        pb = ProgramBuilder("t")
+        with pb.function("main", []) as f:
+            f.halt()
+        with pb.function("loopy", ["n"]) as f:
+            acc = f.set(f.fresh_reg("a"), 0.0)
+            with f.loop(0, "n") as i:
+                f.fadd(acc, 1.0, into=acc)
+            f.ret(acc)
+        prog = pb.build()
+        assert not _is_simple_leaf(prog.function("loopy"))

@@ -1,0 +1,64 @@
+"""CLI tests (python -m repro ...)."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "backprop" in out and "streamcluster" in out
+
+    def test_report(self, capsys):
+        assert main(["report", "nn"]) == 0
+        out = capsys.readouterr().out
+        assert "folded statements" in out
+        assert "parallel=" in out
+
+    def test_metrics(self, capsys):
+        assert main(["metrics", "nn"]) == 0
+        out = capsys.readouterr().out
+        assert "%Aff" in out and "TileD" in out
+
+    def test_static(self, capsys):
+        assert main(["static", "nn"]) == 0
+        out = capsys.readouterr().out
+        assert "whole region modelable: False" in out
+
+    def test_verify(self, capsys):
+        assert main(["verify", "nn"]) == 0
+        out = capsys.readouterr().out
+        assert "all plans verified" in out
+
+    def test_flamegraph(self, tmp_path, capsys):
+        out_file = str(tmp_path / "fg.svg")
+        assert main(["flamegraph", "nn", "-o", out_file]) == 0
+        with open(out_file) as fh:
+            svg = fh.read()
+        assert svg.startswith("<svg")
+
+    def test_unknown_workload(self):
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["report", "nope"])
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert "backprop" in proc.stdout
+
+    def test_regions(self, capsys):
+        assert main(["regions", "nn"]) == 0
+        out = capsys.readouterr().out
+        assert "candidate regions" in out
+        assert "transformable" in out
