@@ -10,6 +10,11 @@ drive POLY-PROF over a binary:
 * ``static <workload>``       -- the static (mini-Polly) baseline view
 * ``verify <workload>``       -- verify every suggested plan polyhedrally
 * ``regions <workload>``      -- rank candidate regions of interest
+* ``suite [workloads...]``    -- analyze many workloads in parallel
+
+Analysis commands take ``--engine {fast,reference}`` (default fast:
+block-compiled VM, batched instrumentation, fast folding backend);
+``suite`` additionally takes ``--jobs`` and ``--timeout``.
 """
 
 from __future__ import annotations
@@ -49,7 +54,7 @@ def cmd_report(args) -> int:
     from .pipeline import analyze
 
     spec = _get_spec(args.workload)
-    result = analyze(spec)
+    result = analyze(spec, engine=args.engine)
     print(
         f"{spec.name}: {result.ddg_profile.builder.instr_count} dynamic "
         f"instructions, {result.folded.stmt_count()} folded statements, "
@@ -65,7 +70,7 @@ def cmd_metrics(args) -> int:
     from .pipeline import analyze
 
     spec = _get_spec(args.workload)
-    result = analyze(spec)
+    result = analyze(spec, engine=args.engine)
     m = compute_region_metrics(
         result.folded,
         result.forest,
@@ -85,7 +90,7 @@ def cmd_flamegraph(args) -> int:
     from .pipeline import analyze
 
     spec = _get_spec(args.workload)
-    result = analyze(spec)
+    result = analyze(spec, engine=args.engine)
     svg = render_flamegraph_svg(
         result.schedule_tree,
         title=f"poly-prof annotated flame graph: {spec.name}",
@@ -118,7 +123,7 @@ def cmd_regions(args) -> int:
     from .pipeline import analyze
 
     spec = _get_spec(args.workload)
-    result = analyze(spec)
+    result = analyze(spec, engine=args.engine)
     total = result.folded.dyn_ops() or 1
     print("candidate regions (best first):")
     for cand in suggest_regions(result, top=8):
@@ -135,7 +140,7 @@ def cmd_verify(args) -> int:
     from .schedule import verify_plan
 
     spec = _get_spec(args.workload)
-    result = analyze(spec)
+    result = analyze(spec, engine=args.engine)
     bad = 0
     for plan in result.plans:
         if not plan.steps:
@@ -153,6 +158,32 @@ def cmd_verify(args) -> int:
     return 0 if bad == 0 else 1
 
 
+def cmd_suite(args) -> int:
+    from .runner import render_suite_table, run_suite
+    from .workloads import RODINIA_ORDER
+
+    names = args.workloads or list(RODINIA_ORDER)
+    results = run_suite(
+        names,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        engine=args.engine,
+        clamp=args.clamp,
+    )
+    print(render_suite_table(results))
+    return 0 if all(r.ok for r in results) else 1
+
+
+def _add_engine_arg(p) -> None:
+    p.add_argument(
+        "--engine",
+        choices=("fast", "reference"),
+        default="fast",
+        help="execution/folding path: block-compiled fast engine "
+        "(default) or the reference interpreter",
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -164,15 +195,46 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for name, help_ in (
         ("report", "full feedback report"),
         ("metrics", "Table 5 metrics row"),
-        ("static", "static (mini-Polly) baseline"),
         ("verify", "verify suggested plans polyhedrally"),
         ("regions", "rank candidate regions of interest"),
     ):
         p = sub.add_parser(name, help=help_)
         p.add_argument("workload")
+        _add_engine_arg(p)
+    p = sub.add_parser("static", help="static (mini-Polly) baseline")
+    p.add_argument("workload")
     p = sub.add_parser("flamegraph", help="write annotated flame-graph SVG")
     p.add_argument("workload")
     p.add_argument("-o", "--output", default=None)
+    _add_engine_arg(p)
+    p = sub.add_parser(
+        "suite", help="analyze many workloads in parallel"
+    )
+    p.add_argument(
+        "workloads",
+        nargs="*",
+        help="workload names (default: the whole Rodinia suite)",
+    )
+    p.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: CPU count; 1 = inline)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-workload wall-clock limit in seconds",
+    )
+    p.add_argument(
+        "--clamp",
+        type=int,
+        default=None,
+        help="per-stream folding point clamp",
+    )
+    _add_engine_arg(p)
 
     args = parser.parse_args(argv)
     handler = {
@@ -183,6 +245,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "static": cmd_static,
         "verify": cmd_verify,
         "regions": cmd_regions,
+        "suite": cmd_suite,
     }[args.command]
     return handler(args)
 

@@ -76,6 +76,15 @@ class DDGBuilder(Instrumentation):
         self._declared: Set[StmtKey] = set()
         self._current_func: str = ""
 
+        # batched (on_block) path caches.  _block_cache maps
+        # (id(instrs), ctx id) -> per-instruction metadata with the
+        # statement keys resolved and declared; the cache entry keeps a
+        # strong reference to the instrs tuple so the id stays valid.
+        # _dep_keys interns DepKey instances (their population is
+        # bounded by the static dependence structure).
+        self._block_cache: Dict[Tuple[int, int], Tuple] = {}
+        self._dep_keys: Dict[Tuple, DepKey] = {}
+
         #: dynamic instruction count (sanity/metric)
         self.instr_count = 0
 
@@ -201,3 +210,124 @@ class DDGBuilder(Instrumentation):
         # record the definition
         if instr.dest is not None:
             defs[instr.dest] = me
+
+    # -- the batched hot path ----------------------------------------------------------
+
+    def _prime_block(self, instrs, cid: int) -> Tuple:
+        """First sighting of (block, context): resolve + declare the
+        statement keys and precompute per-instruction metadata."""
+        ctx = self._cached_ctx
+        func = self._current_func
+        declared = self._declared
+        declare = self.sink.declare_statement
+        metas = []
+        for ins in instrs:
+            key: StmtKey = (ins.uid, cid)
+            if key not in declared:
+                declared.add(key)
+                declare(
+                    Statement(key=key, instr=ins, func=func, context=ctx)
+                )
+            memk = 1 if ins.is_load else (2 if ins.is_store else 0)
+            metas.append((key, ins.reg_reads(), ins.dest, memk))
+        # keep `instrs` alive so the id() cache key cannot be reused
+        return (instrs, tuple(metas))
+
+    def on_block(self, instrs, frame_id: int, values, addrs) -> None:
+        """Batched equivalent of ``on_instr`` for one executed block.
+
+        The context view, statement keys, and declaration checks are
+        per-(block, context) and cached; per-instruction work reduces
+        to labels, register-def threading, and shadow-memory ops.  The
+        emitted per-stream point sequences are identical to the
+        unbatched path (streams are keyed per statement / per
+        dependence, and batching preserves intra-stream order).
+        """
+        n = len(instrs)
+        if n == 0:
+            return
+        self.instr_count += n
+        cid, coords = self._context_view()
+        ckey = (id(instrs), cid)
+        binfo = self._block_cache.get(ckey)
+        if binfo is None:
+            binfo = self._prime_block(instrs, cid)
+            self._block_cache[ckey] = binfo
+        metas = binfo[1]
+
+        if self.schedule_tree is not None:
+            self.schedule_tree.record_context(self._cached_ctx, n, visits=n)
+
+        defs = self._reg_defs.setdefault(frame_id, {})
+        defs_get = defs.get
+        dep_keys = self._dep_keys
+        ipoints: List = []
+        dpoints: List = []
+        mem_ops: List = []
+        add_ipoint = ipoints.append
+        add_dpoint = dpoints.append
+
+        i = 0
+        for key, regs_read, dest, memk in metas:
+            value = values[i]
+            addr = addrs[i]
+            i += 1
+            if addr is not None:
+                label: Tuple[int, ...] = (addr,)
+            elif isinstance(value, int):
+                label = (value,)
+            else:
+                label = ()
+            add_ipoint((key, label))
+
+            for reg in regs_read:
+                prod = defs_get(reg)
+                if prod is not None:
+                    ident = (prod[0], key, REG_FLOW)
+                    dk = dep_keys.get(ident)
+                    if dk is None:
+                        dk = DepKey(src=prod[0], dst=key, kind=REG_FLOW)
+                        dep_keys[ident] = dk
+                    add_dpoint((dk, prod[1]))
+
+            if memk:
+                me: DynRef = (key, coords)
+                mem_ops.append((memk == 2, addr, me))
+                if dest is not None:
+                    defs[dest] = me
+            elif dest is not None:
+                defs[dest] = (key, coords)
+
+        if mem_ops:
+            results = self.shadow.process_block(mem_ops)
+            track = self.track_anti_output
+            for (is_store, _addr, me), res in zip(mem_ops, results):
+                key = me[0]
+                if not is_store:
+                    if res is not None:
+                        ident = (res[0], key, MEM_FLOW)
+                        dk = dep_keys.get(ident)
+                        if dk is None:
+                            dk = DepKey(src=res[0], dst=key, kind=MEM_FLOW)
+                            dep_keys[ident] = dk
+                        add_dpoint((dk, res[1]))
+                elif track:
+                    prev, readers = res
+                    if prev is not None:
+                        ident = (prev[0], key, MEM_OUTPUT)
+                        dk = dep_keys.get(ident)
+                        if dk is None:
+                            dk = DepKey(src=prev[0], dst=key, kind=MEM_OUTPUT)
+                            dep_keys[ident] = dk
+                        add_dpoint((dk, prev[1]))
+                    for r in readers:
+                        ident = (r[0], key, MEM_ANTI)
+                        dk = dep_keys.get(ident)
+                        if dk is None:
+                            dk = DepKey(src=r[0], dst=key, kind=MEM_ANTI)
+                            dep_keys[ident] = dk
+                        add_dpoint((dk, r[1]))
+
+        self.sink.instr_points(coords, ipoints)
+        if dpoints:
+            self.sink.dep_points(coords, dpoints)

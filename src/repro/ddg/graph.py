@@ -85,6 +85,25 @@ class DDGSink:
     ) -> None:  # pragma: no cover
         pass
 
+    # -- batched entry points (one executed block, shared coordinates) ---------
+    #
+    # The batched builder emits one call per block instead of one per
+    # point; ``coords`` is block-constant so it is hoisted into the
+    # call signature.  The defaults unbatch, so any sink keeps working;
+    # the folding sink overrides them to amortize per-point overhead.
+
+    def instr_points(self, coords: Tuple[int, ...], items) -> None:
+        """Deliver [(stmt key, label), ...] sharing one coordinate tuple."""
+        instr_point = self.instr_point
+        for key, label in items:
+            instr_point(key, coords, label)
+
+    def dep_points(self, dst_coords: Tuple[int, ...], items) -> None:
+        """Deliver [(dep key, src coords), ...] sharing dst coords."""
+        dep_point = self.dep_point
+        for dep, src_coords in items:
+            dep_point(dep, dst_coords, src_coords)
+
 
 class RecordingSink(DDGSink):
     """Stores the full (uncompressed) DDG; for tests and small runs."""

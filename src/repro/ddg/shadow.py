@@ -50,6 +50,36 @@ class ShadowMemory:
         self._writer[addr] = writer
         return prev, readers
 
+    def process_block(self, ops) -> List:
+        """Bulk read/write processing for one executed block.
+
+        ``ops`` is a sequence of ``(is_store, addr, ref)`` in execution
+        order; the result list parallels it: the :meth:`on_read` return
+        for loads, the :meth:`on_write` pair for stores.  Semantically
+        identical to calling the single-op methods in order, with the
+        cell-dict lookups hoisted out of the per-op path.
+        """
+        writer = self._writer
+        readers = self._readers
+        out: List = []
+        append = out.append
+        for is_store, addr, ref in ops:
+            if is_store:
+                prev = writer.get(addr)
+                since = readers.pop(addr, [])
+                writer[addr] = ref
+                append((prev, since))
+            else:
+                w = writer.get(addr)
+                if w is not None:
+                    rl = readers.get(addr)
+                    if rl is None:
+                        readers[addr] = [ref]
+                    else:
+                        rl.append(ref)
+                append(w)
+        return out
+
     @property
     def touched_words(self) -> int:
         return len(self._writer)

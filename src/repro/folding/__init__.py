@@ -3,6 +3,12 @@ dependence point streams (paper section 5 / tech report RR-9244).
 """
 
 from .domains import DomainFolder, fold_under
+from .fastpath import (
+    FastDomainFolder,
+    FastFoldingSink,
+    FastPiecewiseVectorFolder,
+    FastVectorFitter,
+)
 from .fitter import IncrementalAffineFitter, VectorAffineFitter
 from .folder import (
     FoldedDDG,
@@ -17,6 +23,10 @@ from .stats import CompressionStats, compression_stats, scheduler_statement_coun
 __all__ = [
     "CompressionStats",
     "DomainFolder",
+    "FastDomainFolder",
+    "FastFoldingSink",
+    "FastPiecewiseVectorFolder",
+    "FastVectorFitter",
     "fold_under",
     "FoldedDDG",
     "FoldedDep",

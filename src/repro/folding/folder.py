@@ -130,6 +130,16 @@ class _DepStream:
         self.partial = VectorAffineFitter(dst_dim, src_dim)
         self.src_dim = src_dim
 
+    def partial_results(self) -> Optional[List[Optional[AffineExpr]]]:
+        """Per-component affine expressions of the global fit (None
+        entries did not fold); None when nothing folded at all."""
+        if self.partial.failed or not self.partial.count:
+            return None
+        out = [f.result() for f in self.partial.fitters]
+        if all(e is None for e in out):
+            return None
+        return out
+
 
 class FoldingSink(DDGSink):
     """Streaming folder; call :meth:`finalize` after the run.
@@ -221,11 +231,7 @@ class FoldingSink(DDGSink):
                 stream.labels.failed = True
                 stream.partial.failed = True
             pieces = stream.labels.result()
-            partial = None
-            if not stream.partial.failed and stream.partial.count:
-                partial = [f.result() for f in stream.partial.fitters]
-                if all(e is None for e in partial):
-                    partial = None
+            partial = stream.partial_results()
             relation = None
             if pieces is not None:
                 out_space = Space([f"p{i}" for i in range(stream.src_dim)])

@@ -57,7 +57,10 @@ class DynamicScheduleTree:
         self.record_context(diiv.context(), ninstr)
 
     def record_context(
-        self, context: Sequence[Sequence[str]], ninstr: int = 1
+        self,
+        context: Sequence[Sequence[str]],
+        ninstr: int = 1,
+        visits: int = 1,
     ) -> None:
         node = self.root
         node.weight += ninstr
@@ -67,7 +70,7 @@ class DynamicScheduleTree:
                 node = node.child(element, is_loop=is_loop)
                 node.weight += ninstr
         node.self_weight += ninstr
-        node.visits += 1
+        node.visits += visits
 
     # -- views ----------------------------------------------------------------------
 

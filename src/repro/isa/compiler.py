@@ -1,0 +1,346 @@
+"""Block compiler: pre-translated closure tables for the fast engine.
+
+The reference interpreter in :mod:`repro.isa.vm` dispatches every
+dynamic instruction through a string-keyed opcode chain and resolves
+register/immediate operands with ``isinstance`` checks -- obviously
+correct, and the dominant constant factor of profiling runs.  This
+module removes that per-instruction work by translating each basic
+block *once*, at :meth:`repro.isa.program.Program.validate` time, into
+a :class:`CompiledBlock`:
+
+* every instruction becomes a *step closure* ``step(regs, memory) ->
+  (value, addr)`` with the opcode resolved to a bound handler and each
+  operand pre-split into register read vs. immediate;
+* per-block static facts (instruction count, memory/float operation
+  counts, per-opcode tallies) are precomputed so the VM can account
+  statistics per block execution instead of per instruction;
+* terminators are pre-resolved: jump targets point directly at the
+  successor :class:`CompiledBlock`, and the (immutable)
+  :class:`~repro.isa.events.JumpEvent` of every local edge is built
+  once and reused for every dynamic traversal.
+
+Step closures intentionally read registers with a plain ``regs[name]``
+lookup; the fast engine catches ``KeyError`` around the block body and
+re-raises the reference interpreter's ``VMError``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .events import JumpEvent
+from .instructions import Call, CondBr, Halt, Instr, Jump, Return
+from .program import Function, Program
+
+# terminator kinds (ints for fast dispatch in the exec loop)
+T_JUMP = 0
+T_CONDBR = 1
+T_CALL = 2
+T_RETURN = 3
+T_HALT = 4
+
+
+class CompileError(RuntimeError):
+    pass
+
+
+def _c_div(a, b):
+    # C semantics: truncate toward zero (mirrors VM._exec_instr)
+    if b == 0:
+        from .vm import VMError
+
+        raise VMError("integer division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _c_mod(a, b):
+    if b == 0:
+        from .vm import VMError
+
+        raise VMError("integer modulo by zero")
+    q = abs(a) // abs(b)
+    qq = q if (a >= 0) == (b >= 0) else -q
+    return a - b * qq
+
+
+#: two-operand value handlers (same arithmetic as VM._exec_instr)
+_BIN_FNS: Dict[str, Callable] = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": _c_div,
+    "mod": _c_mod,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: a << b,
+    "shr": lambda a, b: a >> b,
+    "cmplt": lambda a, b: 1 if a < b else 0,
+    "cmple": lambda a, b: 1 if a <= b else 0,
+    "cmpgt": lambda a, b: 1 if a > b else 0,
+    "cmpge": lambda a, b: 1 if a >= b else 0,
+    "cmpeq": lambda a, b: 1 if a == b else 0,
+    "cmpne": lambda a, b: 1 if a != b else 0,
+    "fadd": lambda a, b: float(a) + float(b),
+    "fsub": lambda a, b: float(a) - float(b),
+    "fmul": lambda a, b: float(a) * float(b),
+    "fdiv": lambda a, b: float(a) / float(b),
+    "fmin": lambda a, b: min(float(a), float(b)),
+    "fmax": lambda a, b: max(float(a), float(b)),
+}
+
+#: one-operand value handlers
+_UN_FNS: Dict[str, Callable] = {
+    "mov": lambda a: a,
+    "fneg": lambda a: -float(a),
+    "fabs": lambda a: abs(float(a)),
+    "fsqrt": math.sqrt,
+    "fexp": lambda a: math.exp(min(a, 700.0)),
+    "flog": math.log,
+    "itof": float,
+    "ftoi": int,
+}
+
+_REL_FNS: Dict[str, Callable] = {
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+}
+
+
+def _getter(src):
+    """Operand resolver closure: register read or bound immediate."""
+    if isinstance(src, str):
+        def get(regs, _r=src):
+            return regs[_r]
+    else:
+        def get(regs, _v=src):
+            return _v
+    return get
+
+
+def _compile_instr(instr: Instr):
+    """One instruction -> step(regs, memory) -> (value, addr)."""
+    op = instr.opcode
+    dest = instr.dest
+    srcs = instr.srcs
+
+    if op == "const":
+        v0 = srcs[0]
+
+        def step(regs, memory, _d=dest, _v=v0):
+            regs[_d] = _v
+            return _v, None
+
+        return step
+
+    if op == "load":
+        base = srcs[0]
+        off = instr.offset
+        if isinstance(base, str):
+            def step(regs, memory, _d=dest, _b=base, _o=off):
+                addr = int(regs[_b]) + _o
+                v = memory.load(addr)
+                regs[_d] = v
+                return v, addr
+        else:
+            const_base = int(base) + off
+
+            def step(regs, memory, _d=dest, _a=const_base):
+                v = memory.load(_a)
+                regs[_d] = v
+                return v, _a
+
+        return step
+
+    if op == "store":
+        base, val = srcs[0], srcs[1]
+        off = instr.offset
+        get_val = _getter(val)
+        if isinstance(base, str):
+            def step(regs, memory, _b=base, _o=off, _gv=get_val):
+                addr = int(regs[_b]) + _o
+                v = _gv(regs)
+                memory.store(addr, v)
+                return v, addr
+        else:
+            const_base = int(base) + off
+
+            def step(regs, memory, _a=const_base, _gv=get_val):
+                v = _gv(regs)
+                memory.store(_a, v)
+                return v, _a
+
+        return step
+
+    if len(srcs) > 1 and op in _BIN_FNS:
+        fn = _BIN_FNS[op]
+        a, b = srcs[0], srcs[1]
+        a_reg = isinstance(a, str)
+        b_reg = isinstance(b, str)
+        if a_reg and b_reg:
+            def step(regs, memory, _f=fn, _d=dest, _a=a, _b=b):
+                v = _f(regs[_a], regs[_b])
+                regs[_d] = v
+                return v, None
+        elif a_reg:
+            def step(regs, memory, _f=fn, _d=dest, _a=a, _b=b):
+                v = _f(regs[_a], _b)
+                regs[_d] = v
+                return v, None
+        elif b_reg:
+            def step(regs, memory, _f=fn, _d=dest, _a=a, _b=b):
+                v = _f(_a, regs[_b])
+                regs[_d] = v
+                return v, None
+        else:
+            def step(regs, memory, _f=fn, _d=dest, _a=a, _b=b):
+                v = _f(_a, _b)
+                regs[_d] = v
+                return v, None
+        return step
+
+    if op in _UN_FNS:
+        fn = _UN_FNS[op]
+        a = srcs[0]
+        if isinstance(a, str):
+            def step(regs, memory, _f=fn, _d=dest, _a=a):
+                v = _f(regs[_a])
+                regs[_d] = v
+                return v, None
+        else:
+            def step(regs, memory, _f=fn, _d=dest, _a=a):
+                v = _f(_a)
+                regs[_d] = v
+                return v, None
+        return step
+
+    # Malformed instruction (e.g. binary opcode with one operand):
+    # defer the failure to execution time, like the reference engine.
+    def step(regs, memory, _op=op):  # pragma: no cover
+        from .vm import VMError
+
+        raise VMError(f"unhandled opcode {_op!r}")
+
+    return step
+
+
+class CompiledBlock:
+    """One basic block, pre-translated for the fast engine."""
+
+    __slots__ = (
+        "func_name", "name", "instrs", "steps", "n_instrs",
+        "mem_ops", "fp_ops", "opcode_counts",
+        "term_kind",
+        # jump
+        "jump_target", "jump_event",
+        # condbr
+        "rel_fn", "br_a", "br_b", "taken", "taken_event",
+        "not_taken", "not_taken_event",
+        # call
+        "call_callee", "call_entry", "call_args", "call_arg_getters",
+        "call_dest", "call_cont", "call_cont_cb", "call_arity_ok",
+        # return
+        "ret_operand", "ret_getter",
+    )
+
+    def __init__(self, func: Function, name: str, instrs: List[Instr]) -> None:
+        self.func_name = func.name
+        self.name = name
+        self.instrs: Tuple[Instr, ...] = tuple(instrs)
+        self.steps = tuple(_compile_instr(ins) for ins in instrs)
+        self.n_instrs = len(instrs)
+        self.mem_ops = sum(1 for ins in instrs if ins.is_mem)
+        self.fp_ops = sum(1 for ins in instrs if ins.is_float)
+        self.opcode_counts = Counter(ins.opcode for ins in instrs)
+        self.term_kind = -1
+
+
+class CompiledFunction:
+    __slots__ = ("func", "name", "params", "blocks", "entry")
+
+    def __init__(self, func: Function) -> None:
+        self.func = func
+        self.name = func.name
+        self.params = func.params
+        self.blocks: Dict[str, CompiledBlock] = {}
+        self.entry: Optional[CompiledBlock] = None
+
+
+class CompiledProgram:
+    """All functions of one program, closure-compiled and linked."""
+
+    __slots__ = ("program", "funcs")
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.funcs: Dict[str, CompiledFunction] = {}
+        for fn in program.functions.values():
+            cf = CompiledFunction(fn)
+            for bb in fn.blocks.values():
+                cf.blocks[bb.name] = CompiledBlock(fn, bb.name, bb.instrs)
+            cf.entry = cf.blocks[fn.entry]
+            self.funcs[fn.name] = cf
+        # second pass: link terminators to compiled successors and
+        # pre-build the (immutable) per-edge jump events
+        for fn in program.functions.values():
+            cf = self.funcs[fn.name]
+            for bb in fn.blocks.values():
+                self._link(cf, cf.blocks[bb.name], bb.terminator, fn.name)
+
+    def _link(self, cf: CompiledFunction, cb: CompiledBlock, term, fname: str) -> None:
+        if isinstance(term, Jump):
+            cb.term_kind = T_JUMP
+            cb.jump_target = cf.blocks[term.target]
+            cb.jump_event = JumpEvent(fname, cb.name, term.target)
+        elif isinstance(term, CondBr):
+            cb.term_kind = T_CONDBR
+            cb.rel_fn = _REL_FNS[term.rel]
+            cb.br_a = _getter(term.a)
+            cb.br_b = _getter(term.b)
+            cb.taken = cf.blocks[term.taken]
+            cb.taken_event = JumpEvent(fname, cb.name, term.taken)
+            cb.not_taken = cf.blocks[term.not_taken]
+            cb.not_taken_event = JumpEvent(fname, cb.name, term.not_taken)
+        elif isinstance(term, Call):
+            cb.term_kind = T_CALL
+            callee = self.funcs[term.callee]
+            cb.call_callee = callee
+            cb.call_entry = callee.entry
+            cb.call_args = term.args
+            cb.call_arg_getters = tuple(_getter(a) for a in term.args)
+            cb.call_dest = term.dest
+            cb.call_cont = term.cont
+            cb.call_cont_cb = cf.blocks[term.cont]
+            cb.call_arity_ok = len(term.args) == len(callee.params)
+        elif isinstance(term, Return):
+            cb.term_kind = T_RETURN
+            cb.ret_operand = term.value
+            cb.ret_getter = (
+                _getter(term.value) if term.value is not None else None
+            )
+        elif isinstance(term, Halt):
+            cb.term_kind = T_HALT
+        else:  # pragma: no cover
+            raise CompileError(f"unknown terminator {term!r}")
+
+
+def compile_program(program: Program) -> CompiledProgram:
+    """Compile (or return the cached compilation of) a program.
+
+    The table is cached on the program object; programs are treated as
+    immutable once validated (mutating blocks after the first
+    ``validate()``/run is unsupported, as in any compiled setting).
+    """
+    cached = getattr(program, "_compiled", None)
+    if cached is not None and cached.program is program:
+        return cached
+    compiled = CompiledProgram(program)
+    program._compiled = compiled
+    return compiled

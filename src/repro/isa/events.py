@@ -87,5 +87,19 @@ class Instrumentation:
     def on_instr(self, instr, frame_id: int, value, addr) -> None:  # pragma: no cover
         pass
 
+    def on_block(self, instrs, frame_id: int, values, addrs) -> None:
+        """Batched delivery of one executed basic block.
+
+        The fast engine hands over the block's static instructions plus
+        the per-instruction produced values and effective addresses
+        (parallel sequences, same length) in execution order.  The base
+        implementation unbatches into ``on_instr`` so observers that
+        never heard of blocks keep working; hot observers override this
+        to amortize per-event work across the block.
+        """
+        on_instr = self.on_instr
+        for i, instr in enumerate(instrs):
+            on_instr(instr, frame_id, values[i], addrs[i])
+
     def on_halt(self) -> None:  # pragma: no cover
         pass

@@ -101,6 +101,12 @@ class Program:
                             f"{fn.name}/{bb.name}: call to unknown function "
                             f"{bb.terminator.callee!r}"
                         )
+        # A validated program is executable: pre-translate its blocks
+        # into the fast engine's closure tables (cached on the program,
+        # so revalidation is free).
+        from .compiler import compile_program
+
+        compile_program(self)
 
     def all_instrs(self) -> Iterator[Tuple[Function, BasicBlock, Instr]]:
         for fn in self.functions.values():

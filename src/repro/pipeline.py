@@ -86,13 +86,20 @@ class DDGProfile:
     wall_seconds: float = 0.0
 
 
-def profile_control(spec: ProgramSpec, fuel: int = 50_000_000) -> ControlProfile:
+def profile_control(
+    spec: ProgramSpec, fuel: int = 50_000_000, engine: str = "fast"
+) -> ControlProfile:
     """Stage 1: reconstruct the interprocedural control structure."""
     args, memory = spec.make_state()
     csb = ControlStructureBuilder()
     t0 = time.perf_counter()
     _, stats = run_program(
-        spec.program, args=args, memory=memory, observers=[csb], fuel=fuel
+        spec.program,
+        args=args,
+        memory=memory,
+        observers=[csb],
+        fuel=fuel,
+        engine=engine,
     )
     dt = time.perf_counter() - t0
     forests = {
@@ -119,6 +126,7 @@ def profile_ddg(
     track_anti_output: bool = True,
     build_schedule_tree: bool = True,
     fuel: int = 50_000_000,
+    engine: str = "fast",
 ) -> DDGProfile:
     """Stage 2: build the DDG point streams (fresh execution)."""
     args, memory = spec.make_state()
@@ -134,7 +142,12 @@ def profile_ddg(
     )
     t0 = time.perf_counter()
     _, stats = run_program(
-        spec.program, args=args, memory=memory, observers=[builder], fuel=fuel
+        spec.program,
+        args=args,
+        memory=memory,
+        observers=[builder],
+        fuel=fuel,
+        engine=engine,
     )
     dt = time.perf_counter() - t0
     return DDGProfile(builder=builder, sink=sink, stats=stats, wall_seconds=dt)
@@ -166,19 +179,26 @@ def analyze(
     max_pieces: int = 6,
     clamp: Optional[int] = None,
     fuel: int = 50_000_000,
+    engine: str = "fast",
 ) -> AnalysisResult:
     """The full POLY-PROF pipeline: profile, fold, analyze, plan.
 
     ``clamp`` bounds the points folded per stream (Fig. 1's relevance
     scalability clamping); clamped streams degrade to conservative
     over-approximations.
+
+    ``engine`` selects the execution/folding path: ``"fast"`` (block
+    compilation, batched instrumentation, fast folding backend) or
+    ``"reference"`` (the original per-instruction interpreter and
+    folder).  Both produce identical results for completed runs.
     """
-    from .folding import FoldingSink
+    from .folding import FastFoldingSink, FoldingSink
     from .schedule import analyze_forest, build_nest_forest, plan_all
     from .feedback.stride import stride_scores
 
-    control = profile_control(spec, fuel=fuel)
-    sink = FoldingSink(max_pieces=max_pieces, clamp=clamp)
+    control = profile_control(spec, fuel=fuel, engine=engine)
+    sink_cls = FastFoldingSink if engine == "fast" else FoldingSink
+    sink = sink_cls(max_pieces=max_pieces, clamp=clamp)
     ddgp = profile_ddg(
         spec,
         control,
@@ -186,6 +206,7 @@ def analyze(
         track_anti_output=track_anti_output,
         build_schedule_tree=build_schedule_tree,
         fuel=fuel,
+        engine=engine,
     )
     folded = sink.finalize()
     forest = build_nest_forest(folded)

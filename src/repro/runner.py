@@ -1,0 +1,245 @@
+"""Parallel suite runner: analyze many workloads with bounded time.
+
+The paper profiles the whole Rodinia suite; doing that serially with
+the reference interpreter takes minutes.  :func:`run_suite` fans the
+per-workload :func:`~repro.pipeline.analyze` calls out over a process
+pool (profiling is CPU-bound pure Python, so threads would not help),
+with a per-workload wall-clock timeout and graceful degradation: a
+workload that times out, crashes, or loses its worker process yields
+an error :class:`WorkloadResult` instead of sinking the suite.
+
+Tasks are either registry names (resolved in the worker via
+:func:`repro.workloads.all_workloads`) or picklable zero-argument
+callables returning a :class:`~repro.pipeline.ProgramSpec` -- anything
+a ``ProcessPoolExecutor`` can ship.  Results always come back in
+submission order, regardless of completion order.
+
+``jobs <= 1`` runs inline (no pool, no pickling), which is also the
+fallback the CLI uses on single-core machines.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+import traceback
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Union
+
+#: a suite task: a workload registry name or a spec factory
+SuiteTask = Union[str, Callable[[], "ProgramSpec"]]
+
+
+class WorkloadTimeout(Exception):
+    """Raised inside a worker when the per-workload deadline expires."""
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of analyzing one workload (always picklable)."""
+
+    name: str
+    ok: bool
+    error: Optional[str] = None
+    timed_out: bool = False
+    wall_seconds: float = 0.0
+    engine: str = "fast"
+    #: summary of the analysis when ``ok``
+    dyn_instrs: int = 0
+    statements: int = 0
+    deps: int = 0
+    plans: int = 0
+    report: Optional[str] = None
+
+    def status(self) -> str:
+        if self.ok:
+            return "ok"
+        if self.timed_out:
+            return "timeout"
+        return "error"
+
+
+@contextmanager
+def _deadline(seconds: Optional[float]):
+    """Raise :class:`WorkloadTimeout` after ``seconds`` of wall time.
+
+    Implemented with ``SIGALRM``/``setitimer``, which only works on the
+    main thread of a process (always true for pool workers and for the
+    inline path of a CLI run); anywhere else the deadline degrades to
+    unbounded rather than failing.
+    """
+    if (
+        not seconds
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _alarm(signum, frame):
+        raise WorkloadTimeout()
+
+    old_handler = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, old_handler)
+
+
+def _resolve(task: SuiteTask):
+    from .pipeline import ProgramSpec
+
+    if isinstance(task, str):
+        from .workloads import all_workloads
+
+        reg = all_workloads()
+        if task not in reg:
+            raise KeyError(
+                f"unknown workload {task!r}; available: "
+                + ", ".join(sorted(reg))
+            )
+        return reg[task]()
+    spec = task()
+    if not isinstance(spec, ProgramSpec):
+        raise TypeError(
+            f"suite task factory returned {type(spec).__name__}, "
+            "expected ProgramSpec"
+        )
+    return spec
+
+
+def task_name(task: SuiteTask) -> str:
+    if isinstance(task, str):
+        return task
+    return getattr(task, "__name__", repr(task))
+
+
+def _analyze_task(
+    task: SuiteTask,
+    engine: str,
+    fuel: int,
+    clamp: Optional[int],
+    timeout: Optional[float],
+    with_report: bool,
+) -> WorkloadResult:
+    """Worker body: analyze one workload, never raise."""
+    name = task_name(task)
+    t0 = time.perf_counter()
+    try:
+        with _deadline(timeout):
+            spec = _resolve(task)
+            name = spec.name
+            from .feedback.report import render_report
+            from .pipeline import analyze
+
+            result = analyze(spec, engine=engine, fuel=fuel, clamp=clamp)
+            report = None
+            if with_report:
+                report = render_report(
+                    result.forest,
+                    result.plans,
+                    title=f"poly-prof feedback: {spec.name}",
+                )
+        return WorkloadResult(
+            name=name,
+            ok=True,
+            wall_seconds=time.perf_counter() - t0,
+            engine=engine,
+            dyn_instrs=result.ddg_profile.builder.instr_count,
+            statements=result.folded.stmt_count(),
+            deps=len(result.folded.deps),
+            plans=len(result.plans),
+            report=report,
+        )
+    except WorkloadTimeout:
+        return WorkloadResult(
+            name=name,
+            ok=False,
+            timed_out=True,
+            error=f"timed out after {timeout:g}s",
+            wall_seconds=time.perf_counter() - t0,
+            engine=engine,
+        )
+    except BaseException as exc:  # noqa: BLE001 - error record, not crash
+        return WorkloadResult(
+            name=name,
+            ok=False,
+            error="".join(
+                traceback.format_exception_only(type(exc), exc)
+            ).strip(),
+            wall_seconds=time.perf_counter() - t0,
+            engine=engine,
+        )
+
+
+def run_suite(
+    tasks: Sequence[SuiteTask],
+    jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
+    engine: str = "fast",
+    fuel: int = 50_000_000,
+    clamp: Optional[int] = None,
+    with_report: bool = False,
+) -> List[WorkloadResult]:
+    """Analyze ``tasks``, ``jobs`` at a time; results in task order.
+
+    ``jobs`` defaults to the CPU count.  ``timeout`` bounds each
+    workload's wall time (None = unbounded).  Failures degrade to
+    error records -- the suite always returns one result per task.
+    """
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    if jobs <= 1 or len(tasks) <= 1:
+        return [
+            _analyze_task(t, engine, fuel, clamp, timeout, with_report)
+            for t in tasks
+        ]
+
+    from concurrent.futures import ProcessPoolExecutor
+
+    results: List[Optional[WorkloadResult]] = [None] * len(tasks)
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [
+            pool.submit(
+                _analyze_task, t, engine, fuel, clamp, timeout, with_report
+            )
+            for t in tasks
+        ]
+        for i, fut in enumerate(futures):
+            try:
+                results[i] = fut.result()
+            except BaseException as exc:  # BrokenProcessPool, cancel, ...
+                results[i] = WorkloadResult(
+                    name=task_name(tasks[i]),
+                    ok=False,
+                    error=f"worker failed: {exc!r}",
+                    engine=engine,
+                )
+    return results  # type: ignore[return-value]
+
+
+def render_suite_table(results: Sequence[WorkloadResult]) -> str:
+    """A compact text table of suite results."""
+    lines = [
+        f"{'workload':16s} {'status':8s} {'wall':>7s} {'dyn ops':>10s} "
+        f"{'stmts':>6s} {'deps':>6s} {'plans':>6s}"
+    ]
+    for r in results:
+        if r.ok:
+            lines.append(
+                f"{r.name:16s} {r.status():8s} {r.wall_seconds:6.2f}s "
+                f"{r.dyn_instrs:10d} {r.statements:6d} {r.deps:6d} "
+                f"{r.plans:6d}"
+            )
+        else:
+            lines.append(
+                f"{r.name:16s} {r.status():8s} {r.wall_seconds:6.2f}s "
+                f"-- {r.error}"
+            )
+    n_ok = sum(1 for r in results if r.ok)
+    lines.append(f"{n_ok}/{len(results)} workloads analyzed")
+    return "\n".join(lines)
