@@ -9,7 +9,7 @@ layout, and writes a copy under ``benchmarks/results/``.
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Sequence
+from typing import Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 

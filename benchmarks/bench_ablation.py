@@ -15,7 +15,6 @@ qualitatively; these ablations measure them:
    constraints that, e.g., make in-place stencils require skewing.
 """
 
-import pytest
 
 from _harness import emit, format_table, once
 from repro.folding import FoldingSink

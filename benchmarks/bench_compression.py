@@ -10,7 +10,6 @@ Two of the paper's quantitative claims, measured over the suite:
    value window.
 """
 
-import pytest
 
 from _harness import emit, format_table, once
 from repro.folding import FoldingSink

@@ -8,7 +8,6 @@ failure reasons R/C/B/F/A/P, compared side by side with the paper's
 reason column.
 """
 
-import pytest
 
 from _harness import emit, format_table, once
 from repro.staticpoly import analyze_static

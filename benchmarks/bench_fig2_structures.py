@@ -5,7 +5,6 @@ Rebuilds both structures from the paper's graphs and prints them in
 the figure's terms (headers, back-edges, entries, components).
 """
 
-import pytest
 
 from _harness import emit, format_table, once
 from repro.cfg import build_loop_forest, build_recursive_component_set

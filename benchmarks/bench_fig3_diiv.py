@@ -8,7 +8,6 @@ domains, which for the recursion must index C's instances by the
 recursion depth while the vector length stays bounded.
 """
 
-import pytest
 
 from _harness import emit, format_table, once
 from repro.cfg import (

@@ -7,7 +7,6 @@ attached as annotations -- the paper's main visual feedback artifact.
 The SVG is written to ``benchmarks/results/fig7_backprop.svg``.
 """
 
-import pytest
 
 from _harness import emit, once, results_path
 from repro.feedback import render_flamegraph_svg

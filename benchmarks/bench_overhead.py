@@ -9,7 +9,6 @@ total, and report the slowdown factors.
 
 import time
 
-import pytest
 
 from _harness import emit, format_table, once
 from repro.folding import FoldingSink

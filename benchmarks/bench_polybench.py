@@ -7,7 +7,6 @@ as in PolyBench"), with the expected parallel/tilable structure, and
 every suggested plan passes polyhedral verification.
 """
 
-import pytest
 
 from _harness import emit, format_table, once
 from repro.feedback import compute_region_metrics

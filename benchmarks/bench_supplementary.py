@@ -10,13 +10,12 @@ AST, the compact-DDG inventory with compression statistics, and the
 collapsed-stack flame-graph data.
 """
 
-import pytest
 
 from _harness import emit, once
 from repro.feedback import render_report
 from repro.folding import compression_stats
 from repro.pipeline import analyze
-from repro.schedule import render_ast, verify_plan
+from repro.schedule import verify_plan
 from repro.workloads.backprop import build_backprop
 
 

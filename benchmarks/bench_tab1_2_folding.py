@@ -7,7 +7,6 @@ raw dependence input stream (Table 1) and the folded dependence
 relations with their polyhedra and label expressions (Table 2).
 """
 
-import pytest
 
 from _harness import emit, format_table, once
 from repro.ddg import REG_FLOW, RecordingSink

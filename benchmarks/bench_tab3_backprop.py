@@ -9,7 +9,6 @@ model (the paper measured 5.3x / 7.8x on a Xeon; our substitute
 reports cost-model ratios -- shape, not absolute numbers).
 """
 
-import pytest
 
 from _harness import emit, format_table, once
 from repro.feedback import nest_report, stride_scores

@@ -7,7 +7,6 @@ dimensions with size 32 and parallelizes the outer loop, measuring
 order through the cache model.
 """
 
-import pytest
 
 from _harness import emit, format_table, once
 from repro.machine import CostConfig, estimate_speedup

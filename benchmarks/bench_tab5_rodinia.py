@@ -11,7 +11,6 @@ failure reasons, skew, post-transformation %||ops / %simdops,
 the paper's scheduler OOM: its transformation columns print '-'.
 """
 
-import pytest
 
 from _harness import emit, format_table, once
 from repro.feedback import compute_region_metrics

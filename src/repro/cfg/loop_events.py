@@ -26,7 +26,7 @@ caller further down the ``inLoops`` stack).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Union
 
 from ..isa.events import CallEvent, ControlEvent, JumpEvent, ReturnEvent
 from .looptree import Loop, LoopForest

@@ -17,7 +17,7 @@ reverse-post-order number as header, matching the figure's choice of
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 Edge = Tuple[str, str]
 

@@ -10,10 +10,12 @@ drive POLY-PROF over a binary:
 * ``static <workload>``       -- the static (mini-Polly) baseline view
 * ``verify <workload>``       -- verify every suggested plan polyhedrally
 * ``regions <workload>``      -- rank candidate regions of interest
+* ``lint [workloads...]``     -- static linter over workload programs
 * ``suite [workloads...]``    -- analyze many workloads in parallel
 
 Analysis commands take ``--engine {fast,reference}`` (default fast:
-block-compiled VM, batched instrumentation, fast folding backend);
+block-compiled VM, batched instrumentation, fast folding backend) and
+``--crosscheck`` (run the dynamic-vs-static soundness sanitizers);
 ``suite`` additionally takes ``--jobs`` and ``--timeout``.
 """
 
@@ -21,7 +23,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 
 def _get_spec(name: str):
@@ -49,12 +51,20 @@ def cmd_list(args) -> int:
     return 0
 
 
+def _print_crosscheck(result) -> int:
+    """Print the crosscheck summary; return the violation count."""
+    if result.crosscheck is None:
+        return 0
+    print(result.crosscheck.render())
+    return len(result.crosscheck.violations)
+
+
 def cmd_report(args) -> int:
     from .feedback import render_report
     from .pipeline import analyze
 
     spec = _get_spec(args.workload)
-    result = analyze(spec, engine=args.engine)
+    result = analyze(spec, engine=args.engine, crosscheck=args.crosscheck)
     print(
         f"{spec.name}: {result.ddg_profile.builder.instr_count} dynamic "
         f"instructions, {result.folded.stmt_count()} folded statements, "
@@ -62,7 +72,7 @@ def cmd_report(args) -> int:
     )
     print(render_report(result.forest, result.plans,
                         title=f"poly-prof feedback: {spec.name}"))
-    return 0
+    return 1 if _print_crosscheck(result) else 0
 
 
 def cmd_metrics(args) -> int:
@@ -70,7 +80,7 @@ def cmd_metrics(args) -> int:
     from .pipeline import analyze
 
     spec = _get_spec(args.workload)
-    result = analyze(spec, engine=args.engine)
+    result = analyze(spec, engine=args.engine, crosscheck=args.crosscheck)
     m = compute_region_metrics(
         result.folded,
         result.forest,
@@ -82,7 +92,7 @@ def cmd_metrics(args) -> int:
     )
     for k, v in m.row().items():
         print(f"  {k:12s} {v}")
-    return 0
+    return 1 if _print_crosscheck(result) else 0
 
 
 def cmd_flamegraph(args) -> int:
@@ -123,7 +133,7 @@ def cmd_regions(args) -> int:
     from .pipeline import analyze
 
     spec = _get_spec(args.workload)
-    result = analyze(spec, engine=args.engine)
+    result = analyze(spec, engine=args.engine, crosscheck=args.crosscheck)
     total = result.folded.dyn_ops() or 1
     print("candidate regions (best first):")
     for cand in suggest_regions(result, top=8):
@@ -132,7 +142,7 @@ def cmd_regions(args) -> int:
             f"transformable {100 * cand.transformable_ops // total:3d}%  "
             f"funcs: {', '.join(cand.funcs)}"
         )
-    return 0
+    return 1 if _print_crosscheck(result) else 0
 
 
 def cmd_verify(args) -> int:
@@ -140,7 +150,7 @@ def cmd_verify(args) -> int:
     from .schedule import verify_plan
 
     spec = _get_spec(args.workload)
-    result = analyze(spec, engine=args.engine)
+    result = analyze(spec, engine=args.engine, crosscheck=args.crosscheck)
     bad = 0
     for plan in result.plans:
         if not plan.steps:
@@ -155,6 +165,41 @@ def cmd_verify(args) -> int:
             for v in res.violations[:3]:
                 print(f"    {v}")
     print("all plans verified" if bad == 0 else f"{bad} plans VIOLATED")
+    if _print_crosscheck(result):
+        return 1
+    return 0 if bad == 0 else 1
+
+
+def cmd_lint(args) -> int:
+    import json
+
+    from .dataflow import lint_program
+    from .workloads import all_workloads
+
+    reg = all_workloads()
+    names = args.workloads or sorted(reg)
+    bad = 0
+    reports = []
+    for name in names:
+        if name not in reg:
+            options = ", ".join(sorted(reg))
+            raise SystemExit(
+                f"unknown workload {name!r}; available: {options}"
+            )
+        spec = reg[name]()
+        report = lint_program(spec.program)
+        report.program = spec.name
+        reports.append(report)
+        if not report.clean:
+            bad += 1
+    if args.format == "json":
+        print(json.dumps([r.as_dict() for r in reports], indent=2))
+    else:
+        for report in reports:
+            if report.diagnostics or args.verbose:
+                print(report.render())
+        clean = len(reports) - bad
+        print(f"{clean}/{len(reports)} workload program(s) lint clean")
     return 0 if bad == 0 else 1
 
 
@@ -169,9 +214,14 @@ def cmd_suite(args) -> int:
         timeout=args.timeout,
         engine=args.engine,
         clamp=args.clamp,
+        crosscheck=args.crosscheck,
     )
     print(render_suite_table(results))
-    return 0 if all(r.ok for r in results) else 1
+    if not all(r.ok for r in results):
+        return 1
+    if any(r.soundness_violations for r in results):
+        return 1
+    return 0
 
 
 def _add_engine_arg(p) -> None:
@@ -181,6 +231,16 @@ def _add_engine_arg(p) -> None:
         default="fast",
         help="execution/folding path: block-compiled fast engine "
         "(default) or the reference interpreter",
+    )
+
+
+def _add_crosscheck_arg(p) -> None:
+    p.add_argument(
+        "--crosscheck",
+        action="store_true",
+        help="run the dynamic-vs-static soundness sanitizers "
+        "(recount on the other engine, dependence-shape, affine "
+        "agreement, parallel-claim verification)",
     )
 
 
@@ -201,8 +261,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         p = sub.add_parser(name, help=help_)
         p.add_argument("workload")
         _add_engine_arg(p)
+        _add_crosscheck_arg(p)
     p = sub.add_parser("static", help="static (mini-Polly) baseline")
     p.add_argument("workload")
+    p = sub.add_parser(
+        "lint", help="static linter over workload programs"
+    )
+    p.add_argument(
+        "workloads",
+        nargs="*",
+        help="workload names (default: every registered workload)",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="diagnostic output format",
+    )
+    p.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="also print per-workload summaries with no findings",
+    )
     p = sub.add_parser("flamegraph", help="write annotated flame-graph SVG")
     p.add_argument("workload")
     p.add_argument("-o", "--output", default=None)
@@ -235,6 +316,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="per-stream folding point clamp",
     )
     _add_engine_arg(p)
+    _add_crosscheck_arg(p)
 
     args = parser.parse_args(argv)
     handler = {
@@ -245,6 +327,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "static": cmd_static,
         "verify": cmd_verify,
         "regions": cmd_regions,
+        "lint": cmd_lint,
         "suite": cmd_suite,
     }[args.command]
     return handler(args)

@@ -1,0 +1,70 @@
+"""Static dataflow framework over mini-ISA programs.
+
+Where :mod:`repro.staticpoly` answers the paper's Experiment II
+question ("how much can a *polyhedral* static model recover?"), this
+package provides the classic dataflow machinery a binary analyzer
+needs for *correctness* tooling: a generic forward/backward worklist
+solver over static CFGs, concrete analyses (reaching definitions,
+liveness, dominance, def-use chains, constant propagation), and two
+clients built on top of them:
+
+* :mod:`repro.dataflow.lint` -- a static linter for
+  :class:`~repro.isa.program.Program`s (``repro lint``), catching
+  defects before they burn VM fuel;
+* :mod:`repro.dataflow.crosscheck` -- a dynamic-vs-static soundness
+  sanitizer (``--crosscheck``) that validates every profile the
+  pipeline produces against what is statically provable and against
+  an independent recount of the dependence streams.
+"""
+
+from .analyses import (
+    DefSite,
+    DefUseChains,
+    Liveness,
+    MustDefined,
+    ReachingDefinitions,
+    UseSite,
+    build_def_use_chains,
+    dominators,
+    immediate_dominators,
+)
+from .cfgview import StaticCFG
+from .crosscheck import (
+    CheckOptions,
+    CountingSink,
+    CrosscheckReport,
+    Violation,
+    run_crosscheck,
+)
+from .lint import Diagnostic, LintReport, lint_program
+from .solver import DataflowAnalysis, DataflowSolution, solve
+from .values import ConstProp, TypeInference, NAC, UNDEF, branch_decided
+
+__all__ = [
+    "CheckOptions",
+    "ConstProp",
+    "CountingSink",
+    "CrosscheckReport",
+    "DataflowAnalysis",
+    "DataflowSolution",
+    "DefSite",
+    "DefUseChains",
+    "Diagnostic",
+    "LintReport",
+    "Liveness",
+    "MustDefined",
+    "NAC",
+    "ReachingDefinitions",
+    "StaticCFG",
+    "TypeInference",
+    "UNDEF",
+    "UseSite",
+    "Violation",
+    "branch_decided",
+    "build_def_use_chains",
+    "dominators",
+    "immediate_dominators",
+    "lint_program",
+    "run_crosscheck",
+    "solve",
+]

@@ -1,0 +1,149 @@
+"""Generic iterative dataflow solver (worklist algorithm).
+
+The classic fixpoint framework from binary-analysis toolkits (cf.
+"Parallel Binary Code Analysis", Meng et al.): an analysis declares a
+direction, a lattice (``top``/``boundary``/``meet``) and a block
+transfer function; :func:`solve` iterates transfer over a worklist
+seeded in reverse post-order (forward) or its reverse (backward) until
+the facts stabilize.  Facts are ordinary Python values compared with
+``==`` -- frozensets for the gen/kill analyses, dicts of lattice
+values for constant propagation.
+
+Termination is the analysis's responsibility (finite-height lattice or
+widening in ``meet``/``transfer``); the solver additionally hard-caps
+the number of visits per block as a safety net against accidentally
+infinite lattices.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generic, List, TypeVar, Union
+
+from ..isa.program import Function
+from .cfgview import StaticCFG
+
+Fact = TypeVar("Fact")
+
+#: safety cap on visits per block (far above any finite-height lattice
+#: over mini-ISA functions; hitting it means a broken ``meet``)
+MAX_VISITS_PER_BLOCK = 10_000
+
+
+class DataflowAnalysis(Generic[Fact]):
+    """Base class: declare direction, lattice, and transfer."""
+
+    #: "forward" or "backward"
+    direction: str = "forward"
+
+    def boundary(self, cfg: StaticCFG) -> Fact:
+        """Fact at the entry (forward) / at every exit (backward)."""
+        raise NotImplementedError
+
+    def top(self, cfg: StaticCFG) -> Fact:
+        """Initial optimistic fact for all other blocks."""
+        raise NotImplementedError
+
+    def meet(self, a: Fact, b: Fact) -> Fact:
+        """Combine facts at control-flow merges."""
+        raise NotImplementedError
+
+    def transfer(self, cfg: StaticCFG, block: str, fact: Fact) -> Fact:
+        """Fact at the far side of ``block`` given the near-side fact."""
+        raise NotImplementedError
+
+
+@dataclass
+class DataflowSolution(Generic[Fact]):
+    """Per-block fixpoint facts.
+
+    ``entry[b]``/``exit[b]`` are the facts at block start/end in
+    *program order* regardless of analysis direction (for a backward
+    analysis the solver transfers exit -> entry and meets over
+    successors, but the mapping below stays program-ordered).
+    """
+
+    analysis: DataflowAnalysis
+    cfg: StaticCFG
+    entry: Dict[str, Any] = field(default_factory=dict)
+    exit: Dict[str, Any] = field(default_factory=dict)
+    iterations: int = 0
+
+
+def solve(
+    analysis: DataflowAnalysis, target: Union[Function, StaticCFG]
+) -> DataflowSolution:
+    """Run ``analysis`` to fixpoint over one function's static CFG."""
+    cfg = target if isinstance(target, StaticCFG) else StaticCFG(target)
+    forward = analysis.direction == "forward"
+    if analysis.direction not in ("forward", "backward"):
+        raise ValueError(f"unknown direction {analysis.direction!r}")
+
+    sol: DataflowSolution = DataflowSolution(analysis=analysis, cfg=cfg)
+    blocks: List[str] = cfg.rpo if forward else list(reversed(cfg.rpo))
+    if not blocks:
+        return sol
+
+    boundary = analysis.boundary(cfg)
+    if forward:
+        sources = [cfg.entry]
+    else:
+        sources = cfg.exit_blocks()
+
+    near: Dict[str, Any] = {}
+    far: Dict[str, Any] = {}
+    for b in blocks:
+        near[b] = analysis.top(cfg)
+    for b in sources:
+        near[b] = boundary
+
+    work = deque(blocks)
+    queued = set(blocks)
+    visits: Dict[str, int] = {}
+    while work:
+        b = work.popleft()
+        queued.discard(b)
+        visits[b] = visits.get(b, 0) + 1
+        if visits[b] > MAX_VISITS_PER_BLOCK:
+            raise RuntimeError(
+                f"dataflow solver diverged on {cfg.fn.name}/{b} "
+                f"(non-converging lattice?)"
+            )
+        sol.iterations += 1
+
+        # meet over the incoming facts
+        incoming = cfg.preds[b] if forward else [
+            s for s in cfg.succs.get(b, ()) if s in cfg.reachable
+        ]
+        fact = near[b] if b in sources else None
+        for p in incoming:
+            if p not in far:
+                continue
+            fact = far[p] if fact is None else analysis.meet(fact, far[p])
+        if fact is None:
+            fact = near[b]
+        near[b] = fact
+
+        new_far = analysis.transfer(cfg, b, fact)
+        if b in far and far[b] == new_far:
+            continue
+        far[b] = new_far
+        outgoing = (
+            [s for s in cfg.succs.get(b, ()) if s in cfg.reachable]
+            if forward
+            else cfg.preds[b]
+        )
+        for s in outgoing:
+            if s not in queued:
+                queued.add(s)
+                work.append(s)
+
+    for b in blocks:
+        if forward:
+            sol.entry[b] = near[b]
+            sol.exit[b] = far.get(b, near[b])
+        else:
+            sol.exit[b] = near[b]
+            sol.entry[b] = far.get(b, near[b])
+    return sol

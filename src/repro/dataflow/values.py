@@ -1,0 +1,273 @@
+"""Value-level dataflow: constant propagation and int/float typing.
+
+Two flat-lattice forward analyses used by the linter:
+
+* :class:`ConstProp` -- classic conditional-constant-style propagation
+  (without edge pruning): each register is ``UNDEF`` (no value seen),
+  a concrete int/float constant, or ``NAC`` (not a constant).  Loop
+  induction variables meet to ``NAC`` after one trip around the back
+  edge, so the lattice height is 3 and the solver converges fast.
+  Affine non-constant values (parameter combinations, IV expressions)
+  are the domain of :mod:`repro.staticpoly`, which the crosscheck
+  reuses; here constants are what the lint rules need (branches
+  decided at build time, division by a constant zero).
+* :class:`TypeInference` -- each register is ``INT``, ``FLOAT``, or
+  ``ANYTYPE`` (loads, parameters, call results, or int/float merge).
+  The int/float opcode-confusion lint rule checks uses against these.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from ..isa.instructions import (
+    CondBr,
+    FLOAT_OPS,
+    INT_OPS,
+    Instr,
+    eval_relation,
+)
+from .cfgview import StaticCFG, terminator_defs
+from .solver import DataflowAnalysis
+
+
+class _Tag:
+    """Singleton lattice tags with a readable repr."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+UNDEF = _Tag("UNDEF")   # no definition seen yet (lattice top)
+NAC = _Tag("NAC")       # not a constant (lattice bottom)
+
+ConstVal = Union[_Tag, int, float]
+
+INT = _Tag("INT")
+FLOAT = _Tag("FLOAT")
+ANYTYPE = _Tag("ANYTYPE")
+
+TypeVal = _Tag
+
+
+def _meet_const(a: ConstVal, b: ConstVal) -> ConstVal:
+    if a is UNDEF:
+        return b
+    if b is UNDEF:
+        return a
+    if a is NAC or b is NAC:
+        return NAC
+    # int 0 == float 0.0 in Python; keep them distinct as constants
+    if a == b and type(a) is type(b):
+        return a
+    return NAC
+
+
+def _eval_const(ins: Instr, env: Dict[str, ConstVal]) -> ConstVal:
+    def operand(op) -> ConstVal:
+        if isinstance(op, str):
+            return env.get(op, UNDEF)
+        return op
+
+    op = ins.opcode
+    if op == "const":
+        return ins.srcs[0]
+    if op == "mov":
+        return operand(ins.srcs[0])
+    if op in ("load",):
+        return NAC
+    vals = [operand(s) for s in ins.srcs]
+    if any(v is NAC for v in vals):
+        return NAC
+    if any(v is UNDEF for v in vals):
+        # optimistic: stay UNDEF until the operands resolve
+        return UNDEF
+    try:
+        a = vals[0]
+        b = vals[1] if len(vals) > 1 else None
+        if op == "add":
+            return a + b
+        if op == "sub":
+            return a - b
+        if op == "mul":
+            return a * b
+        if op in ("div", "mod"):
+            if b == 0:
+                return NAC  # the lint rule reports this separately
+            q = abs(a) // abs(b)
+            q = q if (a >= 0) == (b >= 0) else -q
+            return q if op == "div" else a - b * q
+        if op == "and":
+            return a & b
+        if op == "or":
+            return a | b
+        if op == "xor":
+            return a ^ b
+        if op == "shl":
+            return a << b
+        if op == "shr":
+            return a >> b
+        if op.startswith("cmp"):
+            return 1 if eval_relation(op[3:], a, b) else 0
+        if op == "itof":
+            return float(a)
+        if op == "ftoi":
+            return int(a)
+    except (TypeError, ValueError, OverflowError):
+        return NAC
+    # float transcendentals etc.: correct but uninteresting for lint
+    return NAC
+
+
+class ConstProp(DataflowAnalysis):
+    """Register -> constant lattice value (forward)."""
+
+    direction = "forward"
+
+    def boundary(self, cfg: StaticCFG):
+        env = {p: NAC for p in cfg.fn.params}  # params are runtime inputs
+        return _FrozenEnv(env)
+
+    def top(self, cfg: StaticCFG):
+        return _FrozenEnv({})
+
+    def meet(self, a: "_FrozenEnv", b: "_FrozenEnv") -> "_FrozenEnv":
+        out: Dict[str, ConstVal] = dict(a.env)
+        for reg, v in b.env.items():
+            out[reg] = _meet_const(out.get(reg, UNDEF), v)
+        return _FrozenEnv(out)
+
+    def transfer(self, cfg, block, fact: "_FrozenEnv") -> "_FrozenEnv":
+        env = dict(fact.env)
+        bb = cfg.block(block)
+        for ins in bb.instrs:
+            if ins.dest is not None:
+                env[ins.dest] = _eval_const(ins, env)
+        for reg in terminator_defs(bb.terminator):
+            env[reg] = NAC  # call results are runtime values
+        return _FrozenEnv(env)
+
+
+class _FrozenEnv:
+    """Hashable/comparable register environment."""
+
+    __slots__ = ("env", "_key")
+
+    def __init__(self, env: Dict[str, ConstVal]) -> None:
+        self.env = env
+        self._key = frozenset(
+            (k, id(v) if isinstance(v, _Tag) else (type(v).__name__, v))
+            for k, v in env.items()
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _FrozenEnv):
+            return NotImplemented
+        return self._key == other._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def get(self, reg: str) -> ConstVal:
+        return self.env.get(reg, UNDEF)
+
+
+def branch_decided(
+    term: CondBr, env: _FrozenEnv
+) -> Optional[bool]:
+    """Is a conditional branch decided by propagated constants?
+    Returns True (always taken), False (never taken), or None."""
+
+    def operand(op) -> ConstVal:
+        if isinstance(op, str):
+            return env.get(op)
+        return op
+
+    a, b = operand(term.a), operand(term.b)
+    if isinstance(a, _Tag) or isinstance(b, _Tag):
+        return None
+    return eval_relation(term.rel, a, b)
+
+
+# -- typing -------------------------------------------------------------------------
+
+#: integer opcodes producing an int result (``ftoi`` is already here)
+_INT_RESULT = INT_OPS
+#: float opcodes producing a float result (``itof`` is already here)
+_FLOAT_RESULT = FLOAT_OPS
+
+
+def _meet_type(a: TypeVal, b: TypeVal) -> TypeVal:
+    if a is UNDEF:
+        return b
+    if b is UNDEF:
+        return a
+    if a is b:
+        return a
+    return ANYTYPE
+
+
+def _result_type(ins: Instr, env: Dict[str, TypeVal]) -> TypeVal:
+    op = ins.opcode
+    if op == "const":
+        return FLOAT if isinstance(ins.srcs[0], float) else INT
+    if op == "mov":
+        src = ins.srcs[0]
+        if isinstance(src, str):
+            return env.get(src, ANYTYPE)
+        return FLOAT if isinstance(src, float) else INT
+    if op == "load":
+        return ANYTYPE  # memory is untyped
+    if op in _FLOAT_RESULT:
+        return FLOAT
+    if op in _INT_RESULT:
+        return INT
+    return ANYTYPE
+
+
+class TypeInference(DataflowAnalysis):
+    """Register -> {INT, FLOAT, ANYTYPE} (forward)."""
+
+    direction = "forward"
+
+    def boundary(self, cfg: StaticCFG):
+        return _FrozenEnv({p: ANYTYPE for p in cfg.fn.params})
+
+    def top(self, cfg: StaticCFG):
+        return _FrozenEnv({})
+
+    def meet(self, a: _FrozenEnv, b: _FrozenEnv) -> _FrozenEnv:
+        out: Dict[str, TypeVal] = dict(a.env)
+        for reg, v in b.env.items():
+            out[reg] = _meet_type(out.get(reg, UNDEF), v)
+        return _FrozenEnv(out)
+
+    def transfer(self, cfg, block, fact: _FrozenEnv) -> _FrozenEnv:
+        env = dict(fact.env)
+        bb = cfg.block(block)
+        for ins in bb.instrs:
+            if ins.dest is not None:
+                env[ins.dest] = _result_type(ins, env)
+        for reg in terminator_defs(bb.terminator):
+            env[reg] = ANYTYPE
+        return _FrozenEnv(env)
+
+
+def instruction_type_env(
+    cfg: StaticCFG, solution_entry: Dict[str, _FrozenEnv]
+) -> Dict[int, Dict[str, TypeVal]]:
+    """Per-instruction register-type environments (keyed by uid), by
+    replaying each block's transfer from the solved entry fact."""
+    out: Dict[int, Dict[str, TypeVal]] = {}
+    for b in cfg.rpo:
+        env = dict(solution_entry[b].env)
+        for ins in cfg.block(b).instrs:
+            out[ins.uid] = dict(env)
+            if ins.dest is not None:
+                env[ins.dest] = _result_type(ins, env)
+    return out

@@ -15,8 +15,8 @@ fusion heuristic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..cfg.builder import DynCallGraph
 from ..folding.folder import FoldedDDG, FoldedStatement

@@ -9,12 +9,12 @@ simplified post-transformation AST.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..schedule.ast_out import render_ast
 from ..schedule.nest import NestForest, NestNode
 from ..schedule.transform import NestPlan
-from .stride import good_stride_fraction, stride_scores
+from .stride import stride_scores
 
 
 @dataclass

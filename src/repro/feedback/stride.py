@@ -14,7 +14,7 @@ affine function of the canonical iterators).  An access has stride
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional
 
 from ..folding.folder import FoldedStatement
 from ..schedule.nest import NestForest, NestNode

@@ -21,8 +21,8 @@ view, since such chains would otherwise serialize every loop.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..ddg.graph import DDGSink, DepKey, Statement, StmtKey
 from ..poly.affine import AffineExpr, AffineFunction

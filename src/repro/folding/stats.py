@@ -13,7 +13,6 @@ of the dependence representation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
 
 from .folder import FoldedDDG
 

@@ -23,7 +23,7 @@ behaviours its pseudo-code leaves to the examples:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from ..cfg.loop_events import LoopEvent
 

@@ -15,7 +15,7 @@ executions lives in :mod:`repro.iiv.schedule_tree`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Iterator, List, Optional, Sequence, Union
 
 
 @dataclass

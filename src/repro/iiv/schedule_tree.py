@@ -15,7 +15,7 @@ schedule trees and CCTs that section 4 describes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from .diiv import DynamicIIV
 

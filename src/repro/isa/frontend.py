@@ -31,8 +31,8 @@ loop per source loop.  A ``bottom_test=True`` variant emits rotated
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence, Tuple, Union
 
 from .instructions import Call, CondBr, Halt, Instr, Jump, Operand, Return
 from .program import BasicBlock, Function, Program

@@ -44,8 +44,8 @@ Terminators (end a basic block):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
 
 Operand = Union[str, int, float]
 

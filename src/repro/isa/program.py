@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from .instructions import Call, CondBr, Halt, Instr, Jump, Return, Terminator
+from .instructions import RELATIONS, Call, CondBr, Instr, Terminator
 
 
 @dataclass
@@ -92,14 +92,37 @@ class Program:
     def validate(self) -> None:
         if self.main not in self.functions:
             raise ValueError(f"missing main function {self.main!r}")
+        seen_uids: Dict[int, str] = {}
         for fn in self.functions.values():
             fn.validate()
             for bb in fn.blocks.values():
+                for ins in bb.instrs:
+                    owner = seen_uids.get(ins.uid)
+                    if owner is not None:
+                        raise ValueError(
+                            f"{fn.name}/{bb.name}: duplicate uid {ins.uid} "
+                            f"(already used in {owner})"
+                        )
+                    seen_uids[ins.uid] = fn.name
                 if isinstance(bb.terminator, Call):
-                    if bb.terminator.callee not in self.functions:
+                    call = bb.terminator
+                    if call.callee not in self.functions:
                         raise ValueError(
                             f"{fn.name}/{bb.name}: call to unknown function "
-                            f"{bb.terminator.callee!r}"
+                            f"{call.callee!r}"
+                        )
+                    callee = self.functions[call.callee]
+                    if len(call.args) != len(callee.params):
+                        raise ValueError(
+                            f"{fn.name}/{bb.name}: call to {call.callee!r} "
+                            f"arity mismatch: {len(call.args)} argument(s) "
+                            f"for {len(callee.params)} parameter(s)"
+                        )
+                elif isinstance(bb.terminator, CondBr):
+                    if bb.terminator.rel not in RELATIONS:
+                        raise ValueError(
+                            f"{fn.name}/{bb.name}: unknown relation "
+                            f"{bb.terminator.rel!r}"
                         )
         # A validated program is executable: pre-translate its blocks
         # into the fast engine's closure tables (cached on the program,

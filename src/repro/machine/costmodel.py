@@ -22,11 +22,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import product
-from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
 
 from ..folding.folder import FoldedStatement
 from ..poly.polyhedron import Polyhedron
-from ..schedule.nest import NestForest, NestNode
 from .cache import Hierarchy
 
 

@@ -163,6 +163,12 @@ class AnalysisResult:
     folded: "FoldedDDG"
     forest: "NestForest"
     plans: List["NestPlan"] = field(default_factory=list)
+    #: pipeline settings, recorded so the cross-checker can reproduce
+    #: the run (on the opposite engine)
+    engine: str = "fast"
+    track_anti_output: bool = True
+    #: soundness report when the run was crosschecked (``--crosscheck``)
+    crosscheck: Optional["CrosscheckReport"] = None
 
     @property
     def schedule_tree(self):
@@ -180,6 +186,7 @@ def analyze(
     clamp: Optional[int] = None,
     fuel: int = 50_000_000,
     engine: str = "fast",
+    crosscheck: bool = False,
 ) -> AnalysisResult:
     """The full POLY-PROF pipeline: profile, fold, analyze, plan.
 
@@ -191,6 +198,12 @@ def analyze(
     compilation, batched instrumentation, fast folding backend) or
     ``"reference"`` (the original per-instruction interpreter and
     folder).  Both produce identical results for completed runs.
+
+    ``crosscheck`` additionally runs the dynamic-vs-static soundness
+    sanitizers (:mod:`repro.dataflow.crosscheck`) over the finished
+    result -- including an independent recount of the dependence
+    streams on the *other* engine -- and attaches the report.  The
+    analysis artifacts themselves are unaffected.
     """
     from .folding import FastFoldingSink, FoldingSink
     from .schedule import analyze_forest, build_nest_forest, plan_all
@@ -212,11 +225,20 @@ def analyze(
     forest = build_nest_forest(folded)
     analyze_forest(forest)
     plans = plan_all(forest, stride_scores_of=stride_scores)
-    return AnalysisResult(
+    result = AnalysisResult(
         spec=spec,
         control=control,
         ddg_profile=ddgp,
         folded=folded,
         forest=forest,
         plans=plans,
+        engine=engine,
+        track_anti_output=track_anti_output,
     )
+    if crosscheck:
+        from .dataflow.crosscheck import CheckOptions, run_crosscheck
+
+        result.crosscheck = run_crosscheck(
+            result, CheckOptions(fuel=fuel)
+        )
+    return result

@@ -12,7 +12,7 @@ from fractions import Fraction
 from math import gcd
 from typing import List, Optional, Sequence, Tuple
 
-from .linalg import solve_int, solve_rational
+from .linalg import solve_int
 
 
 class AffineExpr:

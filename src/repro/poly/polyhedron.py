@@ -22,7 +22,6 @@ actually-executed integer points) this is exact in practice.
 from __future__ import annotations
 
 from fractions import Fraction
-from itertools import product
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .linalg import dot, integer_solvable, normalize_row, vec_gcd

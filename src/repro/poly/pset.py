@@ -9,7 +9,7 @@ domains (paper Fig. 3k, Table 2).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Sequence, Tuple
 
 from .polyhedron import Polyhedron
 

@@ -53,6 +53,9 @@ class WorkloadResult:
     deps: int = 0
     plans: int = 0
     report: Optional[str] = None
+    #: soundness violations found by ``--crosscheck`` (None = not run)
+    soundness_violations: Optional[int] = None
+    crosscheck_report: Optional[str] = None
 
     def status(self) -> str:
         if self.ok:
@@ -125,6 +128,7 @@ def _analyze_task(
     clamp: Optional[int],
     timeout: Optional[float],
     with_report: bool,
+    crosscheck: bool = False,
 ) -> WorkloadResult:
     """Worker body: analyze one workload, never raise."""
     name = task_name(task)
@@ -136,7 +140,10 @@ def _analyze_task(
             from .feedback.report import render_report
             from .pipeline import analyze
 
-            result = analyze(spec, engine=engine, fuel=fuel, clamp=clamp)
+            result = analyze(
+                spec, engine=engine, fuel=fuel, clamp=clamp,
+                crosscheck=crosscheck,
+            )
             report = None
             if with_report:
                 report = render_report(
@@ -144,6 +151,7 @@ def _analyze_task(
                     result.plans,
                     title=f"poly-prof feedback: {spec.name}",
                 )
+        cc = result.crosscheck
         return WorkloadResult(
             name=name,
             ok=True,
@@ -154,6 +162,8 @@ def _analyze_task(
             deps=len(result.folded.deps),
             plans=len(result.plans),
             report=report,
+            soundness_violations=len(cc.violations) if cc else None,
+            crosscheck_report=cc.render() if cc and cc.violations else None,
         )
     except WorkloadTimeout:
         return WorkloadResult(
@@ -184,18 +194,23 @@ def run_suite(
     fuel: int = 50_000_000,
     clamp: Optional[int] = None,
     with_report: bool = False,
+    crosscheck: bool = False,
 ) -> List[WorkloadResult]:
     """Analyze ``tasks``, ``jobs`` at a time; results in task order.
 
     ``jobs`` defaults to the CPU count.  ``timeout`` bounds each
     workload's wall time (None = unbounded).  Failures degrade to
     error records -- the suite always returns one result per task.
+    ``crosscheck`` runs the soundness sanitizers per workload and
+    reports the violation count.
     """
     if jobs is None:
         jobs = os.cpu_count() or 1
     if jobs <= 1 or len(tasks) <= 1:
         return [
-            _analyze_task(t, engine, fuel, clamp, timeout, with_report)
+            _analyze_task(
+                t, engine, fuel, clamp, timeout, with_report, crosscheck
+            )
             for t in tasks
         ]
 
@@ -205,7 +220,8 @@ def run_suite(
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         futures = [
             pool.submit(
-                _analyze_task, t, engine, fuel, clamp, timeout, with_report
+                _analyze_task, t, engine, fuel, clamp, timeout,
+                with_report, crosscheck,
             )
             for t in tasks
         ]
@@ -224,17 +240,29 @@ def run_suite(
 
 def render_suite_table(results: Sequence[WorkloadResult]) -> str:
     """A compact text table of suite results."""
-    lines = [
+    crosschecked = any(r.soundness_violations is not None for r in results)
+    header = (
         f"{'workload':16s} {'status':8s} {'wall':>7s} {'dyn ops':>10s} "
         f"{'stmts':>6s} {'deps':>6s} {'plans':>6s}"
-    ]
+    )
+    if crosschecked:
+        header += f" {'sound':>6s}"
+    lines = [header]
     for r in results:
         if r.ok:
-            lines.append(
+            line = (
                 f"{r.name:16s} {r.status():8s} {r.wall_seconds:6.2f}s "
                 f"{r.dyn_instrs:10d} {r.statements:6d} {r.deps:6d} "
                 f"{r.plans:6d}"
             )
+            if crosschecked:
+                if r.soundness_violations is None:
+                    line += f" {'-':>6s}"
+                elif r.soundness_violations == 0:
+                    line += f" {'ok':>6s}"
+                else:
+                    line += f" {r.soundness_violations:5d}!"
+            lines.append(line)
         else:
             lines.append(
                 f"{r.name:16s} {r.status():8s} {r.wall_seconds:6.2f}s "
@@ -242,4 +270,14 @@ def render_suite_table(results: Sequence[WorkloadResult]) -> str:
             )
     n_ok = sum(1 for r in results if r.ok)
     lines.append(f"{n_ok}/{len(results)} workloads analyzed")
+    if crosschecked:
+        n_viol = sum(r.soundness_violations or 0 for r in results)
+        lines.append(
+            "crosscheck: no soundness violations"
+            if n_viol == 0
+            else f"crosscheck: {n_viol} soundness violation(s)"
+        )
+        for r in results:
+            if r.crosscheck_report:
+                lines.append(r.crosscheck_report)
     return "\n".join(lines)

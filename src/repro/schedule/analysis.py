@@ -20,10 +20,8 @@ paper's Tables 3-5:
 
 from __future__ import annotations
 
-from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
-from ..poly.affine import AffineExpr
 from .deps import DepVector
 from .nest import NestForest, NestNode
 

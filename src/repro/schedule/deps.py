@@ -22,10 +22,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
-from ..ddg.graph import DepKey, Statement
-from ..folding.folder import FoldedDDG, FoldedDep, FoldedStatement
+from ..ddg.graph import Statement
+from ..folding.folder import FoldedDDG, FoldedDep
 from ..poly.affine import AffineExpr
 from ..poly.pmap import _sign_pattern
 

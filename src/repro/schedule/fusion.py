@@ -18,7 +18,7 @@ producer within the fused loop.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence
 
 from ..poly.affine import AffineExpr
 from .deps import DepVector

@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from ..ddg.graph import StmtKey
 from ..folding.folder import FoldedDDG, FoldedStatement
 from .deps import DepVector, analyze_deps, loop_path
 

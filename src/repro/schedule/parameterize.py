@@ -17,8 +17,8 @@ scalability statistic that motivated the feature).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
 from ..folding.folder import FoldedDDG, FoldedStatement
 from ..poly.polyhedron import Polyhedron

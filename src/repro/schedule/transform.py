@@ -13,8 +13,7 @@ and flame-graph annotations (Fig. 7).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from itertools import permutations
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from .analysis import permutation_legal
 from .nest import NestForest, NestNode

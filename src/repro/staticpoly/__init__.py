@@ -8,6 +8,7 @@ from .analyzer import (
     REASON_ORDER,
     StaticReport,
     analyze_static,
+    static_affine_access_uids,
 )
 
 __all__ = [
@@ -16,4 +17,5 @@ __all__ = [
     "REASON_ORDER",
     "StaticReport",
     "analyze_static",
+    "static_affine_access_uids",
 ]

@@ -35,8 +35,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from ..cfg.looptree import Loop, LoopForest, build_loop_forest
-from ..isa.instructions import Call, CondBr, Instr, Jump, Return
+from ..cfg.looptree import Loop, build_loop_forest
+from ..isa.instructions import Call, CondBr, Instr, Return
 from ..isa.program import BasicBlock, Function, Program
 
 #: canonical order of the failure codes in reports (paper Table 5)
@@ -239,6 +239,123 @@ class _FunctionAnalysis:
         if isinstance(op, float):
             return UNKNOWN
         return self.values.get(op, UNKNOWN)
+
+
+def static_affine_access_uids(
+    program: Program, region_funcs: Optional[Sequence[str]] = None
+) -> Set[int]:
+    """Uids of memory instructions whose address is *provably* affine
+    from the static code alone.
+
+    This is the static side of the crosscheck invariant "statically
+    affine implies dynamically foldable": any uid returned here must,
+    in an exact (unclamped) profile, fold to a piecewise-affine access
+    function.  The converse is of course false -- the dynamic side
+    folds far more (that is the paper's point) -- so this set is
+    deliberately conservative.  Exclusions that keep it sound:
+
+    * a base address rooted in a *redefined* parameter (the one-pass
+      value analysis keeps the stale ``param:`` symbol);
+    * an induction variable whose init operand is itself non-affine
+      (the ``iv:`` symbol is affine in the canonical coordinates only
+      when its start is);
+    * any access in a function reachable through a call site inside a
+      loop, or in a recursive cycle: its parameters may vary with the
+      *caller's* iterators in ways the per-function symbols cannot see.
+    """
+    if region_funcs is None:
+        region_funcs = sorted(program.functions)
+    funcs = [f for f in region_funcs if f in program.functions]
+
+    # functions whose params may vary per caller iteration: callees of
+    # in-loop call sites and members of recursive cycles, transitively
+    loop_called: Set[str] = set()
+    callees: Dict[str, Set[str]] = {f: set() for f in program.functions}
+    for fname, fn in program.functions.items():
+        nodes, edges = _static_cfg(fn)
+        forest = build_loop_forest(fname, nodes, edges, fn.entry)
+        in_loop = set()
+        for lp in forest.all_loops:
+            in_loop |= lp.region
+        for bb in fn.blocks.values():
+            if isinstance(bb.terminator, Call):
+                callees[fname].add(bb.terminator.callee)
+                if bb.name in in_loop:
+                    loop_called.add(bb.terminator.callee)
+    # recursion: anything on a call-graph cycle
+    for fname in program.functions:
+        stack, seen = [fname], set()
+        while stack:
+            g = stack.pop()
+            for c in callees.get(g, ()):
+                if c == fname:
+                    loop_called.add(fname)
+                elif c not in seen:
+                    seen.add(c)
+                    stack.append(c)
+    # propagate: callee of a tainted function is tainted
+    changed = True
+    while changed:
+        changed = False
+        for fname in list(loop_called):
+            for c in callees.get(fname, ()):
+                if c not in loop_called:
+                    loop_called.add(c)
+                    changed = True
+
+    out: Set[int] = set()
+    for fname in funcs:
+        fn = program.functions[fname]
+        fa = _FunctionAnalysis(program, fn)
+        redefined: Set[str] = set()
+        iv_init: Dict[str, Instr] = {}  # iv symbol -> its mov instruction
+        defs: Dict[str, List[Instr]] = {}
+        for bb in fn.blocks.values():
+            for ins in bb.instrs:
+                if ins.dest is not None:
+                    defs.setdefault(ins.dest, []).append(ins)
+                    if ins.dest in fn.params:
+                        redefined.add(ins.dest)
+        for reg, val in fa.values.items():
+            if val is UNKNOWN or len(val.terms) != 1 or val.const:
+                continue
+            sym, k = next(iter(val.terms.items()))
+            if sym.startswith("iv:") and k == 1:
+                movs = [i for i in defs.get(reg, ()) if i.opcode == "mov"]
+                if len(movs) == 1:
+                    iv_init[sym] = movs[0]
+
+        sound_cache: Dict[str, Optional[bool]] = {}
+
+        def symbol_sound(sym: str) -> bool:
+            if sym in sound_cache:
+                # None marks in-progress (an iv-init cycle): unsound
+                return bool(sound_cache[sym])
+            sound_cache[sym] = None
+            if sym.startswith("param:"):
+                p = sym[len("param:"):]
+                ok = fname not in loop_called and p not in redefined
+            elif sym.startswith("iv:"):
+                mov = iv_init.get(sym)
+                init = fa.value_of(mov.srcs[0]) if mov is not None else UNKNOWN
+                ok = init is not UNKNOWN and all(
+                    symbol_sound(s) for s in init.terms
+                )
+            else:
+                ok = False
+            sound_cache[sym] = ok
+            return ok
+
+        for bb in fn.blocks.values():
+            for ins in bb.instrs:
+                if not ins.is_mem:
+                    continue
+                base = fa.value_of(ins.srcs[0])
+                if base is UNKNOWN:
+                    continue
+                if all(symbol_sound(s) for s in base.terms):
+                    out.add(ins.uid)
+    return out
 
 
 def _analyze_loop_nest(

@@ -7,7 +7,7 @@ same polyhedral DDG.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List
+from typing import Callable, Dict, List
 
 from ..pipeline import ProgramSpec
 

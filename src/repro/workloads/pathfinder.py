@@ -38,8 +38,7 @@ def build_pathfinder(rows: int = 20, cols: int = 12) -> ProgramSpec:
             f.store(src, f.load("wall", index=j), index=j)
         with f.loop(1, "rows", line=99) as t:
             with f.loop(0, "cols", line=100) as j:
-                best = f.set(f.fresh_reg("best"), 0.0)
-                f.set(best, f.load(src, index=j, line=101))
+                best = f.set(f.fresh_reg("best"), f.load(src, index=j, line=101))
                 with f.if_then("gt", j, 0):
                     left = f.load(src, index=f.sub(j, 1), line=102)
                     f.fmin(best, left, into=best)

@@ -1,9 +1,8 @@
 """Dynamic CFG/CG reconstruction tests (Instrumentation I)."""
 
-import pytest
 
 from repro.cfg import ControlStructureBuilder
-from repro.isa import Memory, ProgramBuilder, run_program
+from repro.isa import ProgramBuilder, run_program
 
 
 def reconstruct(program, args=(), memory=None):

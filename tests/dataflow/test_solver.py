@@ -1,0 +1,186 @@
+"""Dataflow solver and analyses: fixpoints over small hand-built CFGs."""
+
+from repro.isa import ProgramBuilder
+from repro.dataflow import (
+    ConstProp,
+    DefSite,
+    Liveness,
+    MustDefined,
+    ReachingDefinitions,
+    StaticCFG,
+    TypeInference,
+    branch_decided,
+    build_def_use_chains,
+    dominators,
+    immediate_dominators,
+    solve,
+)
+from repro.dataflow.values import ANYTYPE, FLOAT, INT, NAC
+
+
+def build_main(body, params=("n",)):
+    pb = ProgramBuilder("t")
+    with pb.function("main", list(params)) as f:
+        body(f)
+        f.halt()
+    return pb.build().functions["main"]
+
+
+def diamond_fn():
+    """entry -> then/else -> join; 'x' defined in both arms, 'y' in one."""
+
+    def body(f):
+        h = f.if_begin("lt", "n", 10)
+        f.set("x", 1)
+        f.if_else(h)
+        f.set("x", 2)
+        f.set("y", 3)
+        f.if_end(h)
+        f.set("%sink_x", f.add("x", 0))
+
+    return build_main(body)
+
+
+class TestReachingDefinitions:
+    def test_both_arm_defs_reach_the_join(self):
+        fn = diamond_fn()
+        cfg = StaticCFG(fn)
+        sol = solve(ReachingDefinitions(), cfg)
+        join = cfg.rpo[-1]
+        x_sites = {s for s in sol.entry[join] if s.reg == "x"}
+        assert len(x_sites) == 2
+        assert all(s.kind == "instr" for s in x_sites)
+
+    def test_param_definition_reaches_entry(self):
+        fn = diamond_fn()
+        cfg = StaticCFG(fn)
+        sol = solve(ReachingDefinitions(), cfg)
+        assert DefSite("param", "n", "") in sol.entry[cfg.entry]
+
+    def test_redefinition_kills(self):
+        def body(f):
+            f.set("x", 1)
+            f.set("x", 2)
+
+        fn = build_main(body)
+        cfg = StaticCFG(fn)
+        sol = solve(ReachingDefinitions(), cfg)
+        x_sites = {s for s in sol.exit[cfg.entry] if s.reg == "x"}
+        assert len(x_sites) == 1
+
+
+class TestMustDefined:
+    def test_one_arm_def_is_not_must(self):
+        fn = diamond_fn()
+        cfg = StaticCFG(fn)
+        sol = solve(MustDefined(), cfg)
+        join = cfg.rpo[-1]
+        assert "x" in sol.entry[join]
+        assert "y" not in sol.entry[join]
+
+
+class TestLiveness:
+    def test_loop_carried_register_stays_live(self):
+        def body(f):
+            f.set("acc", 0)
+            with f.loop(0, "n") as i:
+                f.add("acc", i, into="acc")
+            f.set("%sink", f.add("acc", 0))
+
+        fn = build_main(body)
+        cfg = StaticCFG(fn)
+        sol = solve(Liveness(), cfg)
+        header = next(b for b in cfg.rpo if "head" in b or "loop" in b)
+        assert "acc" in sol.entry[header]
+
+    def test_dead_after_last_use(self):
+        def body(f):
+            f.set("x", 1)
+            f.set("%sink", f.add("x", 0))
+
+        fn = build_main(body)
+        cfg = StaticCFG(fn)
+        sol = solve(Liveness(), cfg)
+        assert "x" not in sol.exit[cfg.rpo[-1]]
+
+
+class TestDominance:
+    def test_diamond_idoms(self):
+        fn = diamond_fn()
+        cfg = StaticCFG(fn)
+        doms = dominators(cfg)
+        idom = immediate_dominators(cfg)
+        join = cfg.rpo[-1]
+        assert idom[cfg.entry] is None
+        assert idom[join] == cfg.entry
+        # the entry dominates everything reachable
+        assert all(cfg.entry in doms[b] for b in cfg.rpo)
+
+
+class TestDefUseChains:
+    def test_undefined_and_maybe_undefined(self):
+        def body(f):
+            h = f.if_begin("lt", "n", 10)
+            f.set("y", 3)
+            f.if_end(h)
+            f.set("%sink1", f.add("y", 0))      # defined on one path only
+            f.set("%sink2", f.add("ghost", 0))  # never defined anywhere
+
+        fn = build_main(body)
+        chains = build_def_use_chains(fn)
+        assert {u.reg for u in chains.undefined_uses} == {"ghost"}
+        assert "y" in {u.reg for u in chains.maybe_undefined_uses}
+
+    def test_dead_defs(self):
+        def body(f):
+            f.set("unused", 7)
+
+        fn = build_main(body)
+        dead = {d.reg for d in build_def_use_chains(fn).dead_defs()}
+        assert "unused" in dead
+        assert "n" in dead  # the parameter is never read either
+
+
+class TestValueAnalyses:
+    def test_constprop_decides_branch(self):
+        def body(f):
+            f.set("k", 4)
+            with f.if_then("lt", "k", 10):
+                f.set("%sink", 1)
+
+        fn = build_main(body)
+        cfg = StaticCFG(fn)
+        sol = solve(ConstProp(), cfg)
+        for b in cfg.rpo:
+            term = cfg.block(b).terminator
+            if hasattr(term, "rel"):
+                assert branch_decided(term, sol.exit[b]) is True
+                break
+        else:  # pragma: no cover
+            raise AssertionError("no CondBr found")
+
+    def test_constprop_loop_iv_goes_nac(self):
+        def body(f):
+            with f.loop(0, "n") as i:
+                f.set("%sink", f.add(i, 0))
+
+        fn = build_main(body)
+        cfg = StaticCFG(fn)
+        sol = solve(ConstProp(), cfg)
+        header = next(b for b in cfg.rpo if "head" in b or "loop" in b)
+        ivs = [r for r in sol.entry[header].env if r.startswith("%iv")]
+        assert ivs and all(sol.entry[header].get(r) is NAC for r in ivs)
+
+    def test_type_inference(self):
+        def body(f):
+            f.set("i", 1)
+            f.set("x", 2.5)
+            f.set("m", f.load("n", offset=0))
+
+        fn = build_main(body)
+        cfg = StaticCFG(fn)
+        sol = solve(TypeInference(), cfg)
+        env = sol.exit[cfg.entry]
+        assert env.get("i") is INT
+        assert env.get("x") is FLOAT
+        assert env.get("m") is ANYTYPE

@@ -8,7 +8,7 @@ at distance (0,0) and the ``sum`` accumulation carried at (0,1).
 
 import pytest
 
-from repro.ddg import MEM_ANTI, MEM_FLOW, MEM_OUTPUT, REG_FLOW, RecordingSink
+from repro.ddg import MEM_ANTI, MEM_FLOW, MEM_OUTPUT, REG_FLOW
 from repro.isa import Memory, ProgramBuilder
 from repro.pipeline import ProgramSpec, profile_control, profile_ddg
 from repro.workloads.examples_paper import layerforward_kernel

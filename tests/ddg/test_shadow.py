@@ -1,6 +1,5 @@
 """Shadow-memory unit tests."""
 
-import pytest
 
 from repro.ddg import ShadowMemory
 

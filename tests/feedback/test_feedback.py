@@ -9,8 +9,7 @@ from repro.feedback import (
     reuse_percent,
     stride_scores,
 )
-from repro.isa import Memory, ProgramBuilder
-from repro.pipeline import ProgramSpec, analyze
+from repro.pipeline import analyze
 from repro.workloads.examples_paper import layerforward_kernel
 
 

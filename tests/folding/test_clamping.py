@@ -1,6 +1,5 @@
 """Clamping tests (Fig. 1's "relevance scalability clamping" knob)."""
 
-import pytest
 
 from repro.folding import FoldingSink
 from repro.pipeline import profile_control, profile_ddg

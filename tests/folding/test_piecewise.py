@@ -1,6 +1,5 @@
 """Piecewise-affine label folder tests."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,6 @@
 """Under-approximation tests (the paper's section 10 future-work item,
 implemented here as fold_under)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

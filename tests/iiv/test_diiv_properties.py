@@ -1,6 +1,5 @@
 """Property tests: dynamic-IIV invariants over randomized programs."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -11,8 +10,7 @@ from repro.cfg import (
     build_recursive_component_set,
 )
 from repro.iiv import DynamicIIV
-from repro.isa import Memory, ProgramBuilder, run_program
-from repro.pipeline import ProgramSpec
+from repro.isa import ProgramBuilder, run_program
 
 
 @st.composite

@@ -118,7 +118,6 @@ class TestCollapsedStacks:
 
     def test_weights_sum_to_total(self):
         from repro.isa import ProgramBuilder, run_program
-        from repro.cfg import ControlStructureBuilder
 
         t = DynamicScheduleTree()
         t.record_context((("a",), ("b",)), 3)

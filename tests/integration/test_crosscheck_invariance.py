@@ -1,0 +1,42 @@
+"""``--crosscheck`` must be a pure observer.
+
+A crosschecked analysis result must be identical to an unchecked one
+-- same folded statements and dependences, same plans, same parallel
+verdicts -- under both engines.  The sanitizers re-execute the program
+(recount) and walk every relation, so any accidental mutation of the
+result would silently corrupt the feedback a user acts on.
+"""
+
+import pytest
+
+from repro.pipeline import analyze
+from repro.workloads import all_workloads
+
+from .test_engine_equivalence import dep_sig, stmt_sig
+
+WORKLOADS = ("bfs", "hotspot", "backprop")
+
+
+def result_sig(result):
+    forest_flags = [
+        (node.path, node.parallel, node.parallel_reduction)
+        for node in result.forest.walk()
+    ]
+    return (
+        {k: stmt_sig(fs) for k, fs in result.folded.statements.items()},
+        {k: dep_sig(fd) for k, fd in result.folded.deps.items()},
+        len(result.plans),
+        forest_flags,
+    )
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+@pytest.mark.parametrize("engine", ("fast", "reference"))
+def test_crosscheck_does_not_change_results(name, engine):
+    spec_factory = all_workloads()[name]
+    plain = analyze(spec_factory(), engine=engine)
+    checked = analyze(spec_factory(), engine=engine, crosscheck=True)
+    assert checked.crosscheck is not None
+    assert checked.crosscheck.ok, checked.crosscheck.render()
+    assert plain.crosscheck is None
+    assert result_sig(plain) == result_sig(checked)

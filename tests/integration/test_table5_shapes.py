@@ -2,7 +2,6 @@
 assertions, kept in the unit suite so refactors cannot silently drift
 the reproduction)."""
 
-import pytest
 
 from repro.feedback import compute_region_metrics
 from repro.pipeline import analyze

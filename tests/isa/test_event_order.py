@@ -1,10 +1,9 @@
 """Event-stream ordering invariants (what instrumentation relies on)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.isa import Instrumentation, Memory, ProgramBuilder, run_program
+from repro.isa import Instrumentation, ProgramBuilder, run_program
 
 
 class OrderChecker(Instrumentation):

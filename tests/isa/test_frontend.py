@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.isa import Jump, CondBr, Memory, ProgramBuilder, run_program
-from repro.isa.instructions import Call, Return
+from repro.isa import Jump, CondBr, ProgramBuilder, run_program
 
 
 class TestLoopLowering:

@@ -270,8 +270,8 @@ class TestValidation:
             f.halt()
         with pb.function("g", ["x"]) as f:
             f.ret()
-        with pytest.raises(VMError, match="arity"):
-            run_program(pb.build())
+        with pytest.raises(ValueError, match="arity"):
+            pb.build()
 
     def test_undefined_register_read(self):
         pb = ProgramBuilder("t")

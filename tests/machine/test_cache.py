@@ -98,7 +98,6 @@ class TestCostModelSanity:
         """Replaying a (row-major array, column-major loop) stream
         interchanged must cost less in the cache."""
         from repro.machine import replay_cost
-        from repro.folding.folder import FoldedStatement  # for typing only
 
         class FakeFn:
             def __init__(self, coeffs):

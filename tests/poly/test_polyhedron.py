@@ -1,6 +1,5 @@
 """Unit tests for the core Polyhedron type."""
 
-from fractions import Fraction
 
 import pytest
 

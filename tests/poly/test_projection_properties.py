@@ -5,7 +5,6 @@ cross-validate it against brute-force point enumeration on random
 small polyhedra.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Domain-parameterization tests (paper section 6's scalability trick)."""
 
-import pytest
 
 from repro.isa import Memory, ProgramBuilder
 from repro.pipeline import ProgramSpec, analyze

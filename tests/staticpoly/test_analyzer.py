@@ -1,9 +1,8 @@
 """Static-analyzer (mini-Polly) tests: each failure code triggered by
 the program feature named in the paper's Table 5 legend."""
 
-import pytest
 
-from repro.isa import Memory, ProgramBuilder
+from repro.isa import ProgramBuilder
 from repro.staticpoly import analyze_static
 from repro.workloads.examples_paper import layerforward_kernel
 

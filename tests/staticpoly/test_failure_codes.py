@@ -1,0 +1,200 @@
+"""Exact failure-code verdicts, and static/dynamic affine agreement.
+
+Unlike ``test_analyzer.py`` (which asserts a code is *present*), these
+tests pin the *exact* verdict string per crafted program -- one per
+paper failure code -- so a regression that starts emitting spurious
+codes (or drops one) fails loudly.  The agreement tests exercise the
+crosscheck invariant: every access :func:`static_affine_access_uids`
+proves affine folds to an affine access function dynamically.
+"""
+
+from repro.isa import Memory, ProgramBuilder
+from repro.pipeline import ProgramSpec, analyze
+from repro.staticpoly import analyze_static, static_affine_access_uids
+
+
+def build(body, params=("A", "B")):
+    pb = ProgramBuilder("t")
+    with pb.function("main", list(params)) as f:
+        body(f)
+        f.halt()
+    return pb.build()
+
+
+class TestExactVerdicts:
+    def test_clean_kernel_verdict_is_empty(self):
+        def body(f):
+            with f.loop(0, 16) as i:
+                f.store("B", f.load("A", index=i), index=i)
+
+        report = analyze_static(build(body), ["main"])
+        assert report.reasons == ""
+        assert [n.reasons for n in report.nests] == [""]
+
+    def test_R_exactly(self):
+        pb = ProgramBuilder("t")
+        with pb.function("main", ["A"]) as f:
+            with f.loop(0, 8) as i:
+                f.call("helper", ["A", i])
+            f.halt()
+        with pb.function("helper", ["A", "i"]) as f:
+            f.store("A", 1.0, index="i")
+            f.ret()
+        report = analyze_static(pb.build(), ["main"])
+        assert report.reasons == "R"
+
+    def test_C_exactly(self):
+        # unconditional return from inside the loop body
+        pb = ProgramBuilder("t")
+        with pb.function("main", ["A"]) as f:
+            r = f.call("body", ["A"], want_result=True)
+            f.set("%sink", r)
+            f.halt()
+        with pb.function("body", ["A"]) as f:
+            with f.loop(0, 8) as i:
+                f.store("A", 0.0, index=i)
+                with f.if_then("gt", i, 4):
+                    f.ret(1)
+            f.ret(0)
+        report = analyze_static(pb.build(), ["body"])
+        assert report.reasons == "C"
+
+    def test_B_exactly(self):
+        def body(f):
+            n = f.load("A", index=0)
+            with f.loop(0, n) as i:
+                f.store("B", 0.0, index=i)
+
+        report = analyze_static(build(body), ["main"])
+        assert report.reasons == "B"
+
+    def test_F_verdict_for_indirection(self):
+        def body(f):
+            row = f.load("A", index=0)  # loaded row pointer
+            with f.loop(0, 8) as i:
+                f.store("B", f.load(row, index=i), index=i)
+
+        report = analyze_static(build(body), ["main"])
+        # the anonymous loaded base also defeats alias checks (A) and
+        # the computed address register lives in the loop (P): the
+        # exact verdict for pointer indirection is the F-A-P triple
+        assert report.reasons == "FAP"
+        assert "F" in report.nests[0].reasons
+
+    def test_A_exactly(self):
+        def body(f):
+            with f.loop(0, 8) as i:
+                a = f.load("A", index=i)
+                b = f.load("B", index=i)
+                c = f.load("C", index=i)
+                f.store("D", f.fadd(f.fadd(a, b), c), index=i)
+                f.store("E", a, index=i)
+
+        report = analyze_static(
+            build(body, params=("A", "B", "C", "D", "E")), ["main"]
+        )
+        assert report.reasons == "A"
+
+    def test_P_verdict_for_pointer_chasing(self):
+        # base pointer re-loaded inside the loop: the loop test on the
+        # chased pointer is also a non-affine bound, hence B-F-P
+        def body(f):
+            ptr = f.set(f.fresh_reg("p"), "A")
+            w = f.while_begin()
+            f.while_cond(w, "ne", ptr, 0)
+            nxt = f.load(ptr, offset=0)
+            f.set(ptr, nxt)
+            f.while_end(w)
+
+        pb = ProgramBuilder("t")
+        with pb.function("main", ["A"]) as f:
+            body(f)
+            f.halt()
+        report = analyze_static(pb.build(), ["main"])
+        assert report.reasons == "BFP"
+
+
+class TestStaticAffineAccessUids:
+    def test_affine_accesses_included(self):
+        prog = build(lambda f: _copy_loop(f))
+        uids = static_affine_access_uids(prog)
+        mem_uids = {i.uid for _, _, i in prog.all_instrs() if i.is_mem}
+        assert uids == mem_uids
+
+    def test_indirect_access_excluded(self):
+        def body(f):
+            row = f.load("A", index=0)
+            with f.loop(0, 8) as i:
+                f.store("B", f.load(row, index=i), index=i)
+
+        prog = build(body)
+        uids = static_affine_access_uids(prog)
+        loads = [i for _, _, i in prog.all_instrs() if i.is_load]
+        assert loads[0].uid in uids       # the A[0] pointer fetch is affine
+        assert loads[1].uid not in uids   # the indirect access is not
+
+    def test_loop_called_function_excluded(self):
+        # params of a function called from inside a loop vary per
+        # iteration: its accesses are not provably affine per-function
+        pb = ProgramBuilder("t")
+        with pb.function("main", ["A"]) as f:
+            with f.loop(0, 8) as i:
+                f.call("kern", [f.add("A", i)])
+            f.halt()
+        with pb.function("kern", ["p"]) as f:
+            f.store("p", 1.0, offset=0)
+            f.ret()
+        prog = pb.build()
+        kern_uids = {
+            i.uid for fn, _, i in prog.all_instrs()
+            if fn.name == "kern" and i.is_mem
+        }
+        assert kern_uids
+        assert not (static_affine_access_uids(prog) & kern_uids)
+
+    def test_redefined_param_excluded(self):
+        def body(f):
+            with f.loop(0, 4) as i:
+                f.store("A", 0.0, index=i)   # before redefinition: stale
+            f.set("A", f.load("B", index=0))
+            f.store("A", 1.0, offset=0)
+
+        prog = build(body)
+        store_uids = {
+            i.uid for _, _, i in prog.all_instrs() if i.is_store
+        }
+        assert not (static_affine_access_uids(prog) & store_uids)
+
+
+def _copy_loop(f):
+    with f.loop(0, 8) as i:
+        f.store("B", f.load("A", index=i), index=i)
+
+
+class TestAgreementWithDynamic:
+    def test_static_affine_folds_affine(self):
+        """The crosscheck invariant, asserted directly: every uid the
+        static side proves affine has an affine folded label."""
+        pb = ProgramBuilder("agree")
+        with pb.function("main", ["A", "B", "n"]) as f:
+            with f.loop(0, "n") as i:
+                with f.loop(0, "n") as j:
+                    idx = f.add(f.mul(i, 4), j)  # constant row stride
+                    f.store("B", f.load("A", index=idx), index=idx)
+            f.halt()
+
+        def make_state():
+            mem = Memory()
+            a = mem.alloc_array([float(k) for k in range(16)])
+            b = mem.alloc(16, init=0.0)
+            return (a, b, 4), mem
+
+        spec = ProgramSpec(name="agree", program=pb.build(),
+                           make_state=make_state)
+        result = analyze(spec, crosscheck=True)
+        assert result.crosscheck.ok, result.crosscheck.render()
+        affine = static_affine_access_uids(spec.program)
+        assert affine  # the kernel's accesses are statically provable
+        for fs in result.folded.statements.values():
+            if fs.stmt.uid in affine and fs.exact and fs.had_label:
+                assert fs.label_affine

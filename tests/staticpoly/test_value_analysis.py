@@ -1,6 +1,5 @@
 """Unit tests for the static analyzer's value analysis internals."""
 
-import pytest
 
 from repro.isa import ProgramBuilder
 from repro.staticpoly.analyzer import UNKNOWN, _FunctionAnalysis, _is_simple_leaf

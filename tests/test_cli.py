@@ -1,6 +1,5 @@
 """CLI tests (python -m repro ...)."""
 
-import os
 
 import pytest
 
