@@ -6,6 +6,12 @@ for both engines (the block-compiled fast engine with the batched
 builder and fast folding backend, and the reference per-instruction
 interpreter with the reference folder), and reports the speedups.
 
+Each (workload, engine, stage) cell is the **best of N** back-to-back
+repetitions -- the minimum is the standard estimator for CPU-bound
+timings (noise is strictly additive); the per-stage sample spread is
+recorded alongside so a suspicious best can be judged against its own
+variance.
+
 Writes the machine-readable ``BENCH_speed.json`` next to the text
 table so regressions are diffable, and asserts the headline claim:
 the fast engine folds the whole suite's Instrumentation II at least
@@ -15,6 +21,7 @@ asserts the speed).
 """
 
 import json
+import statistics
 import time
 
 from _harness import emit, format_table, once, results_path
@@ -28,8 +35,13 @@ ENGINES = (
     ("reference", FoldingSink),
 )
 
+STAGES = ("native", "instr1", "instr2_fold")
 
-def _time_engine(spec, engine, sink_cls):
+#: best-of-N repetitions per (workload, engine) cell
+ROUNDS = 3
+
+
+def _time_engine_once(spec, engine, sink_cls):
     args, mem = spec.make_state()
     t0 = time.perf_counter()
     run_program(spec.program, args=args, memory=mem, engine=engine)
@@ -46,26 +58,49 @@ def _time_engine(spec, engine, sink_cls):
     return {"native": native, "instr1": stage1, "instr2_fold": stage2}
 
 
+def _time_engine(spec, engine, sink_cls, rounds=ROUNDS):
+    """Best-of-``rounds`` per stage, plus the sample spread."""
+    samples = {stage: [] for stage in STAGES}
+    for _ in range(rounds):
+        one = _time_engine_once(spec, engine, sink_cls)
+        for stage in STAGES:
+            samples[stage].append(one[stage])
+    best = {stage: min(samples[stage]) for stage in STAGES}
+    spread = {
+        stage: {
+            "min": min(vals),
+            "max": max(vals),
+            "mean": statistics.fmean(vals),
+            "variance": statistics.pvariance(vals),
+        }
+        for stage, vals in samples.items()
+    }
+    return best, spread
+
+
 def run_speed():
     data = {}
+    spreads = {}
     for name, factory in rodinia_workloads().items():
         spec = factory()
-        data[name] = {
-            engine: _time_engine(spec, engine, sink_cls)
-            for engine, sink_cls in ENGINES
-        }
+        data[name] = {}
+        spreads[name] = {}
+        for engine, sink_cls in ENGINES:
+            best, spread = _time_engine(spec, engine, sink_cls)
+            data[name][engine] = best
+            spreads[name][engine] = spread
     totals = {
         engine: {
             stage: sum(data[n][engine][stage] for n in data)
-            for stage in ("native", "instr1", "instr2_fold")
+            for stage in STAGES
         }
         for engine, _ in ENGINES
     }
-    return data, totals
+    return data, spreads, totals
 
 
 def test_engine_speed(benchmark):
-    data, totals = once(benchmark, run_speed)
+    data, spreads, totals = once(benchmark, run_speed)
 
     rows = []
     for name, per in data.items():
@@ -105,7 +140,13 @@ def test_engine_speed(benchmark):
 
     with open(results_path("BENCH_speed.json"), "w") as fh:
         json.dump(
-            {"per_workload": data, "totals": totals, "speedup": speedup},
+            {
+                "rounds": ROUNDS,
+                "per_workload": data,
+                "spread": spreads,
+                "totals": totals,
+                "speedup": speedup,
+            },
             fh,
             indent=2,
             sort_keys=True,

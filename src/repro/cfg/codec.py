@@ -1,0 +1,61 @@
+"""Codecs for the Instrumentation-I structures (dynamic CFGs + CG).
+
+Only the *primary* observations are serialized -- the executed nodes
+and edges of every function's dynamic CFG and of the call graph.  The
+loop-nesting forests and the recursive-component-set are deterministic
+pure functions of those graphs (:func:`~repro.cfg.looptree.build_loop_forest`
+iterates in sorted order, as does
+:func:`~repro.cfg.rcs.build_recursive_component_set`), so the decoder
+recomputes them instead of trusting a serialized copy: the rebuilt
+artifacts are identical-by-construction, and the on-disk format stays
+small and robust against forest-representation changes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .builder import DynCFG, DynCallGraph
+
+
+def encode_cfgs(cfgs: Dict[str, DynCFG]) -> list:
+    out = []
+    for func in sorted(cfgs):
+        cfg = cfgs[func]
+        out.append({
+            "func": cfg.func,
+            "entry": cfg.entry,
+            "nodes": sorted(cfg.nodes),
+            "edges": sorted([a, b] for (a, b) in cfg.edges),
+        })
+    return out
+
+
+def decode_cfgs(data: list) -> Dict[str, DynCFG]:
+    cfgs: Dict[str, DynCFG] = {}
+    for item in data:
+        cfgs[item["func"]] = DynCFG(
+            func=item["func"],
+            entry=item["entry"],
+            nodes=set(item["nodes"]),
+            edges={(a, b) for a, b in item["edges"]},
+        )
+    return cfgs
+
+
+def encode_callgraph(cg: DynCallGraph) -> dict:
+    return {
+        "root": cg.root,
+        "nodes": sorted(cg.nodes),
+        "edges": sorted([a, b] for (a, b) in cg.edges),
+        "call_sites": sorted([a, b, c] for (a, b, c) in cg.call_sites),
+    }
+
+
+def decode_callgraph(data: dict) -> DynCallGraph:
+    return DynCallGraph(
+        root=data["root"],
+        nodes=set(data["nodes"]),
+        edges={(a, b) for a, b in data["edges"]},
+        call_sites={(a, b, c) for a, b, c in data["call_sites"]},
+    )

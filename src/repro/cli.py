@@ -14,14 +14,18 @@ drive POLY-PROF over a binary:
 * ``suite [workloads...]``    -- analyze many workloads in parallel
 
 Analysis commands take ``--engine {fast,reference}`` (default fast:
-block-compiled VM, batched instrumentation, fast folding backend) and
-``--crosscheck`` (run the dynamic-vs-static soundness sanitizers);
-``suite`` additionally takes ``--jobs`` and ``--timeout``.
+block-compiled VM, batched instrumentation, fast folding backend),
+``--crosscheck`` (run the dynamic-vs-static soundness sanitizers), and
+``--cache DIR`` / ``--no-cache`` (content-addressed artifact store;
+the ``REPRO_CACHE_DIR`` environment variable supplies a default
+directory).  ``suite`` additionally takes ``--jobs``, ``--timeout``
+and ``--cache-max-mb`` (LRU size cap for the shared store).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -51,6 +55,38 @@ def cmd_list(args) -> int:
     return 0
 
 
+def _store_from_args(args):
+    """The :class:`~repro.store.ArtifactStore` the flags ask for, or None.
+
+    Precedence: ``--no-cache`` wins; then ``--cache DIR``; then the
+    ``REPRO_CACHE_DIR`` environment variable.
+    """
+    if getattr(args, "no_cache", False):
+        return None
+    cache_dir = getattr(args, "cache", None) or os.environ.get(
+        "REPRO_CACHE_DIR"
+    )
+    if not cache_dir:
+        return None
+    from .store import ArtifactStore
+
+    max_mb = getattr(args, "cache_max_mb", None)
+    return ArtifactStore(
+        cache_dir,
+        max_bytes=None if max_mb is None else max_mb * 1024 * 1024,
+    )
+
+
+def _cache_dir_from_args(args) -> Optional[str]:
+    """Like :func:`_store_from_args` but just the directory (for the
+    suite runner, whose workers each open their own handle)."""
+    if getattr(args, "no_cache", False):
+        return None
+    return getattr(args, "cache", None) or os.environ.get(
+        "REPRO_CACHE_DIR"
+    ) or None
+
+
 def _print_crosscheck(result) -> int:
     """Print the crosscheck summary; return the violation count."""
     if result.crosscheck is None:
@@ -64,7 +100,10 @@ def cmd_report(args) -> int:
     from .pipeline import analyze
 
     spec = _get_spec(args.workload)
-    result = analyze(spec, engine=args.engine, crosscheck=args.crosscheck)
+    result = analyze(
+        spec, engine=args.engine, crosscheck=args.crosscheck,
+        store=_store_from_args(args),
+    )
     print(
         f"{spec.name}: {result.ddg_profile.builder.instr_count} dynamic "
         f"instructions, {result.folded.stmt_count()} folded statements, "
@@ -80,7 +119,10 @@ def cmd_metrics(args) -> int:
     from .pipeline import analyze
 
     spec = _get_spec(args.workload)
-    result = analyze(spec, engine=args.engine, crosscheck=args.crosscheck)
+    result = analyze(
+        spec, engine=args.engine, crosscheck=args.crosscheck,
+        store=_store_from_args(args),
+    )
     m = compute_region_metrics(
         result.folded,
         result.forest,
@@ -100,7 +142,9 @@ def cmd_flamegraph(args) -> int:
     from .pipeline import analyze
 
     spec = _get_spec(args.workload)
-    result = analyze(spec, engine=args.engine)
+    result = analyze(
+        spec, engine=args.engine, store=_store_from_args(args)
+    )
     svg = render_flamegraph_svg(
         result.schedule_tree,
         title=f"poly-prof annotated flame graph: {spec.name}",
@@ -133,7 +177,10 @@ def cmd_regions(args) -> int:
     from .pipeline import analyze
 
     spec = _get_spec(args.workload)
-    result = analyze(spec, engine=args.engine, crosscheck=args.crosscheck)
+    result = analyze(
+        spec, engine=args.engine, crosscheck=args.crosscheck,
+        store=_store_from_args(args),
+    )
     total = result.folded.dyn_ops() or 1
     print("candidate regions (best first):")
     for cand in suggest_regions(result, top=8):
@@ -150,7 +197,10 @@ def cmd_verify(args) -> int:
     from .schedule import verify_plan
 
     spec = _get_spec(args.workload)
-    result = analyze(spec, engine=args.engine, crosscheck=args.crosscheck)
+    result = analyze(
+        spec, engine=args.engine, crosscheck=args.crosscheck,
+        store=_store_from_args(args),
+    )
     bad = 0
     for plan in result.plans:
         if not plan.steps:
@@ -208,6 +258,7 @@ def cmd_suite(args) -> int:
     from .workloads import RODINIA_ORDER
 
     names = args.workloads or list(RODINIA_ORDER)
+    max_mb = getattr(args, "cache_max_mb", None)
     results = run_suite(
         names,
         jobs=args.jobs,
@@ -215,6 +266,8 @@ def cmd_suite(args) -> int:
         engine=args.engine,
         clamp=args.clamp,
         crosscheck=args.crosscheck,
+        cache_dir=_cache_dir_from_args(args),
+        cache_max_bytes=None if max_mb is None else max_mb * 1024 * 1024,
     )
     print(render_suite_table(results))
     if not all(r.ok for r in results):
@@ -231,6 +284,22 @@ def _add_engine_arg(p) -> None:
         default="fast",
         help="execution/folding path: block-compiled fast engine "
         "(default) or the reference interpreter",
+    )
+
+
+def _add_cache_args(p) -> None:
+    p.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="content-addressed artifact store directory; warm "
+        "re-analyses skip both profiled executions (default: "
+        "$REPRO_CACHE_DIR when set)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the artifact store even if REPRO_CACHE_DIR is set",
     )
 
 
@@ -262,6 +331,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         p.add_argument("workload")
         _add_engine_arg(p)
         _add_crosscheck_arg(p)
+        _add_cache_args(p)
     p = sub.add_parser("static", help="static (mini-Polly) baseline")
     p.add_argument("workload")
     p = sub.add_parser(
@@ -288,6 +358,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p.add_argument("workload")
     p.add_argument("-o", "--output", default=None)
     _add_engine_arg(p)
+    _add_cache_args(p)
     p = sub.add_parser(
         "suite", help="analyze many workloads in parallel"
     )
@@ -317,6 +388,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     _add_engine_arg(p)
     _add_crosscheck_arg(p)
+    _add_cache_args(p)
+    p.add_argument(
+        "--cache-max-mb",
+        type=int,
+        default=None,
+        metavar="MB",
+        help="LRU size cap for the shared artifact store",
+    )
 
     args = parser.parse_args(argv)
     handler = {

@@ -6,6 +6,7 @@ POLY-PROF pipeline (see DESIGN.md, substitution table).
 """
 
 from .events import CallEvent, Instrumentation, JumpEvent, ReturnEvent
+from .fingerprint import fingerprint_program, fingerprint_state
 from .frontend import FunctionBuilder, ProgramBuilder
 from .instructions import Call, CondBr, Halt, Instr, Jump, Return
 from .program import BasicBlock, Function, Memory, MemoryFault, Program
@@ -32,5 +33,7 @@ __all__ = [
     "RunStats",
     "VM",
     "VMError",
+    "fingerprint_program",
+    "fingerprint_state",
     "run_program",
 ]

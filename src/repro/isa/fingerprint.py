@@ -1,0 +1,112 @@
+"""Canonical content hashing of programs and initial machine state.
+
+The artifact store (:mod:`repro.store`) keys cached analysis artifacts
+by *what was analyzed*: the :class:`~repro.isa.program.Program` IR and
+the initial ``(args, memory)`` state a workload's ``make_state``
+produces.  Both are hashed through an explicit canonical byte
+encoding -- never ``pickle`` or ``repr`` of whole containers -- so the
+digest is stable across processes, Python versions, and dict insertion
+orders, and so that *every* semantic detail (uids, opcodes, operand
+types, immediates, terminators, debug lines) lands in the hash.  Two
+programs differing in any instruction, block name, or source line get
+different digests; re-running the same workload factory twice gets the
+same digest (workload state is deterministic by construction).
+
+Floats are encoded via ``float.hex()`` (exact, round-trippable);
+operands are type-tagged so ``1`` (int), ``1.0`` (float), and ``"1"``
+(register name) hash differently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Sequence
+
+from .instructions import Call, CondBr, Halt, Jump, Return
+from .program import Memory, Program
+
+
+def _token(value: object) -> str:
+    """Type-tagged canonical token for one operand / memory word."""
+    if isinstance(value, bool):  # bool is an int subclass: tag first
+        return f"b:{int(value)}"
+    if isinstance(value, int):
+        return f"i:{value}"
+    if isinstance(value, float):
+        return f"f:{value.hex()}"
+    if isinstance(value, str):
+        return f"s:{value}"
+    if value is None:
+        return "n"
+    raise TypeError(f"unhashable state value of type {type(value).__name__}")
+
+
+def _terminator_tokens(term: object) -> Iterable[str]:
+    if isinstance(term, Jump):
+        yield f"jump>{term.target}"
+    elif isinstance(term, CondBr):
+        yield (
+            f"br:{term.rel}:{_token(term.a)}:{_token(term.b)}"
+            f">{term.taken}|{term.not_taken}"
+        )
+    elif isinstance(term, Call):
+        args = ",".join(_token(a) for a in term.args)
+        yield f"call:{term.callee}({args})->{_token(term.dest)}>{term.cont}"
+    elif isinstance(term, Return):
+        yield f"ret:{_token(term.value)}"
+    elif isinstance(term, Halt):
+        yield "halt"
+    elif term is None:
+        yield "none"
+    else:  # pragma: no cover - exhaustive over the terminator union
+        raise TypeError(f"unknown terminator {type(term).__name__}")
+
+
+def program_tokens(program: Program) -> Iterable[str]:
+    """The canonical token stream of one program (hashing order)."""
+    yield f"program:{program.name}:main={program.main}"
+    for fname in sorted(program.functions):
+        fn = program.functions[fname]
+        yield (
+            f"func:{fn.name}:params={','.join(fn.params)}"
+            f":entry={fn.entry}:ld={fn.src_loop_depth}"
+            f":file={fn.src_file or ''}"
+        )
+        for bname in sorted(fn.blocks):
+            bb = fn.blocks[bname]
+            yield f"block:{bname}"
+            for ins in bb.instrs:
+                srcs = ",".join(_token(s) for s in ins.srcs)
+                yield (
+                    f"instr:{ins.uid}:{ins.opcode}:{_token(ins.dest)}"
+                    f":[{srcs}]:off={ins.offset}:line={ins.src_line}"
+                )
+            yield from _terminator_tokens(bb.terminator)
+
+
+def fingerprint_program(program: Program) -> str:
+    """Stable content digest (hex sha256) of a program's full IR."""
+    h = hashlib.sha256()
+    for tok in program_tokens(program):
+        h.update(tok.encode("utf-8"))
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def fingerprint_state(args: Sequence, memory: Memory) -> str:
+    """Stable content digest of one initial ``(args, memory)`` state.
+
+    Hashes the program arguments and the *entire* observable memory
+    image (allocated words and the bump-allocator frontier), so any
+    change to workload input data invalidates cached artifacts.
+    """
+    h = hashlib.sha256()
+    h.update(b"args\n")
+    for a in args:
+        h.update(_token(a).encode("utf-8"))
+        h.update(b"\n")
+    next_addr, items = memory.state_items()
+    h.update(f"mem:{next_addr}\n".encode("utf-8"))
+    for addr, value in items:
+        h.update(f"{addr}={_token(value)}\n".encode("utf-8"))
+    return h.hexdigest()

@@ -184,6 +184,13 @@ class Memory:
     def read_array(self, base: int, n: int) -> List[object]:
         return [self.load(base + i) for i in range(n)]
 
+    def state_items(self) -> Tuple[int, List[Tuple[int, object]]]:
+        """The full observable state: the bump-allocator frontier plus
+        every allocated ``(address, value)`` pair in address order.
+        This is what :func:`repro.isa.fingerprint.fingerprint_state`
+        hashes to content-address cached analysis artifacts."""
+        return self._next, sorted(self._data.items())
+
     @property
     def words_allocated(self) -> int:
         return self._next - 16

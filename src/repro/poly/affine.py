@@ -40,6 +40,20 @@ class AffineExpr:
     # -- constructors ----------------------------------------------------------
 
     @classmethod
+    def from_normalized(
+        cls, coeffs: Sequence[int], const: int, den: int
+    ) -> "AffineExpr":
+        """Construct from an already-reduced ``(coeffs, const, den)``
+        triple (``den >= 1``, gcd 1) -- the form ``__init__`` produces
+        and the artifact codec serializes.  Skips the gcd reduction,
+        which dominates artifact decode."""
+        e = object.__new__(cls)
+        e.coeffs = tuple(coeffs)
+        e.const = const
+        e.den = den
+        return e
+
+    @classmethod
     def constant(cls, value: int, dim: int) -> "AffineExpr":
         return cls((0,) * dim, value)
 

@@ -69,6 +69,36 @@ class Polyhedron:
         return tuple(coeffs) + (k,)
 
     @classmethod
+    def from_normalized(
+        cls,
+        dim: int,
+        eqs: Iterable[Sequence[int]] = (),
+        ineqs: Iterable[Sequence[int]] = (),
+    ) -> "Polyhedron":
+        """Construct from rows that are *already* normalized -- i.e.
+        rows read back from a :class:`Polyhedron` built through
+        ``__init__`` (whose normalization is idempotent).  Skips the
+        per-row gcd work, which dominates artifact decode; row lengths
+        are still checked so a structurally wrong payload fails fast.
+        """
+        p = object.__new__(cls)
+        p.dim = dim = int(dim)
+        n = dim + 1
+        for r in eqs:
+            if len(r) != n:
+                raise ValueError(
+                    f"constraint row of length {len(r)} for dim {dim}"
+                )
+        for r in ineqs:
+            if len(r) != n:
+                raise ValueError(
+                    f"constraint row of length {len(r)} for dim {dim}"
+                )
+        p.eqs = tuple(tuple(r) for r in eqs)
+        p.ineqs = tuple(tuple(r) for r in ineqs)
+        return p
+
+    @classmethod
     def universe(cls, dim: int) -> "Polyhedron":
         return cls(dim)
 

@@ -27,7 +27,7 @@ import time
 import traceback
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 #: a suite task: a workload registry name or a spec factory
 SuiteTask = Union[str, Callable[[], "ProgramSpec"]]
@@ -47,6 +47,18 @@ class WorkloadResult:
     timed_out: bool = False
     wall_seconds: float = 0.0
     engine: str = "fast"
+    #: per-stage split of ``wall_seconds`` (Instrumentation I;
+    #: Instrumentation II + folding; feedback/scheduling) -- cache-aware:
+    #: on a warm hit the profiling stages collapse to artifact decode
+    t_instr1: float = 0.0
+    t_instr2_fold: float = 0.0
+    t_feedback: float = 0.0
+    #: True when the artifact store served the whole profile (no
+    #: instrumented execution ran)
+    cache_hit: bool = False
+    #: this worker's store counters (hits/misses/puts/evictions/errors);
+    #: None when the run was uncached
+    cache_stats: Optional[Dict[str, int]] = None
     #: summary of the analysis when ``ok``
     dyn_instrs: int = 0
     statements: int = 0
@@ -129,10 +141,22 @@ def _analyze_task(
     timeout: Optional[float],
     with_report: bool,
     crosscheck: bool = False,
+    cache_dir: Optional[str] = None,
+    cache_max_bytes: Optional[int] = None,
 ) -> WorkloadResult:
-    """Worker body: analyze one workload, never raise."""
+    """Worker body: analyze one workload, never raise.
+
+    All workers of one suite share ``cache_dir``: the store's atomic
+    writes make concurrent puts of the same key safe, and its counters
+    come back in the result for the suite-level summary.
+    """
     name = task_name(task)
     t0 = time.perf_counter()
+    store = None
+    if cache_dir is not None:
+        from .store import ArtifactStore
+
+        store = ArtifactStore(cache_dir, max_bytes=cache_max_bytes)
     try:
         with _deadline(timeout):
             spec = _resolve(task)
@@ -142,7 +166,7 @@ def _analyze_task(
 
             result = analyze(
                 spec, engine=engine, fuel=fuel, clamp=clamp,
-                crosscheck=crosscheck,
+                crosscheck=crosscheck, store=store,
             )
             report = None
             if with_report:
@@ -157,6 +181,11 @@ def _analyze_task(
             ok=True,
             wall_seconds=time.perf_counter() - t0,
             engine=engine,
+            t_instr1=result.timings.instr1,
+            t_instr2_fold=result.timings.instr2_fold,
+            t_feedback=result.timings.feedback,
+            cache_hit=result.timings.cache_hit,
+            cache_stats=store.stats.as_dict() if store else None,
             dyn_instrs=result.ddg_profile.builder.instr_count,
             statements=result.folded.stmt_count(),
             deps=len(result.folded.deps),
@@ -195,6 +224,8 @@ def run_suite(
     clamp: Optional[int] = None,
     with_report: bool = False,
     crosscheck: bool = False,
+    cache_dir: Optional[str] = None,
+    cache_max_bytes: Optional[int] = None,
 ) -> List[WorkloadResult]:
     """Analyze ``tasks``, ``jobs`` at a time; results in task order.
 
@@ -202,14 +233,17 @@ def run_suite(
     workload's wall time (None = unbounded).  Failures degrade to
     error records -- the suite always returns one result per task.
     ``crosscheck`` runs the soundness sanitizers per workload and
-    reports the violation count.
+    reports the violation count.  ``cache_dir`` points every worker at
+    one shared artifact store (:mod:`repro.store`), optionally capped
+    at ``cache_max_bytes`` of LRU-evicted artifacts.
     """
     if jobs is None:
         jobs = os.cpu_count() or 1
     if jobs <= 1 or len(tasks) <= 1:
         return [
             _analyze_task(
-                t, engine, fuel, clamp, timeout, with_report, crosscheck
+                t, engine, fuel, clamp, timeout, with_report, crosscheck,
+                cache_dir, cache_max_bytes,
             )
             for t in tasks
         ]
@@ -221,7 +255,7 @@ def run_suite(
         futures = [
             pool.submit(
                 _analyze_task, t, engine, fuel, clamp, timeout,
-                with_report, crosscheck,
+                with_report, crosscheck, cache_dir, cache_max_bytes,
             )
             for t in tasks
         ]
@@ -241,10 +275,13 @@ def run_suite(
 def render_suite_table(results: Sequence[WorkloadResult]) -> str:
     """A compact text table of suite results."""
     crosschecked = any(r.soundness_violations is not None for r in results)
+    cached = any(r.cache_stats is not None for r in results)
     header = (
         f"{'workload':16s} {'status':8s} {'wall':>7s} {'dyn ops':>10s} "
         f"{'stmts':>6s} {'deps':>6s} {'plans':>6s}"
     )
+    if cached:
+        header += f" {'cache':>6s}"
     if crosschecked:
         header += f" {'sound':>6s}"
     lines = [header]
@@ -255,6 +292,11 @@ def render_suite_table(results: Sequence[WorkloadResult]) -> str:
                 f"{r.dyn_instrs:10d} {r.statements:6d} {r.deps:6d} "
                 f"{r.plans:6d}"
             )
+            if cached:
+                if r.cache_stats is None:
+                    line += f" {'-':>6s}"
+                else:
+                    line += f" {'warm' if r.cache_hit else 'cold':>6s}"
             if crosschecked:
                 if r.soundness_violations is None:
                     line += f" {'-':>6s}"
@@ -270,6 +312,18 @@ def render_suite_table(results: Sequence[WorkloadResult]) -> str:
             )
     n_ok = sum(1 for r in results if r.ok)
     lines.append(f"{n_ok}/{len(results)} workloads analyzed")
+    if cached:
+        from .store import StoreStats
+
+        agg = StoreStats()
+        for r in results:
+            if r.cache_stats:
+                agg.merge(r.cache_stats)
+        lines.append(
+            f"cache: {agg.hits} hit(s), {agg.misses} miss(es), "
+            f"{agg.puts} put(s), {agg.evictions} eviction(s)"
+            + (f", {agg.errors} error(s)" if agg.errors else "")
+        )
     if crosschecked:
         n_viol = sum(r.soundness_violations or 0 for r in results)
         lines.append(

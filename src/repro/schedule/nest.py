@@ -95,9 +95,17 @@ class NestForest:
         )
 
 
-def build_nest_forest(ddg: FoldedDDG) -> NestForest:
+def build_nest_forest(
+    ddg: FoldedDDG, deps: Optional[List[DepVector]] = None
+) -> NestForest:
     """Group statements into the interprocedural loop-nest forest and
-    attach dependence vectors."""
+    attach dependence vectors.
+
+    ``deps`` short-circuits :func:`~repro.schedule.deps.analyze_deps`
+    (the one feedback pass whose polyhedral bounding is expensive) with
+    a precomputed vector list -- the artifact store persists it with
+    the folded DDG, since it is a pure function of the DDG.
+    """
     forest = NestForest()
     for fs in ddg.statements.values():
         path = loop_path(fs.stmt)
@@ -125,5 +133,5 @@ def build_nest_forest(ddg: FoldedDDG) -> NestForest:
 
     for root in forest.roots.values():
         tally(root)
-    forest.deps = analyze_deps(ddg)
+    forest.deps = analyze_deps(ddg) if deps is None else deps
     return forest

@@ -1,0 +1,98 @@
+"""Artifact key derivation: fingerprints + pipeline options + salt.
+
+Two cache levels mirror the pipeline's stage structure:
+
+* the **stage-1 key** covers everything Instrumentation I depends on:
+  the program IR, the initial state, the engine, and the fuel budget;
+* the **stage-2 key** extends it with the Instrumentation-II/folding
+  options (``track_anti_output``, ``build_schedule_tree``,
+  ``max_pieces``, ``clamp``).
+
+Changing only a stage-2 option therefore invalidates the folded DDG
+but still reuses the cached :class:`~repro.pipeline.ControlProfile`.
+Both keys are salted with :data:`~repro.store.store.STORE_FORMAT_VERSION`
+so a format bump makes every old artifact an orderly miss.
+
+``engine`` is part of the key even though both engines are proven to
+produce identical artifacts: the recorded engine is reproduced by the
+cross-checker (which recounts on the *opposite* engine), so a cached
+result must never claim an engine it did not run on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+from ..isa.fingerprint import fingerprint_program, fingerprint_state
+from .store import STORE_FORMAT_VERSION
+
+
+@dataclass(frozen=True)
+class ArtifactKeys:
+    """The content-addressed keys of one (workload, options) pair."""
+
+    stage1: str          # ControlProfile artifact ("cp-<sha256>")
+    stage2: str          # FoldedDDG + profile-meta + dep-vector artifact
+    program_digest: str
+    state_digest: str
+
+
+def _hex(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def derive_keys(
+    program_digest: str,
+    state_digest: str,
+    *,
+    engine: str,
+    fuel: int,
+    max_pieces: int,
+    clamp: Optional[int],
+    track_anti_output: bool,
+    build_schedule_tree: bool,
+) -> ArtifactKeys:
+    base = (
+        f"v{STORE_FORMAT_VERSION}|prog={program_digest}"
+        f"|state={state_digest}|engine={engine}|fuel={fuel}"
+    )
+    stage2 = (
+        base
+        + f"|max_pieces={max_pieces}|clamp={clamp}"
+        + f"|anti_output={track_anti_output}"
+        + f"|schedule_tree={build_schedule_tree}"
+    )
+    return ArtifactKeys(
+        stage1="cp-" + _hex(base),
+        stage2="ddg-" + _hex(stage2),
+        program_digest=program_digest,
+        state_digest=state_digest,
+    )
+
+
+def keys_for_spec(
+    spec,
+    *,
+    engine: str,
+    fuel: int,
+    max_pieces: int,
+    clamp: Optional[int],
+    track_anti_output: bool,
+    build_schedule_tree: bool,
+) -> ArtifactKeys:
+    """Fingerprint one :class:`~repro.pipeline.ProgramSpec` and derive
+    its artifact keys.  Materializes (and discards) one fresh state --
+    cheap next to even a single instrumented execution."""
+    args, memory = spec.make_state()
+    return derive_keys(
+        fingerprint_program(spec.program),
+        fingerprint_state(args, memory),
+        engine=engine,
+        fuel=fuel,
+        max_pieces=max_pieces,
+        clamp=clamp,
+        track_anti_output=track_anti_output,
+        build_schedule_tree=build_schedule_tree,
+    )

@@ -1,0 +1,207 @@
+"""Content-addressed, size-capped on-disk artifact store.
+
+Artifacts are gzip-compressed JSON documents addressed by a
+content-derived key (:mod:`repro.store.keys`): the key names *what was
+analyzed and how*, never when or by whom, so any process that computes
+the same fingerprint reads the same artifact.
+
+Concurrency and corruption are handled the only way a shared cache
+directory can be: writes go to a unique temp file in the store and
+land via atomic ``os.replace`` (a reader never observes a torn
+artifact, concurrent writers of the same key just overwrite each other
+with identical bytes), and *every* read failure -- missing file,
+truncated gzip, invalid JSON, wrong format version, decoder error --
+degrades to a cache miss.  A corrupt file is unlinked best-effort so
+it cannot miss forever.
+
+Eviction is size-capped LRU over file mtimes: a hit touches the
+artifact's mtime, a put evicts oldest-first until the store fits
+``max_bytes``.  Races with concurrent workers (a file vanishing
+mid-walk) are tolerated everywhere.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: bump on ANY change to the artifact payload layout or the canonical
+#: fingerprint encoding; it salts every key (see keys.py), so old
+#: stores simply miss instead of mis-decoding
+STORE_FORMAT_VERSION = 1
+
+
+@dataclass
+class StoreStats:
+    """Counters for one store handle (per process / per worker)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    errors: int = 0
+    extra: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "errors": self.errors,
+        }
+
+    def merge(self, other: Dict[str, int]) -> None:
+        self.hits += other.get("hits", 0)
+        self.misses += other.get("misses", 0)
+        self.puts += other.get("puts", 0)
+        self.evictions += other.get("evictions", 0)
+        self.errors += other.get("errors", 0)
+
+
+class ArtifactStore:
+    """A directory of content-addressed analysis artifacts."""
+
+    def __init__(
+        self, root: str, max_bytes: Optional[int] = None
+    ) -> None:
+        self.root = root
+        self.objects_dir = os.path.join(root, "objects")
+        self.max_bytes = max_bytes
+        self.stats = StoreStats()
+        os.makedirs(self.objects_dir, exist_ok=True)
+
+    # -- paths -------------------------------------------------------------------
+
+    def path_of(self, key: str) -> str:
+        return os.path.join(self.objects_dir, key + ".json.gz")
+
+    # -- raw get/put -------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[dict]:
+        """The payload under ``key``, or None (anything wrong = miss)."""
+        path = self.path_of(key)
+        try:
+            with gzip.open(path, "rb") as fh:
+                doc = json.loads(fh.read().decode("utf-8"))
+            if doc.get("format") != STORE_FORMAT_VERSION:
+                raise ValueError(f"format {doc.get('format')!r}")
+            payload = doc["data"]
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            # truncated gzip, bad JSON, version skew, wrong shape --
+            # treat as a miss and drop the unreadable file
+            self.stats.misses += 1
+            self.stats.errors += 1
+            self._unlink(path)
+            return None
+        self.stats.hits += 1
+        self._touch(path)
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Atomically write ``payload`` under ``key``, then evict."""
+        doc = {"format": STORE_FORMAT_VERSION, "key": key, "data": payload}
+        raw = json.dumps(doc, separators=(",", ":")).encode("utf-8")
+        path = self.path_of(key)
+        fd, tmp = tempfile.mkstemp(
+            prefix=".tmp-" + key[:24] + "-", dir=self.objects_dir
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                # mtime=0 keeps artifact bytes deterministic across runs
+                with gzip.GzipFile(
+                    fileobj=fh, mode="wb", mtime=0
+                ) as gz:
+                    gz.write(raw)
+            os.replace(tmp, path)
+        except Exception:
+            self._unlink(tmp)
+            raise
+        self.stats.puts += 1
+        if self.max_bytes is not None:
+            self.evict()
+
+    # -- decoded load/save --------------------------------------------------------
+
+    def load(self, key: str, decoder: Callable[[dict], object]):
+        """Get + decode; any decoder failure degrades to a miss."""
+        payload = self.get(key)
+        if payload is None:
+            return None
+        try:
+            return decoder(payload)
+        except Exception:
+            # a payload that no longer decodes (stale semantics within
+            # one format version) must never crash an analysis
+            self.stats.hits -= 1
+            self.stats.misses += 1
+            self.stats.errors += 1
+            self._unlink(self.path_of(key))
+            return None
+
+    # -- eviction -----------------------------------------------------------------
+
+    def entries(self) -> List[Tuple[str, int, float]]:
+        """(path, size, mtime) of every artifact currently on disk."""
+        out = []
+        try:
+            names = os.listdir(self.objects_dir)
+        except FileNotFoundError:
+            return out
+        for name in names:
+            path = os.path.join(self.objects_dir, name)
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue  # vanished under a concurrent worker
+            out.append((path, st.st_size, st.st_mtime))
+        return out
+
+    def total_bytes(self) -> int:
+        return sum(size for _, size, _ in self.entries())
+
+    def evict(self) -> int:
+        """Delete least-recently-used artifacts until under the cap."""
+        if self.max_bytes is None:
+            return 0
+        entries = self.entries()
+        total = sum(size for _, size, _ in entries)
+        evicted = 0
+        # oldest mtime first; temp files sort in with their mtimes,
+        # which is fine: a stale temp is garbage worth collecting
+        for path, size, _ in sorted(entries, key=lambda e: e[2]):
+            if total <= self.max_bytes:
+                break
+            if self._unlink(path):
+                total -= size
+                evicted += 1
+        self.stats.evictions += evicted
+        return evicted
+
+    def clear(self) -> None:
+        for path, _, _ in self.entries():
+            self._unlink(path)
+
+    # -- helpers -----------------------------------------------------------------
+
+    @staticmethod
+    def _unlink(path: str) -> bool:
+        try:
+            os.unlink(path)
+            return True
+        except OSError:
+            return False
+
+    @staticmethod
+    def _touch(path: str) -> None:
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass

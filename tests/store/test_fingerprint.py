@@ -1,0 +1,83 @@
+"""Canonical fingerprinting: stability and sensitivity.
+
+The cache is only sound if the fingerprint is *stable* for equal
+inputs (same workload factory -> same digest, across constructions)
+and *sensitive* to every semantic detail (any program or state change
+-> different digest).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.isa import fingerprint_program, fingerprint_state
+from repro.isa.program import Memory
+from repro.workloads import all_workloads
+
+WORKLOADS = sorted(all_workloads())
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_program_fingerprint_stable(name):
+    a = all_workloads()[name]()
+    b = all_workloads()[name]()
+    assert a.program is not b.program or a.program is b.program
+    assert fingerprint_program(a.program) == fingerprint_program(b.program)
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_state_fingerprint_stable(name):
+    a = all_workloads()[name]()
+    b = all_workloads()[name]()
+    assert fingerprint_state(*a.make_state()) == fingerprint_state(
+        *b.make_state()
+    )
+
+
+def test_distinct_programs_distinct_digests():
+    digests = {
+        name: fingerprint_program(all_workloads()[name]().program)
+        for name in WORKLOADS
+    }
+    assert len(set(digests.values())) == len(digests)
+
+
+def _first_block_with_instrs(program):
+    for fn in program.functions.values():
+        for bb in fn.blocks.values():
+            if bb.instrs:
+                return bb
+    raise AssertionError("no instructions")
+
+
+def test_instruction_mutation_changes_digest():
+    spec = all_workloads()["backprop"]()
+    before = fingerprint_program(spec.program)
+    bb = _first_block_with_instrs(spec.program)
+    bb.instrs[0] = dataclasses.replace(
+        bb.instrs[0], src_line=bb.instrs[0].src_line + 1000
+    )
+    assert fingerprint_program(spec.program) != before
+
+
+def test_operand_type_distinguished():
+    """int 1, float 1.0, and register "1" must hash differently."""
+    mem = Memory()
+    base = fingerprint_state([1], mem)
+    assert fingerprint_state([1.0], Memory()) != base
+    assert fingerprint_state(["1"], Memory()) != base
+    assert fingerprint_state([True], Memory()) != base
+
+
+def test_memory_contents_change_digest():
+    m1 = Memory()
+    p1 = m1.alloc(4)
+    for i in range(4):
+        m1.store(p1 + i, i)
+    m2 = Memory()
+    p2 = m2.alloc(4)
+    for i in range(4):
+        m2.store(p2 + i, i)
+    assert fingerprint_state([], m1) == fingerprint_state([], m2)
+    m2.store(p2 + 2, 99)
+    assert fingerprint_state([], m1) != fingerprint_state([], m2)

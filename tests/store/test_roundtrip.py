@@ -1,0 +1,229 @@
+"""Codec round trips: decoded artifacts must equal what was encoded.
+
+Two properties per codec:
+
+* **faithfulness** -- the decoded value is semantically identical to
+  the original (same rendering, same downstream behavior);
+* **fixpoint** -- ``encode(decode(encode(x))) == encode(x)``, so a
+  cached artifact re-encodes to the same bytes forever (no drift).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.pipeline import analyze, profile_control
+from repro.poly.affine import AffineExpr, AffineFunction
+from repro.poly.codec import (
+    decode_expr,
+    decode_fraction,
+    decode_imap,
+    decode_iset,
+    decode_polyhedron,
+    encode_expr,
+    encode_fraction,
+    encode_imap,
+    encode_iset,
+    encode_polyhedron,
+)
+from repro.poly.pmap import IMap
+from repro.poly.polyhedron import Polyhedron
+from repro.poly.pset import ISet, Space
+from repro.folding.codec import decode_folded_ddg, encode_folded_ddg
+from repro.schedule.codec import decode_dep_vectors, encode_dep_vectors
+from repro.store.artifacts import (
+    decode_control_profile,
+    decode_schedule_tree,
+    decode_stage2,
+    encode_control_profile,
+    encode_schedule_tree,
+    encode_stage2,
+)
+from repro.workloads import all_workloads
+
+#: enough variety to cover every codec path: loops, recursion
+#: (btree), multi-piece domains, reductions, SCEV streams
+SAMPLE = ("backprop", "nw", "lud", "b+tree")
+
+
+# -- poly leaf codecs ---------------------------------------------------------------
+
+
+def test_polyhedron_roundtrip():
+    p = Polyhedron(
+        2, eqs=[(2, -2, 4)], ineqs=[(3, 0, 9), (0, -1, 7), (1, 1, 0)]
+    )
+    enc = encode_polyhedron(p)
+    dec = decode_polyhedron(enc)
+    assert dec.dim == p.dim
+    assert dec.eqs == p.eqs
+    assert dec.ineqs == p.ineqs
+    assert encode_polyhedron(dec) == enc
+
+
+def test_iset_roundtrip():
+    s = ISet(
+        Space(["i", "j"]),
+        [
+            Polyhedron(2, ineqs=[(1, 0, 0), (-1, 0, 9)]),
+            Polyhedron(2, eqs=[(1, -1, 0)]),
+        ],
+    )
+    enc = encode_iset(s)
+    dec = decode_iset(enc)
+    assert str(dec) == str(s)
+    assert encode_iset(dec) == enc
+
+
+def test_expr_roundtrip():
+    e = AffineExpr([2, -3], 7, 2)
+    enc = encode_expr(e)
+    dec = decode_expr(enc)
+    assert (dec.coeffs, dec.const, dec.den) == (e.coeffs, e.const, e.den)
+    assert encode_expr(dec) == enc
+
+
+def test_imap_roundtrip():
+    m = IMap(
+        Space(["i"]),
+        Space(["o"]),
+        [
+            (
+                Polyhedron(1, ineqs=[(1, 0), (-1, 5)]),
+                AffineFunction([AffineExpr([1], 1)]),
+            )
+        ],
+    )
+    enc = encode_imap(m)
+    dec = decode_imap(enc)
+    assert str(dec.in_space) == str(m.in_space)
+    assert str(dec.out_space) == str(m.out_space)
+    assert len(dec.pieces) == len(m.pieces)
+    assert encode_imap(dec) == enc
+
+
+def test_fraction_roundtrip():
+    assert decode_fraction(encode_fraction(Fraction(-7, 3))) == Fraction(
+        -7, 3
+    )
+    assert decode_fraction(encode_fraction(None)) is None
+    assert encode_fraction(Fraction(4, 2)) == [2, 1]
+
+
+# -- stage 1: control profile -------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", SAMPLE)
+def test_control_profile_roundtrip(name):
+    spec = all_workloads()[name]()
+    control = profile_control(spec)
+    enc = encode_control_profile(control)
+    dec = decode_control_profile(enc)
+
+    assert set(dec.cfgs) == set(control.cfgs)
+    for f, cfg in control.cfgs.items():
+        assert dec.cfgs[f].entry == cfg.entry
+        assert set(dec.cfgs[f].nodes) == set(cfg.nodes)
+        assert set(dec.cfgs[f].edges) == set(cfg.edges)
+    assert dec.callgraph.root == control.callgraph.root
+    assert set(dec.callgraph.nodes) == set(control.callgraph.nodes)
+    assert set(dec.callgraph.edges) == set(control.callgraph.edges)
+    # recomputed derived structures match (pure functions of the graphs)
+    assert set(dec.forests) == set(control.forests)
+    for f in control.forests:
+        want = sorted(repr(lp) for lp in control.forests[f].all_loops)
+        got = sorted(repr(lp) for lp in dec.forests[f].all_loops)
+        assert got == want
+    assert sorted(repr(c) for c in dec.rcs.components) == sorted(
+        repr(c) for c in control.rcs.components
+    )
+    assert dec.stats.dyn_instrs == control.stats.dyn_instrs
+    assert dict(dec.stats.per_opcode) == dict(control.stats.per_opcode)
+    assert dec.wall_seconds == control.wall_seconds
+    # fixpoint
+    assert encode_control_profile(dec) == enc
+
+
+# -- stage 2: folded DDG + meta + dependence vectors --------------------------------
+
+
+@pytest.mark.parametrize("name", SAMPLE)
+def test_folded_ddg_fixpoint(name):
+    spec = all_workloads()[name]()
+    result = analyze(spec)
+    enc = encode_folded_ddg(result.folded)
+    dec = decode_folded_ddg(enc, spec.program)
+
+    assert list(dec.statements) == list(result.folded.statements)
+    assert list(dec.deps) == list(result.folded.deps)
+    for key, fs in result.folded.statements.items():
+        got = dec.statements[key]
+        assert got.stmt.instr is fs.stmt.instr  # resolved, not copied
+        assert got.count == fs.count
+        assert got.exact == fs.exact
+        assert got.is_scev == fs.is_scev
+        assert str(got.domain) == str(fs.domain)
+    assert encode_folded_ddg(dec) == enc
+
+
+@pytest.mark.parametrize("name", SAMPLE)
+def test_dep_vectors_roundtrip(name):
+    spec = all_workloads()[name]()
+    result = analyze(spec)
+    enc = encode_dep_vectors(result.forest.deps)
+    dec = decode_dep_vectors(enc, result.folded)
+    assert len(dec) == len(result.forest.deps)
+    for got, want in zip(dec, result.forest.deps):
+        assert got.dep.key == want.dep.key
+        # shares the FoldedDDG's dep object, as on the cold path
+        assert got.dep is result.folded.deps[want.dep.key]
+        assert got.signs == want.signs
+        assert got.bounds == want.bounds
+        assert got.is_reduction == want.is_reduction
+    assert encode_dep_vectors(dec) == enc
+
+
+def test_dep_vectors_unknown_stream_raises():
+    spec = all_workloads()["nw"]()
+    result = analyze(spec)
+    enc = encode_dep_vectors(result.forest.deps)
+    enc[0]["src"] = [999999, 999999]
+    with pytest.raises(ValueError):
+        decode_dep_vectors(enc, result.folded)
+
+
+@pytest.mark.parametrize("name", SAMPLE)
+def test_schedule_tree_roundtrip(name):
+    spec = all_workloads()[name]()
+    result = analyze(spec)
+    tree = result.schedule_tree
+    enc = encode_schedule_tree(tree)
+    dec = decode_schedule_tree(enc)
+    assert dec.render_text() == tree.render_text()
+    assert encode_schedule_tree(dec) == enc
+    assert decode_schedule_tree(None) is None
+    assert encode_schedule_tree(None) is None
+
+
+@pytest.mark.parametrize("name", SAMPLE)
+def test_stage2_roundtrip(name):
+    spec = all_workloads()[name]()
+    result = analyze(spec)
+    enc = encode_stage2(
+        result.folded, result.ddg_profile, result.forest.deps
+    )
+    folded, ddgp, vectors = decode_stage2(enc, spec.program)
+    assert (
+        ddgp.builder.instr_count
+        == result.ddg_profile.builder.instr_count
+    )
+    assert ddgp.stats.dyn_instrs == result.ddg_profile.stats.dyn_instrs
+    assert ddgp.wall_seconds == result.ddg_profile.wall_seconds
+    assert (
+        ddgp.builder.schedule_tree.render_text()
+        == result.schedule_tree.render_text()
+    )
+    assert len(vectors) == len(result.forest.deps)
+    assert (
+        encode_stage2(folded, ddgp, vectors) == enc
+    )

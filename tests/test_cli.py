@@ -61,3 +61,44 @@ class TestCli:
         out = capsys.readouterr().out
         assert "candidate regions" in out
         assert "transformable" in out
+
+
+class TestCliCache:
+    def test_report_cold_then_warm_identical_stdout(
+        self, tmp_path, capsys
+    ):
+        cache = str(tmp_path / "cache")
+        assert main(["report", "nn", "--cache", cache]) == 0
+        cold = capsys.readouterr().out
+        assert main(["report", "nn", "--cache", cache]) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+
+    def test_env_var_default_and_no_cache(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        cache = str(tmp_path / "envcache")
+        monkeypatch.setenv("REPRO_CACHE_DIR", cache)
+        assert main(["report", "nn"]) == 0
+        capsys.readouterr()
+        import os
+
+        assert os.path.isdir(os.path.join(cache, "objects"))
+        assert len(os.listdir(os.path.join(cache, "objects"))) == 2
+
+        # --no-cache must win over the environment
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "never"))
+        assert main(["report", "nn", "--no-cache"]) == 0
+        capsys.readouterr()
+        assert not (tmp_path / "never").exists()
+
+    def test_suite_cache_flags(self, tmp_path, capsys):
+        cache = str(tmp_path / "suitecache")
+        argv = ["suite", "nn", "nw", "-j", "1", "--cache", cache]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "cold" in cold and "cache:" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "warm" in warm
+        assert "0 miss(es)" in warm
