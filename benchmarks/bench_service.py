@@ -1,0 +1,243 @@
+"""Analysis-service benchmark: concurrency, dedup, warm restarts.
+
+Boots real daemons on ephemeral loopback ports and drives them with
+the stdlib client, gating the service PR's headline claims:
+
+* **concurrency** -- at least 8 simultaneous submissions of distinct
+  workloads complete with zero errors;
+* **dedup** -- N identical concurrent submissions coalesce onto one
+  job and execute the pipeline exactly once;
+* **warm restart** -- a fresh daemon pointed at the cache directory a
+  previous daemon populated serves the same requests at least **10x**
+  faster end-to-end (HTTP round trips, queueing, polling, and artifact
+  decode all included in the warm time).
+
+Writes ``BENCH_service.json``.
+"""
+
+import json
+import shutil
+import tempfile
+import threading
+import time
+
+from _harness import emit, format_table, once, results_path
+from repro.service import (
+    AnalysisService,
+    ServiceClient,
+    ServiceConfig,
+    parse_samples,
+)
+from repro.workloads import rodinia_workloads
+
+#: how many simultaneous clients the concurrency/dedup phases use
+CONCURRENCY = 8
+
+#: warm repetitions (best-of; noise is additive)
+WARM_ROUNDS = 3
+
+#: required cold/warm end-to-end speedup through the service
+GATE_WARM = 10.0
+
+
+def _boot(cache_dir, workers=4):
+    service = AnalysisService(
+        ServiceConfig(
+            port=0,
+            workers=workers,
+            queue_depth=64,
+            cache_dir=cache_dir,
+            log_level="error",
+        )
+    )
+    host, port = service.start()
+    return service, ServiceClient(host, port)
+
+
+def _fan_out(client, names):
+    """Submit every workload from its own thread, wait for all, and
+    return (seconds, per-name round-trip seconds, errors)."""
+    barrier = threading.Barrier(len(names))
+    laps = {}
+    errors = []
+
+    def _one(name):
+        try:
+            barrier.wait()
+            t0 = time.perf_counter()
+            status, report = None, None
+            sub = client.submit(workload=name)
+            status = client.wait(sub["job"], timeout=600, poll=0.005)
+            report = client.report(sub["job"])
+            laps[name] = time.perf_counter() - t0
+            if status["state"] != "done" or not report:
+                raise RuntimeError(f"{name}: bad outcome {status}")
+        except Exception as exc:  # noqa: BLE001 - gate on the list
+            errors.append(f"{name}: {exc!r}")
+
+    threads = [
+        threading.Thread(target=_one, args=(n,)) for n in names
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return time.perf_counter() - t0, laps, errors
+
+
+def run_service():
+    names = list(rodinia_workloads())[:CONCURRENCY]
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-service-")
+    try:
+        # -- cold phase: concurrent distinct submissions ------------------
+        service, client = _boot(cache_dir)
+        t_cold, cold_laps, cold_errors = _fan_out(client, names)
+        cold_samples = parse_samples(client.service_metrics())
+        clean_first = service.shutdown(grace=60)
+
+        # -- warm phase: a *fresh* daemon over the populated cache --------
+        warm_times = []
+        warm_laps = {}
+        warm_errors = []
+        warm_samples = {}
+        clean_restarts = []
+        for _ in range(WARM_ROUNDS):
+            service, client = _boot(cache_dir)
+            t, laps, errs = _fan_out(client, names)
+            if t == min([t] + warm_times):
+                warm_laps = laps
+            warm_times.append(t)
+            warm_errors.extend(errs)
+            warm_samples = parse_samples(client.service_metrics())
+            clean_restarts.append(service.shutdown(grace=60))
+        t_warm = min(warm_times)
+
+        # -- dedup phase: identical concurrent submissions, no cache ------
+        service, client = _boot(None, workers=4)
+        barrier = threading.Barrier(CONCURRENCY)
+        subs = [None] * CONCURRENCY
+        dedup_errors = []
+
+        def _same(i):
+            try:
+                barrier.wait()
+                subs[i] = client.submit(workload="nn")
+            except Exception as exc:  # noqa: BLE001
+                dedup_errors.append(repr(exc))
+
+        threads = [
+            threading.Thread(target=_same, args=(i,))
+            for i in range(CONCURRENCY)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        job_ids = {s["job"] for s in subs if s}
+        for job_id in job_ids:
+            client.wait(job_id, timeout=600)
+        dedup_samples = parse_samples(client.service_metrics())
+        service.shutdown(grace=60)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    return {
+        "names": names,
+        "t_cold": t_cold,
+        "t_warm": t_warm,
+        "warm_times": warm_times,
+        "cold_laps": cold_laps,
+        "warm_laps": warm_laps,
+        "cold_errors": cold_errors,
+        "warm_errors": warm_errors,
+        "cold_samples": cold_samples,
+        "warm_samples": warm_samples,
+        "dedup_errors": dedup_errors,
+        "dedup_job_ids": sorted(job_ids),
+        "dedup_subs": [s for s in subs if s],
+        "dedup_samples": dedup_samples,
+        "clean_shutdowns": [clean_first] + clean_restarts,
+    }
+
+
+def test_service(benchmark):
+    r = once(benchmark, run_service)
+    speedup = r["t_cold"] / r["t_warm"] if r["t_warm"] else float("inf")
+
+    # gate: >= 8 concurrent submissions, zero errors, every shutdown clean
+    assert len(r["names"]) >= CONCURRENCY
+    assert not r["cold_errors"], r["cold_errors"]
+    assert not r["warm_errors"], r["warm_errors"]
+    assert all(r["clean_shutdowns"]), r["clean_shutdowns"]
+    assert r["cold_samples"]["repro_service_jobs_failed_total"] == 0
+    assert r["warm_samples"]["repro_service_jobs_failed_total"] == 0
+
+    # gate: the warm daemon really served from the store
+    assert (
+        r["warm_samples"]["repro_service_jobs_warm_hits_total"]
+        == len(r["names"])
+    ), r["warm_samples"]
+
+    # gate: identical concurrent submissions ran the pipeline once
+    assert not r["dedup_errors"], r["dedup_errors"]
+    assert len(r["dedup_subs"]) == CONCURRENCY
+    assert len(r["dedup_job_ids"]) == 1, r["dedup_job_ids"]
+    assert (
+        sum(s["deduplicated"] for s in r["dedup_subs"])
+        == CONCURRENCY - 1
+    )
+    assert (
+        r["dedup_samples"]["repro_service_jobs_executed_total"] == 1
+    ), r["dedup_samples"]
+
+    rows = []
+    for name in r["names"]:
+        c, w = r["cold_laps"][name], r["warm_laps"][name]
+        rows.append([
+            name,
+            f"{1000 * c:.0f}ms",
+            f"{1000 * w:.0f}ms",
+            f"{c / w:.1f}x" if w else "-",
+        ])
+    rows.append([
+        "TOTAL (wall)",
+        f"{1000 * r['t_cold']:.0f}ms",
+        f"{1000 * r['t_warm']:.0f}ms",
+        f"{speedup:.1f}x",
+    ])
+    table = format_table(
+        ["workload", "cold", "warm", "speedup"],
+        rows,
+        title=(
+            f"repro.service: {CONCURRENCY} concurrent clients, "
+            f"cold vs warm-restart daemon (best of {WARM_ROUNDS})"
+        ),
+    )
+    emit("service.txt", table)
+
+    with open(results_path("BENCH_service.json"), "w") as fh:
+        json.dump(
+            {
+                "concurrency": CONCURRENCY,
+                "warm_rounds": WARM_ROUNDS,
+                "gate_warm": GATE_WARM,
+                "t_cold": r["t_cold"],
+                "t_warm": r["t_warm"],
+                "warm_times": r["warm_times"],
+                "speedup": speedup,
+                "cold_laps": r["cold_laps"],
+                "warm_laps": r["warm_laps"],
+                "dedup_executed": r["dedup_samples"][
+                    "repro_service_jobs_executed_total"
+                ],
+                "dedup_submissions": len(r["dedup_subs"]),
+            },
+            fh,
+            indent=2,
+            sort_keys=True,
+        )
+
+    assert speedup >= GATE_WARM, (
+        f"warm daemon only {speedup:.1f}x faster than cold "
+        f"(gate: {GATE_WARM:.0f}x)"
+    )

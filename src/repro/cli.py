@@ -12,14 +12,19 @@ drive POLY-PROF over a binary:
 * ``regions <workload>``      -- rank candidate regions of interest
 * ``lint [workloads...]``     -- static linter over workload programs
 * ``suite [workloads...]``    -- analyze many workloads in parallel
+* ``serve``                   -- run the analysis daemon (HTTP API)
 
 Analysis commands take ``--engine {fast,reference}`` (default fast:
 block-compiled VM, batched instrumentation, fast folding backend),
 ``--crosscheck`` (run the dynamic-vs-static soundness sanitizers), and
 ``--cache DIR`` / ``--no-cache`` (content-addressed artifact store;
 the ``REPRO_CACHE_DIR`` environment variable supplies a default
-directory).  ``suite`` additionally takes ``--jobs``, ``--timeout``
-and ``--cache-max-mb`` (LRU size cap for the shared store).
+directory).  ``report`` and ``metrics`` take ``--format {text,json}``;
+the JSON documents carry a top-level schema ``version`` field and are
+byte-identical to what the daemon serves.  ``suite`` additionally
+takes ``--jobs``, ``--timeout`` and ``--cache-max-mb`` (LRU size cap
+for the shared store).  ``serve`` takes ``--port``, ``--workers``,
+``--queue-depth``, ``--job-timeout`` and the cache flags.
 """
 
 from __future__ import annotations
@@ -104,6 +109,12 @@ def cmd_report(args) -> int:
         spec, engine=args.engine, crosscheck=args.crosscheck,
         store=_store_from_args(args),
     )
+    bad = result.crosscheck is not None and result.crosscheck.violations
+    if args.format == "json":
+        from .feedback.jsonout import render_json, report_document
+
+        sys.stdout.write(render_json(report_document(result)))
+        return 1 if bad else 0
     print(
         f"{spec.name}: {result.ddg_profile.builder.instr_count} dynamic "
         f"instructions, {result.folded.stmt_count()} folded statements, "
@@ -123,6 +134,12 @@ def cmd_metrics(args) -> int:
         spec, engine=args.engine, crosscheck=args.crosscheck,
         store=_store_from_args(args),
     )
+    if args.format == "json":
+        from .feedback.jsonout import metrics_document, render_json
+
+        sys.stdout.write(render_json(metrics_document(result)))
+        bad = result.crosscheck is not None and result.crosscheck.violations
+        return 1 if bad else 0
     m = compute_region_metrics(
         result.folded,
         result.forest,
@@ -253,6 +270,25 @@ def cmd_lint(args) -> int:
     return 0 if bad == 0 else 1
 
 
+def cmd_serve(args) -> int:
+    from .service import ServiceConfig, serve
+
+    max_mb = getattr(args, "cache_max_mb", None)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        cache_dir=_cache_dir_from_args(args),
+        cache_max_bytes=None if max_mb is None else max_mb * 1024 * 1024,
+        engine=args.engine,
+        default_timeout=args.job_timeout,
+        drain_grace=args.drain_grace,
+        retain_jobs=args.retain_jobs,
+    )
+    return serve(config)
+
+
 def cmd_suite(args) -> int:
     from .runner import render_suite_table, run_suite
     from .workloads import RODINIA_ORDER
@@ -332,6 +368,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _add_engine_arg(p)
         _add_crosscheck_arg(p)
         _add_cache_args(p)
+        if name in ("report", "metrics"):
+            p.add_argument(
+                "--format",
+                choices=("text", "json"),
+                default="text",
+                help="output format; json documents carry a schema "
+                "'version' field and match the analysis service "
+                "byte-for-byte",
+            )
     p = sub.add_parser("static", help="static (mini-Polly) baseline")
     p.add_argument("workload")
     p = sub.add_parser(
@@ -396,6 +441,64 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="MB",
         help="LRU size cap for the shared artifact store",
     )
+    p = sub.add_parser(
+        "serve", help="run the analysis daemon (JSON HTTP API)"
+    )
+    p.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: loopback only)",
+    )
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8123,
+        help="TCP port (0 = pick an ephemeral port and print it)",
+    )
+    p.add_argument(
+        "-w",
+        "--workers",
+        type=int,
+        default=2,
+        help="analysis worker threads sharing one artifact store",
+    )
+    p.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        help="max queued jobs before submissions get 429",
+    )
+    p.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-job execution deadline (requests may "
+        "override; default: unbounded)",
+    )
+    p.add_argument(
+        "--drain-grace",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="on SIGTERM, seconds to let in-flight jobs finish before "
+        "cancelling them",
+    )
+    p.add_argument(
+        "--retain-jobs",
+        type=int,
+        default=256,
+        help="finished jobs kept for polling/dedup before eviction",
+    )
+    _add_engine_arg(p)
+    _add_cache_args(p)
+    p.add_argument(
+        "--cache-max-mb",
+        type=int,
+        default=None,
+        metavar="MB",
+        help="LRU size cap for the artifact store",
+    )
 
     args = parser.parse_args(argv)
     handler = {
@@ -408,6 +511,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "regions": cmd_regions,
         "lint": cmd_lint,
         "suite": cmd_suite,
+        "serve": cmd_serve,
     }[args.command]
     return handler(args)
 

@@ -1,0 +1,89 @@
+"""Versioned JSON feedback documents -- the machine-readable twin of
+the textual CLI output.
+
+Both the CLI (``repro report/metrics --format json``) and the analysis
+service (``GET /v1/jobs/{id}/report|metrics``) emit the documents built
+here, through the same renderer, so the two surfaces are byte-identical
+for the same workload and options: an API client can switch between
+them freely, and the service's end-to-end tests can diff its responses
+against CLI stdout.
+
+Every document carries a top-level ``"version"`` field
+(:data:`FEEDBACK_SCHEMA_VERSION`) so clients can negotiate schemas;
+bump it on any change to the document layout.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+#: top-level schema version of every JSON feedback document; bump on
+#: ANY layout change so API clients can detect skew
+FEEDBACK_SCHEMA_VERSION = 1
+
+
+def _crosscheck_field(result) -> Optional[dict]:
+    cc = result.crosscheck
+    if cc is None:
+        return None
+    return {
+        "violations": len(cc.violations),
+        "report": cc.render() if cc.violations else None,
+    }
+
+
+def report_document(result, title: Optional[str] = None) -> dict:
+    """The ``report`` document for one finished analysis."""
+    from .report import render_report
+
+    spec = result.spec
+    return {
+        "version": FEEDBACK_SCHEMA_VERSION,
+        "kind": "report",
+        "workload": spec.name,
+        "engine": result.engine,
+        "summary": {
+            "dyn_instrs": result.ddg_profile.builder.instr_count,
+            "statements": result.folded.stmt_count(),
+            "deps": len(result.folded.deps),
+            "plans": len(result.plans),
+        },
+        "report": render_report(
+            result.forest,
+            result.plans,
+            title=title or f"poly-prof feedback: {spec.name}",
+        ),
+        "crosscheck": _crosscheck_field(result),
+    }
+
+
+def metrics_document(result) -> dict:
+    """The ``metrics`` (Table 5 row) document for one analysis."""
+    from .metrics import compute_region_metrics
+
+    spec = result.spec
+    m = compute_region_metrics(
+        result.folded,
+        result.forest,
+        result.control.callgraph,
+        region_funcs=spec.region_funcs,
+        label=spec.region_label or spec.name,
+        ld_src=spec.ld_src,
+        fusion_heuristic=spec.fusion_heuristic,
+    )
+    return {
+        "version": FEEDBACK_SCHEMA_VERSION,
+        "kind": "metrics",
+        "workload": spec.name,
+        "engine": result.engine,
+        "row": m.row(),
+        "crosscheck": _crosscheck_field(result),
+    }
+
+
+def render_json(doc: dict) -> str:
+    """Canonical serialization: 2-space indent, insertion order, one
+    trailing newline.  Deterministic, so equal documents are equal
+    bytes everywhere they are emitted."""
+    return json.dumps(doc, indent=2) + "\n"

@@ -1,0 +1,226 @@
+"""JSON codec for mini-ISA programs and initial machine state.
+
+The analysis service accepts *inline* submissions -- a program that is
+not in the workload registry -- as a JSON document over the wire.  This
+module defines that document: a faithful, validating encoding of the
+:class:`~repro.isa.program.Program` IR plus the initial ``(args,
+memory)`` state a :class:`~repro.pipeline.ProgramSpec`'s ``make_state``
+would produce.
+
+The encoding is value-exact (ints stay ints, floats stay floats,
+register names stay strings -- JSON already distinguishes all three),
+so a program round-tripped through it has the same content fingerprint
+(:mod:`repro.isa.fingerprint`) as the original: inline submissions
+dedup and cache-key exactly like registered workloads.
+
+``decode_program`` runs :meth:`Program.validate`, so a malformed
+document fails loudly at the submission boundary, never inside a
+worker.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .instructions import Call, CondBr, Halt, Instr, Jump, Return
+from .program import BasicBlock, Function, Memory, Program
+
+#: bump on any change to the program/state document layout
+PROGJSON_VERSION = 1
+
+
+# -- terminators --------------------------------------------------------------------
+
+
+def _encode_terminator(term) -> dict:
+    if isinstance(term, Jump):
+        return {"op": "jump", "target": term.target}
+    if isinstance(term, CondBr):
+        return {
+            "op": "br",
+            "rel": term.rel,
+            "a": term.a,
+            "b": term.b,
+            "taken": term.taken,
+            "not_taken": term.not_taken,
+        }
+    if isinstance(term, Call):
+        return {
+            "op": "call",
+            "callee": term.callee,
+            "args": list(term.args),
+            "dest": term.dest,
+            "cont": term.cont,
+        }
+    if isinstance(term, Return):
+        return {"op": "ret", "value": term.value}
+    if isinstance(term, Halt):
+        return {"op": "halt"}
+    raise TypeError(f"unknown terminator {type(term).__name__}")
+
+
+def _decode_terminator(data: dict):
+    op = data["op"]
+    if op == "jump":
+        return Jump(target=data["target"])
+    if op == "br":
+        return CondBr(
+            rel=data["rel"],
+            a=data["a"],
+            b=data["b"],
+            taken=data["taken"],
+            not_taken=data["not_taken"],
+        )
+    if op == "call":
+        return Call(
+            callee=data["callee"],
+            args=tuple(data["args"]),
+            dest=data["dest"],
+            cont=data["cont"],
+        )
+    if op == "ret":
+        return Return(value=data.get("value"))
+    if op == "halt":
+        return Halt()
+    raise ValueError(f"unknown terminator op {op!r}")
+
+
+# -- instructions / blocks / functions ----------------------------------------------
+
+
+def _encode_instr(ins: Instr) -> dict:
+    return {
+        "uid": ins.uid,
+        "opcode": ins.opcode,
+        "dest": ins.dest,
+        "srcs": list(ins.srcs),
+        "offset": ins.offset,
+        "line": ins.src_line,
+    }
+
+
+def _decode_instr(data: dict) -> Instr:
+    return Instr(
+        uid=int(data["uid"]),
+        opcode=data["opcode"],
+        dest=data.get("dest"),
+        srcs=tuple(data.get("srcs", ())),
+        offset=int(data.get("offset", 0)),
+        src_line=data.get("line"),
+    )
+
+
+def encode_program(program: Program) -> dict:
+    return {
+        "progjson": PROGJSON_VERSION,
+        "name": program.name,
+        "main": program.main,
+        "functions": [
+            {
+                "name": fn.name,
+                "params": list(fn.params),
+                "entry": fn.entry,
+                "src_loop_depth": fn.src_loop_depth,
+                "src_file": fn.src_file,
+                "blocks": [
+                    {
+                        "name": bb.name,
+                        "instrs": [_encode_instr(i) for i in bb.instrs],
+                        "term": _encode_terminator(bb.terminator),
+                    }
+                    for bb in fn.blocks.values()
+                ],
+            }
+            for fn in program.functions.values()
+        ],
+    }
+
+
+def decode_program(data: dict) -> Program:
+    """Build and validate a program from its JSON document."""
+    version = data.get("progjson")
+    if version != PROGJSON_VERSION:
+        raise ValueError(
+            f"unsupported progjson version {version!r} "
+            f"(this build speaks {PROGJSON_VERSION})"
+        )
+    program = Program(
+        name=str(data.get("name", "inline")),
+        main=str(data.get("main", "main")),
+    )
+    for fdata in data["functions"]:
+        fn = Function(
+            name=fdata["name"],
+            params=tuple(fdata.get("params", ())),
+            entry=fdata.get("entry", "entry"),
+            src_loop_depth=int(fdata.get("src_loop_depth", 0)),
+            src_file=fdata.get("src_file"),
+        )
+        for bdata in fdata["blocks"]:
+            bb = BasicBlock(
+                name=bdata["name"],
+                instrs=[_decode_instr(i) for i in bdata.get("instrs", ())],
+                terminator=_decode_terminator(bdata["term"]),
+            )
+            if bb.name in fn.blocks:
+                raise ValueError(
+                    f"duplicate block {bb.name!r} in {fn.name}"
+                )
+            fn.blocks[bb.name] = bb
+        program.add_function(fn)
+    program.validate()
+    return program
+
+
+# -- initial state ------------------------------------------------------------------
+
+
+def encode_state(args: Sequence, memory: Memory) -> dict:
+    """Encode one ``(args, memory)`` pair the way ``make_state``
+    produced it (bump frontier + every allocated word)."""
+    frontier, words = memory.state_items()
+    return {
+        "args": list(args),
+        "next": frontier,
+        "words": [[addr, value] for addr, value in words],
+    }
+
+
+def decode_state(data: dict) -> Tuple[List, Memory]:
+    """A *fresh* ``(args, memory)`` pair from a state document.
+
+    Call it once per run, exactly like a workload's ``make_state``:
+    the VM consumes the memory it executes against.
+    """
+    memory = Memory()
+    frontier = max(int(data.get("next", 16)), 16)
+    for addr, value in data.get("words", ()):
+        addr = int(addr)
+        if addr < 16:
+            raise ValueError(f"state maps reserved address {addr}")
+        memory._data[addr] = value
+        frontier = max(frontier, addr + 1)
+    memory._next = frontier
+    return list(data.get("args", ())), memory
+
+
+def spec_from_documents(
+    program_doc: dict,
+    state_doc: Optional[dict],
+    name: Optional[str] = None,
+):
+    """An inline :class:`~repro.pipeline.ProgramSpec` from request
+    documents.  ``state_doc`` may be None for programs that take no
+    arguments and allocate their own memory."""
+    from ..pipeline import ProgramSpec
+
+    program = decode_program(program_doc)
+    state = state_doc or {"args": [], "next": 16, "words": []}
+    # fail at the boundary, not per-run inside a worker
+    decode_state(state)
+    return ProgramSpec(
+        name=name or program.name,
+        program=program,
+        make_state=lambda: decode_state(state),
+        description="inline submission",
+    )

@@ -87,7 +87,10 @@ class DDGProfile:
 
 
 def profile_control(
-    spec: ProgramSpec, fuel: int = 50_000_000, engine: str = "fast"
+    spec: ProgramSpec,
+    fuel: int = 50_000_000,
+    engine: str = "fast",
+    extra_observers: Sequence = (),
 ) -> ControlProfile:
     """Stage 1: reconstruct the interprocedural control structure."""
     args, memory = spec.make_state()
@@ -97,7 +100,7 @@ def profile_control(
         spec.program,
         args=args,
         memory=memory,
-        observers=[csb],
+        observers=[csb, *extra_observers],
         fuel=fuel,
         engine=engine,
     )
@@ -127,6 +130,7 @@ def profile_ddg(
     build_schedule_tree: bool = True,
     fuel: int = 50_000_000,
     engine: str = "fast",
+    extra_observers: Sequence = (),
 ) -> DDGProfile:
     """Stage 2: build the DDG point streams (fresh execution)."""
     args, memory = spec.make_state()
@@ -145,7 +149,7 @@ def profile_ddg(
         spec.program,
         args=args,
         memory=memory,
-        observers=[builder],
+        observers=[builder, *extra_observers],
         fuel=fuel,
         engine=engine,
     )
@@ -225,6 +229,7 @@ def analyze(
     engine: str = "fast",
     crosscheck: bool = False,
     store: Optional["ArtifactStore"] = None,
+    extra_observers: Sequence = (),
 ) -> AnalysisResult:
     """The full POLY-PROF pipeline: profile, fold, analyze, plan.
 
@@ -250,6 +255,14 @@ def analyze(
     stage-1 hit still skips Instrumentation I.  Cached and fresh runs
     produce identical results; cache state only shows up in
     ``result.timings``.
+
+    ``extra_observers`` attach additional passive
+    :class:`~repro.isa.events.Instrumentation` observers to both
+    profiled executions -- the analysis service uses this to enforce
+    cooperative per-job deadlines/cancellation from worker threads
+    (where ``SIGALRM`` is unavailable).  They are deliberately *not*
+    part of the cache key: an observer must never change what is
+    computed, only watch it (or abort it by raising).
     """
     from .folding import FastFoldingSink, FoldingSink
     from .schedule import analyze_forest, build_nest_forest, plan_all
@@ -285,7 +298,9 @@ def analyze(
     )
     timings.stage1_cached = control is not None
     if control is None:
-        control = profile_control(spec, fuel=fuel, engine=engine)
+        control = profile_control(
+            spec, fuel=fuel, engine=engine, extra_observers=extra_observers
+        )
         if store is not None:
             store.put(keys.stage1, encode_control_profile(control))
     timings.instr1 = time.perf_counter() - t0
@@ -312,6 +327,7 @@ def analyze(
             build_schedule_tree=build_schedule_tree,
             fuel=fuel,
             engine=engine,
+            extra_observers=extra_observers,
         )
         folded = sink.finalize()
     timings.instr2_fold = time.perf_counter() - t0

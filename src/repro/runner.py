@@ -45,6 +45,9 @@ class WorkloadResult:
     ok: bool
     error: Optional[str] = None
     timed_out: bool = False
+    #: True when the suite was interrupted (SIGINT) before this
+    #: workload could finish; such runs render as ``stopped``
+    interrupted: bool = False
     wall_seconds: float = 0.0
     engine: str = "fast"
     #: per-stage split of ``wall_seconds`` (Instrumentation I;
@@ -74,6 +77,8 @@ class WorkloadResult:
             return "ok"
         if self.timed_out:
             return "timeout"
+        if self.interrupted:
+            return "stopped"
         return "error"
 
 
@@ -203,6 +208,10 @@ def _analyze_task(
             wall_seconds=time.perf_counter() - t0,
             engine=engine,
         )
+    except KeyboardInterrupt:
+        # the user wants the *suite* to stop, not an error record for
+        # this workload; run_suite turns it into partial results
+        raise
     except BaseException as exc:  # noqa: BLE001 - error record, not crash
         return WorkloadResult(
             name=name,
@@ -236,22 +245,35 @@ def run_suite(
     reports the violation count.  ``cache_dir`` points every worker at
     one shared artifact store (:mod:`repro.store`), optionally capped
     at ``cache_max_bytes`` of LRU-evicted artifacts.
+
+    ``KeyboardInterrupt`` (Ctrl-C / SIGINT) never escapes: pending
+    workloads are cancelled, and every unfinished task comes back as
+    an ``interrupted`` record so callers can still print the partial
+    table and exit nonzero.
     """
     if jobs is None:
         jobs = os.cpu_count() or 1
     if jobs <= 1 or len(tasks) <= 1:
-        return [
-            _analyze_task(
-                t, engine, fuel, clamp, timeout, with_report, crosscheck,
-                cache_dir, cache_max_bytes,
-            )
-            for t in tasks
-        ]
+        results_inline: List[WorkloadResult] = []
+        try:
+            for t in tasks:
+                results_inline.append(
+                    _analyze_task(
+                        t, engine, fuel, clamp, timeout, with_report,
+                        crosscheck, cache_dir, cache_max_bytes,
+                    )
+                )
+        except KeyboardInterrupt:
+            _mark_interrupted(results_inline, tasks, engine)
+        return results_inline
 
     from concurrent.futures import ProcessPoolExecutor
 
     results: List[Optional[WorkloadResult]] = [None] * len(tasks)
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    interrupted = False
+    futures = []
+    try:
         futures = [
             pool.submit(
                 _analyze_task, t, engine, fuel, clamp, timeout,
@@ -262,6 +284,8 @@ def run_suite(
         for i, fut in enumerate(futures):
             try:
                 results[i] = fut.result()
+            except KeyboardInterrupt:
+                raise
             except BaseException as exc:  # BrokenProcessPool, cancel, ...
                 results[i] = WorkloadResult(
                     name=task_name(tasks[i]),
@@ -269,7 +293,46 @@ def run_suite(
                     error=f"worker failed: {exc!r}",
                     engine=engine,
                 )
+    except KeyboardInterrupt:
+        # cancel everything still queued; don't wait for in-flight
+        # workers (they got the same SIGINT), just collect what we have
+        interrupted = True
+        for i, fut in enumerate(futures):
+            if results[i] is None and fut.done() and not fut.cancelled():
+                try:
+                    results[i] = fut.result(timeout=0)
+                except BaseException:
+                    results[i] = None
+        for i, r in enumerate(results):
+            if r is None:
+                results[i] = _interrupted_record(tasks[i], engine)
+    finally:
+        try:
+            pool.shutdown(wait=not interrupted, cancel_futures=interrupted)
+        except TypeError:  # pragma: no cover - pre-3.9 signature
+            pool.shutdown(wait=not interrupted)
     return results  # type: ignore[return-value]
+
+
+def _interrupted_record(task: SuiteTask, engine: str) -> WorkloadResult:
+    return WorkloadResult(
+        name=task_name(task),
+        ok=False,
+        interrupted=True,
+        error="interrupted (SIGINT) before completion",
+        engine=engine,
+    )
+
+
+def _mark_interrupted(
+    results: List[WorkloadResult],
+    tasks: Sequence[SuiteTask],
+    engine: str,
+) -> None:
+    """Pad ``results`` with one ``interrupted`` record per unfinished
+    task (in task order)."""
+    for t in tasks[len(results):]:
+        results.append(_interrupted_record(t, engine))
 
 
 def render_suite_table(results: Sequence[WorkloadResult]) -> str:

@@ -1,0 +1,179 @@
+"""Tiny stdlib HTTP client for the analysis daemon.
+
+Used by the end-to-end tests, the service benchmark, and anyone who
+wants to drive a running daemon from Python without pulling in an HTTP
+library.  One :class:`ServiceClient` is safe to share across threads:
+every call opens its own connection (the daemon's cost is the
+analysis, not the TCP handshake).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection
+from typing import Optional, Tuple
+
+
+class ServiceError(Exception):
+    """A non-2xx response; carries status and the decoded error doc."""
+
+    def __init__(self, status: int, doc: dict, headers: dict) -> None:
+        super().__init__(
+            f"HTTP {status}: {doc.get('error', '<no error field>')}"
+        )
+        self.status = status
+        self.doc = doc
+        self.headers = headers
+
+    @property
+    def retry_after(self) -> Optional[float]:
+        value = self.headers.get("retry-after")
+        return float(value) if value is not None else None
+
+
+class JobFailed(Exception):
+    """A polled job reached a non-``done`` terminal state."""
+
+    def __init__(self, status_doc: dict) -> None:
+        super().__init__(
+            f"job {status_doc.get('job')} ended "
+            f"{status_doc.get('state')}: {status_doc.get('error')}"
+        )
+        self.status_doc = status_doc
+
+
+class ServiceClient:
+    def __init__(
+        self, host: str, port: int, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------------
+
+    def request_raw(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+    ) -> Tuple[int, dict, bytes]:
+        """(status, lowercase headers, raw body) without raising."""
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            resp = conn.getresponse()
+            raw = resp.read()
+            return (
+                resp.status,
+                {k.lower(): v for k, v in resp.getheaders()},
+                raw,
+            )
+        finally:
+            conn.close()
+
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> Tuple[int, dict, bytes]:
+        status, headers, raw = self.request_raw(method, path, body)
+        if status >= 400:
+            try:
+                doc = json.loads(raw.decode("utf-8"))
+            except Exception:
+                doc = {"error": raw.decode("utf-8", "replace")}
+            raise ServiceError(status, doc, headers)
+        return status, headers, raw
+
+    def _request_doc(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> dict:
+        _, _, raw = self._request(method, path, body)
+        return json.loads(raw.decode("utf-8"))
+
+    # -- endpoints -------------------------------------------------------------
+
+    def health(self, raise_for_status: bool = False) -> dict:
+        if raise_for_status:
+            return self._request_doc("GET", "/healthz")
+        status, _, raw = self.request_raw("GET", "/healthz")
+        doc = json.loads(raw.decode("utf-8"))
+        doc["_http_status"] = status
+        return doc
+
+    def submit(
+        self,
+        workload: Optional[str] = None,
+        program: Optional[dict] = None,
+        state: Optional[dict] = None,
+        **options,
+    ) -> dict:
+        body = dict(options)
+        if workload is not None:
+            body["workload"] = workload
+        if program is not None:
+            body["program"] = program
+        if state is not None:
+            body["state"] = state
+        return self._request_doc("POST", "/v1/analyze", body)
+
+    def job(self, job_id: str) -> dict:
+        return self._request_doc("GET", f"/v1/jobs/{job_id}")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 120.0,
+        poll: float = 0.02,
+    ) -> dict:
+        """Poll until the job is terminal; raises :class:`JobFailed`
+        for any terminal state other than ``done``."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.job(job_id)
+            state = doc["state"]
+            if state == "done":
+                return doc
+            if state in ("failed", "timeout", "cancelled"):
+                raise JobFailed(doc)
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {state} after {timeout:g}s"
+                )
+            time.sleep(poll)
+
+    def report(self, job_id: str) -> bytes:
+        _, _, raw = self._request("GET", f"/v1/jobs/{job_id}/report")
+        return raw
+
+    def metrics_doc(self, job_id: str) -> bytes:
+        _, _, raw = self._request("GET", f"/v1/jobs/{job_id}/metrics")
+        return raw
+
+    def flamegraph(self, job_id: str) -> bytes:
+        _, _, raw = self._request("GET", f"/v1/jobs/{job_id}/flamegraph")
+        return raw
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request_doc("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def service_metrics(self) -> str:
+        _, _, raw = self._request("GET", "/metrics")
+        return raw.decode("utf-8")
+
+    def analyze(
+        self,
+        workload: Optional[str] = None,
+        wait_timeout: float = 120.0,
+        **submit_kwargs,
+    ) -> Tuple[dict, bytes]:
+        """submit -> wait -> report, the common round trip.  Returns
+        (final status doc, report bytes)."""
+        sub = self.submit(workload=workload, **submit_kwargs)
+        status = self.wait(sub["job"], timeout=wait_timeout)
+        return status, self.report(sub["job"])

@@ -1,0 +1,750 @@
+"""The analysis daemon: HTTP front door, worker pool, graceful drain.
+
+Architecture (one process, stdlib only)::
+
+    ThreadingHTTPServer (one thread per connection)
+        POST /v1/analyze  ->  resolve spec -> content key -> dedup
+                              -> bounded queue (429 when full)
+        GET  /v1/jobs/... ->  registry lookup (never blocks on work)
+        GET  /healthz     ->  liveness + load snapshot
+        GET  /metrics     ->  Prometheus text exposition
+                   |
+            BoundedJobQueue
+                   |
+        worker threads (config.workers)
+            pipeline.analyze(store=shared ArtifactStore,
+                             extra_observers=[DeadlineObserver])
+
+Worker threads -- not processes -- because the daemon's economics are
+cache economics: every worker shares one in-process
+:class:`~repro.store.ArtifactStore` handle, so a warm request is an
+artifact decode away regardless of which worker picks it up, and a
+cold result is published to every future request the moment it is put.
+Cold analyses of distinct programs do contend on the GIL; the
+scale-out story for cold throughput is the existing process-pool suite
+runner (:mod:`repro.runner`), which can pre-warm the very store this
+daemon serves from.
+
+Shutdown (SIGTERM/SIGINT) drains: new submissions get 503, queued jobs
+are cancelled (clients polling them see ``cancelled``), in-flight jobs
+finish (past ``drain_grace`` they are cooperatively cancelled), then
+the HTTP server stops and the process exits 0.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import IO, Optional, Tuple
+from urllib.parse import urlsplit
+
+from .executor import execute_job
+from .jobs import Job, JobOptions, JobRegistry, JobState, derive_job_key
+from .jsonlog import JsonLogger
+from .metrics import MetricsRegistry
+from .queue import BoundedJobQueue, QueueFull
+
+#: version of the HTTP API surface (paths, request/response documents);
+#: every JSON response carries it as ``"version"``
+SERVICE_API_VERSION = 1
+
+_JOB_PATH = re.compile(
+    r"^/v1/jobs/(?P<id>[^/]+)(?:/(?P<sub>report|metrics|flamegraph|cancel))?$"
+)
+
+ENGINES = ("fast", "reference")
+
+
+class BadRequest(Exception):
+    """Client error: malformed submission (HTTP 400)."""
+
+
+class Draining(Exception):
+    """The service is shutting down (HTTP 503)."""
+
+
+@dataclass
+class ServiceConfig:
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; read the bound port off the service
+    workers: int = 2
+    queue_depth: int = 16
+    cache_dir: Optional[str] = None
+    cache_max_bytes: Optional[int] = None
+    engine: str = "fast"
+    #: default per-job execution timeout (seconds); None = unbounded
+    default_timeout: Optional[float] = None
+    retain_jobs: int = 256
+    #: seconds to let in-flight jobs finish on drain before
+    #: cooperatively cancelling them
+    drain_grace: float = 30.0
+    log_stream: Optional[IO[str]] = None
+    log_level: str = "info"
+
+
+class AnalysisService:
+    """One daemon instance.  ``start()`` binds and spawns everything;
+    ``shutdown()`` drains and stops; ``run()`` is the CLI loop."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        if config.workers < 1:
+            raise ValueError("need at least one worker")
+        if config.engine not in ENGINES:
+            raise ValueError(f"unknown engine {config.engine!r}")
+        self.config = config
+        self.logger = JsonLogger(
+            stream=config.log_stream, level=config.log_level
+        ).bind(service="repro.service")
+        self.store = None
+        if config.cache_dir:
+            from ..store import ArtifactStore
+
+            self.store = ArtifactStore(
+                config.cache_dir, max_bytes=config.cache_max_bytes
+            )
+        self.registry = JobRegistry(retain=config.retain_jobs)
+        self.queue = BoundedJobQueue(config.queue_depth)
+        self._draining = threading.Event()
+        self._stop_workers = threading.Event()
+        self._worker_threads: list = []
+        self._current_jobs: dict = {}  # worker index -> in-flight Job
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._server_thread: Optional[threading.Thread] = None
+        self._started_at = time.time()
+        self._request_seq = 0
+        self._request_seq_lock = threading.Lock()
+        self._init_metrics()
+
+    # -- metrics ---------------------------------------------------------------
+
+    def _init_metrics(self) -> None:
+        m = MetricsRegistry()
+        self.metrics = m
+        self.c_submitted = m.counter(
+            "repro_service_jobs_submitted_total",
+            "Well-formed analyze submissions accepted (incl. deduplicated).",
+        )
+        self.c_deduped = m.counter(
+            "repro_service_jobs_deduped_total",
+            "Submissions coalesced onto an existing identical job.",
+        )
+        self.c_rejected = m.counter(
+            "repro_service_jobs_rejected_total",
+            "Submissions rejected with 429 because the queue was full.",
+        )
+        self.c_executed = m.counter(
+            "repro_service_jobs_executed_total",
+            "Jobs a worker actually started executing the pipeline for.",
+        )
+        self.c_completed = m.counter(
+            "repro_service_jobs_completed_total",
+            "Jobs finished successfully.",
+        )
+        self.c_failed = m.counter(
+            "repro_service_jobs_failed_total",
+            "Jobs finished with an error.",
+        )
+        self.c_timeout = m.counter(
+            "repro_service_jobs_timeout_total",
+            "Jobs aborted at their per-job deadline.",
+        )
+        self.c_cancelled = m.counter(
+            "repro_service_jobs_cancelled_total",
+            "Jobs cancelled (client request, queue rejection, or drain).",
+        )
+        self.c_warm = m.counter(
+            "repro_service_jobs_warm_hits_total",
+            "Completed jobs fully served from the artifact store.",
+        )
+        self.c_http = m.counter(
+            "repro_service_http_requests_total",
+            "HTTP requests handled.",
+        )
+        self.c_http_errors = m.counter(
+            "repro_service_http_errors_total",
+            "HTTP responses with status >= 400.",
+        )
+        self.g_queue_depth = m.gauge(
+            "repro_service_queue_depth", "Jobs currently queued."
+        )
+        self.g_queue_capacity = m.gauge(
+            "repro_service_queue_capacity", "Configured queue depth cap."
+        )
+        self.g_workers = m.gauge(
+            "repro_service_workers", "Configured worker threads."
+        )
+        self.g_busy = m.gauge(
+            "repro_service_workers_busy", "Workers executing a job now."
+        )
+        self.g_draining = m.gauge(
+            "repro_service_draining", "1 while shutdown drain is underway."
+        )
+        self.h_job = m.histogram(
+            "repro_service_job_seconds",
+            "End-to-end execution seconds of completed jobs.",
+        )
+        self.h_instr1 = m.histogram(
+            "repro_service_stage_instr1_seconds",
+            "Instrumentation I seconds (or stage-1 artifact decode).",
+        )
+        self.h_instr2 = m.histogram(
+            "repro_service_stage_instr2_fold_seconds",
+            "Instrumentation II + folding seconds (or stage-2 decode).",
+        )
+        self.h_feedback = m.histogram(
+            "repro_service_stage_feedback_seconds",
+            "Feedback/planning seconds.",
+        )
+        self.g_queue_capacity.set(self.config.queue_depth)
+        self.g_workers.set(self.config.workers)
+
+    def render_metrics(self) -> str:
+        text = self.metrics.render()
+        if self.store is not None:
+            s = self.store.stats.as_dict()
+            lines = []
+            for field in ("hits", "misses", "puts", "evictions", "errors"):
+                name = f"repro_service_store_{field}"
+                lines.append(
+                    f"# HELP {name} Artifact store {field} "
+                    "(this process's shared handle)."
+                )
+                lines.append(f"# TYPE {name} gauge")
+                lines.append(f"{name} {s[field]}")
+            text += "\n".join(lines) + "\n"
+        return text
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> Tuple[str, int]:
+        """Bind, spawn workers and the server thread; returns (host, port)."""
+        handler = _make_handler(self)
+
+        class _Server(ThreadingHTTPServer):
+            daemon_threads = True
+            # socketserver's default listen backlog of 5 drops SYNs
+            # under a burst of concurrent clients; each dropped SYN
+            # costs that client a ~1s kernel retransmit
+            request_queue_size = 128
+
+        self._server = _Server((self.config.host, self.config.port), handler)
+        host, port = self._server.server_address[:2]
+        self.host, self.port = host, int(port)
+        for i in range(self.config.workers):
+            t = threading.Thread(
+                target=self._worker_loop,
+                args=(i,),
+                name=f"repro-worker-{i}",
+                daemon=True,
+            )
+            t.start()
+            self._worker_threads.append(t)
+        self._server_thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-http",
+            daemon=True,
+        )
+        self._server_thread.start()
+        self.logger.info(
+            "service_started",
+            host=self.host,
+            port=self.port,
+            workers=self.config.workers,
+            queue_depth=self.config.queue_depth,
+            cache_dir=self.config.cache_dir,
+        )
+        return self.host, self.port
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def begin_drain(self) -> None:
+        """Stop accepting work and cancel everything still queued."""
+        if self._draining.is_set():
+            return
+        self._draining.set()
+        self.g_draining.set(1)
+        pending = self.queue.drain()
+        for job in pending:
+            if job.transition((JobState.QUEUED,), JobState.CANCELLED):
+                job.error = "cancelled: service draining"
+                self.c_cancelled.inc()
+        self.g_queue_depth.set(0)
+        self.logger.info("drain_begun", cancelled_queued=len(pending))
+
+    def shutdown(self, grace: Optional[float] = None) -> bool:
+        """Drain and stop.  Returns True when every in-flight job
+        finished inside the grace window (False = jobs were
+        cooperatively cancelled)."""
+        grace = self.config.drain_grace if grace is None else grace
+        self.begin_drain()
+        deadline = time.monotonic() + grace
+        clean = True
+        for t in self._worker_threads:
+            t.join(timeout=max(0.0, deadline - time.monotonic()))
+        if any(t.is_alive() for t in self._worker_threads):
+            clean = False
+            # past the grace window: ask in-flight jobs to stop
+            for job in list(self._current_jobs.values()):
+                if job is not None:
+                    job.cancel_event.set()
+            for t in self._worker_threads:
+                t.join(timeout=10.0)
+        self._stop_workers.set()
+        if self._server is not None:
+            self._server.shutdown()
+            if self._server_thread is not None:
+                self._server_thread.join(timeout=10.0)
+            self._server.server_close()
+        self.logger.info("service_stopped", clean_drain=clean)
+        return clean
+
+    def run(self) -> int:
+        """CLI loop: start, wait for SIGTERM/SIGINT, drain, exit 0."""
+        stop = threading.Event()
+
+        def _on_signal(signum, frame):
+            self.logger.info("signal_received", signum=signum)
+            stop.set()
+
+        old_term = signal.signal(signal.SIGTERM, _on_signal)
+        old_int = signal.signal(signal.SIGINT, _on_signal)
+        try:
+            host, port = self.start()
+            print(
+                f"repro.service listening on http://{host}:{port} "
+                f"({self.config.workers} worker(s), "
+                f"queue depth {self.config.queue_depth}, "
+                f"cache {self.config.cache_dir or 'off'})",
+                flush=True,
+            )
+            while not stop.wait(0.2):
+                pass
+            self.shutdown()
+        finally:
+            signal.signal(signal.SIGTERM, old_term)
+            signal.signal(signal.SIGINT, old_int)
+        print("repro.service drained and stopped", flush=True)
+        return 0
+
+    # -- submission ------------------------------------------------------------
+
+    def next_request_id(self) -> str:
+        with self._request_seq_lock:
+            self._request_seq += 1
+            return f"r{self._request_seq:06d}"
+
+    def _build_spec(self, body: dict):
+        """(spec, workload_name, inline) from a submission body."""
+        workload = body.get("workload")
+        program_doc = body.get("program")
+        if (workload is None) == (program_doc is None):
+            raise BadRequest(
+                "submit exactly one of 'workload' (registry name) or "
+                "'program' (inline progjson document)"
+            )
+        if workload is not None:
+            from ..workloads import all_workloads
+
+            reg = all_workloads()
+            if workload not in reg:
+                raise BadRequest(
+                    f"unknown workload {workload!r}; available: "
+                    + ", ".join(sorted(reg))
+                )
+            return reg[workload](), workload, False
+        from ..isa.progjson import spec_from_documents
+
+        try:
+            spec = spec_from_documents(
+                program_doc, body.get("state"), name=body.get("name")
+            )
+        except Exception as exc:
+            raise BadRequest(f"invalid inline program: {exc}") from exc
+        return spec, spec.name, True
+
+    def _build_options(self, body: dict) -> JobOptions:
+        engine = body.get("engine", self.config.engine)
+        if engine not in ENGINES:
+            raise BadRequest(
+                f"unknown engine {engine!r}; choose from {ENGINES}"
+            )
+        timeout = body.get("timeout", self.config.default_timeout)
+        if timeout is not None:
+            timeout = float(timeout)
+            if timeout <= 0:
+                raise BadRequest("timeout must be positive")
+        clamp = body.get("clamp")
+        return JobOptions(
+            engine=engine,
+            crosscheck=bool(body.get("crosscheck", False)),
+            clamp=None if clamp is None else int(clamp),
+            fuel=int(body.get("fuel", 50_000_000)),
+            timeout=timeout,
+        )
+
+    def submit(self, body: dict) -> Tuple[Job, bool, Optional[int]]:
+        """Returns (job, deduplicated, queue_position).  Raises
+        :class:`BadRequest`, :class:`Draining`, or
+        :class:`~repro.service.queue.QueueFull`."""
+        if self._draining.is_set():
+            raise Draining()
+        if not isinstance(body, dict):
+            raise BadRequest("request body must be a JSON object")
+        spec, workload, inline = self._build_spec(body)
+        options = self._build_options(body)
+        key = derive_job_key(spec, options)
+        self.c_submitted.inc()
+
+        def factory(job_id: str) -> Job:
+            return Job(
+                id=job_id,
+                key=key,
+                workload=workload,
+                spec=spec,
+                options=options,
+                inline=inline,
+            )
+
+        job, deduped = self.registry.submit(key, factory)
+        if deduped:
+            self.c_deduped.inc()
+            return job, True, self.queue.position(job)
+        try:
+            position = self.queue.put(job)
+        except QueueFull:
+            # the job never ran; mark it so the key can be retried
+            if job.transition((JobState.QUEUED,), JobState.CANCELLED):
+                job.error = "rejected: queue full"
+            self.c_rejected.inc()
+            self.c_cancelled.inc()
+            raise
+        self.g_queue_depth.set(len(self.queue))
+        return job, False, position
+
+    def cancel(self, job: Job) -> Job:
+        """Cancel a queued job outright; ask a running one to stop."""
+        if job.transition((JobState.QUEUED,), JobState.CANCELLED):
+            job.error = "cancelled by client"
+            self.queue.remove(job)
+            self.g_queue_depth.set(len(self.queue))
+            self.c_cancelled.inc()
+        else:
+            job.cancel_event.set()
+        return job
+
+    # -- workers ---------------------------------------------------------------
+
+    def _worker_loop(self, index: int) -> None:
+        log = self.logger.bind(worker=index)
+        while not self._stop_workers.is_set():
+            job = self.queue.get(timeout=0.1)
+            if job is None:
+                if self._draining.is_set():
+                    break
+                continue
+            self.g_queue_depth.set(len(self.queue))
+            if job.cancel_event.is_set():
+                if job.transition((JobState.QUEUED,), JobState.CANCELLED):
+                    job.error = "cancelled before execution"
+                    self.c_cancelled.inc()
+                continue
+            self._current_jobs[index] = job
+            self.g_busy.inc()
+            log.info(
+                "job_start",
+                job_id=job.id,
+                workload=job.workload,
+                engine=job.options.engine,
+            )
+            t0 = time.monotonic()
+            started_before = job.started_at
+            execute_job(job, store=self.store, logger=log)
+            dt = time.monotonic() - t0
+            if job.started_at is not None and started_before is None:
+                self.c_executed.inc()
+            if job.state == JobState.DONE:
+                self.c_completed.inc()
+                self.h_job.observe(dt)
+                self.h_instr1.observe(job.timings.get("instr1", 0.0))
+                self.h_instr2.observe(job.timings.get("instr2_fold", 0.0))
+                self.h_feedback.observe(job.timings.get("feedback", 0.0))
+                if job.cache_hit:
+                    self.c_warm.inc()
+            elif job.state == JobState.TIMEOUT:
+                self.c_timeout.inc()
+            elif job.state == JobState.CANCELLED:
+                self.c_cancelled.inc()
+            elif job.state == JobState.FAILED:
+                self.c_failed.inc()
+            self.g_busy.dec()
+            self._current_jobs[index] = None
+            log.info(
+                "job_end",
+                job_id=job.id,
+                state=job.state,
+                seconds=round(dt, 6),
+                cache_hit=job.cache_hit,
+            )
+
+    # -- health ----------------------------------------------------------------
+
+    def health_doc(self) -> dict:
+        doc = {
+            "version": SERVICE_API_VERSION,
+            "status": "draining" if self.draining else "ok",
+            "uptime_seconds": round(time.time() - self._started_at, 3),
+            "workers": self.config.workers,
+            "busy": int(self.g_busy.value),
+            "queue_depth": len(self.queue),
+            "queue_capacity": self.config.queue_depth,
+            "jobs": self.registry.counts(),
+            "store": (
+                self.store.stats.as_dict() if self.store is not None else None
+            ),
+        }
+        return doc
+
+
+# -- the HTTP layer -----------------------------------------------------------------
+
+
+def _make_handler(service: AnalysisService):
+    """A :class:`BaseHTTPRequestHandler` subclass closed over one
+    service instance (ThreadingHTTPServer instantiates it per
+    connection)."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = f"repro-service/{SERVICE_API_VERSION}"
+
+        # route BaseHTTPRequestHandler's own stderr chatter into the
+        # structured log (it writes tracebacks for client disconnects
+        # otherwise)
+        def log_message(self, format: str, *args) -> None:
+            service.logger.debug("http_server", message=format % args)
+
+        def log_error(self, format: str, *args) -> None:
+            service.logger.warning("http_server_error", message=format % args)
+
+        # -- plumbing ----------------------------------------------------------
+
+        def _send(
+            self,
+            code: int,
+            body: bytes,
+            content_type: str = "application/json",
+            headers: Optional[dict] = None,
+        ) -> None:
+            self.send_response(code)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            # count before writing: a client that reads this response
+            # and immediately polls /metrics must see the increment
+            service.c_http.inc()
+            if code >= 400:
+                service.c_http_errors.inc()
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_doc(
+            self, code: int, doc: dict, headers: Optional[dict] = None
+        ) -> None:
+            body = (json.dumps(doc, indent=2) + "\n").encode("utf-8")
+            self._send(code, body, headers=headers)
+
+        def _error(
+            self, code: int, message: str, headers: Optional[dict] = None,
+            **extra,
+        ) -> None:
+            doc = {"version": SERVICE_API_VERSION, "error": message}
+            doc.update(extra)
+            self._send_doc(code, doc, headers=headers)
+
+        def _read_body(self) -> dict:
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b""
+            if not raw:
+                raise BadRequest("empty request body")
+            try:
+                return json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise BadRequest(f"request body is not JSON: {exc}") from exc
+
+        # -- routes ------------------------------------------------------------
+
+        def do_GET(self) -> None:  # noqa: N802 - stdlib handler API
+            rid = service.next_request_id()
+            t0 = time.monotonic()
+            path = urlsplit(self.path).path
+            try:
+                if path == "/healthz":
+                    doc = service.health_doc()
+                    self._send_doc(503 if service.draining else 200, doc)
+                elif path == "/metrics":
+                    self._send(
+                        200,
+                        service.render_metrics().encode("utf-8"),
+                        content_type="text/plain; version=0.0.4",
+                    )
+                else:
+                    match = _JOB_PATH.match(path)
+                    if match is None:
+                        self._error(404, f"no route for {path}")
+                    elif match.group("sub") == "cancel":
+                        self._error(405, "cancel requires POST")
+                    else:
+                        self._job_get(
+                            match.group("id"), match.group("sub")
+                        )
+            except BrokenPipeError:  # client went away; nothing to send
+                pass
+            except Exception as exc:
+                service.logger.error(
+                    "request_failed", request_id=rid, path=path,
+                    error=repr(exc),
+                )
+                try:
+                    self._error(500, "internal error")
+                except Exception:
+                    pass
+            finally:
+                service.logger.info(
+                    "http_request",
+                    request_id=rid,
+                    method="GET",
+                    path=path,
+                    seconds=round(time.monotonic() - t0, 6),
+                )
+
+        def _job_get(self, job_id: str, sub: Optional[str]) -> None:
+            job = service.registry.get(job_id)
+            if job is None:
+                self._error(404, f"unknown job {job_id!r}")
+                return
+            if sub is None:
+                doc = job.status_doc(SERVICE_API_VERSION)
+                position = service.queue.position(job)
+                if position is not None:
+                    doc["queue_position"] = position
+                self._send_doc(200, doc)
+                return
+            if job.state != JobState.DONE:
+                self._error(
+                    409,
+                    f"job {job_id} has no artifacts "
+                    f"(state: {job.state})",
+                    state=job.state,
+                    job_error=job.error,
+                )
+                return
+            if sub == "report":
+                self._send(200, job.report_json)
+            elif sub == "metrics":
+                self._send(200, job.metrics_json)
+            else:
+                self._send(
+                    200,
+                    job.flamegraph_svg,
+                    content_type="image/svg+xml",
+                )
+
+        def do_POST(self) -> None:  # noqa: N802 - stdlib handler API
+            rid = service.next_request_id()
+            t0 = time.monotonic()
+            path = urlsplit(self.path).path
+            status = "ok"
+            try:
+                if path == "/v1/analyze":
+                    self._analyze(rid)
+                else:
+                    match = _JOB_PATH.match(path)
+                    if match is not None and match.group("sub") == "cancel":
+                        job = service.registry.get(match.group("id"))
+                        if job is None:
+                            self._error(
+                                404, f"unknown job {match.group('id')!r}"
+                            )
+                        else:
+                            service.cancel(job)
+                            self._send_doc(
+                                200, job.status_doc(SERVICE_API_VERSION)
+                            )
+                    else:
+                        self._error(404, f"no route for POST {path}")
+            except BrokenPipeError:
+                status = "disconnect"
+            except Exception as exc:
+                status = "error"
+                service.logger.error(
+                    "request_failed", request_id=rid, path=path,
+                    error=repr(exc),
+                )
+                try:
+                    self._error(500, "internal error")
+                except Exception:
+                    pass
+            finally:
+                service.logger.info(
+                    "http_request",
+                    request_id=rid,
+                    method="POST",
+                    path=path,
+                    status=status,
+                    seconds=round(time.monotonic() - t0, 6),
+                )
+
+        def _analyze(self, request_id: str) -> None:
+            try:
+                body = self._read_body()
+                job, deduped, position = service.submit(body)
+            except BadRequest as exc:
+                self._error(400, str(exc))
+                return
+            except Draining:
+                self._error(
+                    503, "service is draining; resubmit elsewhere",
+                    headers={"Retry-After": "10"},
+                )
+                return
+            except QueueFull as exc:
+                self._error(
+                    429,
+                    f"queue full ({exc.depth} job(s) pending); retry later",
+                    headers={"Retry-After": "1"},
+                )
+                return
+            doc = {
+                "version": SERVICE_API_VERSION,
+                "job": job.id,
+                "key": job.key,
+                "workload": job.workload,
+                "state": job.state,
+                "deduplicated": deduped,
+            }
+            if position is not None:
+                doc["queue_position"] = position
+            service.logger.info(
+                "job_submitted",
+                request_id=request_id,
+                job_id=job.id,
+                workload=job.workload,
+                deduplicated=deduped,
+            )
+            self._send_doc(200 if deduped else 202, doc)
+
+    return Handler
+
+
+def serve(config: ServiceConfig) -> int:
+    """Blocking entry point used by ``repro serve``."""
+    return AnalysisService(config).run()

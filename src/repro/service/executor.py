@@ -1,0 +1,134 @@
+"""Job execution: one worker turning a queued job into artifacts.
+
+Runs the ordinary :func:`repro.pipeline.analyze` against the shared
+:class:`~repro.store.ArtifactStore` and renders the exact response
+bytes (report / metrics JSON documents, flame-graph SVG) the HTTP layer
+will serve -- through the same :mod:`repro.feedback.jsonout` renderer
+the CLI uses, which is what makes service responses byte-identical to
+CLI output.
+
+Timeouts and cancellation are **cooperative**: worker threads cannot
+use the suite runner's ``SIGALRM`` deadline (signals only fire on the
+main thread), so a passive :class:`DeadlineObserver` rides along both
+profiled executions via ``analyze(extra_observers=...)`` and aborts
+the run by raising.  The check costs one comparison per executed basic
+block (fast engine) or one per 4096 instructions (reference engine) --
+noise against instrumentation itself.  A warm cache hit never executes
+and therefore never times out, which is the desired behavior: the
+answer is already there.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from typing import Optional
+
+from ..feedback.jsonout import metrics_document, render_json, report_document
+from ..isa.events import Instrumentation
+from .jobs import Job, JobState
+
+
+class JobTimeout(Exception):
+    """The job's deadline expired mid-execution."""
+
+
+class JobCancelled(Exception):
+    """The job's cancel flag was raised mid-execution."""
+
+
+#: reference-engine instruction granularity of deadline checks
+CHECK_EVERY = 4096
+
+
+class DeadlineObserver(Instrumentation):
+    """Passive observer that aborts a run past its deadline or on
+    cancellation.  Attached via ``analyze(extra_observers=...)``; it
+    must never mutate anything the analysis can see."""
+
+    def __init__(
+        self,
+        deadline: Optional[float],
+        cancel_event: Optional[threading.Event] = None,
+    ) -> None:
+        self.deadline = deadline
+        self.cancel_event = cancel_event
+        self._countdown = CHECK_EVERY
+
+    def _check(self) -> None:
+        if self.cancel_event is not None and self.cancel_event.is_set():
+            raise JobCancelled()
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise JobTimeout()
+
+    def on_block(self, instrs, frame_id, values, addrs) -> None:
+        self._check()
+
+    def on_instr(self, instr, frame_id, value, addr) -> None:
+        self._countdown -= 1
+        if self._countdown <= 0:
+            self._countdown = CHECK_EVERY
+            self._check()
+
+
+def execute_job(job: Job, store=None, logger=None) -> Job:
+    """Run one job to a terminal state.  Never raises: every failure
+    mode lands in ``job.state``/``job.error``."""
+    from ..feedback.flamegraph import render_flamegraph_svg
+    from ..pipeline import analyze
+
+    if not job.transition((JobState.QUEUED,), JobState.RUNNING):
+        # cancelled while queued (or already terminal): nothing to do
+        return job
+
+    deadline = (
+        time.monotonic() + job.options.timeout
+        if job.options.timeout
+        else None
+    )
+    observer = DeadlineObserver(deadline, job.cancel_event)
+    try:
+        result = analyze(
+            job.spec,
+            engine=job.options.engine,
+            fuel=job.options.fuel,
+            clamp=job.options.clamp,
+            crosscheck=job.options.crosscheck,
+            store=store,
+            extra_observers=[observer],
+        )
+        job.timings = result.timings.as_dict()
+        job.stage1_cached = result.timings.stage1_cached
+        job.stage2_cached = result.timings.stage2_cached
+        job.cache_hit = result.timings.cache_hit
+        job.summary = {
+            "dyn_instrs": result.ddg_profile.builder.instr_count,
+            "statements": result.folded.stmt_count(),
+            "deps": len(result.folded.deps),
+            "plans": len(result.plans),
+        }
+        if result.crosscheck is not None:
+            job.crosscheck_violations = len(result.crosscheck.violations)
+        job.report_json = render_json(report_document(result)).encode("utf-8")
+        job.metrics_json = render_json(metrics_document(result)).encode("utf-8")
+        job.flamegraph_svg = render_flamegraph_svg(
+            result.schedule_tree,
+            title=f"poly-prof annotated flame graph: {job.spec.name}",
+        ).encode("utf-8")
+        job.transition((JobState.RUNNING,), JobState.DONE)
+    except JobTimeout:
+        job.error = f"timed out after {job.options.timeout:g}s"
+        job.transition((JobState.RUNNING,), JobState.TIMEOUT)
+    except JobCancelled:
+        job.error = "cancelled while running"
+        job.transition((JobState.RUNNING,), JobState.CANCELLED)
+    except Exception as exc:
+        # error *record*, not a crashed worker; keep logs trace-free
+        job.error = "".join(
+            traceback.format_exception_only(type(exc), exc)
+        ).strip()
+        job.transition((JobState.RUNNING,), JobState.FAILED)
+        if logger is not None:
+            logger.error("job_failed", job_id=job.id, error=job.error)
+    return job

@@ -1,0 +1,230 @@
+"""Jobs and the deduplicating job registry.
+
+A **job** is one analysis request flowing through the daemon: it is
+created by the HTTP front door, waits in the bounded queue, is executed
+by a worker, and then lingers (with its rendered artifacts) so clients
+can poll results and identical future requests can coalesce onto it.
+
+Deduplication is **content-addressed**: the job key is derived from the
+same program/state fingerprints and pipeline options the artifact store
+keys artifacts by (:mod:`repro.store.keys`), extended with the
+feedback-affecting options the store does not care about.  Two requests
+with the same key are *the same work* by construction -- whichever
+arrives second (while the first is queued, running, or completed and
+retained) gets the first one's job id instead of a new execution.
+
+Retention is a simple FIFO cap over *terminal* jobs: the registry
+remembers at most ``retain`` finished jobs; evicting one also drops its
+dedup index entry, so a re-submission after eviction simply runs again
+(and, with a store attached, hits the artifact cache).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+class JobState:
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    TIMEOUT = "timeout"
+    CANCELLED = "cancelled"
+
+    TERMINAL = frozenset((DONE, FAILED, TIMEOUT, CANCELLED))
+
+
+@dataclass
+class JobOptions:
+    """The pipeline/feedback options one submission carries."""
+
+    engine: str = "fast"
+    crosscheck: bool = False
+    clamp: Optional[int] = None
+    fuel: int = 50_000_000
+    timeout: Optional[float] = None
+
+    def as_dict(self) -> dict:
+        return {
+            "engine": self.engine,
+            "crosscheck": self.crosscheck,
+            "clamp": self.clamp,
+            "fuel": self.fuel,
+            "timeout": self.timeout,
+        }
+
+
+def derive_job_key(spec, options: JobOptions) -> str:
+    """Content-addressed identity of one (workload, options) request.
+
+    Builds on the artifact store's stage-2 key (program + state
+    fingerprints + pipeline options), then folds in the options that
+    change the *response* but not the cached artifacts.  ``timeout`` is
+    deliberately excluded: it bounds how long we wait, not what is
+    computed.
+    """
+    from ..store import keys_for_spec
+
+    keys = keys_for_spec(
+        spec,
+        engine=options.engine,
+        fuel=options.fuel,
+        max_pieces=6,
+        clamp=options.clamp,
+        track_anti_output=True,
+        build_schedule_tree=True,
+    )
+    raw = f"{keys.stage2}|crosscheck={options.crosscheck}"
+    return hashlib.sha256(raw.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class Job:
+    """One analysis request and (eventually) its artifacts."""
+
+    id: str
+    key: str
+    workload: str
+    spec: object  # ProgramSpec; kept so the executing worker needs no re-resolve
+    options: JobOptions
+    inline: bool = False
+    state: str = JobState.QUEUED
+    created_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: fresh per-stage seconds of the executing analyze() call
+    timings: Dict[str, float] = field(default_factory=dict)
+    stage1_cached: bool = False
+    stage2_cached: bool = False
+    cache_hit: bool = False
+    error: Optional[str] = None
+    summary: Dict[str, int] = field(default_factory=dict)
+    #: rendered artifacts (exact bytes served to clients)
+    report_json: Optional[bytes] = None
+    metrics_json: Optional[bytes] = None
+    flamegraph_svg: Optional[bytes] = None
+    crosscheck_violations: Optional[int] = None
+    #: cooperative cancellation flag, checked by the deadline observer
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+    #: guards state transitions (workers vs. cancel vs. drain)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in JobState.TERMINAL
+
+    def transition(self, from_states: Tuple[str, ...], to: str) -> bool:
+        """Atomically move ``from_states -> to``; False if not in one."""
+        with self._lock:
+            if self.state not in from_states:
+                return False
+            self.state = to
+            if to == JobState.RUNNING:
+                self.started_at = time.time()
+            elif to in JobState.TERMINAL:
+                self.finished_at = time.time()
+            return True
+
+    def wall_seconds(self) -> Optional[float]:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def status_doc(self, api_version: int) -> dict:
+        """The ``GET /v1/jobs/{id}`` document."""
+        doc = {
+            "version": api_version,
+            "job": self.id,
+            "key": self.key,
+            "workload": self.workload,
+            "inline": self.inline,
+            "state": self.state,
+            "options": self.options.as_dict(),
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "wall_seconds": self.wall_seconds(),
+            "timings": dict(self.timings),
+            "cache": {
+                "stage1_cached": self.stage1_cached,
+                "stage2_cached": self.stage2_cached,
+                "hit": self.cache_hit,
+            },
+            "error": self.error,
+        }
+        if self.summary:
+            doc["summary"] = dict(self.summary)
+        if self.crosscheck_violations is not None:
+            doc["crosscheck_violations"] = self.crosscheck_violations
+        return doc
+
+
+class JobRegistry:
+    """Thread-safe id/key indexes with dedup and bounded retention."""
+
+    def __init__(self, retain: int = 256) -> None:
+        if retain < 1:
+            raise ValueError("retain must be >= 1")
+        self.retain = retain
+        self._lock = threading.Lock()
+        self._by_id: "OrderedDict[str, Job]" = OrderedDict()
+        self._by_key: Dict[str, Job] = {}
+        self._seq = 0
+
+    def submit(
+        self, key: str, factory: Callable[[str], Job]
+    ) -> Tuple[Job, bool]:
+        """Register the job for ``key``, coalescing duplicates.
+
+        Returns ``(job, deduplicated)``.  An existing queued, running,
+        or successfully finished job with the same key absorbs the
+        request; a failed/timed-out/cancelled one is replaced (the
+        caller gets a fresh attempt).  ``factory`` builds the new job
+        from its assigned id; it runs under the registry lock, so it
+        must be cheap (no analysis).
+        """
+        with self._lock:
+            existing = self._by_key.get(key)
+            if existing is not None and (
+                not existing.terminal or existing.state == JobState.DONE
+            ):
+                return existing, True
+            self._seq += 1
+            job_id = f"j{self._seq:06d}-{key[:8]}"
+            job = factory(job_id)
+            self._by_id[job_id] = job
+            self._by_key[key] = job
+            self._evict_locked()
+            return job, False
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._by_id.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return list(self._by_id.values())
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for job in self.jobs():
+            out[job.state] = out.get(job.state, 0) + 1
+        return out
+
+    def _evict_locked(self) -> None:
+        """Drop oldest *terminal* jobs beyond the retention cap."""
+        excess = len(self._by_id) - self.retain
+        if excess <= 0:
+            return
+        for job_id in [
+            jid for jid, job in self._by_id.items() if job.terminal
+        ][:excess]:
+            job = self._by_id.pop(job_id)
+            if self._by_key.get(job.key) is job:
+                del self._by_key[job.key]

@@ -1,0 +1,96 @@
+"""Structured JSON logging for the analysis daemon.
+
+One JSON object per line on a stream (stderr by default), every line
+carrying the event name plus whatever context ids the emitting site
+bound -- request ids, job ids, worker indexes -- so a log pipeline can
+follow one request across the HTTP handler, the queue, and the worker
+that executed it without parsing free text.
+
+Deliberately not :mod:`logging`: the daemon needs exactly one sink,
+machine-readable lines, no global mutable configuration another import
+could clobber, and the guarantee that a log call never raises into the
+serving path.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+import threading
+import time
+from typing import IO, Optional
+
+LEVELS = ("debug", "info", "warning", "error")
+
+
+class JsonLogger:
+    """Thread-safe line-per-event JSON logger with bound context."""
+
+    def __init__(
+        self,
+        stream: Optional[IO[str]] = None,
+        level: str = "info",
+        _bound: Optional[dict] = None,
+        _lock: Optional[threading.Lock] = None,
+    ) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        if level not in LEVELS:
+            raise ValueError(f"unknown log level {level!r}")
+        self._threshold = LEVELS.index(level)
+        self._bound = dict(_bound or {})
+        self._lock = _lock or threading.Lock()
+
+    def bind(self, **context) -> "JsonLogger":
+        """A child logger whose every line also carries ``context``."""
+        bound = dict(self._bound)
+        bound.update(context)
+        child = JsonLogger(
+            stream=self._stream,
+            _bound=bound,
+            _lock=self._lock,
+        )
+        child._threshold = self._threshold
+        return child
+
+    def log(self, level: str, event: str, **fields) -> None:
+        if LEVELS.index(level) < self._threshold:
+            return
+        record = {"ts": round(time.time(), 6), "level": level, "event": event}
+        record.update(self._bound)
+        record.update(fields)
+        try:
+            line = json.dumps(record, default=str)
+        except Exception:
+            line = json.dumps(
+                {"ts": record["ts"], "level": "error",
+                 "event": "log_encode_failed", "original_event": event}
+            )
+        try:
+            with self._lock:
+                self._stream.write(line + "\n")
+                self._stream.flush()
+        except Exception:
+            pass  # a dead log stream must never take the service down
+
+    def debug(self, event: str, **fields) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.log("error", event, **fields)
+
+
+class NullLogger(JsonLogger):
+    """Swallows everything (tests, benchmarks)."""
+
+    def __init__(self) -> None:
+        super().__init__(stream=io.StringIO(), level="error")
+
+    def log(self, level: str, event: str, **fields) -> None:
+        pass

@@ -1,0 +1,198 @@
+"""Minimal Prometheus-style instrumentation (stdlib only).
+
+The service exposes its counters, gauges, and latency histograms on
+``GET /metrics`` in the Prometheus text exposition format (version
+0.0.4): ``# HELP`` / ``# TYPE`` comments followed by samples, with
+histograms rendered as cumulative ``_bucket{le="..."}`` series plus
+``_sum`` and ``_count``.
+
+Everything is thread-safe (one lock per registry -- contention is
+trivial next to an analysis), deterministic (metrics render in
+registration order), and dependency-free.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: default latency buckets (seconds): microsecond-scale warm hits up
+#: to multi-second cold profiling runs
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+    10.0, 30.0,
+)
+
+
+def _fmt(value: float) -> str:
+    """Prometheus sample formatting: integers without a decimal point."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class Counter:
+    """Monotonically increasing counter."""
+
+    def __init__(self, name: str, help_: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.help = help_
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def render(self) -> List[str]:
+        return [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} counter",
+            f"{self.name} {_fmt(self.value)}",
+        ]
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    def __init__(self, name: str, help_: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.help = help_
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def render(self) -> List[str]:
+        return [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} gauge",
+            f"{self.name} {_fmt(self.value)}",
+        ]
+
+
+class Histogram:
+    """Cumulative-bucket latency histogram."""
+
+    def __init__(
+        self,
+        name: str,
+        help_: str,
+        lock: threading.Lock,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.help = help_
+        self._lock = lock
+        self.buckets = tuple(sorted(buckets))
+        self._counts = [0] * len(self.buckets)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._counts[i] += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def render(self) -> List[str]:
+        with self._lock:
+            counts = list(self._counts)
+            total, sum_ = self._count, self._sum
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} histogram",
+        ]
+        for bound, n in zip(self.buckets, counts):
+            lines.append(f'{self.name}_bucket{{le="{_fmt(bound)}"}} {n}')
+        lines.append(f'{self.name}_bucket{{le="+Inf"}} {total}')
+        lines.append(f"{self.name}_sum {_fmt(sum_)}")
+        lines.append(f"{self.name}_count {total}")
+        return lines
+
+
+class MetricsRegistry:
+    """All of one service's metrics, rendered in registration order."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, object] = {}
+
+    def counter(self, name: str, help_: str) -> Counter:
+        return self._register(Counter(name, help_, self._lock))
+
+    def gauge(self, name: str, help_: str) -> Gauge:
+        return self._register(Gauge(name, help_, self._lock))
+
+    def histogram(
+        self,
+        name: str,
+        help_: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(
+            Histogram(name, help_, self._lock, buckets=buckets)
+        )
+
+    def _register(self, metric):
+        if metric.name in self._metrics:
+            raise ValueError(f"duplicate metric {metric.name!r}")
+        self._metrics[metric.name] = metric
+        return metric
+
+    def get(self, name: str) -> Optional[object]:
+        return self._metrics.get(name)
+
+    def render(self) -> str:
+        lines: List[str] = []
+        for metric in self._metrics.values():
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"
+
+
+def parse_samples(text: str) -> Dict[str, float]:
+    """Parse the flat samples out of an exposition document (tests and
+    the benchmark use this to assert on counter values)."""
+    out: Dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        try:
+            out[name] = float(value)
+        except ValueError:
+            continue
+    return out

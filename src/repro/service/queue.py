@@ -1,0 +1,85 @@
+"""Bounded job queue with explicit backpressure.
+
+Unlike :class:`queue.Queue`, rejection is an *exception the front door
+turns into HTTP 429*, not a blocking put: a daemon serving heavy
+traffic must shed load at the edge, immediately, with a Retry-After
+hint -- never stall accept threads while work piles up.  The queue
+also supports the two drain-time operations shutdown needs: snapshot
+rejection of everything still pending, and a position query so queued
+clients can see where they stand.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import List, Optional
+
+from .jobs import Job
+
+
+class QueueFull(Exception):
+    """Raised by :meth:`BoundedJobQueue.put` when at capacity."""
+
+    def __init__(self, depth: int) -> None:
+        super().__init__(f"job queue full ({depth} queued)")
+        self.depth = depth
+
+
+class BoundedJobQueue:
+    """FIFO of pending jobs, capped at ``maxsize``."""
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError("queue depth must be >= 1")
+        self.maxsize = maxsize
+        self._items: "deque[Job]" = deque()
+        self._cond = threading.Condition()
+
+    def put(self, job: Job) -> int:
+        """Enqueue; returns the 0-based queue position.  Raises
+        :class:`QueueFull` instead of blocking when at capacity."""
+        with self._cond:
+            if len(self._items) >= self.maxsize:
+                raise QueueFull(len(self._items))
+            self._items.append(job)
+            position = len(self._items) - 1
+            self._cond.notify()
+            return position
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Dequeue the oldest job, or None after ``timeout`` seconds."""
+        with self._cond:
+            if not self._items:
+                self._cond.wait(timeout)
+            if not self._items:
+                return None
+            return self._items.popleft()
+
+    def remove(self, job: Job) -> bool:
+        """Drop one specific job (cancellation of a queued job)."""
+        with self._cond:
+            try:
+                self._items.remove(job)
+                return True
+            except ValueError:
+                return False
+
+    def drain(self) -> List[Job]:
+        """Empty the queue, returning everything that was pending."""
+        with self._cond:
+            pending = list(self._items)
+            self._items.clear()
+            self._cond.notify_all()
+            return pending
+
+    def position(self, job: Job) -> Optional[int]:
+        with self._cond:
+            for i, item in enumerate(self._items):
+                if item is job:
+                    return i
+            return None
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)

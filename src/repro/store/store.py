@@ -9,15 +9,22 @@ Concurrency and corruption are handled the only way a shared cache
 directory can be: writes go to a unique temp file in the store and
 land via atomic ``os.replace`` (a reader never observes a torn
 artifact, concurrent writers of the same key just overwrite each other
-with identical bytes), and *every* read failure -- missing file,
-truncated gzip, invalid JSON, wrong format version, decoder error --
-degrades to a cache miss.  A corrupt file is unlinked best-effort so
-it cannot miss forever.
+last-write-wins with identical bytes), and *every* read failure --
+missing file, truncated gzip, invalid JSON, wrong format version,
+decoder error -- degrades to a cache miss.  A corrupt file is unlinked
+best-effort so it cannot miss forever.
 
 Eviction is size-capped LRU over file mtimes: a hit touches the
 artifact's mtime, a put evicts oldest-first until the store fits
 ``max_bytes``.  Races with concurrent workers (a file vanishing
 mid-walk) are tolerated everywhere.
+
+One :class:`ArtifactStore` handle may be shared by many threads (the
+analysis service's worker pool does): counter updates, the LRU touch,
+and the evict scan serialize on an internal lock, so stats never lose
+increments and two threads never evict past the cap in parallel.  The
+heavy work -- gzip/JSON encode/decode and file I/O of distinct keys --
+stays outside the lock.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ import gzip
 import json
 import os
 import tempfile
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -73,6 +81,9 @@ class ArtifactStore:
         self.objects_dir = os.path.join(root, "objects")
         self.max_bytes = max_bytes
         self.stats = StoreStats()
+        #: serializes stats updates and LRU touch/evict across threads
+        #: sharing this handle; never held during artifact encode/decode
+        self._lock = threading.RLock()
         os.makedirs(self.objects_dir, exist_ok=True)
 
     # -- paths -------------------------------------------------------------------
@@ -92,17 +103,20 @@ class ArtifactStore:
                 raise ValueError(f"format {doc.get('format')!r}")
             payload = doc["data"]
         except FileNotFoundError:
-            self.stats.misses += 1
+            with self._lock:
+                self.stats.misses += 1
             return None
         except Exception:
             # truncated gzip, bad JSON, version skew, wrong shape --
             # treat as a miss and drop the unreadable file
-            self.stats.misses += 1
-            self.stats.errors += 1
-            self._unlink(path)
+            with self._lock:
+                self.stats.misses += 1
+                self.stats.errors += 1
+                self._unlink(path)
             return None
-        self.stats.hits += 1
-        self._touch(path)
+        with self._lock:
+            self.stats.hits += 1
+            self._touch(path)
         return payload
 
     def put(self, key: str, payload: dict) -> None:
@@ -124,7 +138,8 @@ class ArtifactStore:
         except Exception:
             self._unlink(tmp)
             raise
-        self.stats.puts += 1
+        with self._lock:
+            self.stats.puts += 1
         if self.max_bytes is not None:
             self.evict()
 
@@ -140,10 +155,11 @@ class ArtifactStore:
         except Exception:
             # a payload that no longer decodes (stale semantics within
             # one format version) must never crash an analysis
-            self.stats.hits -= 1
-            self.stats.misses += 1
-            self.stats.errors += 1
-            self._unlink(self.path_of(key))
+            with self._lock:
+                self.stats.hits -= 1
+                self.stats.misses += 1
+                self.stats.errors += 1
+                self._unlink(self.path_of(key))
             return None
 
     # -- eviction -----------------------------------------------------------------
@@ -168,22 +184,30 @@ class ArtifactStore:
         return sum(size for _, size, _ in self.entries())
 
     def evict(self) -> int:
-        """Delete least-recently-used artifacts until under the cap."""
+        """Delete least-recently-used artifacts until under the cap.
+
+        The whole scan-and-delete runs under the store lock: two
+        worker threads finishing puts at the same moment must not both
+        walk the same LRU tail and double-count (or over-)evict.
+        Cross-*process* races remain benign -- a file vanishing under
+        us just fails its unlink.
+        """
         if self.max_bytes is None:
             return 0
-        entries = self.entries()
-        total = sum(size for _, size, _ in entries)
-        evicted = 0
-        # oldest mtime first; temp files sort in with their mtimes,
-        # which is fine: a stale temp is garbage worth collecting
-        for path, size, _ in sorted(entries, key=lambda e: e[2]):
-            if total <= self.max_bytes:
-                break
-            if self._unlink(path):
-                total -= size
-                evicted += 1
-        self.stats.evictions += evicted
-        return evicted
+        with self._lock:
+            entries = self.entries()
+            total = sum(size for _, size, _ in entries)
+            evicted = 0
+            # oldest mtime first; temp files sort in with their mtimes,
+            # which is fine: a stale temp is garbage worth collecting
+            for path, size, _ in sorted(entries, key=lambda e: e[2]):
+                if total <= self.max_bytes:
+                    break
+                if self._unlink(path):
+                    total -= size
+                    evicted += 1
+            self.stats.evictions += evicted
+            return evicted
 
     def clear(self) -> None:
         for path, _, _ in self.entries():

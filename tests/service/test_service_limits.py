@@ -1,0 +1,151 @@
+"""Backpressure, per-job deadlines, cancellation, and graceful drain."""
+
+import time
+
+import pytest
+
+from repro.service import JobFailed, ServiceError
+
+from .conftest import counting_loop_docs
+
+#: iterations that keep the single worker busy for a while (seconds of
+#: instrumented execution) without being anywhere near unbounded
+SLOW_ITERS = 2_000_000
+#: iterations that finish quickly but are observably non-instant
+BRIEF_ITERS = 60_000
+
+
+def _submit_loop(client, iters, **options):
+    program, state = counting_loop_docs(iters, name=f"loop_{iters}")
+    return client.submit(program=program, state=state, **options)
+
+
+def _wait_for_state(client, job_id, state, timeout=20.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        doc = client.job(job_id)
+        if doc["state"] == state:
+            return doc
+        time.sleep(0.01)
+    raise AssertionError(
+        f"job {job_id} never reached {state!r} (last: {doc['state']})"
+    )
+
+
+class TestBackpressure:
+    def test_queue_full_returns_429_with_retry_after(self, make_service):
+        live = make_service(workers=1, queue_depth=1)
+        running = _submit_loop(live.client, SLOW_ITERS)
+        _wait_for_state(live.client, running["job"], "running")
+        queued = _submit_loop(live.client, SLOW_ITERS + 1)
+        assert queued["queue_position"] == 0
+        with pytest.raises(ServiceError) as err:
+            _submit_loop(live.client, SLOW_ITERS + 2)
+        assert err.value.status == 429
+        assert err.value.retry_after == 1.0
+        assert "queue full" in err.value.doc["error"]
+        # the rejected submission was never executed and does not
+        # poison the key: the same request is accepted once there is room
+        live.client.cancel(queued["job"])
+        live.client.cancel(running["job"])
+        retried = _submit_loop(live.client, SLOW_ITERS + 2)
+        assert retried["deduplicated"] is False
+
+    def test_rejection_is_counted(self, make_service):
+        from repro.service import parse_samples
+
+        live = make_service(workers=1, queue_depth=1)
+        running = _submit_loop(live.client, SLOW_ITERS)
+        _wait_for_state(live.client, running["job"], "running")
+        queued = _submit_loop(live.client, SLOW_ITERS + 1)
+        with pytest.raises(ServiceError):
+            _submit_loop(live.client, SLOW_ITERS + 2)
+        samples = parse_samples(live.client.service_metrics())
+        assert samples["repro_service_jobs_rejected_total"] == 1
+        live.client.cancel(queued["job"])
+        live.client.cancel(running["job"])
+
+
+class TestDeadlines:
+    def test_job_timeout_is_terminal_and_reported(self, make_service):
+        live = make_service()
+        sub = _submit_loop(live.client, SLOW_ITERS, timeout=0.05)
+        with pytest.raises(JobFailed) as err:
+            live.client.wait(sub["job"], timeout=30)
+        doc = err.value.status_doc
+        assert doc["state"] == "timeout"
+        assert "timed out after 0.05s" in doc["error"]
+        assert doc["finished_at"] is not None
+        # artifacts never materialized
+        with pytest.raises(ServiceError) as arterr:
+            live.client.report(sub["job"])
+        assert arterr.value.status == 409
+
+    def test_timed_out_key_can_be_retried(self, make_service):
+        live = make_service()
+        program, state = counting_loop_docs(BRIEF_ITERS, name="retry_me")
+        first = live.client.submit(
+            program=program, state=state, timeout=0.0001
+        )
+        with pytest.raises(JobFailed):
+            live.client.wait(first["job"], timeout=30)
+        second = live.client.submit(program=program, state=state)
+        assert second["job"] != first["job"]
+        assert second["deduplicated"] is False
+        assert live.client.wait(second["job"])["state"] == "done"
+
+
+class TestCancellation:
+    def test_cancel_queued_job(self, make_service):
+        live = make_service(workers=1, queue_depth=4)
+        running = _submit_loop(live.client, SLOW_ITERS)
+        _wait_for_state(live.client, running["job"], "running")
+        queued = _submit_loop(live.client, SLOW_ITERS + 1)
+        doc = live.client.cancel(queued["job"])
+        assert doc["state"] == "cancelled"
+        assert doc["error"] == "cancelled by client"
+        live.client.cancel(running["job"])
+
+    def test_cancel_running_job(self, make_service):
+        live = make_service()
+        running = _submit_loop(live.client, SLOW_ITERS)
+        _wait_for_state(live.client, running["job"], "running")
+        live.client.cancel(running["job"])
+        doc = _wait_for_state(live.client, running["job"], "cancelled")
+        assert doc["error"] == "cancelled while running"
+
+
+class TestDrain:
+    def test_drain_cancels_queued_finishes_inflight(self, make_service):
+        live = make_service(workers=1, queue_depth=4)
+        # big enough to still be running while we drain, small enough
+        # to finish comfortably inside the grace window
+        inflight = _submit_loop(live.client, 400_000)
+        _wait_for_state(live.client, inflight["job"], "running")
+        queued = _submit_loop(live.client, SLOW_ITERS)
+
+        live.service.begin_drain()
+        health = live.client.health()
+        assert health["_http_status"] == 503
+        assert health["status"] == "draining"
+        with pytest.raises(ServiceError) as err:
+            live.client.submit(workload="nn")
+        assert err.value.status == 503
+        assert err.value.retry_after == 10.0
+
+        clean = live.service.shutdown(grace=30)
+        assert clean is True
+        # no socket anymore: read the jobs straight off the registry
+        jobs = {j.id: j for j in live.service.registry.jobs()}
+        assert jobs[inflight["job"]].state == "done"
+        assert jobs[queued["job"]].state == "cancelled"
+        assert "draining" in jobs[queued["job"]].error
+
+    def test_shutdown_past_grace_cancels_inflight(self, make_service):
+        live = make_service(workers=1)
+        running = _submit_loop(live.client, 50_000_000)
+        _wait_for_state(live.client, running["job"], "running")
+        clean = live.service.shutdown(grace=0.1)
+        assert clean is False
+        job = live.service.registry.get(running["job"])
+        assert job.state == "cancelled"

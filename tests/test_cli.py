@@ -63,6 +63,40 @@ class TestCli:
         assert "transformable" in out
 
 
+class TestCliJsonFormat:
+    def test_report_json_has_version(self, capsys):
+        import json
+
+        assert main(["report", "nn", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] >= 1
+        assert doc["kind"] == "report"
+        assert doc["workload"] == "nn"
+        assert doc["engine"] == "fast"
+        assert doc["summary"]["dyn_instrs"] > 0
+        assert "poly-prof feedback: nn" in doc["report"]
+
+    def test_metrics_json_has_version(self, capsys):
+        import json
+
+        assert main(["metrics", "nn", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] >= 1
+        assert doc["kind"] == "metrics"
+        assert isinstance(doc["row"], dict)
+
+    def test_json_output_is_deterministic(self, capsys):
+        assert main(["report", "nn", "--format", "json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["report", "nn", "--format", "json"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_text_format_unchanged_by_default(self, capsys):
+        assert main(["report", "nn"]) == 0
+        out = capsys.readouterr().out
+        assert not out.lstrip().startswith("{")
+
+
 class TestCliCache:
     def test_report_cold_then_warm_identical_stdout(
         self, tmp_path, capsys
