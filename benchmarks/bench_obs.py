@@ -1,0 +1,158 @@
+"""Observability overhead: what does tracing the tracer cost?
+
+Times the full ``analyze`` pipeline per workload in three modes:
+
+- **off** -- an explicit :data:`~repro.obs.NULL_TRACER`, the true
+  untraced path (every span the pipeline opens is the shared no-op
+  singleton).
+- **default** -- ``analyze(spec)`` as every caller gets it: a private
+  stage-granularity tracer recording the dozen-odd spans that feed
+  ``StageTimings`` and the service histograms.
+- **deep** -- opt-in full observability: a memory-sampling tracer plus
+  a :class:`~repro.obs.TraceObserver` hooked into the interpreter, the
+  configuration behind ``repro trace <workload> --mem``.  (Memory here
+  is the default boundary-sampled RSS probe; ``memory="tracemalloc"``
+  is deliberately outside the budget -- CPython's allocation tracer
+  costs several-fold on this allocation-heavy pipeline.)
+
+Runs over the same Rodinia workload set as ``bench_speed.py``.
+
+Each (workload, mode) cell is the **best of N** repetitions -- the
+minimum is the standard estimator for CPU-bound timings (noise is
+strictly additive); the sample spread rides along so a suspicious
+best can be judged against its own variance.
+
+Gates the PR's overhead budget: the default span layer must cost at
+most 5% over the untraced path across the suite, and deep tracing at
+most 25%.  Writes ``BENCH_obs.json`` next to the text table so
+regressions are diffable.
+"""
+
+import json
+import statistics
+import time
+
+from _harness import emit, format_table, once, results_path
+from repro.obs import NULL_TRACER, TraceObserver, Tracer
+from repro.pipeline import analyze
+from repro.workloads import rodinia_workloads
+
+MODES = ("off", "default", "deep")
+
+#: best-of-N repetitions per (workload, mode) cell
+ROUNDS = 3
+
+#: suite-wide overhead ceilings, relative to the untraced path
+MAX_DEFAULT_OVERHEAD = 1.05
+MAX_DEEP_OVERHEAD = 1.25
+
+
+def _analyze_once(spec, mode):
+    if mode == "off":
+        t0 = time.perf_counter()
+        analyze(spec, tracer=NULL_TRACER)
+        return time.perf_counter() - t0
+    if mode == "default":
+        t0 = time.perf_counter()
+        analyze(spec)
+        return time.perf_counter() - t0
+    tracer = Tracer(memory=True)
+    observer = TraceObserver(tracer)
+    try:
+        t0 = time.perf_counter()
+        analyze(spec, tracer=tracer, extra_observers=[observer])
+        return time.perf_counter() - t0
+    finally:
+        tracer.close()
+
+
+def run_obs():
+    data = {}
+    spreads = {}
+    for name, factory in rodinia_workloads().items():
+        spec = factory()
+        data[name] = {}
+        spreads[name] = {}
+        # interleave modes round-robin so slow machine drift (thermal,
+        # co-tenants) hits all three columns evenly, not just the last
+        samples = {mode: [] for mode in MODES}
+        for _ in range(ROUNDS):
+            for mode in MODES:
+                samples[mode].append(_analyze_once(spec, mode))
+        for mode in MODES:
+            vals = samples[mode]
+            data[name][mode] = min(vals)
+            spreads[name][mode] = {
+                "min": min(vals),
+                "max": max(vals),
+                "mean": statistics.fmean(vals),
+                "variance": statistics.pvariance(vals),
+            }
+    totals = {
+        mode: sum(data[name][mode] for name in data) for mode in MODES
+    }
+    return data, spreads, totals
+
+
+def test_obs_overhead(benchmark):
+    data, spreads, totals = once(benchmark, run_obs)
+
+    rows = []
+    for name, per in data.items():
+        off = per["off"]
+        rows.append([
+            name,
+            f"{1000 * off:.1f}ms",
+            f"{1000 * per['default']:.1f}ms",
+            f"{1000 * per['deep']:.1f}ms",
+            f"{per['default'] / off:.3f}x" if off else "-",
+            f"{per['deep'] / off:.3f}x" if off else "-",
+        ])
+    default_overhead = totals["default"] / totals["off"]
+    deep_overhead = totals["deep"] / totals["off"]
+    rows.append([
+        "TOTAL",
+        f"{1000 * totals['off']:.1f}ms",
+        f"{1000 * totals['default']:.1f}ms",
+        f"{1000 * totals['deep']:.1f}ms",
+        f"{default_overhead:.3f}x",
+        f"{deep_overhead:.3f}x",
+    ])
+    table = format_table(
+        ["benchmark", "untraced", "default spans", "deep trace",
+         "default ovh", "deep ovh"],
+        rows,
+        title="Observability overhead: span layer vs untraced analyze",
+    )
+    emit("obs_overhead.txt", table)
+
+    with open(results_path("BENCH_obs.json"), "w") as fh:
+        json.dump(
+            {
+                "rounds": ROUNDS,
+                "per_workload": data,
+                "spread": spreads,
+                "totals": totals,
+                "overhead": {
+                    "default": default_overhead,
+                    "deep": deep_overhead,
+                },
+                "gates": {
+                    "default": MAX_DEFAULT_OVERHEAD,
+                    "deep": MAX_DEEP_OVERHEAD,
+                },
+            },
+            fh,
+            indent=2,
+            sort_keys=True,
+        )
+
+    # the PR's overhead budget
+    assert default_overhead <= MAX_DEFAULT_OVERHEAD, (
+        f"default span layer costs {default_overhead:.3f}x the "
+        f"untraced pipeline (budget {MAX_DEFAULT_OVERHEAD}x)"
+    )
+    assert deep_overhead <= MAX_DEEP_OVERHEAD, (
+        f"deep tracing costs {deep_overhead:.3f}x the untraced "
+        f"pipeline (budget {MAX_DEEP_OVERHEAD}x)"
+    )

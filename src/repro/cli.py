@@ -7,6 +7,8 @@ drive POLY-PROF over a binary:
 * ``report <workload>``       -- full feedback report (nests, plans, AST)
 * ``metrics <workload>``      -- the Table 5 row for the workload
 * ``flamegraph <workload>``   -- write the annotated flame-graph SVG
+* ``trace <workload>``        -- trace the analyzer analyzing: span
+  summary, Chrome-trace JSON (``-o``), self-flamegraph (``--flame``)
 * ``static <workload>``       -- the static (mini-Polly) baseline view
 * ``verify <workload>``       -- verify every suggested plan polyhedrally
 * ``regions <workload>``      -- rank candidate regions of interest
@@ -170,6 +172,63 @@ def cmd_flamegraph(args) -> int:
     with open(out, "w") as fh:
         fh.write(svg)
     print(f"wrote {out}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Trace the analyzer analyzing: span summary to stdout, plus
+    optional Chrome-trace JSON (``-o``) and self-flamegraph
+    (``--flame``) artifacts."""
+    from .obs import (
+        TraceObserver,
+        Tracer,
+        render_self_flamegraph,
+        render_span_text,
+        validate_chrome_trace,
+        write_chrome_trace,
+    )
+    from .pipeline import analyze
+
+    spec = _get_spec(args.workload)
+    tracer = Tracer(memory=args.mem)
+    observer = TraceObserver(tracer)
+    try:
+        result = analyze(
+            spec,
+            engine=args.engine,
+            store=_store_from_args(args),
+            tracer=tracer,
+            extra_observers=[observer],
+        )
+        if args.format == "json":
+            from .feedback.jsonout import render_json, trace_document
+
+            sys.stdout.write(
+                render_json(trace_document(result, spans=tracer.roots))
+            )
+        else:
+            print(f"span tree for {spec.name} ({args.engine} engine):")
+            print(render_span_text(tracer.roots))
+        if args.output:
+            doc = write_chrome_trace(
+                args.output, tracer.roots, workload=spec.name
+            )
+            events = validate_chrome_trace(doc)
+            print(
+                f"wrote {args.output} ({events} events; load it at "
+                "https://ui.perfetto.dev or chrome://tracing)"
+            )
+        if args.flame is not None:
+            out = args.flame or f"{spec.name}_selfflame.svg"
+            svg = render_self_flamegraph(
+                tracer.roots,
+                title=f"poly-prof tracing itself: {spec.name}",
+            )
+            with open(out, "w") as fh:
+                fh.write(svg)
+            print(f"wrote {out}")
+    finally:
+        tracer.close()
     return 0
 
 
@@ -405,6 +464,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     _add_engine_arg(p)
     _add_cache_args(p)
     p = sub.add_parser(
+        "trace", help="trace the analyzer analyzing a workload"
+    )
+    p.add_argument("workload")
+    p.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write Chrome trace-event JSON (loads in Perfetto / "
+        "chrome://tracing)",
+    )
+    p.add_argument(
+        "--flame",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="FILE",
+        help="write the analyzer's own span tree as a flame-graph SVG "
+        "(default file: <workload>_selfflame.svg)",
+    )
+    p.add_argument(
+        "--mem",
+        action="store_true",
+        help="also sample tracemalloc at span boundaries (slower)",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="stdout format: indented span tree (text) or the "
+        "versioned trace document (json)",
+    )
+    _add_engine_arg(p)
+    _add_cache_args(p)
+    p = sub.add_parser(
         "suite", help="analyze many workloads in parallel"
     )
     p.add_argument(
@@ -506,6 +600,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "report": cmd_report,
         "metrics": cmd_metrics,
         "flamegraph": cmd_flamegraph,
+        "trace": cmd_trace,
         "static": cmd_static,
         "verify": cmd_verify,
         "regions": cmd_regions,

@@ -82,6 +82,30 @@ def metrics_document(result) -> dict:
     }
 
 
+def trace_document(result, spans=None) -> dict:
+    """The ``trace`` document: the analysis's own span tree.
+
+    ``spans`` overrides the span roots (a list of :class:`~repro.obs.Span`
+    or exported dicts); by default the document carries
+    ``result.trace`` -- the root span :func:`repro.pipeline.analyze`
+    recorded.  Stage timings ride along so consumers need not re-derive
+    them from span boundaries.
+    """
+    roots = spans if spans is not None else (
+        [result.trace] if result.trace is not None else []
+    )
+    return {
+        "version": FEEDBACK_SCHEMA_VERSION,
+        "kind": "trace",
+        "workload": result.spec.name,
+        "engine": result.engine,
+        "timings": result.timings.as_dict(),
+        "spans": [
+            r.to_dict() if hasattr(r, "to_dict") else r for r in roots
+        ],
+    }
+
+
 def render_json(doc: dict) -> str:
     """Canonical serialization: 2-space indent, insertion order, one
     trailing newline.  Deterministic, so equal documents are equal

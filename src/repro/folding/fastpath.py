@@ -694,11 +694,11 @@ class FastFoldingSink(FoldingSink):
 
     # -- finalization ------------------------------------------------------------
 
-    def finalize(self):
+    def finalize(self, tracer=None):
         # a statement declared but never delivered a point has no
         # bound domain folder yet; give it an empty private one so the
         # inherited finalize sees the reference invariant
         for key, stream in self._stmt_streams.items():
             if stream.domain is None:
                 stream.domain = FastDomainFolder(self.statements[key].depth)
-        return super().finalize()
+        return super().finalize(tracer=tracer)

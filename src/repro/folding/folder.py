@@ -203,7 +203,28 @@ class FoldingSink(DDGSink):
 
     # -- finalization ----------------------------------------------------------------
 
-    def finalize(self) -> "FoldedDDG":
+    def finalize(self, tracer=None) -> "FoldedDDG":
+        """Fold every accumulated stream into the compact DDG.
+
+        ``tracer`` (a :class:`repro.obs.Tracer`) gets one span per
+        folding pass -- statement domains, dependence relations, SCEV
+        recognition -- so a traced analysis can see which pass eats
+        the stage-2 tail; ``None`` is a free no-op."""
+        from ..obs import NULL_TRACER
+
+        tracer = tracer if tracer is not None else NULL_TRACER
+        with tracer.span("fold.statements", cat="fold") as sp_stmts:
+            stmts = self._finalize_statements()
+        sp_stmts.count("statements", len(stmts))
+        with tracer.span("fold.deps", cat="fold") as sp_deps:
+            deps = self._finalize_deps()
+        sp_deps.count("deps", len(deps))
+        ddg = FoldedDDG(statements=stmts, deps=deps)
+        with tracer.span("fold.scev", cat="fold"):
+            ddg.run_scev_recognition()
+        return ddg
+
+    def _finalize_statements(self) -> Dict[StmtKey, "FoldedStatement"]:
         stmts: Dict[StmtKey, FoldedStatement] = {}
         for key, stream in self._stmt_streams.items():
             stmt = self.statements[key]
@@ -221,6 +242,9 @@ class FoldingSink(DDGSink):
                 label_pieces=label_pieces,
                 had_label=stream.labels is not None,
             )
+        return stmts
+
+    def _finalize_deps(self) -> Dict[DepKey, "FoldedDep"]:
         deps: Dict[DepKey, FoldedDep] = {}
         for dep, stream in self._dep_streams.items():
             domain, dexact = stream.domain.fold(self.max_pieces)
@@ -250,9 +274,7 @@ class FoldingSink(DDGSink):
                 src_depth=stream.src_dim,
                 dst_depth=stream.domain.dim,
             )
-        ddg = FoldedDDG(statements=stmts, deps=deps)
-        ddg.run_scev_recognition()
-        return ddg
+        return deps
 
 
 @dataclass

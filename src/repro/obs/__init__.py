@@ -1,0 +1,45 @@
+"""``repro.obs`` -- unified tracing and self-profiling.
+
+One span tree per analysis is the single timing source for the whole
+system:
+
+* :class:`Tracer` / :class:`Span` -- hierarchical spans (context
+  manager + decorator), thread-local nesting, counters, optional
+  tracemalloc memory sampling; a disabled tracer is a preallocated
+  no-op (:data:`NULL_TRACER`).
+* :mod:`~repro.obs.chrometrace` -- Chrome trace-event JSON export
+  (loads in Perfetto) plus the schema validator CI runs.
+* :mod:`~repro.obs.selfflame` -- the analyzer's own span tree rendered
+  through :mod:`repro.feedback.flamegraph`: the profiler's profiler.
+* :class:`TraceObserver` -- execution counters (blocks, dynamic
+  instructions, calls) attached to the execute spans of a deep trace.
+
+See ``docs/INTERNALS.md`` section 9 for the span model and the
+overhead budget (``benchmarks/bench_obs.py`` gates it).
+"""
+
+from .chrometrace import (
+    chrome_trace_document,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .observer import TraceObserver
+from .selfflame import (
+    render_self_flamegraph,
+    render_span_text,
+    spans_to_schedule_tree,
+)
+from .tracer import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NULL_TRACER",
+    "TraceObserver",
+    "chrome_trace_document",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "spans_to_schedule_tree",
+    "render_self_flamegraph",
+    "render_span_text",
+]

@@ -1,0 +1,189 @@
+"""Chrome trace-event export and its schema validator.
+
+Serializes a span forest into the Trace Event Format (the JSON
+``chrome://tracing`` / Perfetto load directly): one complete ``"X"``
+event per span with microsecond ``ts``/``dur``, plus ``"M"`` metadata
+events naming the process and threads.  The exporter emits **only**
+``X`` and ``M`` events -- no ``B``/``E`` pairs to mismatch -- and sorts
+by ``ts``, which :func:`validate_chrome_trace` (used by the CI trace
+job and the tests) enforces along with the rest of the schema.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from .tracer import Span
+
+__all__ = [
+    "chrome_trace_document",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+]
+
+#: schema of the ``otherData`` envelope this exporter stamps
+CHROME_TRACE_FORMAT_VERSION = 1
+
+
+def _span_forest(spans: Sequence[Union[Span, dict]]) -> List[Span]:
+    return [
+        s if isinstance(s, Span) else Span.from_dict(s) for s in spans
+    ]
+
+
+def chrome_trace_document(
+    spans: Sequence[Union[Span, dict]],
+    workload: str = "",
+    pid: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Build the Trace Event Format document for a span forest.
+
+    ``spans`` may be live :class:`Span` roots or their ``to_dict``
+    exports (what the suite runner ships).  ``ts`` is microseconds
+    relative to the earliest span start, so traces from different
+    processes all start near zero.
+    """
+    roots = _span_forest(spans)
+    pid = os.getpid() if pid is None else pid
+    origin = min((r.t0 for r in roots), default=0.0)
+
+    tids: Dict[str, int] = {}
+    events: List[Dict[str, Any]] = []
+    for root in roots:
+        for _, span in root.walk():
+            tid = tids.setdefault(span.tid or "main", len(tids) + 1)
+            args: Dict[str, Any] = dict(span.args)
+            if span.counters:
+                args.update(span.counters)
+            if span.mem_delta is not None:
+                args["mem_delta_bytes"] = span.mem_delta
+            if span.mem_peak is not None:
+                args["mem_peak_bytes"] = span.mem_peak
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.cat,
+                    "ph": "X",
+                    "ts": round((span.t0 - origin) * 1e6, 3),
+                    "dur": round(max(span.duration, 0.0) * 1e6, 3),
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+    events.sort(key=lambda e: (e["ts"], -e["dur"]))
+
+    meta: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": f"repro analyzer ({workload or 'trace'})"},
+        }
+    ]
+    for tname, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        meta.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": tname},
+            }
+        )
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "format_version": CHROME_TRACE_FORMAT_VERSION,
+            "workload": workload,
+            "generator": "repro.obs",
+        },
+    }
+
+
+def write_chrome_trace(
+    path: str,
+    spans: Sequence[Union[Span, dict]],
+    workload: str = "",
+) -> Dict[str, Any]:
+    """Validate and write the trace document; returns it."""
+    doc = chrome_trace_document(spans, workload=workload)
+    validate_chrome_trace(doc)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    return doc
+
+
+def validate_chrome_trace(doc: Any) -> int:
+    """Schema-check a trace document; returns the number of timed
+    events.  Raises :class:`ValueError` with a pointed message on the
+    first problem found.
+
+    Enforced (what Perfetto/catapult actually require plus our own
+    emission invariants): a ``traceEvents`` list of dicts; every event
+    has ``ph``/``pid``/``tid``; a single ``pid`` across the document;
+    ``X`` events carry numeric non-negative ``ts``/``dur`` in
+    non-decreasing ``ts`` order; any ``B``/``E`` events pair up
+    properly nested per thread."""
+    if not isinstance(doc, dict):
+        raise ValueError("trace document must be a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents must be a non-empty list")
+    pids = set()
+    last_ts: Optional[float] = None
+    open_be: Dict[Any, List[str]] = {}
+    timed = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"event #{i} is not an object")
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or not ph:
+            raise ValueError(f"event #{i} has no phase 'ph'")
+        for field in ("pid", "tid"):
+            if not isinstance(ev.get(field), int):
+                raise ValueError(f"event #{i} has no integer {field!r}")
+        pids.add(ev["pid"])
+        if ph == "M":
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            raise ValueError(f"event #{i} has no name")
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(f"event #{i} has invalid ts {ts!r}")
+        if last_ts is not None and ts < last_ts:
+            raise ValueError(
+                f"event #{i} ts {ts} goes backwards (prev {last_ts})"
+            )
+        last_ts = ts
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"event #{i} has invalid dur {dur!r}")
+            timed += 1
+        elif ph == "B":
+            open_be.setdefault(ev["tid"], []).append(ev["name"])
+            timed += 1
+        elif ph == "E":
+            stack = open_be.get(ev["tid"]) or []
+            if not stack:
+                raise ValueError(
+                    f"event #{i}: 'E' for {ev['name']!r} with no open 'B'"
+                )
+            stack.pop()
+        # other phases (counters, instants, ...) are allowed untimed
+    for tid, stack in open_be.items():
+        if stack:
+            raise ValueError(
+                f"thread {tid}: unclosed 'B' event(s) {stack!r}"
+            )
+    if len(pids) != 1:
+        raise ValueError(f"expected one stable pid, saw {sorted(pids)}")
+    if timed == 0:
+        raise ValueError("trace has no timed events")
+    return timed

@@ -1,0 +1,58 @@
+"""Execution-side counters for a traced analysis.
+
+The pipeline's stage spans bound *where* time went; this passive
+:class:`~repro.isa.events.Instrumentation` observer adds *how much
+work* happened inside the profiled executions: basic-block batches and
+call events, tallied locally and flushed onto whichever span is open
+on the executing thread (``stage1.execute`` / ``stage2.execute``,
+which already carry the exact ``dyn_instrs`` from
+:class:`~repro.isa.RunStats`).  Tallies are plain attribute increments -- one
+integer add per delivered block on the fast engine -- so attaching it
+stays inside the full-tracing overhead budget; it is only attached
+when the caller asked for a deep trace (``repro trace``), never by the
+default pipeline.
+"""
+
+from __future__ import annotations
+
+from ..isa.events import Instrumentation
+from .tracer import Tracer
+
+__all__ = ["TraceObserver"]
+
+
+class TraceObserver(Instrumentation):
+    """Counts blocks / instructions / control events into the current
+    span of ``tracer``.  Purely additive: it never changes what the
+    analysis computes."""
+
+    def __init__(self, tracer: Tracer) -> None:
+        self.tracer = tracer
+        self._blocks = 0
+        self._instrs = 0
+        self._calls = 0
+
+    def on_block(self, instrs, frame_id, values, addrs) -> None:
+        self._blocks += 1
+        self._instrs += len(instrs)
+
+    def on_instr(self, instr, frame_id, value, addr) -> None:
+        self._instrs += 1
+
+    def on_call(self, event) -> None:
+        self._calls += 1
+
+    def on_halt(self) -> None:
+        """The run ended while its execute span is still open: flush.
+
+        ``dyn_instrs`` is deliberately not flushed -- the pipeline
+        stamps the exact count from :class:`~repro.isa.RunStats` onto
+        the execute span already; double-counting it here would skew
+        every consumer of the trace."""
+        span = self.tracer.current()
+        if span is not None:
+            if self._blocks:
+                span.count("blocks", self._blocks)
+            if self._calls:
+                span.count("calls", self._calls)
+        self._blocks = self._instrs = self._calls = 0

@@ -1,0 +1,116 @@
+"""Self-flamegraph: render the analyzer's own span tree with the very
+renderer it uses for workloads.
+
+The paper's headline visual is the annotated flame graph of a profiled
+*workload* (:mod:`repro.feedback.flamegraph` over the dynamic schedule
+tree).  This module closes the loop: the span forest a traced analysis
+collects is converted into a :class:`~repro.iiv.schedule_tree.DynamicScheduleTree`
+(weights = microseconds instead of dynamic instructions) and handed to
+the same SVG renderer -- the tool that draws flame graphs of programs
+draws one of itself.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+from ..iiv.schedule_tree import DynamicScheduleTree
+from .tracer import Span
+
+__all__ = [
+    "spans_to_schedule_tree",
+    "render_self_flamegraph",
+    "render_span_text",
+]
+
+
+def _roots(spans: Sequence[Union[Span, dict]]) -> List[Span]:
+    return [
+        s if isinstance(s, Span) else Span.from_dict(s) for s in spans
+    ]
+
+
+def spans_to_schedule_tree(
+    spans: Sequence[Union[Span, dict]],
+) -> DynamicScheduleTree:
+    """Fold a span forest into a schedule tree, microseconds as weight.
+
+    Same-named siblings merge (as dynamic instances of one context do
+    in the real schedule tree); ``visits`` counts the merged spans; a
+    span's self time (duration minus children) lands in
+    ``self_weight`` so collapsed-stack output stays additive.
+    """
+    tree = DynamicScheduleTree()
+
+    def rec(node, span: Span) -> int:
+        weight = max(int(span.duration * 1e6), 1)
+        child = node.child(span.name, is_loop=(span.cat == "loop"))
+        child.weight += weight
+        child.visits += 1
+        consumed = 0
+        for sub in span.children:
+            consumed += rec(child, sub)
+        child.self_weight += max(weight - consumed, 0)
+        return weight
+
+    total = 0
+    for root in _roots(spans):
+        total += rec(tree.root, root)
+    tree.root.weight = total
+    return tree
+
+
+def render_self_flamegraph(
+    spans: Sequence[Union[Span, dict]],
+    title: str = "poly-prof self-trace",
+    width: int = 1200,
+) -> str:
+    """The analyzer's own flame graph as an SVG string."""
+    from ..feedback.flamegraph import render_flamegraph_svg
+
+    tree = spans_to_schedule_tree(spans)
+
+    def annotate(path, node) -> str:
+        return f"{node.self_weight} us self, {node.visits} visit(s)"
+
+    return render_flamegraph_svg(
+        tree, width=width, title=title, annotate=annotate
+    )
+
+
+def _fmt_bytes(n: int) -> str:
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024.0 or unit == "GiB":
+            return f"{value:+.1f}{unit}" if unit == "B" else f"{value:+.2f}{unit}"
+        value /= 1024.0
+    return f"{value:+.2f}GiB"  # pragma: no cover - fell through
+
+
+def render_span_text(
+    spans: Sequence[Union[Span, dict]],
+    min_fraction: float = 0.0,
+) -> str:
+    """Indented text rendering of a span forest (the ``--flame``-less
+    terminal view of ``repro trace``): per-span wall time, share of the
+    root, counters, and memory deltas when sampled."""
+    roots = _roots(spans)
+    total = sum(r.duration for r in roots) or 1e-12
+    lines: List[str] = []
+    for root in roots:
+        for depth, span in root.walk():
+            frac = span.duration / total
+            if depth and frac < min_fraction:
+                continue
+            extra = ""
+            if span.counters:
+                extra += " " + " ".join(
+                    f"{k}={v}" for k, v in sorted(span.counters.items())
+                )
+            if span.mem_delta is not None:
+                extra += f" mem={_fmt_bytes(span.mem_delta)}"
+            lines.append(
+                f"{'  ' * depth}{span.name:<{max(28 - 2 * depth, 8)}s} "
+                f"{span.duration * 1e3:9.3f}ms {100 * frac:5.1f}%{extra}"
+            )
+    return "\n".join(lines)

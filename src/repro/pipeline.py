@@ -21,7 +21,6 @@ returns a *fresh* (args, memory) pair per run.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -36,6 +35,7 @@ from .cfg import (
 )
 from .ddg import DDGBuilder, DDGSink, RecordingSink
 from .isa import Memory, Program, RunStats, run_program
+from .obs import Span, Tracer
 
 
 @dataclass
@@ -91,34 +91,44 @@ def profile_control(
     fuel: int = 50_000_000,
     engine: str = "fast",
     extra_observers: Sequence = (),
+    tracer: Optional[Tracer] = None,
 ) -> ControlProfile:
-    """Stage 1: reconstruct the interprocedural control structure."""
+    """Stage 1: reconstruct the interprocedural control structure.
+
+    ``wall_seconds`` is the duration of the ``stage1.execute`` span --
+    the instrumented execution alone, exactly what a cached artifact
+    preserves from the run that produced it.  Standalone callers that
+    pass no tracer get a private one just for that measurement.
+    """
+    tracer = tracer if tracer is not None else Tracer()
     args, memory = spec.make_state()
     csb = ControlStructureBuilder()
-    t0 = time.perf_counter()
-    _, stats = run_program(
-        spec.program,
-        args=args,
-        memory=memory,
-        observers=[csb, *extra_observers],
-        fuel=fuel,
-        engine=engine,
-    )
-    dt = time.perf_counter() - t0
-    forests = {
-        f: build_loop_forest(f, cfg.nodes, cfg.edges, cfg.entry)
-        for f, cfg in csb.cfgs.items()
-    }
-    rcs = build_recursive_component_set(
-        csb.callgraph.nodes, csb.callgraph.edges, csb.callgraph.root
-    )
+    with tracer.span("stage1.execute", cat="exec", engine=engine) as sp:
+        _, stats = run_program(
+            spec.program,
+            args=args,
+            memory=memory,
+            observers=[csb, *extra_observers],
+            fuel=fuel,
+            engine=engine,
+        )
+    sp.count("dyn_instrs", stats.dyn_instrs)
+    with tracer.span("stage1.forests", cat="build"):
+        forests = {
+            f: build_loop_forest(f, cfg.nodes, cfg.edges, cfg.entry)
+            for f, cfg in csb.cfgs.items()
+        }
+    with tracer.span("stage1.rcs", cat="build"):
+        rcs = build_recursive_component_set(
+            csb.callgraph.nodes, csb.callgraph.edges, csb.callgraph.root
+        )
     return ControlProfile(
         cfgs=csb.cfgs,
         callgraph=csb.callgraph,
         forests=forests,
         rcs=rcs,
         stats=stats,
-        wall_seconds=dt,
+        wall_seconds=sp.duration,
     )
 
 
@@ -131,30 +141,39 @@ def profile_ddg(
     fuel: int = 50_000_000,
     engine: str = "fast",
     extra_observers: Sequence = (),
+    tracer: Optional[Tracer] = None,
 ) -> DDGProfile:
-    """Stage 2: build the DDG point streams (fresh execution)."""
+    """Stage 2: build the DDG point streams (fresh execution).
+
+    ``wall_seconds`` is the ``stage2.execute`` span's duration (the
+    instrumented execution with the DDG builder riding along)."""
+    tracer = tracer if tracer is not None else Tracer()
     args, memory = spec.make_state()
     if sink is None:
         sink = RecordingSink()
-    builder = DDGBuilder(
-        spec.program,
-        control.forests,
-        control.rcs,
-        sink,
-        track_anti_output=track_anti_output,
-        build_schedule_tree=build_schedule_tree,
+    with tracer.span("stage2.build_setup", cat="build"):
+        builder = DDGBuilder(
+            spec.program,
+            control.forests,
+            control.rcs,
+            sink,
+            track_anti_output=track_anti_output,
+            build_schedule_tree=build_schedule_tree,
+        )
+    with tracer.span("stage2.execute", cat="exec", engine=engine) as sp:
+        _, stats = run_program(
+            spec.program,
+            args=args,
+            memory=memory,
+            observers=[builder, *extra_observers],
+            fuel=fuel,
+            engine=engine,
+        )
+    sp.count("dyn_instrs", stats.dyn_instrs)
+    sp.count("mem_ops", stats.mem_ops)
+    return DDGProfile(
+        builder=builder, sink=sink, stats=stats, wall_seconds=sp.duration
     )
-    t0 = time.perf_counter()
-    _, stats = run_program(
-        spec.program,
-        args=args,
-        memory=memory,
-        observers=[builder, *extra_observers],
-        fuel=fuel,
-        engine=engine,
-    )
-    dt = time.perf_counter() - t0
-    return DDGProfile(builder=builder, sink=sink, stats=stats, wall_seconds=dt)
 
 
 @dataclass
@@ -174,6 +193,38 @@ class StageTimings:
     feedback: float = 0.0       # dep vectors, forest analysis, planning
     stage1_cached: bool = False
     stage2_cached: bool = False
+
+    @classmethod
+    def from_span_tree(
+        cls,
+        root: Span,
+        stage1_cached: bool = False,
+        stage2_cached: bool = False,
+    ) -> "StageTimings":
+        """Derive the per-stage split from a finished ``analyze`` root
+        span.
+
+        Each stage is the interval from the previous stage's span end
+        to its own (the last one runs to the root's end), so the three
+        parts include every bit of inter-stage glue and **sum exactly
+        to the root's duration** -- unlike the old per-stage
+        ``perf_counter`` pairs, which dropped the glue and never summed
+        to end-to-end.
+        """
+        stages = {c.name: c for c in root.children}
+        s1 = stages.get("instr1")
+        s2 = stages.get("instr2_fold")
+        if s1 is None or s2 is None:
+            raise ValueError(
+                "span tree lacks instr1/instr2_fold stage spans"
+            )
+        return cls(
+            instr1=s1.t1 - root.t0,
+            instr2_fold=s2.t1 - s1.t1,
+            feedback=root.t1 - s2.t1,
+            stage1_cached=stage1_cached,
+            stage2_cached=stage2_cached,
+        )
 
     @property
     def cache_hit(self) -> bool:
@@ -210,6 +261,9 @@ class AnalysisResult:
     crosscheck: Optional["CrosscheckReport"] = None
     #: fresh per-stage cost of this call (cache-aware; see StageTimings)
     timings: StageTimings = field(default_factory=StageTimings)
+    #: root span of this call's trace (every analyze() is traced at
+    #: stage granularity; deep traces add execution counters/memory)
+    trace: Optional[Span] = None
 
     @property
     def schedule_tree(self):
@@ -230,6 +284,7 @@ def analyze(
     crosscheck: bool = False,
     store: Optional["ArtifactStore"] = None,
     extra_observers: Sequence = (),
+    tracer: Optional[Tracer] = None,
 ) -> AnalysisResult:
     """The full POLY-PROF pipeline: profile, fold, analyze, plan.
 
@@ -263,12 +318,20 @@ def analyze(
     (where ``SIGALRM`` is unavailable).  They are deliberately *not*
     part of the cache key: an observer must never change what is
     computed, only watch it (or abort it by raising).
+
+    ``tracer`` collects the hierarchical span tree of this call
+    (:mod:`repro.obs`).  When omitted a private stage-granularity
+    tracer runs anyway -- a handful of spans per call, unmeasurable
+    against an instrumented execution -- because the span tree is the
+    *only* timing source: ``result.timings`` and ``result.trace`` are
+    both derived from it.  Pass an explicit tracer to keep the spans
+    (``repro trace``, the suite runner, the service daemon all do).
     """
     from .folding import FastFoldingSink, FoldingSink
     from .schedule import analyze_forest, build_nest_forest, plan_all
     from .feedback.stride import stride_scores
 
-    timings = StageTimings()
+    tracer = tracer if tracer is not None else Tracer()
     keys = None
     if store is not None:
         from .store import (
@@ -289,58 +352,79 @@ def analyze(
             build_schedule_tree=build_schedule_tree,
         )
 
-    # -- stage 1: interprocedural control structure ----------------------------
-    t0 = time.perf_counter()
-    control = (
-        store.load(keys.stage1, decode_control_profile)
-        if store is not None
-        else None
-    )
-    timings.stage1_cached = control is not None
-    if control is None:
-        control = profile_control(
-            spec, fuel=fuel, engine=engine, extra_observers=extra_observers
+    stage1_cached = stage2_cached = False
+    with tracer.span(
+        "analyze", cat="pipeline", workload=spec.name, engine=engine
+    ) as root:
+        # -- stage 1: interprocedural control structure ------------------------
+        with tracer.span("instr1", cat="stage"):
+            control = None
+            if store is not None:
+                with tracer.span("stage1.load", cat="cache"):
+                    control = store.load(keys.stage1, decode_control_profile)
+            stage1_cached = control is not None
+            if control is None:
+                control = profile_control(
+                    spec,
+                    fuel=fuel,
+                    engine=engine,
+                    extra_observers=extra_observers,
+                    tracer=tracer,
+                )
+                if store is not None:
+                    with tracer.span("stage1.put", cat="cache"):
+                        store.put(keys.stage1, encode_control_profile(control))
+
+        # -- stage 2: DDG streams + folding ------------------------------------
+        with tracer.span("instr2_fold", cat="stage"):
+            dep_vectors = None
+            loaded = None
+            if store is not None:
+                with tracer.span("stage2.load", cat="cache"):
+                    loaded = store.load(
+                        keys.stage2, lambda p: decode_stage2(p, spec.program)
+                    )
+            if loaded is not None:
+                folded, ddgp, dep_vectors = loaded
+                stage2_cached = True
+            else:
+                sink_cls = FastFoldingSink if engine == "fast" else FoldingSink
+                sink = sink_cls(max_pieces=max_pieces, clamp=clamp)
+                ddgp = profile_ddg(
+                    spec,
+                    control,
+                    sink=sink,
+                    track_anti_output=track_anti_output,
+                    build_schedule_tree=build_schedule_tree,
+                    fuel=fuel,
+                    engine=engine,
+                    extra_observers=extra_observers,
+                    tracer=tracer,
+                )
+                with tracer.span("fold.finalize", cat="fold"):
+                    folded = sink.finalize(tracer=tracer)
+
+        # -- feedback: dependence vectors, forest analysis, planning -----------
+        with tracer.span("feedback", cat="stage"):
+            with tracer.span("feedback.forest", cat="feedback"):
+                forest = build_nest_forest(folded, deps=dep_vectors)
+            with tracer.span("feedback.analysis", cat="feedback"):
+                analyze_forest(forest)
+            with tracer.span("feedback.plan", cat="feedback"):
+                plans = plan_all(forest, stride_scores_of=stride_scores)
+            if store is not None and not stage2_cached:
+                with tracer.span("stage2.put", cat="cache"):
+                    store.put(
+                        keys.stage2, encode_stage2(folded, ddgp, forest.deps)
+                    )
+
+    timings = (
+        StageTimings.from_span_tree(root, stage1_cached, stage2_cached)
+        if tracer.enabled
+        else StageTimings(
+            stage1_cached=stage1_cached, stage2_cached=stage2_cached
         )
-        if store is not None:
-            store.put(keys.stage1, encode_control_profile(control))
-    timings.instr1 = time.perf_counter() - t0
-
-    # -- stage 2: DDG streams + folding ----------------------------------------
-    t0 = time.perf_counter()
-    dep_vectors = None
-    loaded = (
-        store.load(keys.stage2, lambda p: decode_stage2(p, spec.program))
-        if store is not None
-        else None
     )
-    if loaded is not None:
-        folded, ddgp, dep_vectors = loaded
-        timings.stage2_cached = True
-    else:
-        sink_cls = FastFoldingSink if engine == "fast" else FoldingSink
-        sink = sink_cls(max_pieces=max_pieces, clamp=clamp)
-        ddgp = profile_ddg(
-            spec,
-            control,
-            sink=sink,
-            track_anti_output=track_anti_output,
-            build_schedule_tree=build_schedule_tree,
-            fuel=fuel,
-            engine=engine,
-            extra_observers=extra_observers,
-        )
-        folded = sink.finalize()
-    timings.instr2_fold = time.perf_counter() - t0
-
-    # -- feedback: dependence vectors, forest analysis, planning ---------------
-    t0 = time.perf_counter()
-    forest = build_nest_forest(folded, deps=dep_vectors)
-    analyze_forest(forest)
-    plans = plan_all(forest, stride_scores_of=stride_scores)
-    if store is not None and not timings.stage2_cached:
-        store.put(keys.stage2, encode_stage2(folded, ddgp, forest.deps))
-    timings.feedback = time.perf_counter() - t0
-
     result = AnalysisResult(
         spec=spec,
         control=control,
@@ -351,11 +435,13 @@ def analyze(
         engine=engine,
         track_anti_output=track_anti_output,
         timings=timings,
+        trace=root if tracer.enabled else None,
     )
     if crosscheck:
         from .dataflow.crosscheck import CheckOptions, run_crosscheck
 
-        result.crosscheck = run_crosscheck(
-            result, CheckOptions(fuel=fuel)
-        )
+        with tracer.span("crosscheck", cat="stage"):
+            result.crosscheck = run_crosscheck(
+                result, CheckOptions(fuel=fuel)
+            )
     return result

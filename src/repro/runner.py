@@ -59,6 +59,10 @@ class WorkloadResult:
     #: True when the artifact store served the whole profile (no
     #: instrumented execution ran)
     cache_hit: bool = False
+    #: exported span forest of this workload's analysis
+    #: (:meth:`repro.obs.Span.to_dict` documents -- plain dicts so the
+    #: trace survives the trip back across the process pool)
+    trace: Optional[List[Dict]] = None
     #: this worker's store counters (hits/misses/puts/evictions/errors);
     #: None when the run was uncached
     cache_stats: Optional[Dict[str, int]] = None
@@ -80,6 +84,18 @@ class WorkloadResult:
         if self.interrupted:
             return "stopped"
         return "error"
+
+    def hot_phase(self) -> str:
+        """The stage this workload spent most of its wall time in
+        (span-derived; the suite table's ``hot`` column)."""
+        stages = {
+            "instr1": self.t_instr1,
+            "fold": self.t_instr2_fold,
+            "feedback": self.t_feedback,
+        }
+        if not any(stages.values()):
+            return "-"
+        return max(stages, key=stages.__getitem__)
 
 
 @contextmanager
@@ -162,24 +178,29 @@ def _analyze_task(
         from .store import ArtifactStore
 
         store = ArtifactStore(cache_dir, max_bytes=cache_max_bytes)
+    from .obs import Tracer
+
+    tracer = Tracer()
     try:
         with _deadline(timeout):
-            spec = _resolve(task)
-            name = spec.name
-            from .feedback.report import render_report
-            from .pipeline import analyze
+            with tracer.span("workload", cat="suite", workload=name):
+                spec = _resolve(task)
+                name = spec.name
+                from .feedback.report import render_report
+                from .pipeline import analyze
 
-            result = analyze(
-                spec, engine=engine, fuel=fuel, clamp=clamp,
-                crosscheck=crosscheck, store=store,
-            )
-            report = None
-            if with_report:
-                report = render_report(
-                    result.forest,
-                    result.plans,
-                    title=f"poly-prof feedback: {spec.name}",
+                result = analyze(
+                    spec, engine=engine, fuel=fuel, clamp=clamp,
+                    crosscheck=crosscheck, store=store, tracer=tracer,
                 )
+                report = None
+                if with_report:
+                    with tracer.span("render_report", cat="feedback"):
+                        report = render_report(
+                            result.forest,
+                            result.plans,
+                            title=f"poly-prof feedback: {spec.name}",
+                        )
         cc = result.crosscheck
         return WorkloadResult(
             name=name,
@@ -191,6 +212,7 @@ def _analyze_task(
             t_feedback=result.timings.feedback,
             cache_hit=result.timings.cache_hit,
             cache_stats=store.stats.as_dict() if store else None,
+            trace=tracer.to_dicts(),
             dyn_instrs=result.ddg_profile.builder.instr_count,
             statements=result.folded.stmt_count(),
             deps=len(result.folded.deps),
@@ -341,7 +363,7 @@ def render_suite_table(results: Sequence[WorkloadResult]) -> str:
     cached = any(r.cache_stats is not None for r in results)
     header = (
         f"{'workload':16s} {'status':8s} {'wall':>7s} {'dyn ops':>10s} "
-        f"{'stmts':>6s} {'deps':>6s} {'plans':>6s}"
+        f"{'stmts':>6s} {'deps':>6s} {'plans':>6s} {'hot':>8s}"
     )
     if cached:
         header += f" {'cache':>6s}"
@@ -353,7 +375,7 @@ def render_suite_table(results: Sequence[WorkloadResult]) -> str:
             line = (
                 f"{r.name:16s} {r.status():8s} {r.wall_seconds:6.2f}s "
                 f"{r.dyn_instrs:10d} {r.statements:6d} {r.deps:6d} "
-                f"{r.plans:6d}"
+                f"{r.plans:6d} {r.hot_phase():>8s}"
             )
             if cached:
                 if r.cache_stats is None:

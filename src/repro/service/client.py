@@ -159,6 +159,11 @@ class ServiceClient:
         _, _, raw = self._request("GET", f"/v1/jobs/{job_id}/flamegraph")
         return raw
 
+    def trace(self, job_id: str) -> bytes:
+        """Chrome trace-event JSON of the job's own analysis spans."""
+        _, _, raw = self._request("GET", f"/v1/jobs/{job_id}/trace")
+        return raw
+
     def cancel(self, job_id: str) -> dict:
         return self._request_doc("POST", f"/v1/jobs/{job_id}/cancel")
 

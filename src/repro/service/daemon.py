@@ -54,7 +54,8 @@ from .queue import BoundedJobQueue, QueueFull
 SERVICE_API_VERSION = 1
 
 _JOB_PATH = re.compile(
-    r"^/v1/jobs/(?P<id>[^/]+)(?:/(?P<sub>report|metrics|flamegraph|cancel))?$"
+    r"^/v1/jobs/(?P<id>[^/]+)"
+    r"(?:/(?P<sub>report|metrics|flamegraph|trace|cancel))?$"
 )
 
 ENGINES = ("fast", "reference")
@@ -464,15 +465,16 @@ class AnalysisService:
                 workload=job.workload,
                 engine=job.options.engine,
             )
-            t0 = time.monotonic()
             started_before = job.started_at
             execute_job(job, store=self.store, logger=log)
-            dt = time.monotonic() - t0
             if job.started_at is not None and started_before is None:
                 self.c_executed.inc()
             if job.state == JobState.DONE:
                 self.c_completed.inc()
-                self.h_job.observe(dt)
+                # every histogram below is read off the job's span
+                # tree: total_seconds is the root span, the stage
+                # timings are StageTimings.from_span_tree views
+                self.h_job.observe(job.total_seconds or 0.0)
                 self.h_instr1.observe(job.timings.get("instr1", 0.0))
                 self.h_instr2.observe(job.timings.get("instr2_fold", 0.0))
                 self.h_feedback.observe(job.timings.get("feedback", 0.0))
@@ -490,7 +492,7 @@ class AnalysisService:
                 "job_end",
                 job_id=job.id,
                 state=job.state,
-                seconds=round(dt, 6),
+                seconds=round(job.total_seconds or job.wall_seconds() or 0.0, 6),
                 cache_hit=job.cache_hit,
             )
 
@@ -651,6 +653,8 @@ def _make_handler(service: AnalysisService):
                 self._send(200, job.report_json)
             elif sub == "metrics":
                 self._send(200, job.metrics_json)
+            elif sub == "trace":
+                self._send(200, job.trace_json)
             else:
                 self._send(
                     200,

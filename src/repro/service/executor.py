@@ -20,6 +20,7 @@ answer is already there.
 
 from __future__ import annotations
 
+import json
 import threading
 import time
 import traceback
@@ -27,6 +28,7 @@ from typing import Optional
 
 from ..feedback.jsonout import metrics_document, render_json, report_document
 from ..isa.events import Instrumentation
+from ..obs import Tracer, chrome_trace_document
 from .jobs import Job, JobState
 
 
@@ -40,6 +42,9 @@ class JobCancelled(Exception):
 
 #: reference-engine instruction granularity of deadline checks
 CHECK_EVERY = 4096
+
+#: minimum seconds between progress heartbeats written to job state
+HEARTBEAT_EVERY = 0.25
 
 
 class DeadlineObserver(Instrumentation):
@@ -72,6 +77,37 @@ class DeadlineObserver(Instrumentation):
             self._check()
 
 
+class HeartbeatObserver(Instrumentation):
+    """Passive observer streaming execution progress into
+    ``job.progress``, throttled to one write per
+    :data:`HEARTBEAT_EVERY` seconds so pollers see a moving
+    ``dyn_instrs`` without the hot path paying for a clock read per
+    event."""
+
+    def __init__(self, job: Job) -> None:
+        self.job = job
+        self.dyn_instrs = 0
+        self._countdown = CHECK_EVERY
+        self._next = 0.0
+
+    def _maybe(self) -> None:
+        now = time.monotonic()
+        if now >= self._next:
+            self._next = now + HEARTBEAT_EVERY
+            self.job.heartbeat(dyn_instrs=self.dyn_instrs)
+
+    def on_block(self, instrs, frame_id, values, addrs) -> None:
+        self.dyn_instrs += len(instrs)
+        self._maybe()
+
+    def on_instr(self, instr, frame_id, value, addr) -> None:
+        self.dyn_instrs += 1
+        self._countdown -= 1
+        if self._countdown <= 0:
+            self._countdown = CHECK_EVERY
+            self._maybe()
+
+
 def execute_job(job: Job, store=None, logger=None) -> Job:
     """Run one job to a terminal state.  Never raises: every failure
     mode lands in ``job.state``/``job.error``."""
@@ -88,6 +124,11 @@ def execute_job(job: Job, store=None, logger=None) -> Job:
         else None
     )
     observer = DeadlineObserver(deadline, job.cancel_event)
+    heartbeat = HeartbeatObserver(job)
+    # one span tree per job: StageTimings, the daemon's stage
+    # histograms, the /trace artifact, and the progress heartbeats all
+    # read off it
+    tracer = Tracer(on_phase=lambda phase: job.heartbeat(phase=phase))
     try:
         result = analyze(
             job.spec,
@@ -96,9 +137,12 @@ def execute_job(job: Job, store=None, logger=None) -> Job:
             clamp=job.options.clamp,
             crosscheck=job.options.crosscheck,
             store=store,
-            extra_observers=[observer],
+            extra_observers=[observer, heartbeat],
+            tracer=tracer,
         )
         job.timings = result.timings.as_dict()
+        job.total_seconds = tracer.total_seconds()
+        job.heartbeat(phase="done", dyn_instrs=heartbeat.dyn_instrs)
         job.stage1_cached = result.timings.stage1_cached
         job.stage2_cached = result.timings.stage2_cached
         job.cache_hit = result.timings.cache_hit
@@ -116,6 +160,12 @@ def execute_job(job: Job, store=None, logger=None) -> Job:
             result.schedule_tree,
             title=f"poly-prof annotated flame graph: {job.spec.name}",
         ).encode("utf-8")
+        trace_doc = chrome_trace_document(
+            tracer.roots, workload=job.spec.name
+        )
+        job.trace_json = (
+            json.dumps(trace_doc, indent=2) + "\n"
+        ).encode("utf-8")
         job.transition((JobState.RUNNING,), JobState.DONE)
     except JobTimeout:
         job.error = f"timed out after {job.options.timeout:g}s"
@@ -131,4 +181,6 @@ def execute_job(job: Job, store=None, logger=None) -> Job:
         job.transition((JobState.RUNNING,), JobState.FAILED)
         if logger is not None:
             logger.error("job_failed", job_id=job.id, error=job.error)
+    finally:
+        tracer.close()
     return job

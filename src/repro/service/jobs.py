@@ -98,8 +98,13 @@ class Job:
     created_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
-    #: fresh per-stage seconds of the executing analyze() call
+    #: per-stage seconds, derived from the executing analyze() span tree
     timings: Dict[str, float] = field(default_factory=dict)
+    #: span-derived end-to-end seconds (sum of the job's root spans)
+    total_seconds: Optional[float] = None
+    #: live execution progress (phase, dyn_instrs, updated_at), written
+    #: by heartbeats while the job runs; survives into the terminal doc
+    progress: Dict[str, object] = field(default_factory=dict)
     stage1_cached: bool = False
     stage2_cached: bool = False
     cache_hit: bool = False
@@ -109,6 +114,7 @@ class Job:
     report_json: Optional[bytes] = None
     metrics_json: Optional[bytes] = None
     flamegraph_svg: Optional[bytes] = None
+    trace_json: Optional[bytes] = None
     crosscheck_violations: Optional[int] = None
     #: cooperative cancellation flag, checked by the deadline observer
     cancel_event: threading.Event = field(default_factory=threading.Event)
@@ -131,6 +137,13 @@ class Job:
                 self.finished_at = time.time()
             return True
 
+    def heartbeat(self, **fields) -> None:
+        """Merge live progress fields (clients poll them off the status
+        doc while the job runs).  Always stamps ``updated_at``."""
+        fields["updated_at"] = time.time()
+        with self._lock:
+            self.progress.update(fields)
+
     def wall_seconds(self) -> Optional[float]:
         if self.started_at is None or self.finished_at is None:
             return None
@@ -150,6 +163,7 @@ class Job:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "wall_seconds": self.wall_seconds(),
+            "total_seconds": self.total_seconds,
             "timings": dict(self.timings),
             "cache": {
                 "stage1_cached": self.stage1_cached,
@@ -158,6 +172,9 @@ class Job:
             },
             "error": self.error,
         }
+        with self._lock:
+            if self.progress:
+                doc["progress"] = dict(self.progress)
         if self.summary:
             doc["summary"] = dict(self.summary)
         if self.crosscheck_violations is not None:

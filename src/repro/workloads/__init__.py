@@ -1,7 +1,9 @@
 """The workload suite: all 19 Rodinia 3.1 CPU benchmarks (paper
-Table 5), the GemsFDTD kernels (Table 4), and the paper's running
-examples (Figs. 3/6, Tables 1-2) -- re-implemented in the mini-ISA at
-profiler-friendly scale (see DESIGN.md for the substitution argument).
+Table 5), the GemsFDTD kernels (Table 4), the paper's running
+examples (Figs. 3/6, Tables 1-2), and the PolyBench-style affine
+kernels (``pb_*`` plus the ``mm`` tracing demo) -- re-implemented in
+the mini-ISA at profiler-friendly scale (see DESIGN.md for the
+substitution argument).
 """
 
 from typing import Callable, Dict
@@ -26,6 +28,7 @@ from . import (  # noqa: F401  (imports register the workloads)
     nw,
     particlefilter,
     pathfinder,
+    polybench,
     srad,
     streamcluster,
 )

@@ -1,0 +1,106 @@
+"""Flame-graph renderer edge cases: empty profiles, single frames,
+recursion, graying, tiny-box elision, annotation, escaping."""
+
+from repro.feedback import render_flamegraph_svg
+from repro.iiv.schedule_tree import DynamicScheduleTree
+
+
+def _tree(*records):
+    """Build a tree from (context, ninstr) pairs; a context is a
+    sequence of per-dimension element sequences."""
+    tree = DynamicScheduleTree()
+    for context, ninstr in records:
+        tree.record_context(context, ninstr)
+    return tree
+
+
+class TestEmptyProfile:
+    def test_empty_tree_renders_valid_svg(self):
+        svg = render_flamegraph_svg(DynamicScheduleTree())
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        # root banner present even with no frames (weight floors at 1)
+        assert "all (1 ops)" in svg
+
+    def test_empty_tree_collapsed_is_empty(self):
+        assert DynamicScheduleTree().to_collapsed() == ""
+
+
+class TestSingleFrame:
+    def test_single_frame_stack(self):
+        tree = _tree(((("main",),), 10))
+        svg = render_flamegraph_svg(tree)
+        assert "main" in svg
+        assert "all (10 ops)" in svg
+        assert "100.0%" in svg
+        assert tree.to_collapsed() == "main 10"
+
+    def test_single_frame_title_and_annotation(self):
+        tree = _tree(((("main",),), 5))
+        svg = render_flamegraph_svg(
+            tree,
+            title="<custom> & title",
+            annotate=lambda path, node: f"note:{'/'.join(path)}",
+        )
+        # both the title and annotation are HTML-escaped into the SVG
+        assert "&lt;custom&gt; &amp; title" in svg
+        assert "note:main" in svg
+
+
+class TestRecursion:
+    def test_recursive_component_repeats_element_along_path(self):
+        # fib calling itself: the same element appears at two depths
+        tree = _tree(
+            ((("fib",),), 4),
+            ((("fib", "fib"),), 2),
+            ((("fib", "fib", "fib"),), 1),
+        )
+        assert tree.depth() == 3
+        collapsed = tree.to_collapsed()
+        assert "fib 4" in collapsed
+        assert "fib;fib 2" in collapsed
+        assert "fib;fib;fib 1" in collapsed
+        svg = render_flamegraph_svg(tree)
+        # one box per recursion level
+        assert svg.count('class="frame"') == 3
+
+    def test_self_weight_stays_additive_under_recursion(self):
+        tree = _tree(
+            ((("f",),), 6),
+            ((("f", "f"),), 3),
+        )
+        total_self = sum(n.self_weight for _, n in tree.frames())
+        assert total_self == tree.root.weight == 9
+
+
+class TestRenderingControls:
+    def test_grayed_regions_use_gray_fill(self):
+        tree = _tree(((("main",),), 10))
+        svg = render_flamegraph_svg(
+            tree, grayed=lambda path, node: True
+        )
+        assert '#bbbbbb' in svg
+
+    def test_loop_nodes_use_loop_tint(self):
+        tree = _tree(((("main", "L0:main"), ("bb1",)), 10))
+        svg = render_flamegraph_svg(tree)
+        assert "#e4572e" in svg  # loop tint from the default palette
+
+    def test_sub_pixel_boxes_elided(self):
+        # one dominant frame and one 1/100000 sliver: the sliver's box
+        # falls under min_px and is dropped, the total is unchanged
+        tree = _tree(
+            ((("hot",),), 100_000),
+            ((("cold",),), 1),
+        )
+        svg = render_flamegraph_svg(tree, width=200)
+        assert "hot" in svg
+        assert "cold" not in svg
+        assert "all (100001 ops)" in svg
+
+    def test_width_scales_box_geometry(self):
+        tree = _tree(((("main",),), 10))
+        narrow = render_flamegraph_svg(tree, width=100)
+        wide = render_flamegraph_svg(tree, width=1000)
+        assert 'width="100"' in narrow
+        assert 'width="1000"' in wide

@@ -1,0 +1,143 @@
+"""Chrome trace-event export and the schema validator CI relies on."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Tracer,
+    chrome_trace_document,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def _traced():
+    tr = Tracer()
+    with tr.span("analyze", cat="pipeline", workload="nn"):
+        with tr.span("instr1", cat="stage") as sp:
+            sp.count("dyn_instrs", 42)
+        with tr.span("instr2_fold", cat="stage"):
+            pass
+    return tr
+
+
+class TestExport:
+    def test_document_shape(self):
+        doc = chrome_trace_document(_traced().roots, workload="nn")
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["workload"] == "nn"
+        phases = [e["ph"] for e in doc["traceEvents"]]
+        assert set(phases) <= {"X", "M"}
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert [e["name"] for e in xs] == [
+            "analyze", "instr1", "instr2_fold",
+        ]
+        # ts is rebased to the earliest span
+        assert xs[0]["ts"] == 0.0
+        # counters and args land in the event args
+        assert xs[1]["args"]["dyn_instrs"] == 42
+        assert xs[0]["args"]["workload"] == "nn"
+
+    def test_single_pid_and_stable_tids(self):
+        doc = chrome_trace_document(_traced().roots, pid=7)
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert pids == {7}
+        names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert "MainThread" in names
+
+    def test_accepts_exported_dicts(self):
+        tr = _traced()
+        doc_live = chrome_trace_document(tr.roots, pid=1)
+        doc_dicts = chrome_trace_document(tr.to_dicts(), pid=1)
+        assert doc_live == doc_dicts
+
+    def test_write_validates_and_is_json(self, tmp_path):
+        out = tmp_path / "trace.json"
+        write_chrome_trace(str(out), _traced().roots, workload="nn")
+        doc = json.loads(out.read_text())
+        assert validate_chrome_trace(doc) == 3
+
+
+class TestValidator:
+    def _valid(self):
+        return chrome_trace_document(_traced().roots, pid=1)
+
+    def test_accepts_valid_document(self):
+        assert validate_chrome_trace(self._valid()) == 3
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_chrome_trace([])
+
+    def test_rejects_empty_events(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            validate_chrome_trace({"traceEvents": []})
+
+    def test_rejects_missing_phase(self):
+        doc = self._valid()
+        del doc["traceEvents"][0]["ph"]
+        with pytest.raises(ValueError, match="no phase"):
+            validate_chrome_trace(doc)
+
+    def test_rejects_missing_pid(self):
+        doc = self._valid()
+        del doc["traceEvents"][0]["pid"]
+        with pytest.raises(ValueError, match="pid"):
+            validate_chrome_trace(doc)
+
+    def test_rejects_multiple_pids(self):
+        doc = self._valid()
+        doc["traceEvents"][-1]["pid"] = 99
+        with pytest.raises(ValueError, match="one stable pid"):
+            validate_chrome_trace(doc)
+
+    def test_rejects_backwards_ts(self):
+        doc = self._valid()
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        xs[-1]["ts"] = -5.0
+        with pytest.raises(ValueError, match="invalid ts|backwards"):
+            validate_chrome_trace(doc)
+
+    def test_rejects_negative_dur(self):
+        doc = self._valid()
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        xs[0]["dur"] = -1.0
+        with pytest.raises(ValueError, match="invalid dur"):
+            validate_chrome_trace(doc)
+
+    def test_rejects_unmatched_be_pairs(self):
+        doc = self._valid()
+        doc["traceEvents"].append(
+            {"name": "open", "ph": "B", "ts": 9e9, "pid": 1, "tid": 1}
+        )
+        with pytest.raises(ValueError, match="unclosed 'B'"):
+            validate_chrome_trace(doc)
+        doc["traceEvents"][-1] = {
+            "name": "stray", "ph": "E", "ts": 9e9, "pid": 1, "tid": 1,
+        }
+        with pytest.raises(ValueError, match="no open 'B'"):
+            validate_chrome_trace(doc)
+
+    def test_matched_be_pairs_count_as_timed(self):
+        doc = self._valid()
+        last = max(
+            e["ts"] for e in doc["traceEvents"] if e["ph"] == "X"
+        )
+        doc["traceEvents"] += [
+            {"name": "p", "ph": "B", "ts": last + 1, "pid": 1, "tid": 1},
+            {"name": "p", "ph": "E", "ts": last + 2, "pid": 1, "tid": 1},
+        ]
+        assert validate_chrome_trace(doc) == 4
+
+    def test_rejects_all_metadata(self):
+        doc = self._valid()
+        doc["traceEvents"] = [
+            e for e in doc["traceEvents"] if e["ph"] == "M"
+        ]
+        with pytest.raises(ValueError, match="no timed events"):
+            validate_chrome_trace(doc)

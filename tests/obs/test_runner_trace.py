@@ -1,0 +1,58 @@
+"""Suite runner observability: traces cross the pool, hot column."""
+
+from repro.obs import Span, render_self_flamegraph, validate_chrome_trace
+from repro.obs.chrometrace import chrome_trace_document
+from repro.runner import WorkloadResult, render_suite_table, run_suite
+
+
+class TestTraceAcrossThePool:
+    def test_inline_run_carries_span_dicts(self):
+        (res,) = run_suite(["nn"], jobs=1)
+        assert res.ok
+        assert res.trace, "expected an exported span forest"
+        root = Span.from_dict(res.trace[0])
+        assert root.name == "workload"
+        assert root.args["workload"] == "nn"
+        analyze = root.find("analyze")
+        assert analyze is not None
+        assert analyze.find("instr1") is not None
+
+    def test_pool_run_carries_span_dicts(self):
+        results = run_suite(["nn", "nw"], jobs=2)
+        for res in results:
+            assert res.ok
+            root = Span.from_dict(res.trace[0])
+            assert root.args["workload"] == res.name
+            # stage split in the result matches the shipped spans
+            analyze = root.find("analyze")
+            s1 = {c.name: c for c in analyze.children}["instr1"]
+            assert abs((s1.t1 - analyze.t0) - res.t_instr1) < 1e-6
+
+    def test_exported_trace_feeds_the_exporters(self):
+        (res,) = run_suite(["nn"], jobs=1)
+        doc = chrome_trace_document(res.trace, workload=res.name)
+        assert validate_chrome_trace(doc) > 0
+        svg = render_self_flamegraph(res.trace)
+        assert "<svg" in svg and "analyze" in svg
+
+
+class TestHotColumn:
+    def test_hot_phase_picks_dominant_stage(self):
+        r = WorkloadResult(
+            name="x", ok=True,
+            t_instr1=0.1, t_instr2_fold=0.7, t_feedback=0.2,
+        )
+        assert r.hot_phase() == "fold"
+        r.t_instr1 = 1.0
+        assert r.hot_phase() == "instr1"
+
+    def test_hot_phase_dash_when_untimed(self):
+        assert WorkloadResult(name="x", ok=True).hot_phase() == "-"
+
+    def test_suite_table_has_hot_column(self):
+        (res,) = run_suite(["nn"], jobs=1)
+        table = render_suite_table([res])
+        header, row = table.splitlines()[:2]
+        assert "hot" in header
+        assert res.hot_phase() != "-"
+        assert res.hot_phase() in row

@@ -1,0 +1,84 @@
+"""Self-flamegraph: span forest -> schedule tree -> SVG/text."""
+
+from repro.obs import (
+    Span,
+    Tracer,
+    render_self_flamegraph,
+    render_span_text,
+    spans_to_schedule_tree,
+)
+
+
+def _span(name, t0, t1, children=(), counters=None, mem_delta=None):
+    sp = Span(name, t0=t0)
+    sp.t1 = t1
+    sp.children = list(children)
+    sp.counters = dict(counters or {})
+    sp.mem_delta = mem_delta
+    return sp
+
+
+class TestScheduleTree:
+    def test_weights_are_microseconds(self):
+        root = _span("analyze", 0.0, 0.010, [_span("instr1", 0.0, 0.004)])
+        tree = spans_to_schedule_tree([root])
+        node = tree.root.children["analyze"]
+        assert node.element == "analyze"
+        assert node.weight == 10_000
+        child = node.children["instr1"]
+        assert child.weight == 4_000
+        # self time = parent minus consumed children
+        assert node.self_weight == 6_000
+
+    def test_same_named_siblings_merge(self):
+        root = _span(
+            "analyze", 0.0, 0.010,
+            [_span("load", 0.0, 0.002), _span("load", 0.002, 0.005)],
+        )
+        tree = spans_to_schedule_tree([root])
+        load = tree.root.children["analyze"].children["load"]
+        assert load.visits == 2
+        assert load.weight == 5_000
+
+    def test_zero_duration_span_keeps_minimum_weight(self):
+        tree = spans_to_schedule_tree([_span("instant", 1.0, 1.0)])
+        assert tree.root.children["instant"].weight == 1
+
+
+class TestRenderers:
+    def test_svg_contains_span_names_and_annotation(self):
+        tr = Tracer()
+        with tr.span("analyze"):
+            with tr.span("instr1"):
+                pass
+        svg = render_self_flamegraph(tr.roots, title="self test")
+        assert svg.startswith("<svg") or "<svg" in svg
+        assert "analyze" in svg and "instr1" in svg
+        assert "us self" in svg
+        assert "self test" in svg
+
+    def test_text_rendering_shows_counters_and_memory(self):
+        root = _span(
+            "analyze", 0.0, 0.010,
+            [_span("x", 0.0, 0.005, counters={"blocks": 3},
+                   mem_delta=2048)],
+        )
+        text = render_span_text([root])
+        assert "analyze" in text
+        assert "100.0%" in text
+        assert "blocks=3" in text
+        assert "+2.00KiB" in text
+
+    def test_text_min_fraction_filters_children_not_roots(self):
+        root = _span(
+            "analyze", 0.0, 1.0, [_span("tiny", 0.0, 0.0001)]
+        )
+        text = render_span_text([root], min_fraction=0.01)
+        assert "analyze" in text
+        assert "tiny" not in text
+
+    def test_accepts_exported_dicts(self):
+        root = _span("analyze", 0.0, 0.010)
+        assert "analyze" in render_span_text([root.to_dict()])
+        tree = spans_to_schedule_tree([root.to_dict()])
+        assert tree.root.children["analyze"].element == "analyze"

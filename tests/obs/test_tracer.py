@@ -1,0 +1,253 @@
+"""Tracer core: nesting, threads, no-op mode, counters, round-trips."""
+
+import threading
+
+from repro.obs import NULL_TRACER, Span, Tracer
+from repro.obs.tracer import _NULL_SPAN
+
+
+class TestNesting:
+    def test_children_nest_under_parent(self):
+        tr = Tracer()
+        with tr.span("root"):
+            with tr.span("a"):
+                with tr.span("a.a"):
+                    pass
+            with tr.span("b"):
+                pass
+        (root,) = tr.roots
+        assert [c.name for c in root.children] == ["a", "b"]
+        assert [c.name for c in root.children[0].children] == ["a.a"]
+
+    def test_timing_is_monotonic_and_contained(self):
+        tr = Tracer()
+        with tr.span("root"):
+            with tr.span("child"):
+                pass
+        (root,) = tr.roots
+        child = root.children[0]
+        assert root.t0 <= child.t0 <= child.t1 <= root.t1
+        assert root.duration >= child.duration >= 0.0
+
+    def test_sibling_roots(self):
+        tr = Tracer()
+        with tr.span("first"):
+            pass
+        with tr.span("second"):
+            pass
+        assert [r.name for r in tr.roots] == ["first", "second"]
+        assert tr.total_seconds() >= 0.0
+
+    def test_current_and_count(self):
+        tr = Tracer()
+        assert tr.current() is None
+        with tr.span("root") as sp:
+            assert tr.current() is sp
+            tr.count("events", 3)
+            tr.count("events")
+        assert tr.current() is None
+        assert tr.roots[0].counters == {"events": 4}
+
+    def test_exception_unwinds_spans(self):
+        tr = Tracer()
+        try:
+            with tr.span("root"):
+                with tr.span("inner"):
+                    raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert tr.current() is None
+        (root,) = tr.roots
+        assert root.t1 >= root.t0
+        assert root.children[0].t1 >= root.children[0].t0
+
+    def test_find_and_walk(self):
+        tr = Tracer()
+        with tr.span("root"):
+            with tr.span("a"):
+                with tr.span("needle"):
+                    pass
+        (root,) = tr.roots
+        assert root.find("needle").name == "needle"
+        assert root.find("absent") is None
+        assert [s.name for _, s in root.walk()] == ["root", "a", "needle"]
+
+
+class TestThreads:
+    def test_each_thread_builds_its_own_root(self):
+        tr = Tracer()
+        barrier = threading.Barrier(3)
+
+        def work(label):
+            barrier.wait()
+            with tr.span(label):
+                with tr.span(f"{label}.child"):
+                    pass
+
+        threads = [
+            threading.Thread(target=work, args=(f"t{i}",)) for i in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(r.name for r in tr.roots) == ["t0", "t1", "t2"]
+        for root in tr.roots:
+            assert len(root.children) == 1
+            # the thread name was recorded on the span
+            assert root.tid
+
+    def test_main_thread_unaffected_by_worker_spans(self):
+        tr = Tracer()
+        with tr.span("main_root"):
+            t = threading.Thread(target=lambda: tr.span("w").__enter__())
+            t.start()
+            t.join()
+            assert tr.current().name == "main_root"
+
+
+class TestDisabled:
+    def test_null_tracer_records_nothing(self):
+        with NULL_TRACER.span("anything") as sp:
+            sp.count("x")
+        assert NULL_TRACER.roots == []
+        assert NULL_TRACER.current() is None
+        assert NULL_TRACER.total_seconds() == 0.0
+
+    def test_disabled_span_is_the_shared_singleton(self):
+        tr = Tracer(enabled=False)
+        assert tr.span("a") is tr.span("b") is _NULL_SPAN
+        tr.count("ignored", 5)  # must not raise
+
+    def test_disabled_ignores_memory_flag(self):
+        tr = Tracer(enabled=False, memory=True)
+        assert tr.memory is False
+
+
+class TestDecorator:
+    def test_wrap_names_and_times(self):
+        tr = Tracer()
+
+        @tr.wrap("custom.name")
+        def f(x):
+            return x + 1
+
+        @tr.wrap()
+        def g():
+            return f(1)
+
+        with tr.span("root"):
+            assert g() == 2
+        (root,) = tr.roots
+        (gspan,) = root.children
+        assert gspan.name == g.__qualname__  # wrap() defaults to qualname
+        assert gspan.cat == "func"
+        assert [c.name for c in gspan.children] == ["custom.name"]
+
+    def test_wrap_on_disabled_tracer_passes_through(self):
+        tr = Tracer(enabled=False)
+
+        @tr.wrap("never")
+        def f():
+            return 42
+
+        assert f() == 42
+        assert tr.roots == []
+
+
+class TestMemory:
+    def test_memory_mode_samples_deltas(self):
+        tr = Tracer(memory=True)
+        try:
+            with tr.span("root"):
+                blob = ["x"] * 50_000  # noqa: F841 - keep alive in span
+            (root,) = tr.roots
+            assert root.mem_delta is not None
+            assert root.mem_peak is not None
+            assert root.mem_peak >= 0
+        finally:
+            tr.close()
+
+    def test_default_memory_mode_does_not_start_tracemalloc(self):
+        import tracemalloc
+
+        assert not tracemalloc.is_tracing()
+        tr = Tracer(memory=True)
+        try:
+            with tr.span("root"):
+                pass
+            assert not tracemalloc.is_tracing()
+        finally:
+            tr.close()
+
+    def test_tracemalloc_mode_owns_and_stops_the_allocation_tracer(self):
+        import tracemalloc
+
+        assert not tracemalloc.is_tracing()
+        tr = Tracer(memory="tracemalloc")
+        try:
+            assert tracemalloc.is_tracing()
+            with tr.span("root"):
+                blob = ["x"] * 50_000  # noqa: F841 - keep alive in span
+            (root,) = tr.roots
+            # exact allocation bytes: the 50k-slot list alone is
+            # hundreds of KiB, far above any tracer bookkeeping
+            assert root.mem_peak >= 50_000 * 8
+        finally:
+            tr.close()
+        assert not tracemalloc.is_tracing()
+
+    def test_close_is_idempotent(self):
+        tr = Tracer(memory=True)
+        tr.close()
+        tr.close()
+
+    def test_on_phase_callback_fires_for_shallow_spans(self):
+        seen = []
+        tr = Tracer(on_phase=seen.append)
+        with tr.span("root"):
+            with tr.span("stage"):
+                with tr.span("deep"):
+                    pass
+        assert seen == ["root", "stage"]
+
+    def test_on_phase_exceptions_are_swallowed(self):
+        def bad(name):
+            raise ValueError("never propagate")
+
+        tr = Tracer(on_phase=bad)
+        with tr.span("root"):
+            pass
+        assert tr.roots[0].name == "root"
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_everything(self):
+        tr = Tracer()
+        with tr.span("root", cat="pipeline", workload="nn") as sp:
+            sp.count("blocks", 7)
+            with tr.span("child"):
+                pass
+        (root,) = tr.roots
+        root.mem_delta = 123
+        root.mem_peak = 456
+        clone = Span.from_dict(root.to_dict())
+        assert clone.name == "root"
+        assert clone.cat == "pipeline"
+        assert clone.args == {"workload": "nn"}
+        assert clone.counters == {"blocks": 7}
+        assert clone.mem_delta == 123 and clone.mem_peak == 456
+        assert clone.t0 == root.t0 and clone.t1 == root.t1
+        assert [c.name for c in clone.children] == ["child"]
+        assert clone.to_dict() == root.to_dict()
+
+    def test_self_and_child_seconds(self):
+        root = Span("root", t0=0.0)
+        root.t1 = 1.0
+        a = Span("a", t0=0.1)
+        a.t1 = 0.4
+        b = Span("b", t0=0.4)
+        b.t1 = 0.6
+        root.children = [a, b]
+        assert root.child_seconds() == (0.3 + 0.2)
+        assert abs(root.self_seconds() - 0.5) < 1e-12

@@ -136,3 +136,65 @@ class TestCliCache:
         warm = capsys.readouterr().out
         assert "warm" in warm
         assert "0 miss(es)" in warm
+
+
+class TestCliTrace:
+    def test_trace_text_summary(self, capsys):
+        assert main(["trace", "nn"]) == 0
+        out = capsys.readouterr().out
+        assert "span tree for nn" in out
+        assert "analyze" in out
+        assert "instr1" in out and "instr2_fold" in out
+        # deep tracing attaches execution counters to the execute spans
+        assert "blocks=" in out
+
+    def test_trace_chrome_json_artifact(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", "mm", "-o", "trace.json"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote trace.json" in out
+        doc = json.loads((tmp_path / "trace.json").read_text())
+        assert validate_chrome_trace(doc) > 0
+        assert doc["otherData"]["workload"] == "mm"
+
+    def test_trace_self_flamegraph_default_name(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", "mm", "--flame"]) == 0
+        assert "wrote mm_selfflame.svg" in capsys.readouterr().out
+        svg = (tmp_path / "mm_selfflame.svg").read_text()
+        assert "<svg" in svg and "analyze" in svg and "us self" in svg
+
+    def test_trace_flame_explicit_file(self, tmp_path, capsys):
+        out_file = str(tmp_path / "self.svg")
+        assert main(["trace", "nn", "--flame", out_file]) == 0
+        assert f"wrote {out_file}" in capsys.readouterr().out
+        assert "<svg" in (tmp_path / "self.svg").read_text()
+
+    def test_trace_json_document(self, capsys):
+        import json
+
+        assert main(["trace", "nn", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] >= 1
+        assert doc["kind"] == "trace"
+        assert doc["workload"] == "nn"
+        assert set(doc["timings"]) == {"instr1", "instr2_fold", "feedback"}
+        (root,) = doc["spans"]
+        assert root["name"] == "analyze"
+        assert [c["name"] for c in root["children"]] == [
+            "instr1", "instr2_fold", "feedback",
+        ]
+
+    def test_trace_mem_records_deltas(self, capsys):
+        assert main(["trace", "nn", "--mem"]) == 0
+        assert "mem=" in capsys.readouterr().out
+
+    def test_mm_workload_registered(self, capsys):
+        assert main(["list"]) == 0
+        assert "mm" in capsys.readouterr().out.split()
