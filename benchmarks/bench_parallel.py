@@ -1,0 +1,192 @@
+"""Parallel sharded folding: multi-core stage 2 vs the serial fold.
+
+Times Instrumentation II + folding for the Rodinia set twice per
+workload -- the serial in-process fold and the sharded fold with
+``FOLD_JOBS`` worker processes (:mod:`repro.parallel`) -- and reports
+the speedup.  Cells are best-of-``ROUNDS`` (minimum is the standard
+estimator for CPU-bound timings; noise is strictly additive).
+
+Two claims are checked:
+
+* **Identity, unconditionally.**  The parallel fold must be invisible:
+  codec-identical folded DDGs and byte-identical report/metrics JSON
+  against a serial analysis, for every workload, on any machine.
+* **Speed, where the hardware can show it.**  With ``FOLD_JOBS`` shard
+  processes the suite's total stage-2 wall time must drop by
+  ``GATE``x.  The default gate is 2.5x on hosts with >= 4 cores; the
+  ``REPRO_PARALLEL_GATE`` environment variable overrides it (CI uses a
+  relaxed 1.5x -- shared runners throttle); on smaller hosts the gate
+  is recorded as skipped and the honest numbers are still written,
+  because a 1-2 core machine cannot physically exhibit the fan-out.
+
+Writes ``BENCH_parallel.json`` next to the text table so regressions
+are diffable.
+"""
+
+import json
+import os
+import time
+
+from _harness import emit, format_table, once, results_path
+from repro.feedback.jsonout import (
+    metrics_document,
+    render_json,
+    report_document,
+)
+from repro.folding import FastFoldingSink
+from repro.folding.codec import encode_folded_ddg
+from repro.parallel import ParallelFoldManager
+from repro.pipeline import analyze, profile_control, profile_ddg
+from repro.workloads import rodinia_workloads
+
+#: shard processes the headline claim is stated for
+FOLD_JOBS = 4
+
+#: best-of-N repetitions per (workload, mode) cell
+ROUNDS = 3
+
+CPUS = os.cpu_count() or 1
+
+
+def _gate():
+    """(threshold, enforced, why) -- hardware-conditional."""
+    env = os.environ.get("REPRO_PARALLEL_GATE")
+    if env:
+        return float(env), True, f"REPRO_PARALLEL_GATE={env}"
+    if CPUS >= 4:
+        return 2.5, True, f"{CPUS} cores"
+    return 2.5, False, (
+        f"only {CPUS} core(s): a {FOLD_JOBS}-way fold cannot "
+        "physically speed up; identity is still asserted"
+    )
+
+
+def _stage2_serial(spec, control):
+    sink = FastFoldingSink()
+    t0 = time.perf_counter()
+    profile_ddg(spec, control, sink=sink)
+    folded = sink.finalize()
+    return time.perf_counter() - t0, folded
+
+
+def _stage2_parallel(spec, control):
+    t0 = time.perf_counter()
+    with ParallelFoldManager(jobs=FOLD_JOBS) as manager:
+        profile_ddg(spec, control, sink=manager.router)
+        folded = manager.finalize()
+    return time.perf_counter() - t0, folded
+
+
+def run_parallel():
+    data = {}
+    identity = {}
+    for name, factory in rodinia_workloads().items():
+        spec = factory()
+        control = profile_control(spec)
+        serial_s, parallel_s = [], []
+        serial_folded = parallel_folded = None
+        for _ in range(ROUNDS):
+            dt, serial_folded = _stage2_serial(spec, control)
+            serial_s.append(dt)
+            dt, parallel_folded = _stage2_parallel(spec, control)
+            parallel_s.append(dt)
+        data[name] = {
+            "serial": min(serial_s),
+            "parallel": min(parallel_s),
+        }
+        # codec round-trip identity on the timed folds themselves
+        identity[name] = encode_folded_ddg(
+            parallel_folded
+        ) == encode_folded_ddg(serial_folded)
+
+    # end-to-end byte identity of the rendered feedback documents
+    # (one representative workload keeps this pass cheap; the folded
+    # DDGs above are compared for every workload)
+    spec_name = "backprop"
+    serial = analyze(rodinia_workloads()[spec_name]())
+    parallel = analyze(
+        rodinia_workloads()[spec_name](), fold_jobs=FOLD_JOBS
+    )
+    docs_identical = render_json(report_document(parallel)) == render_json(
+        report_document(serial)
+    ) and render_json(metrics_document(parallel)) == render_json(
+        metrics_document(serial)
+    )
+
+    totals = {
+        mode: sum(data[n][mode] for n in data)
+        for mode in ("serial", "parallel")
+    }
+    return data, identity, docs_identical, totals
+
+
+def test_parallel_fold_speed(benchmark):
+    data, identity, docs_identical, totals = once(benchmark, run_parallel)
+    gate, enforced, why = _gate()
+
+    rows = []
+    for name, per in data.items():
+        rows.append([
+            name,
+            f"{1000 * per['serial']:.0f}ms",
+            f"{1000 * per['parallel']:.0f}ms",
+            (
+                f"{per['serial'] / per['parallel']:.2f}x"
+                if per["parallel"]
+                else "-"
+            ),
+            "ok" if identity[name] else "DIVERGED",
+        ])
+    speedup = (
+        totals["serial"] / totals["parallel"] if totals["parallel"] else 0.0
+    )
+    rows.append([
+        "TOTAL",
+        f"{1000 * totals['serial']:.0f}ms",
+        f"{1000 * totals['parallel']:.0f}ms",
+        f"{speedup:.2f}x",
+        "",
+    ])
+    table = format_table(
+        ["benchmark", "serial II+fold", f"fold_jobs={FOLD_JOBS}",
+         "speedup", "identity"],
+        rows,
+        title=(
+            f"Parallel sharded folding ({CPUS} cores, gate "
+            f"{gate:.1f}x {'enforced' if enforced else 'skipped'}: {why})"
+        ),
+    )
+    emit("parallel_fold.txt", table)
+
+    with open(results_path("BENCH_parallel.json"), "w") as fh:
+        json.dump(
+            {
+                "fold_jobs": FOLD_JOBS,
+                "cpus": CPUS,
+                "rounds": ROUNDS,
+                "per_workload": data,
+                "totals": totals,
+                "speedup": speedup,
+                "gate": gate,
+                "gate_enforced": enforced,
+                "gate_note": why,
+                "identity": identity,
+                "feedback_docs_identical": docs_identical,
+            },
+            fh,
+            indent=2,
+            sort_keys=True,
+        )
+
+    # identity is unconditional: a diverging shard merge is a bug on
+    # any hardware
+    assert all(identity.values()), [
+        n for n, ok in identity.items() if not ok
+    ]
+    assert docs_identical
+    # the speedup claim only where the hardware can express it
+    if enforced:
+        assert speedup >= gate, (
+            f"fold_jobs={FOLD_JOBS} only {speedup:.2f}x over the "
+            f"serial fold (gate {gate:.1f}x, {why})"
+        )

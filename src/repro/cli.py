@@ -18,7 +18,9 @@ drive POLY-PROF over a binary:
 
 Analysis commands take ``--engine {fast,reference}`` (default fast:
 block-compiled VM, batched instrumentation, fast folding backend),
-``--crosscheck`` (run the dynamic-vs-static soundness sanitizers), and
+``--crosscheck`` (run the dynamic-vs-static soundness sanitizers),
+``--fold-jobs N`` (fold the stage-2 streams in N shard processes,
+bit-identical to the serial fold; see :mod:`repro.parallel`), and
 ``--cache DIR`` / ``--no-cache`` (content-addressed artifact store;
 the ``REPRO_CACHE_DIR`` environment variable supplies a default
 directory).  ``report`` and ``metrics`` take ``--format {text,json}``;
@@ -109,7 +111,7 @@ def cmd_report(args) -> int:
     spec = _get_spec(args.workload)
     result = analyze(
         spec, engine=args.engine, crosscheck=args.crosscheck,
-        store=_store_from_args(args),
+        store=_store_from_args(args), fold_jobs=args.fold_jobs,
     )
     bad = result.crosscheck is not None and result.crosscheck.violations
     if args.format == "json":
@@ -134,7 +136,7 @@ def cmd_metrics(args) -> int:
     spec = _get_spec(args.workload)
     result = analyze(
         spec, engine=args.engine, crosscheck=args.crosscheck,
-        store=_store_from_args(args),
+        store=_store_from_args(args), fold_jobs=args.fold_jobs,
     )
     if args.format == "json":
         from .feedback.jsonout import metrics_document, render_json
@@ -199,6 +201,7 @@ def cmd_trace(args) -> int:
             store=_store_from_args(args),
             tracer=tracer,
             extra_observers=[observer],
+            fold_jobs=args.fold_jobs,
         )
         if args.format == "json":
             from .feedback.jsonout import render_json, trace_document
@@ -255,7 +258,7 @@ def cmd_regions(args) -> int:
     spec = _get_spec(args.workload)
     result = analyze(
         spec, engine=args.engine, crosscheck=args.crosscheck,
-        store=_store_from_args(args),
+        store=_store_from_args(args), fold_jobs=args.fold_jobs,
     )
     total = result.folded.dyn_ops() or 1
     print("candidate regions (best first):")
@@ -275,7 +278,7 @@ def cmd_verify(args) -> int:
     spec = _get_spec(args.workload)
     result = analyze(
         spec, engine=args.engine, crosscheck=args.crosscheck,
-        store=_store_from_args(args),
+        store=_store_from_args(args), fold_jobs=args.fold_jobs,
     )
     bad = 0
     for plan in result.plans:
@@ -344,6 +347,7 @@ def cmd_serve(args) -> int:
         default_timeout=args.job_timeout,
         drain_grace=args.drain_grace,
         retain_jobs=args.retain_jobs,
+        max_fold_jobs=args.max_fold_jobs,
     )
     return serve(config)
 
@@ -363,6 +367,7 @@ def cmd_suite(args) -> int:
         crosscheck=args.crosscheck,
         cache_dir=_cache_dir_from_args(args),
         cache_max_bytes=None if max_mb is None else max_mb * 1024 * 1024,
+        fold_jobs=args.fold_jobs,
     )
     print(render_suite_table(results))
     if not all(r.ok for r in results):
@@ -398,6 +403,17 @@ def _add_cache_args(p) -> None:
     )
 
 
+def _add_fold_jobs_arg(p) -> None:
+    p.add_argument(
+        "--fold-jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fold the stage-2 point streams in N shard worker "
+        "processes (bit-identical to the serial fold; 1 = in-process)",
+    )
+
+
 def _add_crosscheck_arg(p) -> None:
     p.add_argument(
         "--crosscheck",
@@ -426,6 +442,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         p.add_argument("workload")
         _add_engine_arg(p)
         _add_crosscheck_arg(p)
+        _add_fold_jobs_arg(p)
         _add_cache_args(p)
         if name in ("report", "metrics"):
             p.add_argument(
@@ -497,6 +514,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "versioned trace document (json)",
     )
     _add_engine_arg(p)
+    _add_fold_jobs_arg(p)
     _add_cache_args(p)
     p = sub.add_parser(
         "suite", help="analyze many workloads in parallel"
@@ -527,6 +545,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     _add_engine_arg(p)
     _add_crosscheck_arg(p)
+    _add_fold_jobs_arg(p)
     _add_cache_args(p)
     p.add_argument(
         "--cache-max-mb",
@@ -583,6 +602,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         type=int,
         default=256,
         help="finished jobs kept for polling/dedup before eviction",
+    )
+    p.add_argument(
+        "--max-fold-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap on per-job fold_jobs requests (default: cpu_count "
+        "// workers, so in-flight fold processes never oversubscribe "
+        "the host)",
     )
     _add_engine_arg(p)
     _add_cache_args(p)

@@ -264,6 +264,12 @@ class AnalysisResult:
     #: root span of this call's trace (every analyze() is traced at
     #: stage granularity; deep traces add execution counters/memory)
     trace: Optional[Span] = None
+    #: fold worker processes this call ran with (1 = serial in-process)
+    fold_jobs: int = 1
+    #: per-shard fold busy seconds when ``fold_jobs > 1`` (these
+    #: overlap each other and the execution -- informational only,
+    #: never part of the StageTimings parts-sum-to-total accounting)
+    shard_seconds: Optional[List[float]] = None
 
     @property
     def schedule_tree(self):
@@ -285,6 +291,7 @@ def analyze(
     store: Optional["ArtifactStore"] = None,
     extra_observers: Sequence = (),
     tracer: Optional[Tracer] = None,
+    fold_jobs: int = 1,
 ) -> AnalysisResult:
     """The full POLY-PROF pipeline: profile, fold, analyze, plan.
 
@@ -318,6 +325,15 @@ def analyze(
     (where ``SIGALRM`` is unavailable).  They are deliberately *not*
     part of the cache key: an observer must never change what is
     computed, only watch it (or abort it by raising).
+
+    ``fold_jobs`` folds the stage-2 point streams in that many worker
+    processes (:mod:`repro.parallel`): the event stream is sharded by
+    statement/dependence key and folded concurrently with the
+    instrumented execution, then merged bit-identically to the serial
+    result.  Deliberately *not* part of the cache key: serial and
+    parallel folds produce the same ``ddg-`` artifact bytes, so a warm
+    hit folded either way serves both.  ``1`` (the default) keeps the
+    serial in-process fold.
 
     ``tracer`` collects the hierarchical span tree of this call
     (:mod:`repro.obs`).  When omitted a private stage-granularity
@@ -376,7 +392,8 @@ def analyze(
                         store.put(keys.stage1, encode_control_profile(control))
 
         # -- stage 2: DDG streams + folding ------------------------------------
-        with tracer.span("instr2_fold", cat="stage"):
+        shard_seconds = None
+        with tracer.span("instr2_fold", cat="stage") as stage2_span:
             dep_vectors = None
             loaded = None
             if store is not None:
@@ -387,6 +404,35 @@ def analyze(
             if loaded is not None:
                 folded, ddgp, dep_vectors = loaded
                 stage2_cached = True
+            elif fold_jobs > 1:
+                from .parallel import ParallelFoldManager
+
+                manager = ParallelFoldManager(
+                    fold_jobs,
+                    engine=engine,
+                    max_pieces=max_pieces,
+                    clamp=clamp,
+                )
+                try:
+                    ddgp = profile_ddg(
+                        spec,
+                        control,
+                        sink=manager.router,
+                        track_anti_output=track_anti_output,
+                        build_schedule_tree=build_schedule_tree,
+                        fuel=fuel,
+                        engine=engine,
+                        extra_observers=extra_observers,
+                        tracer=tracer,
+                    )
+                    with tracer.span(
+                        "fold.finalize", cat="fold", fold_jobs=manager.jobs
+                    ):
+                        folded = manager.finalize()
+                    manager.attach_spans(stage2_span)
+                    shard_seconds = manager.shard_busy_seconds()
+                finally:
+                    manager.close()
             else:
                 sink_cls = FastFoldingSink if engine == "fast" else FoldingSink
                 sink = sink_cls(max_pieces=max_pieces, clamp=clamp)
@@ -436,6 +482,8 @@ def analyze(
         track_anti_output=track_anti_output,
         timings=timings,
         trace=root if tracer.enabled else None,
+        fold_jobs=max(1, fold_jobs),
+        shard_seconds=shard_seconds,
     )
     if crosscheck:
         from .dataflow.crosscheck import CheckOptions, run_crosscheck

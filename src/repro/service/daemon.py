@@ -34,6 +34,7 @@ the HTTP server stops and the process exits 0.
 from __future__ import annotations
 
 import json
+import os
 import re
 import signal
 import threading
@@ -84,6 +85,11 @@ class ServiceConfig:
     #: seconds to let in-flight jobs finish on drain before
     #: cooperatively cancelling them
     drain_grace: float = 30.0
+    #: cap on per-job ``fold_jobs`` requests.  None derives the cap as
+    #: ``max(1, cpu_count // workers)`` so worker-thread concurrency
+    #: times fold processes can never oversubscribe the host; an
+    #: explicit value overrides (e.g. for tests on small machines)
+    max_fold_jobs: Optional[int] = None
     log_stream: Optional[IO[str]] = None
     log_level: str = "info"
 
@@ -97,7 +103,16 @@ class AnalysisService:
             raise ValueError("need at least one worker")
         if config.engine not in ENGINES:
             raise ValueError(f"unknown engine {config.engine!r}")
+        if config.max_fold_jobs is not None and config.max_fold_jobs < 1:
+            raise ValueError("max_fold_jobs must be >= 1")
         self.config = config
+        #: effective bound on per-job fold_jobs: queue concurrency
+        #: (worker threads) x fold processes stays <= cpu_count
+        self.fold_jobs_cap = (
+            config.max_fold_jobs
+            if config.max_fold_jobs is not None
+            else max(1, (os.cpu_count() or 1) // config.workers)
+        )
         self.logger = JsonLogger(
             stream=config.log_stream, level=config.log_level
         ).bind(service="repro.service")
@@ -383,12 +398,22 @@ class AnalysisService:
             if timeout <= 0:
                 raise BadRequest("timeout must be positive")
         clamp = body.get("clamp")
+        try:
+            fold_jobs = int(body.get("fold_jobs", 1))
+        except (TypeError, ValueError) as exc:
+            raise BadRequest("fold_jobs must be an integer") from exc
+        if fold_jobs < 1:
+            raise BadRequest("fold_jobs must be >= 1")
+        # silently clamp (not reject): the capped request still computes
+        # the identical result, just with less parallelism
+        fold_jobs = min(fold_jobs, self.fold_jobs_cap)
         return JobOptions(
             engine=engine,
             crosscheck=bool(body.get("crosscheck", False)),
             clamp=None if clamp is None else int(clamp),
             fuel=int(body.get("fuel", 50_000_000)),
             timeout=timeout,
+            fold_jobs=fold_jobs,
         )
 
     def submit(self, body: dict) -> Tuple[Job, bool, Optional[int]]:
@@ -505,6 +530,7 @@ class AnalysisService:
             "uptime_seconds": round(time.time() - self._started_at, 3),
             "workers": self.config.workers,
             "busy": int(self.g_busy.value),
+            "fold_jobs_cap": self.fold_jobs_cap,
             "queue_depth": len(self.queue),
             "queue_capacity": self.config.queue_depth,
             "jobs": self.registry.counts(),

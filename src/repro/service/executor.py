@@ -139,6 +139,7 @@ def execute_job(job: Job, store=None, logger=None) -> Job:
             store=store,
             extra_observers=[observer, heartbeat],
             tracer=tracer,
+            fold_jobs=job.options.fold_jobs,
         )
         job.timings = result.timings.as_dict()
         job.total_seconds = tracer.total_seconds()

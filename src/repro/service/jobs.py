@@ -49,6 +49,9 @@ class JobOptions:
     clamp: Optional[int] = None
     fuel: int = 50_000_000
     timeout: Optional[float] = None
+    #: fold worker processes for stage 2 (bounded by the service's
+    #: fold-jobs cap at submission time; 1 = serial in-process fold)
+    fold_jobs: int = 1
 
     def as_dict(self) -> dict:
         return {
@@ -57,6 +60,7 @@ class JobOptions:
             "clamp": self.clamp,
             "fuel": self.fuel,
             "timeout": self.timeout,
+            "fold_jobs": self.fold_jobs,
         }
 
 
@@ -67,7 +71,10 @@ def derive_job_key(spec, options: JobOptions) -> str:
     fingerprints + pipeline options), then folds in the options that
     change the *response* but not the cached artifacts.  ``timeout`` is
     deliberately excluded: it bounds how long we wait, not what is
-    computed.
+    computed.  ``fold_jobs`` is excluded for the same reason: serial
+    and parallel folds are bit-identical (:mod:`repro.parallel`), so a
+    ``fold_jobs=4`` request rightly coalesces onto an identical
+    ``fold_jobs=1`` job and vice versa.
     """
     from ..store import keys_for_spec
 

@@ -105,3 +105,37 @@ def test_engines_identical(name):
     assert render_report(fast.forest, fast.plans) == render_report(
         ref.forest, ref.plans
     )
+
+
+# -- engine x fold_jobs matrix -------------------------------------------------
+#
+# Parallel sharded folding (repro.parallel) promises the same
+# invisibility the fast engine does: analyze(fold_jobs=N) must be
+# codec-identical to the serial fold for every N, on both engines.
+# The full matrix over every workload would dominate suite runtime;
+# two structurally different small workloads suffice here -- the whole
+# registry is already pinned serial-vs-serial above, and
+# tests/parallel covers the parallel machinery itself.
+
+MATRIX_WORKLOADS = ("nn", "backprop")
+
+
+@pytest.mark.parametrize("engine", ("fast", "reference"))
+@pytest.mark.parametrize("fold_jobs", (2, 3))
+@pytest.mark.parametrize("name", MATRIX_WORKLOADS)
+def test_parallel_fold_matrix(name, fold_jobs, engine):
+    from repro.folding.codec import encode_folded_ddg
+
+    serial = analyze(all_workloads()[name](), engine=engine)
+    par = analyze(
+        all_workloads()[name](), engine=engine, fold_jobs=fold_jobs
+    )
+    assert encode_folded_ddg(par.folded) == encode_folded_ddg(serial.folded)
+    assert set(par.folded.statements) == set(serial.folded.statements)
+    for key, fs in par.folded.statements.items():
+        assert stmt_sig(fs) == stmt_sig(serial.folded.statements[key]), key
+    for key, fd in par.folded.deps.items():
+        assert dep_sig(fd) == dep_sig(serial.folded.deps[key]), key
+    assert render_report(par.forest, par.plans) == render_report(
+        serial.forest, serial.plans
+    )

@@ -119,8 +119,10 @@ class TestDrain:
     def test_drain_cancels_queued_finishes_inflight(self, make_service):
         live = make_service(workers=1, queue_depth=4)
         # big enough to still be running while we drain, small enough
-        # to finish comfortably inside the grace window
-        inflight = _submit_loop(live.client, 400_000)
+        # to finish comfortably inside the grace window even on a
+        # slow single-core host (400k iters has been observed to take
+        # >30s there, turning this into a flake)
+        inflight = _submit_loop(live.client, 150_000)
         _wait_for_state(live.client, inflight["job"], "running")
         queued = _submit_loop(live.client, SLOW_ITERS)
 
