@@ -96,6 +96,46 @@ def _cache_dir_from_args(args) -> Optional[str]:
     ) or None
 
 
+def _print_incremental(result) -> None:
+    """One-line incremental summary on **stderr** -- stdout must stay
+    byte-identical to a cold run of the same program."""
+    info = result.incremental
+    if info is None:
+        return
+    parts = [f"incremental: mode={info.mode}"]
+    if info.mode in ("incremental", "identical"):
+        parts.append(
+            f"regions reused {info.regions_reused}/{info.funcs_total}"
+        )
+    if info.frontier:
+        parts.append(f"frontier: {', '.join(sorted(info.frontier))}")
+    if info.reason:
+        parts.append(f"reason: {info.reason}")
+    print("  ".join(parts), file=sys.stderr)
+
+
+def _baseline_of(args) -> Optional[str]:
+    """Resolve ``--baseline``: a workload name is fingerprinted; a raw
+    64-hex program digest passes through."""
+    ref = getattr(args, "baseline", None)
+    if not ref:
+        return None
+    from .workloads import all_workloads
+
+    reg = all_workloads()
+    if ref in reg:
+        from .isa.fingerprint import fingerprint_program
+
+        return fingerprint_program(reg[ref]().program)
+    if len(ref) == 64 and all(c in "0123456789abcdef" for c in ref):
+        return ref
+    options = ", ".join(sorted(reg))
+    raise SystemExit(
+        f"--baseline {ref!r} is neither a workload name nor a program "
+        f"fingerprint; workloads: {options}"
+    )
+
+
 def _print_crosscheck(result) -> int:
     """Print the crosscheck summary; return the violation count."""
     if result.crosscheck is None:
@@ -109,10 +149,18 @@ def cmd_report(args) -> int:
     from .pipeline import analyze
 
     spec = _get_spec(args.workload)
+    store = _store_from_args(args)
+    baseline = _baseline_of(args)
+    if baseline is not None and store is None:
+        raise SystemExit(
+            "--baseline requires an artifact store (--cache DIR or "
+            "REPRO_CACHE_DIR)"
+        )
     result = analyze(
         spec, engine=args.engine, crosscheck=args.crosscheck,
-        store=_store_from_args(args), fold_jobs=args.fold_jobs,
+        store=store, fold_jobs=args.fold_jobs, baseline=baseline,
     )
+    _print_incremental(result)
     bad = result.crosscheck is not None and result.crosscheck.violations
     if args.format == "json":
         from .feedback.jsonout import render_json, report_document
@@ -134,10 +182,18 @@ def cmd_metrics(args) -> int:
     from .pipeline import analyze
 
     spec = _get_spec(args.workload)
+    store = _store_from_args(args)
+    baseline = _baseline_of(args)
+    if baseline is not None and store is None:
+        raise SystemExit(
+            "--baseline requires an artifact store (--cache DIR or "
+            "REPRO_CACHE_DIR)"
+        )
     result = analyze(
         spec, engine=args.engine, crosscheck=args.crosscheck,
-        store=_store_from_args(args), fold_jobs=args.fold_jobs,
+        store=store, fold_jobs=args.fold_jobs, baseline=baseline,
     )
+    _print_incremental(result)
     if args.format == "json":
         from .feedback.jsonout import metrics_document, render_json
 
@@ -192,17 +248,26 @@ def cmd_trace(args) -> int:
     from .pipeline import analyze
 
     spec = _get_spec(args.workload)
+    store = _store_from_args(args)
+    baseline = _baseline_of(args)
+    if baseline is not None and store is None:
+        raise SystemExit(
+            "--baseline requires an artifact store (--cache DIR or "
+            "REPRO_CACHE_DIR)"
+        )
     tracer = Tracer(memory=args.mem)
     observer = TraceObserver(tracer)
     try:
         result = analyze(
             spec,
             engine=args.engine,
-            store=_store_from_args(args),
+            store=store,
             tracer=tracer,
             extra_observers=[observer],
             fold_jobs=args.fold_jobs,
+            baseline=baseline,
         )
+        _print_incremental(result)
         if args.format == "json":
             from .feedback.jsonout import render_json, trace_document
 
@@ -256,10 +321,18 @@ def cmd_regions(args) -> int:
     from .pipeline import analyze
 
     spec = _get_spec(args.workload)
+    store = _store_from_args(args)
+    baseline = _baseline_of(args)
+    if baseline is not None and store is None:
+        raise SystemExit(
+            "--baseline requires an artifact store (--cache DIR or "
+            "REPRO_CACHE_DIR)"
+        )
     result = analyze(
         spec, engine=args.engine, crosscheck=args.crosscheck,
-        store=_store_from_args(args), fold_jobs=args.fold_jobs,
+        store=store, fold_jobs=args.fold_jobs, baseline=baseline,
     )
+    _print_incremental(result)
     total = result.folded.dyn_ops() or 1
     print("candidate regions (best first):")
     for cand in suggest_regions(result, top=8):
@@ -276,10 +349,18 @@ def cmd_verify(args) -> int:
     from .schedule import verify_plan
 
     spec = _get_spec(args.workload)
+    store = _store_from_args(args)
+    baseline = _baseline_of(args)
+    if baseline is not None and store is None:
+        raise SystemExit(
+            "--baseline requires an artifact store (--cache DIR or "
+            "REPRO_CACHE_DIR)"
+        )
     result = analyze(
         spec, engine=args.engine, crosscheck=args.crosscheck,
-        store=_store_from_args(args), fold_jobs=args.fold_jobs,
+        store=store, fold_jobs=args.fold_jobs, baseline=baseline,
     )
+    _print_incremental(result)
     bad = 0
     for plan in result.plans:
         if not plan.steps:
@@ -330,6 +411,79 @@ def cmd_lint(args) -> int:
         clean = len(reports) - bad
         print(f"{clean}/{len(reports)} workload program(s) lint clean")
     return 0 if bad == 0 else 1
+
+
+def cmd_diff(args) -> int:
+    """Static diff of two program versions + the sliced frontier."""
+    import json
+
+    from .incr import (
+        append_sink_instr,
+        build_manifest,
+        compute_frontier,
+        diff_document,
+        diff_manifests,
+    )
+
+    base_spec = _get_spec(args.baseline)
+    new_spec = _get_spec(args.workload)
+    new_program = new_spec.program
+    if args.edit:
+        if args.edit not in new_program.functions:
+            options = ", ".join(sorted(new_program.functions))
+            raise SystemExit(
+                f"--edit {args.edit!r}: no such function; "
+                f"available: {options}"
+            )
+        new_program = append_sink_instr(new_program, args.edit)
+    base_manifest = build_manifest(base_spec.program)
+    new_manifest = build_manifest(new_program)
+    diff = diff_manifests(base_manifest, new_manifest)
+    frontier = compute_frontier(new_program, diff, base_manifest)
+    if args.format == "json":
+        doc = diff_document(
+            diff,
+            frontier=frontier,
+            baseline_name=base_spec.name,
+            program_name=new_spec.name,
+        )
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"diff {base_spec.name} ({diff.baseline_digest[:12]}) -> "
+        f"{new_spec.name} ({diff.program_digest[:12]})"
+    )
+    summary = diff.summary()
+    print(
+        "  "
+        + "  ".join(f"{k}: {v}" for k, v in summary.items() if v)
+    )
+    for name in sorted(diff.functions):
+        st = diff.functions[name]
+        if st.status == "unchanged" and st.subtree_clean:
+            continue
+        line = f"  {name:24s} {st.status}"
+        if st.blocks_changed:
+            line += f"  blocks: {', '.join(st.blocks_changed)}"
+        if st.renamed_from:
+            line += f"  (renamed from {st.renamed_from})"
+        if st.renamed_to:
+            line += f"  (renamed to {st.renamed_to})"
+        if st.status == "unchanged" and not st.subtree_clean:
+            line += "  (callee subtree changed)"
+        print(line)
+    if frontier.funcs:
+        print("re-analysis frontier:")
+        for name in sorted(frontier.funcs):
+            reasons = frontier.reasons.get(name, [])
+            why = "; ".join(
+                r.rule + (f" via {r.via}" if r.via else "")
+                for r in reasons[:3]
+            )
+            print(f"  {name:24s} {why}")
+    else:
+        print("re-analysis frontier: empty (all regions reusable)")
+    return 0
 
 
 def cmd_serve(args) -> int:
@@ -414,6 +568,20 @@ def _add_fold_jobs_arg(p) -> None:
     )
 
 
+def _add_baseline_arg(p) -> None:
+    p.add_argument(
+        "--baseline",
+        metavar="REF",
+        default=None,
+        help="incremental re-analysis against this baseline: a "
+        "workload name or a 64-hex program fingerprint whose manifest "
+        "and region artifacts are in the store; only the invalidated "
+        "frontier is re-instrumented (requires --cache); output stays "
+        "byte-identical to a cold run, the incremental summary goes "
+        "to stderr",
+    )
+
+
 def _add_crosscheck_arg(p) -> None:
     p.add_argument(
         "--crosscheck",
@@ -444,6 +612,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _add_crosscheck_arg(p)
         _add_fold_jobs_arg(p)
         _add_cache_args(p)
+        _add_baseline_arg(p)
         if name in ("report", "metrics"):
             p.add_argument(
                 "--format",
@@ -516,6 +685,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     _add_engine_arg(p)
     _add_fold_jobs_arg(p)
     _add_cache_args(p)
+    _add_baseline_arg(p)
+    p = sub.add_parser(
+        "diff",
+        help="statically diff two program versions and show the "
+        "re-analysis frontier",
+    )
+    p.add_argument("baseline", help="baseline workload name")
+    p.add_argument("workload", help="new/edited workload name")
+    p.add_argument(
+        "--edit",
+        metavar="FUNC",
+        default=None,
+        help="apply the canonical one-function body edit (a dead "
+        "const appended to FUNC's entry block) to the new side "
+        "before diffing -- exercises the frontier on a single "
+        "workload",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="human summary (text) or the versioned diff document "
+        "with per-function status and frontier reasons (json)",
+    )
     p = sub.add_parser(
         "suite", help="analyze many workloads in parallel"
     )
@@ -632,6 +825,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "static": cmd_static,
         "verify": cmd_verify,
         "regions": cmd_regions,
+        "diff": cmd_diff,
         "lint": cmd_lint,
         "suite": cmd_suite,
         "serve": cmd_serve,

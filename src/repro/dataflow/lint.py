@@ -28,6 +28,11 @@ rule                        severity  what it catches
                                       constant 0
 ``unused-call-result``      info      bound call return value never read
 ``unused-param``            info      function parameter never read
+``dead-function``           warning   function unreachable from the entry point
+                                      via the static call graph (names starting
+                                      with ``_`` are exempt -- the conventional
+                                      annotation for intentionally-kept helpers,
+                                      mirroring the ``%sink`` register prefix)
 ==========================  ========  =============================================
 
 The linter never executes code and never raises on malformed programs
@@ -68,6 +73,11 @@ from .values import (
 #: registers whose names start with this prefix are intentional sinks:
 #: the dead-store rule ignores writes to them
 SINK_PREFIX = "%sink"
+
+#: functions whose names start with this prefix are intentionally kept
+#: even when no call path reaches them (the function-level analogue of
+#: ``%sink``): the dead-function rule ignores them
+KEEP_PREFIX = "_"
 
 #: int opcodes where operating on floats is meaningless, not just lossy
 _BIT_LEVEL_OPS = frozenset("and or xor shl shr div mod".split())
@@ -170,6 +180,7 @@ def lint_program(program: Program) -> LintReport:
     """Lint every function of ``program``; never raises on bad input."""
     report = LintReport(program=program.name)
     _check_duplicate_uids(program, report)
+    _check_dead_functions(program, report)
     for fn in program.functions.values():
         _lint_function(program, fn, report)
     return report
@@ -195,6 +206,47 @@ def _check_duplicate_uids(program: Program, report: LintReport) -> None:
             )
         else:
             seen[ins.uid] = (fn.name, bb.name)
+
+
+def _check_dead_functions(program: Program, report: LintReport) -> None:
+    """Functions no static call path from the entry point reaches.
+
+    Reachability is the transitive closure of ``Call`` terminators from
+    ``program.main`` (calls terminate blocks in the mini-ISA, so
+    scanning terminators is exhaustive -- the same closure the
+    incremental slicer walks).  Functions whose names start with
+    :data:`KEEP_PREFIX` are exempt, as are all functions when the entry
+    point itself is missing (validate-level breakage: there is no
+    meaningful root to walk from).
+    """
+    from ..isa.fingerprint import static_callees
+
+    entry = program.functions.get(program.main)
+    if entry is None:
+        return
+    reachable: Set[str] = {program.main}
+    stack = [entry]
+    while stack:
+        fn = stack.pop()
+        for callee in static_callees(fn):
+            if callee in reachable or callee not in program.functions:
+                continue
+            reachable.add(callee)
+            stack.append(program.functions[callee])
+    for name in program.functions:
+        if name in reachable or name.startswith(KEEP_PREFIX):
+            continue
+        report.diagnostics.append(
+            Diagnostic(
+                "warning",
+                "dead-function",
+                name,
+                None,
+                None,
+                f"no call path from entry point {program.main!r} reaches "
+                f"this function (name it {KEEP_PREFIX}... if intentional)",
+            )
+        )
 
 
 # -- per-function rules ------------------------------------------------------------

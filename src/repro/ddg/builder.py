@@ -42,8 +42,30 @@ from .graph import (
 from .shadow import DynRef, ShadowMemory
 
 
+class FrontierViolation(RuntimeError):
+    """A dynamic dependence crossed the sliced re-analysis boundary.
+
+    Raised by a frontier-filtered run (``emit_funcs`` set) when shadow
+    memory observes a memory dependence between an emitted and a
+    non-emitted function: the static frontier was too small, so the
+    incremental result cannot be stitched and the caller must fall back
+    to a cold full analysis.  This is the dynamic soundness guard -- the
+    slicer's may-alias closure only has to be *usually* right."""
+
+
 class DDGBuilder(Instrumentation):
-    """Builds the DDG point streams for one execution."""
+    """Builds the DDG point streams for one execution.
+
+    When ``emit_funcs`` is given (incremental re-analysis), the builder
+    runs two-tier: functions in the set get the full treatment, while
+    the rest still execute with live contexts, register definitions,
+    and shadow-memory state (so cross-boundary effects are *observed*)
+    but emit nothing to the sink -- their folded regions are reused
+    from baseline artifacts.  Non-emitted shadow references carry a
+    sentinel context id of ``-1``; either tier seeing the other tier's
+    kind of reference in a memory-dependence result raises
+    :class:`FrontierViolation`.
+    """
 
     def __init__(
         self,
@@ -53,10 +75,14 @@ class DDGBuilder(Instrumentation):
         sink: DDGSink,
         track_anti_output: bool = True,
         build_schedule_tree: bool = True,
+        emit_funcs: Optional[Set[str]] = None,
     ) -> None:
         self.program = program
         self.sink = sink
         self.track_anti_output = track_anti_output
+        self._emit_funcs = (
+            frozenset(emit_funcs) if emit_funcs is not None else None
+        )
         self.gen = LoopEventGenerator(forests, rcs)
         self.diiv = DynamicIIV()
         self.shadow = ShadowMemory()
@@ -84,9 +110,19 @@ class DDGBuilder(Instrumentation):
         # bounded by the static dependence structure).
         self._block_cache: Dict[Tuple[int, int], Tuple] = {}
         self._dep_keys: Dict[Tuple, DepKey] = {}
+        # non-emitted tier's (block, ctx) cache: no declarations, no
+        # register-read lists -- just uids, dests, and memory kinds
+        self._slim_cache: Dict[Tuple[int, int], Tuple] = {}
 
         #: dynamic instruction count (sanity/metric)
         self.instr_count = 0
+
+    @property
+    def context_ids(self) -> Dict[Tuple, int]:
+        """The run's context-interning table (context tuple -> id, in
+        first-observation order) -- the incremental stitcher re-interns
+        reused baseline statements through it."""
+        return self._ctx_ids
 
     # -- control events: keep the IIV current ---------------------------------------
 
@@ -147,6 +183,10 @@ class DDGBuilder(Instrumentation):
         return self._cached_ctx_id, self._cached_coords
 
     def on_instr(self, instr, frame_id: int, value, addr) -> None:
+        filtering = self._emit_funcs is not None
+        if filtering and self._current_func not in self._emit_funcs:
+            self._slim_instr(instr, frame_id, addr)
+            return
         self.instr_count += 1
         cid, coords = self._context_view()
         key: StmtKey = (instr.uid, cid)
@@ -190,6 +230,11 @@ class DDGBuilder(Instrumentation):
         if instr.is_load:
             w = self.shadow.on_read(addr, me)
             if w is not None:
+                if filtering and w[0][1] == -1:
+                    raise FrontierViolation(
+                        f"flow dep from non-emitted uid {w[0][0]} into "
+                        f"{self._current_func!r}"
+                    )
                 self.sink.dep_point(
                     DepKey(src=w[0], dst=key, kind=MEM_FLOW), coords, w[1]
                 )
@@ -197,12 +242,22 @@ class DDGBuilder(Instrumentation):
             prev, readers = self.shadow.on_write(addr, me)
             if self.track_anti_output:
                 if prev is not None:
+                    if filtering and prev[0][1] == -1:
+                        raise FrontierViolation(
+                            f"output dep from non-emitted uid {prev[0][0]} "
+                            f"into {self._current_func!r}"
+                        )
                     self.sink.dep_point(
                         DepKey(src=prev[0], dst=key, kind=MEM_OUTPUT),
                         coords,
                         prev[1],
                     )
                 for r in readers:
+                    if filtering and r[0][1] == -1:
+                        raise FrontierViolation(
+                            f"anti dep from non-emitted uid {r[0][0]} into "
+                            f"{self._current_func!r}"
+                        )
                     self.sink.dep_point(
                         DepKey(src=r[0], dst=key, kind=MEM_ANTI), coords, r[1]
                     )
@@ -210,6 +265,45 @@ class DDGBuilder(Instrumentation):
         # record the definition
         if instr.dest is not None:
             defs[instr.dest] = me
+
+    def _slim_instr(self, instr, frame_id: int, addr) -> None:
+        """Non-emitted tier of ``on_instr``: keep contexts, register
+        definitions (real references -- emitted callees may consume
+        them), and shadow-memory state current, emit nothing.  Shadow
+        references use the ``-1`` sentinel context id so cross-boundary
+        memory dependences are detectable from both sides."""
+        self.instr_count += 1
+        cid, coords = self._context_view()
+        if self.schedule_tree is not None:
+            self.schedule_tree.record_context(self._cached_ctx, 1)
+        if instr.is_load:
+            w = self.shadow.on_read(addr, ((instr.uid, -1), coords))
+            if w is not None and w[0][1] != -1:
+                raise FrontierViolation(
+                    f"flow dep from emitted statement {w[0]} into "
+                    f"non-emitted {self._current_func!r}"
+                )
+        elif instr.is_store:
+            prev, readers = self.shadow.on_write(
+                addr, ((instr.uid, -1), coords)
+            )
+            if self.track_anti_output:
+                if prev is not None and prev[0][1] != -1:
+                    raise FrontierViolation(
+                        f"output dep from emitted statement {prev[0]} into "
+                        f"non-emitted {self._current_func!r}"
+                    )
+                for r in readers:
+                    if r[0][1] != -1:
+                        raise FrontierViolation(
+                            f"anti dep from emitted statement {r[0]} into "
+                            f"non-emitted {self._current_func!r}"
+                        )
+        if instr.dest is not None:
+            self._reg_defs.setdefault(frame_id, {})[instr.dest] = (
+                (instr.uid, cid),
+                coords,
+            )
 
     # -- the batched hot path ----------------------------------------------------------
 
@@ -245,6 +339,10 @@ class DDGBuilder(Instrumentation):
         """
         n = len(instrs)
         if n == 0:
+            return
+        filtering = self._emit_funcs is not None
+        if filtering and self._current_func not in self._emit_funcs:
+            self._slim_block(instrs, frame_id, addrs)
             return
         self.instr_count += n
         cid, coords = self._context_view()
@@ -305,6 +403,11 @@ class DDGBuilder(Instrumentation):
                 key = me[0]
                 if not is_store:
                     if res is not None:
+                        if filtering and res[0][1] == -1:
+                            raise FrontierViolation(
+                                f"flow dep from non-emitted uid {res[0][0]} "
+                                f"into {self._current_func!r}"
+                            )
                         ident = (res[0], key, MEM_FLOW)
                         dk = dep_keys.get(ident)
                         if dk is None:
@@ -314,6 +417,11 @@ class DDGBuilder(Instrumentation):
                 elif track:
                     prev, readers = res
                     if prev is not None:
+                        if filtering and prev[0][1] == -1:
+                            raise FrontierViolation(
+                                f"output dep from non-emitted uid "
+                                f"{prev[0][0]} into {self._current_func!r}"
+                            )
                         ident = (prev[0], key, MEM_OUTPUT)
                         dk = dep_keys.get(ident)
                         if dk is None:
@@ -321,6 +429,11 @@ class DDGBuilder(Instrumentation):
                             dep_keys[ident] = dk
                         add_dpoint((dk, prev[1]))
                     for r in readers:
+                        if filtering and r[0][1] == -1:
+                            raise FrontierViolation(
+                                f"anti dep from non-emitted uid {r[0][0]} "
+                                f"into {self._current_func!r}"
+                            )
                         ident = (r[0], key, MEM_ANTI)
                         dk = dep_keys.get(ident)
                         if dk is None:
@@ -331,3 +444,64 @@ class DDGBuilder(Instrumentation):
         self.sink.instr_points(coords, ipoints)
         if dpoints:
             self.sink.dep_points(coords, dpoints)
+
+    def _slim_block(self, instrs, frame_id: int, addrs) -> None:
+        """Non-emitted tier of ``on_block``: contexts, register
+        definitions, shadow state, and the schedule tree stay exactly
+        as in a full run; statement declarations, labels, register-read
+        lookups, and all sink emission are skipped (the function's
+        folded region is reused from a baseline artifact)."""
+        n = len(instrs)
+        self.instr_count += n
+        cid, coords = self._context_view()
+        ckey = (id(instrs), cid)
+        sinfo = self._slim_cache.get(ckey)
+        if sinfo is None:
+            metas = tuple(
+                (
+                    ins.uid,
+                    ins.dest,
+                    1 if ins.is_load else (2 if ins.is_store else 0),
+                )
+                for ins in instrs
+            )
+            # keep `instrs` alive so the id() cache key cannot be reused
+            sinfo = (instrs, metas)
+            self._slim_cache[ckey] = sinfo
+
+        if self.schedule_tree is not None:
+            self.schedule_tree.record_context(self._cached_ctx, n, visits=n)
+
+        defs = self._reg_defs.setdefault(frame_id, {})
+        mem_ops: List = []
+        i = 0
+        for uid, dest, memk in sinfo[1]:
+            if memk:
+                mem_ops.append((memk == 2, addrs[i], ((uid, -1), coords)))
+            if dest is not None:
+                defs[dest] = ((uid, cid), coords)
+            i += 1
+
+        if mem_ops:
+            results = self.shadow.process_block(mem_ops)
+            track = self.track_anti_output
+            for (is_store, _addr, _me), res in zip(mem_ops, results):
+                if not is_store:
+                    if res is not None and res[0][1] != -1:
+                        raise FrontierViolation(
+                            f"flow dep from emitted statement {res[0]} into "
+                            f"non-emitted {self._current_func!r}"
+                        )
+                elif track:
+                    prev, readers = res
+                    if prev is not None and prev[0][1] != -1:
+                        raise FrontierViolation(
+                            f"output dep from emitted statement {prev[0]} "
+                            f"into non-emitted {self._current_func!r}"
+                        )
+                    for r in readers:
+                        if r[0][1] != -1:
+                            raise FrontierViolation(
+                                f"anti dep from emitted statement {r[0]} "
+                                f"into non-emitted {self._current_func!r}"
+                            )

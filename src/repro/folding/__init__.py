@@ -16,6 +16,8 @@ from .folder import (
     FoldedStatement,
     FoldingSink,
     SCEV_OPCODES,
+    canonical_ddg,
+    dep_sort_key,
 )
 from .piecewise import PiecewiseVectorFolder
 from .stats import CompressionStats, compression_stats, scheduler_statement_count
@@ -36,6 +38,8 @@ __all__ = [
     "PiecewiseVectorFolder",
     "SCEV_OPCODES",
     "VectorAffineFitter",
+    "canonical_ddg",
     "compression_stats",
+    "dep_sort_key",
     "scheduler_statement_count",
 ]

@@ -219,7 +219,7 @@ class FoldingSink(DDGSink):
         with tracer.span("fold.deps", cat="fold") as sp_deps:
             deps = self._finalize_deps()
         sp_deps.count("deps", len(deps))
-        ddg = FoldedDDG(statements=stmts, deps=deps)
+        ddg = canonical_ddg(stmts, deps)
         with tracer.span("fold.scev", cat="fold"):
             ddg.run_scev_recognition()
         return ddg
@@ -275,6 +275,32 @@ class FoldingSink(DDGSink):
                 dst_depth=stream.domain.dim,
             )
         return deps
+
+
+def dep_sort_key(dep: DepKey):
+    """Canonical ordering of dependence keys: (src, dst, kind)."""
+    return (dep.src, dep.dst, dep.kind)
+
+
+def canonical_ddg(
+    statements: Dict[StmtKey, "FoldedStatement"],
+    deps: Dict[DepKey, "FoldedDep"],
+) -> "FoldedDDG":
+    """Rebuild the DDG dicts in canonical order: statements by
+    ``(uid, ctx)`` key, dependences by ``(src, dst, kind)``.
+
+    The codec serializes dicts in insertion order, so every path that
+    materializes a :class:`FoldedDDG` -- the serial fold, the sharded
+    merge, the incremental stitch -- normalizes here.  That makes the
+    artifact bytes a function of the folded *set*, independent of the
+    first-occurrence order of streams, which is exactly what lets a
+    frontier-only re-analysis (which never observes the skipped
+    regions' occurrence order) reproduce a cold run byte-for-byte.
+    """
+    return FoldedDDG(
+        statements={k: statements[k] for k in sorted(statements)},
+        deps={k: deps[k] for k in sorted(deps, key=dep_sort_key)},
+    )
 
 
 @dataclass

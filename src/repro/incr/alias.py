@@ -1,0 +1,159 @@
+"""Grounded may-alias access roots for the frontier slicer.
+
+:mod:`repro.staticpoly` already derives, per function, which *parameter
+roots* every memory access is based on (``_Affine.roots``).  Those
+roots are function-local names; to decide whether two *different*
+functions may touch the same array, each root is grounded
+interprocedurally to a set of **origin tokens**:
+
+* ``arg:<i>``   -- the i-th program argument (an array base pointer the
+  workload state passed to ``main``);
+* ``lit:<k>``   -- a compile-time-constant absolute address;
+* ``?anon``     -- statically untrackable (loaded pointers, iv-derived
+  bases, float contamination).  ``?anon`` conflicts with everything.
+
+The grounding is a monotone fixpoint over call sites: a callee
+parameter's origins accumulate the origins of every argument expression
+ever passed in that position.  Two functions *may conflict* when a
+write-side token set of one intersects a read- or write-side token set
+of the other (R-W, W-R, or W-W overlap) -- the over-approximation the
+slicer uses to pull memory-coupled regions into the frontier.  It is
+deliberately conservative, never proven-tight: the dynamic sentinel
+checks in :class:`~repro.ddg.builder.DDGBuilder` catch any execution
+that crosses the sliced boundary anyway and force a cold fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set, Tuple
+
+from ..isa.program import Program
+from ..staticpoly.analyzer import UNKNOWN, _FunctionAnalysis
+
+#: the universal token: statically untrackable base address
+ANON = "?anon"
+
+
+def _call_sites(program: Program):
+    """Yield (caller_name, Call terminator) over the whole program."""
+    from ..isa.instructions import Call
+
+    for fname, fn in program.functions.items():
+        for bb in fn.blocks.values():
+            if isinstance(bb.terminator, Call):
+                yield fname, bb.terminator
+
+
+class AccessRoots:
+    """Grounded per-function memory access tokens for one program."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self._fa: Dict[str, _FunctionAnalysis] = {
+            name: _FunctionAnalysis(program, fn)
+            for name, fn in program.functions.items()
+        }
+        #: function -> param name -> grounded origin tokens
+        self.param_origins: Dict[str, Dict[str, Set[str]]] = {
+            name: {p: set() for p in fn.params}
+            for name, fn in program.functions.items()
+        }
+        self._ground_params()
+        self.reads: Dict[str, FrozenSet[str]] = {}
+        self.writes: Dict[str, FrozenSet[str]] = {}
+        for name in program.functions:
+            r, w = self._access_tokens(name)
+            self.reads[name] = r
+            self.writes[name] = w
+
+    # -- parameter grounding -----------------------------------------------------
+
+    def _value_tokens(self, func: str, value) -> Set[str]:
+        """Origin tokens of one abstract argument value in ``func``."""
+        if value is UNKNOWN:
+            return {ANON}
+        if value.roots:
+            out: Set[str] = set()
+            origins = self.param_origins[func]
+            for root in value.roots:
+                out |= origins.get(root, {ANON})
+            return out
+        if value.is_const():
+            return {f"lit:{value.const}"}
+        return {ANON}  # iv-derived base: could point anywhere
+
+    def _ground_params(self) -> None:
+        main = self.program.main
+        if main in self.param_origins:
+            for i, p in enumerate(self.program.functions[main].params):
+                self.param_origins[main][p].add(f"arg:{i}")
+        sites = list(_call_sites(self.program))
+        changed = True
+        while changed:
+            changed = False
+            for caller, call in sites:
+                callee_params = self.param_origins.get(call.callee)
+                if callee_params is None:
+                    continue
+                fa = self._fa[caller]
+                params = self.program.functions[call.callee].params
+                for p, arg in zip(params, call.args):
+                    toks = self._value_tokens(caller, fa.value_of(arg))
+                    dest = callee_params[p]
+                    if not toks <= dest:
+                        dest |= toks
+                        changed = True
+
+    # -- per-function access token sets ------------------------------------------
+
+    def _access_tokens(
+        self, func: str
+    ) -> Tuple[FrozenSet[str], FrozenSet[str]]:
+        fa = self._fa[func]
+        origins = self.param_origins[func]
+        reads: Set[str] = set()
+        writes: Set[str] = set()
+        for bb in self.program.functions[func].blocks.values():
+            for ins in bb.instrs:
+                if not ins.is_mem:
+                    continue
+                base = fa.value_of(ins.srcs[0])
+                if base is UNKNOWN:
+                    toks: Set[str] = {ANON}
+                elif base.roots:
+                    toks = set()
+                    for root in base.roots:
+                        toks |= origins.get(root, {ANON})
+                elif base.is_const():
+                    toks = {f"lit:{base.const}"}
+                else:
+                    toks = {ANON}
+                if ins.is_store:
+                    writes |= toks
+                else:
+                    reads |= toks
+        return frozenset(reads), frozenset(writes)
+
+
+def tokens_conflict(a: FrozenSet[str], b: FrozenSet[str]) -> bool:
+    """May the address sets behind two token sets overlap?"""
+    if not a or not b:
+        return False
+    if ANON in a or ANON in b:
+        return True
+    return not a.isdisjoint(b)
+
+
+def may_conflict(
+    reads_a: FrozenSet[str],
+    writes_a: FrozenSet[str],
+    reads_b: FrozenSet[str],
+    writes_b: FrozenSet[str],
+) -> bool:
+    """True when the two access profiles may race on some array:
+    a write on either side overlapping anything the other touches."""
+    return (
+        tokens_conflict(writes_a, reads_b)
+        or tokens_conflict(writes_a, writes_b)
+        or tokens_conflict(reads_a, writes_b)
+    )

@@ -1,0 +1,69 @@
+"""The versioned program manifest: static facts the differ/slicer need.
+
+One manifest per program digest (``man-`` store level), written as a
+side effect of any stored analysis.  It captures, per function:
+
+* the canonical local fingerprint (rename/renumber-invariant) and the
+  per-basic-block fingerprints (:mod:`repro.isa.fingerprint`);
+* the call-graph-aware transitive hash (an edit anywhere below a
+  function changes its transitive hash);
+* the static callee set and instruction count;
+* the grounded may-alias access tokens (:mod:`.alias`).
+
+A later submission of an *edited* program diffs against the baseline
+manifest alone -- the baseline program itself is never needed, which
+is what lets the service take just a ``baseline_fingerprint`` string.
+"""
+
+from __future__ import annotations
+
+from ..isa.fingerprint import (
+    block_fingerprints,
+    fingerprint_program,
+    function_fingerprints,
+    static_callees,
+    transitive_fingerprints,
+)
+from ..isa.program import Program
+from .alias import AccessRoots
+
+#: bump on any change to the manifest payload layout
+MANIFEST_FORMAT_VERSION = 1
+
+
+def build_manifest(program: Program) -> dict:
+    """Compute the full static manifest of one program."""
+    local = function_fingerprints(program)
+    trans = transitive_fingerprints(program, local)
+    roots = AccessRoots(program)
+    functions = {}
+    for name in sorted(program.functions):
+        fn = program.functions[name]
+        functions[name] = {
+            "local": local[name],
+            "transitive": trans[name],
+            "params": list(fn.params),
+            "entry": fn.entry,
+            "instrs": sum(len(bb.instrs) for bb in fn.blocks.values()),
+            "callees": sorted(static_callees(fn)),
+            "blocks": block_fingerprints(fn),
+            "reads": sorted(roots.reads[name]),
+            "writes": sorted(roots.writes[name]),
+        }
+    return {
+        "format": MANIFEST_FORMAT_VERSION,
+        "program": program.name,
+        "main": program.main,
+        "digest": fingerprint_program(program),
+        "functions": functions,
+    }
+
+
+def manifest_ok(manifest: object) -> bool:
+    """Structural sanity of a (possibly store-loaded) manifest."""
+    return (
+        isinstance(manifest, dict)
+        and manifest.get("format") == MANIFEST_FORMAT_VERSION
+        and isinstance(manifest.get("functions"), dict)
+        and isinstance(manifest.get("digest"), str)
+    )

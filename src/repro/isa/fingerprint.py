@@ -15,15 +15,34 @@ same digest (workload state is deterministic by construction).
 Floats are encoded via ``float.hex()`` (exact, round-trippable);
 operands are type-tagged so ``1`` (int), ``1.0`` (float), and ``"1"``
 (register name) hash differently.
+
+Beyond the whole-program digest, this module emits **per-function
+canonical fingerprints** for the incremental-analysis subsystem
+(:mod:`repro.incr`):
+
+* function boundaries in the token stream are tagged explicitly with
+  length-prefixed ``func[<len>]:<name>`` headers and an ``end`` marker,
+  so adjacent functions can never concatenate ambiguously (a name or
+  field containing ``\\n``/``:`` cannot forge a boundary -- the prefix
+  pins how many bytes belong to the name);
+* :func:`function_fingerprint` hashes one function *canonically*:
+  global instruction uids are replaced by function-local ordinals and
+  the function's own name is omitted, so the fingerprint is invariant
+  under renaming the function and under re-numbering/reordering other
+  functions in the program -- exactly the invariance the program
+  differ aligns regions by;
+* :func:`transitive_fingerprints` folds a function's callees' hashes
+  into its own over the call-graph SCC condensation, so an edit deep
+  in a call chain changes the transitive hash of everything above it.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from .instructions import Call, CondBr, Halt, Jump, Return
-from .program import Memory, Program
+from .program import Function, Memory, Program
 
 
 def _token(value: object) -> str:
@@ -62,35 +81,240 @@ def _terminator_tokens(term: object) -> Iterable[str]:
         raise TypeError(f"unknown terminator {type(term).__name__}")
 
 
+def function_uid_ordinals(fn: Function) -> Dict[int, int]:
+    """Global uid -> function-local ordinal, in canonical traversal
+    order (sorted blocks, instruction order within each block).
+
+    The ordinal of an instruction depends only on the function's own
+    content, never on where the function sits in the program or how
+    the frontend numbered it -- the basis of position-independent
+    function fingerprints and of re-mapping cached per-region artifacts
+    onto a re-numbered program.
+    """
+    ordinals: Dict[int, int] = {}
+    for bname in sorted(fn.blocks):
+        for ins in fn.blocks[bname].instrs:
+            ordinals[ins.uid] = len(ordinals)
+    return ordinals
+
+
+def function_ordered_uids(fn: Function) -> List[int]:
+    """Function-local ordinal -> global uid (inverse of
+    :func:`function_uid_ordinals`)."""
+    uids: List[int] = []
+    for bname in sorted(fn.blocks):
+        for ins in fn.blocks[bname].instrs:
+            uids.append(ins.uid)
+    return uids
+
+
+def function_tokens(
+    fn: Function,
+    uid_of: Optional[Dict[int, int]] = None,
+    name: Optional[str] = None,
+) -> Iterable[str]:
+    """The canonical token stream of one function.
+
+    The header is length-prefixed (``func[<len>]:<name>:...``) so the
+    name can never be confused with the fields that follow it, and the
+    stream is closed by an ``end`` marker -- per-function splitting of
+    a program stream is unambiguous even for adversarial names.
+
+    ``uid_of`` substitutes each instruction uid (e.g. with the
+    function-local ordinal); ``name`` overrides the hashed name (the
+    canonical per-function fingerprint passes ``""`` to be
+    rename-invariant).
+    """
+    hashed_name = fn.name if name is None else name
+    yield (
+        f"func[{len(hashed_name)}]:{hashed_name}"
+        f":params={','.join(fn.params)}"
+        f":entry={fn.entry}:ld={fn.src_loop_depth}"
+        f":file={fn.src_file or ''}"
+    )
+    for bname in sorted(fn.blocks):
+        bb = fn.blocks[bname]
+        yield f"block[{len(bname)}]:{bname}"
+        for ins in bb.instrs:
+            uid = ins.uid if uid_of is None else uid_of[ins.uid]
+            srcs = ",".join(_token(s) for s in ins.srcs)
+            yield (
+                f"instr:{uid}:{ins.opcode}:{_token(ins.dest)}"
+                f":[{srcs}]:off={ins.offset}:line={ins.src_line}"
+            )
+        yield from _terminator_tokens(bb.terminator)
+    yield "end"
+
+
 def program_tokens(program: Program) -> Iterable[str]:
     """The canonical token stream of one program (hashing order)."""
     yield f"program:{program.name}:main={program.main}"
     for fname in sorted(program.functions):
-        fn = program.functions[fname]
-        yield (
-            f"func:{fn.name}:params={','.join(fn.params)}"
-            f":entry={fn.entry}:ld={fn.src_loop_depth}"
-            f":file={fn.src_file or ''}"
-        )
-        for bname in sorted(fn.blocks):
-            bb = fn.blocks[bname]
-            yield f"block:{bname}"
-            for ins in bb.instrs:
-                srcs = ",".join(_token(s) for s in ins.srcs)
-                yield (
-                    f"instr:{ins.uid}:{ins.opcode}:{_token(ins.dest)}"
-                    f":[{srcs}]:off={ins.offset}:line={ins.src_line}"
-                )
-            yield from _terminator_tokens(bb.terminator)
+        yield from function_tokens(program.functions[fname])
+
+
+def _digest_tokens(tokens: Iterable[str]) -> str:
+    h = hashlib.sha256()
+    for tok in tokens:
+        h.update(tok.encode("utf-8"))
+        h.update(b"\n")
+    return h.hexdigest()
 
 
 def fingerprint_program(program: Program) -> str:
     """Stable content digest (hex sha256) of a program's full IR."""
-    h = hashlib.sha256()
-    for tok in program_tokens(program):
-        h.update(tok.encode("utf-8"))
-        h.update(b"\n")
-    return h.hexdigest()
+    return _digest_tokens(program_tokens(program))
+
+
+def function_fingerprint(fn: Function) -> str:
+    """Canonical content digest of one function.
+
+    Invariant under renaming the function (its own name is not hashed;
+    references to *other* functions in call terminators are) and under
+    global uid re-numbering (uids are replaced by function-local
+    ordinals).  Any body change -- instructions, operands, block names,
+    terminators, params, source lines -- changes the digest.
+    """
+    return _digest_tokens(
+        function_tokens(fn, uid_of=function_uid_ordinals(fn), name="")
+    )
+
+
+def function_fingerprints(program: Program) -> Dict[str, str]:
+    """Canonical per-function fingerprints of every function."""
+    return {
+        name: function_fingerprint(fn)
+        for name, fn in program.functions.items()
+    }
+
+
+def block_fingerprints(fn: Function) -> Dict[str, str]:
+    """Canonical per-basic-block digests of one function.
+
+    Ordinals are *block-local* (position within the block), not
+    function-local: an edit to one block must not ripple into the
+    digests of every later block, or the differ's ``blocks_changed``
+    diagnostics would name the whole tail of the function."""
+
+    def block_tokens(bname: str) -> Iterable[str]:
+        bb = fn.blocks[bname]
+        yield f"block[{len(bname)}]:{bname}"
+        for o, ins in enumerate(bb.instrs):
+            srcs = ",".join(_token(s) for s in ins.srcs)
+            yield (
+                f"instr:{o}:{ins.opcode}:{_token(ins.dest)}"
+                f":[{srcs}]:off={ins.offset}:line={ins.src_line}"
+            )
+        yield from _terminator_tokens(bb.terminator)
+
+    return {bname: _digest_tokens(block_tokens(bname)) for bname in fn.blocks}
+
+
+def static_callees(fn: Function) -> Set[str]:
+    """Function names this function may call (calls terminate blocks
+    in the mini-ISA, so scanning terminators is exhaustive)."""
+    out: Set[str] = set()
+    for bb in fn.blocks.values():
+        if isinstance(bb.terminator, Call):
+            out.add(bb.terminator.callee)
+    return out
+
+
+def _call_sccs(program: Program) -> List[List[str]]:
+    """Strongly connected components of the static call graph, in
+    reverse topological order (callees before callers).  Iterative
+    Tarjan -- call chains can be deeper than the recursion limit."""
+    names = sorted(program.functions)
+    callees = {
+        n: sorted(
+            c for c in static_callees(program.functions[n])
+            if c in program.functions
+        )
+        for n in names
+    }
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[List[str]] = []
+    counter = [0]
+
+    for root in names:
+        if root in index:
+            continue
+        work: List[tuple] = [(root, iter(callees[root]))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for child in it:
+                if child not in index:
+                    index[child] = low[child] = counter[0]
+                    counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(callees[child])))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    m = stack.pop()
+                    on_stack.discard(m)
+                    scc.append(m)
+                    if m == node:
+                        break
+                sccs.append(sorted(scc))
+    return sccs
+
+
+def transitive_fingerprints(
+    program: Program, local: Optional[Dict[str, str]] = None
+) -> Dict[str, str]:
+    """Call-graph-aware effective hashes: a function's transitive
+    fingerprint folds in the transitive fingerprints of everything it
+    can reach, so editing a leaf changes the hash of every (transitive)
+    caller.  Recursive cycles hash as a unit: every member of an SCC
+    folds in the sorted local hashes of the whole component plus the
+    transitive hashes of the component's external callees.
+    """
+    local = local if local is not None else function_fingerprints(program)
+    trans: Dict[str, str] = {}
+    for scc in _call_sccs(program):
+        members = set(scc)
+        external: List[str] = []
+        for name in scc:
+            for c in sorted(static_callees(program.functions[name])):
+                if c in members:
+                    continue
+                # undefined callees hash by name only (validate() bans
+                # them in runnable programs; fingerprints stay total)
+                external.append(trans.get(c, f"undef[{len(c)}]:{c}"))
+        external.sort()
+        recursive = len(scc) > 1 or scc[0] in static_callees(
+            program.functions[scc[0]]
+        )
+        if not recursive:
+            name = scc[0]
+            trans[name] = _digest_tokens(["fn", local[name], *external])
+        else:
+            unit = _digest_tokens(
+                ["scc", *sorted(local[n] for n in scc), *external]
+            )
+            for name in scc:
+                trans[name] = _digest_tokens(["rec", local[name], unit])
+    return trans
 
 
 def fingerprint_state(args: Sequence, memory: Memory) -> str:

@@ -220,13 +220,17 @@ def merge_shards(
 ) -> FoldedDDG:
     """Merge per-shard folded unions into one :class:`FoldedDDG`.
 
-    Streams are disjoint across shards, so the merge is a reordered
-    union: dicts are rebuilt in the recorded serial order, which is
-    what makes the merged result *byte*-identical through the codec
-    (it serializes in insertion order), not merely value-identical.
-    SCEV flags were already computed per shard (recognition is a pure
-    per-statement predicate, see ``run_scev_recognition``).
+    Streams are disjoint across shards, so the merge is a union of the
+    routed keys, rebuilt through :func:`~repro.folding.canonical_ddg`
+    -- the same key-sorted normalization the serial fold applies --
+    which is what makes the merged result *byte*-identical through the
+    codec (it serializes in insertion order), not merely
+    value-identical.  SCEV flags were already computed per shard
+    (recognition is a pure per-statement predicate, see
+    ``run_scev_recognition``).
     """
+    from ..folding.folder import canonical_ddg
+
     statements = {}
     for key in stmt_order:
         statements[key] = shard_ddgs[stmt_shard[key]].statements[key]
@@ -241,4 +245,4 @@ def merge_shards(
             f"{total_stmts} sharded vs {len(statements)} routed statements, "
             f"{total_deps} sharded vs {len(deps)} routed deps"
         )
-    return FoldedDDG(statements=statements, deps=deps)
+    return canonical_ddg(statements, deps)

@@ -142,11 +142,16 @@ def profile_ddg(
     engine: str = "fast",
     extra_observers: Sequence = (),
     tracer: Optional[Tracer] = None,
+    emit_funcs: Optional[set] = None,
 ) -> DDGProfile:
     """Stage 2: build the DDG point streams (fresh execution).
 
     ``wall_seconds`` is the ``stage2.execute`` span's duration (the
-    instrumented execution with the DDG builder riding along)."""
+    instrumented execution with the DDG builder riding along).
+
+    ``emit_funcs`` restricts sink emission to the named functions
+    (incremental re-analysis); everything else runs the builder's
+    non-emitted tier -- see :class:`~repro.ddg.builder.DDGBuilder`."""
     tracer = tracer if tracer is not None else Tracer()
     args, memory = spec.make_state()
     if sink is None:
@@ -159,6 +164,7 @@ def profile_ddg(
             sink,
             track_anti_output=track_anti_output,
             build_schedule_tree=build_schedule_tree,
+            emit_funcs=emit_funcs,
         )
     with tracer.span("stage2.execute", cat="exec", engine=engine) as sp:
         _, stats = run_program(
@@ -270,6 +276,11 @@ class AnalysisResult:
     #: overlap each other and the execution -- informational only,
     #: never part of the StageTimings parts-sum-to-total accounting)
     shard_seconds: Optional[List[float]] = None
+    #: what the incremental machinery did when ``analyze(baseline=...)``
+    #: was used (:class:`~repro.incr.IncrementalInfo`); deliberately
+    #: *not* part of any report/metrics document -- incremental output
+    #: stays byte-identical to a cold run
+    incremental: Optional["IncrementalInfo"] = None
 
     @property
     def schedule_tree(self):
@@ -292,6 +303,7 @@ def analyze(
     extra_observers: Sequence = (),
     tracer: Optional[Tracer] = None,
     fold_jobs: int = 1,
+    baseline: Optional[str] = None,
 ) -> AnalysisResult:
     """The full POLY-PROF pipeline: profile, fold, analyze, plan.
 
@@ -342,12 +354,24 @@ def analyze(
     *only* timing source: ``result.timings`` and ``result.trace`` are
     both derived from it.  Pass an explicit tracer to keep the spans
     (``repro trace``, the suite runner, the service daemon all do).
+
+    ``baseline`` (requires ``store``) is the program fingerprint of a
+    previously analyzed baseline: the spec's program is statically
+    diffed against the baseline's manifest, the invalidated dependence
+    frontier is sliced (:mod:`repro.incr`), and only the frontier is
+    re-instrumented -- everything else is stitched from per-function
+    ``rgn-`` region artifacts.  The result is byte-identical to a cold
+    full analysis; what the machinery did is reported on
+    ``result.incremental``.  Any dynamic boundary violation or stitch
+    inconsistency falls back to a cold run automatically.
     """
     from .folding import FastFoldingSink, FoldingSink
     from .schedule import analyze_forest, build_nest_forest, plan_all
     from .feedback.stride import stride_scores
 
     tracer = tracer if tracer is not None else Tracer()
+    if baseline is not None and store is None:
+        raise ValueError("analyze(baseline=...) requires an artifact store")
     keys = None
     if store is not None:
         from .store import (
@@ -372,12 +396,50 @@ def analyze(
     with tracer.span(
         "analyze", cat="pipeline", workload=spec.name, engine=engine
     ) as root:
+        # -- incremental planning: diff + slice + region loads -----------------
+        incr_plan = None
+        if baseline is not None:
+            from .ddg import FrontierViolation
+            from .incr import (
+                IncrementalMismatch,
+                plan_incremental,
+                stitch_folded,
+            )
+            from .store import decode_stage2_meta
+
+            incr_plan = plan_incremental(
+                spec,
+                keys,
+                baseline,
+                store,
+                tracer,
+                engine=engine,
+                fuel=fuel,
+                max_pieces=max_pieces,
+                clamp=clamp,
+                track_anti_output=track_anti_output,
+                build_schedule_tree=build_schedule_tree,
+            )
+
         # -- stage 1: interprocedural control structure ------------------------
         with tracer.span("instr1", cat="stage"):
             control = None
             if store is not None:
                 with tracer.span("stage1.load", cat="cache"):
                     control = store.load(keys.stage1, decode_control_profile)
+                if (
+                    control is None
+                    and incr_plan is not None
+                    and incr_plan.mode == "identical"
+                ):
+                    # an all-unchanged diff implies identical control
+                    # structure (CFGs are uid-free), so the baseline's
+                    # stage-1 artifact serves verbatim
+                    with tracer.span("stage1.load_base", cat="cache"):
+                        control = store.load(
+                            incr_plan.base_keys.stage1,
+                            decode_control_profile,
+                        )
             stage1_cached = control is not None
             if control is None:
                 control = profile_control(
@@ -387,15 +449,71 @@ def analyze(
                     extra_observers=extra_observers,
                     tracer=tracer,
                 )
-                if store is not None:
-                    with tracer.span("stage1.put", cat="cache"):
-                        store.put(keys.stage1, encode_control_profile(control))
+            if store is not None and not store.contains(keys.stage1):
+                with tracer.span("stage1.put", cat="cache"):
+                    store.put(keys.stage1, encode_control_profile(control))
 
         # -- stage 2: DDG streams + folding ------------------------------------
         shard_seconds = None
         with tracer.span("instr2_fold", cat="stage") as stage2_span:
             dep_vectors = None
             loaded = None
+
+            def run_stage2(emit_funcs):
+                """One instrumented stage-2 execution + fold; ``None``
+                emits everything (cold), a set emits only the frontier."""
+                nonlocal shard_seconds
+                if fold_jobs > 1:
+                    from .parallel import ParallelFoldManager
+
+                    manager = ParallelFoldManager(
+                        fold_jobs,
+                        engine=engine,
+                        max_pieces=max_pieces,
+                        clamp=clamp,
+                    )
+                    try:
+                        ddgp = profile_ddg(
+                            spec,
+                            control,
+                            sink=manager.router,
+                            track_anti_output=track_anti_output,
+                            build_schedule_tree=build_schedule_tree,
+                            fuel=fuel,
+                            engine=engine,
+                            extra_observers=extra_observers,
+                            tracer=tracer,
+                            emit_funcs=emit_funcs,
+                        )
+                        with tracer.span(
+                            "fold.finalize", cat="fold", fold_jobs=manager.jobs
+                        ):
+                            folded = manager.finalize()
+                        manager.attach_spans(stage2_span)
+                        shard_seconds = manager.shard_busy_seconds()
+                    finally:
+                        manager.close()
+                else:
+                    sink_cls = (
+                        FastFoldingSink if engine == "fast" else FoldingSink
+                    )
+                    sink = sink_cls(max_pieces=max_pieces, clamp=clamp)
+                    ddgp = profile_ddg(
+                        spec,
+                        control,
+                        sink=sink,
+                        track_anti_output=track_anti_output,
+                        build_schedule_tree=build_schedule_tree,
+                        fuel=fuel,
+                        engine=engine,
+                        extra_observers=extra_observers,
+                        tracer=tracer,
+                        emit_funcs=emit_funcs,
+                    )
+                    with tracer.span("fold.finalize", cat="fold"):
+                        folded = sink.finalize(tracer=tracer)
+                return ddgp, folded
+
             if store is not None:
                 with tracer.span("stage2.load", cat="cache"):
                     loaded = store.load(
@@ -404,51 +522,48 @@ def analyze(
             if loaded is not None:
                 folded, ddgp, dep_vectors = loaded
                 stage2_cached = True
-            elif fold_jobs > 1:
-                from .parallel import ParallelFoldManager
-
-                manager = ParallelFoldManager(
-                    fold_jobs,
-                    engine=engine,
-                    max_pieces=max_pieces,
-                    clamp=clamp,
-                )
+                if incr_plan is not None:
+                    incr_plan.info.mode = "warm"
+                    incr_plan.info.reason = "stage2-warm-hit"
+            elif incr_plan is not None and incr_plan.mode == "identical":
                 try:
-                    ddgp = profile_ddg(
-                        spec,
-                        control,
-                        sink=manager.router,
-                        track_anti_output=track_anti_output,
-                        build_schedule_tree=build_schedule_tree,
-                        fuel=fuel,
-                        engine=engine,
-                        extra_observers=extra_observers,
-                        tracer=tracer,
+                    with tracer.span("incr.stitch", cat="incr") as sp:
+                        base_payload = store.get(incr_plan.base_keys.stage2)
+                        if base_payload is None:
+                            raise IncrementalMismatch(
+                                "baseline stage-2 artifact vanished"
+                            )
+                        folded = stitch_folded(
+                            spec.program, None, incr_plan.regions, None
+                        )
+                        ddgp = decode_stage2_meta(base_payload)
+                        sp.count("regions_reused", len(incr_plan.regions))
+                    stage2_cached = True
+                except IncrementalMismatch as exc:
+                    incr_plan.info.mode = "cold"
+                    incr_plan.info.reason = f"fallback: {exc}"
+                    incr_plan.info.regions_reused = 0
+                    ddgp, folded = run_stage2(None)
+            elif incr_plan is not None and incr_plan.mode == "incremental":
+                try:
+                    ddgp, fresh = run_stage2(set(incr_plan.emit_funcs))
+                    with tracer.span("incr.stitch", cat="incr") as sp:
+                        folded = stitch_folded(
+                            spec.program,
+                            fresh,
+                            incr_plan.regions,
+                            ddgp.builder.context_ids,
+                        )
+                        sp.count("regions_reused", len(incr_plan.regions))
+                except (FrontierViolation, IncrementalMismatch) as exc:
+                    incr_plan.info.mode = "cold"
+                    incr_plan.info.reason = (
+                        f"fallback: {type(exc).__name__}: {exc}"
                     )
-                    with tracer.span(
-                        "fold.finalize", cat="fold", fold_jobs=manager.jobs
-                    ):
-                        folded = manager.finalize()
-                    manager.attach_spans(stage2_span)
-                    shard_seconds = manager.shard_busy_seconds()
-                finally:
-                    manager.close()
+                    incr_plan.info.regions_reused = 0
+                    ddgp, folded = run_stage2(None)
             else:
-                sink_cls = FastFoldingSink if engine == "fast" else FoldingSink
-                sink = sink_cls(max_pieces=max_pieces, clamp=clamp)
-                ddgp = profile_ddg(
-                    spec,
-                    control,
-                    sink=sink,
-                    track_anti_output=track_anti_output,
-                    build_schedule_tree=build_schedule_tree,
-                    fuel=fuel,
-                    engine=engine,
-                    extra_observers=extra_observers,
-                    tracer=tracer,
-                )
-                with tracer.span("fold.finalize", cat="fold"):
-                    folded = sink.finalize(tracer=tracer)
+                ddgp, folded = run_stage2(None)
 
         # -- feedback: dependence vectors, forest analysis, planning -----------
         with tracer.span("feedback", cat="stage"):
@@ -458,11 +573,36 @@ def analyze(
                 analyze_forest(forest)
             with tracer.span("feedback.plan", cat="feedback"):
                 plans = plan_all(forest, stride_scores_of=stride_scores)
-            if store is not None and not stage2_cached:
+            if store is not None and not store.contains(keys.stage2):
                 with tracer.span("stage2.put", cat="cache"):
                     store.put(
                         keys.stage2, encode_stage2(folded, ddgp, forest.deps)
                     )
+            if store is not None:
+                # write-through the incremental levels (manifest +
+                # per-function regions) on every stored run, so *this*
+                # analysis can serve as a future baseline
+                from .incr import build_manifest, encode_regions
+
+                with tracer.span("incr.put", cat="cache") as sp:
+                    if not store.contains(keys.manifest):
+                        manifest = (
+                            incr_plan.new_manifest
+                            if incr_plan is not None
+                            and incr_plan.new_manifest is not None
+                            else build_manifest(spec.program)
+                        )
+                        store.put(keys.manifest, manifest)
+                    missing = [
+                        f
+                        for f in spec.program.functions
+                        if not store.contains(keys.region(f))
+                    ]
+                    if missing:
+                        payloads = encode_regions(spec.program, folded)
+                        for func in missing:
+                            store.put(keys.region(func), payloads[func])
+                    sp.count("regions_written", len(missing))
 
     timings = (
         StageTimings.from_span_tree(root, stage1_cached, stage2_cached)
@@ -484,6 +624,7 @@ def analyze(
         trace=root if tracer.enabled else None,
         fold_jobs=max(1, fold_jobs),
         shard_seconds=shard_seconds,
+        incremental=incr_plan.info if incr_plan is not None else None,
     )
     if crosscheck:
         from .dataflow.crosscheck import CheckOptions, run_crosscheck

@@ -111,8 +111,14 @@ class ServiceClient:
         workload: Optional[str] = None,
         program: Optional[dict] = None,
         state: Optional[dict] = None,
+        baseline_fingerprint: Optional[str] = None,
         **options,
     ) -> dict:
+        """POST /v1/analyze.  ``baseline_fingerprint`` (a 64-hex
+        program digest previously analyzed by the service) requests
+        incremental re-analysis: only the sliced dependence frontier is
+        re-instrumented; artifacts are byte-identical to a cold run and
+        the job status doc carries the ``incremental`` account."""
         body = dict(options)
         if workload is not None:
             body["workload"] = workload
@@ -120,6 +126,8 @@ class ServiceClient:
             body["program"] = program
         if state is not None:
             body["state"] = state
+        if baseline_fingerprint is not None:
+            body["baseline_fingerprint"] = baseline_fingerprint
         return self._request_doc("POST", "/v1/analyze", body)
 
     def job(self, job_id: str) -> dict:

@@ -407,6 +407,21 @@ class AnalysisService:
         # silently clamp (not reject): the capped request still computes
         # the identical result, just with less parallelism
         fold_jobs = min(fold_jobs, self.fold_jobs_cap)
+        baseline = body.get("baseline_fingerprint")
+        if baseline is not None:
+            if not (
+                isinstance(baseline, str)
+                and len(baseline) == 64
+                and all(c in "0123456789abcdef" for c in baseline)
+            ):
+                raise BadRequest(
+                    "baseline_fingerprint must be a 64-hex program digest"
+                )
+            if self.store is None:
+                raise BadRequest(
+                    "baseline_fingerprint requires the service to run "
+                    "with an artifact store (cache_dir)"
+                )
         return JobOptions(
             engine=engine,
             crosscheck=bool(body.get("crosscheck", False)),
@@ -414,6 +429,7 @@ class AnalysisService:
             fuel=int(body.get("fuel", 50_000_000)),
             timeout=timeout,
             fold_jobs=fold_jobs,
+            baseline=baseline,
         )
 
     def submit(self, body: dict) -> Tuple[Job, bool, Optional[int]]:

@@ -140,7 +140,10 @@ def execute_job(job: Job, store=None, logger=None) -> Job:
             extra_observers=[observer, heartbeat],
             tracer=tracer,
             fold_jobs=job.options.fold_jobs,
+            baseline=job.options.baseline if store is not None else None,
         )
+        if result.incremental is not None:
+            job.incremental = result.incremental.as_dict()
         job.timings = result.timings.as_dict()
         job.total_seconds = tracer.total_seconds()
         job.heartbeat(phase="done", dyn_instrs=heartbeat.dyn_instrs)

@@ -52,6 +52,9 @@ class JobOptions:
     #: fold worker processes for stage 2 (bounded by the service's
     #: fold-jobs cap at submission time; 1 = serial in-process fold)
     fold_jobs: int = 1
+    #: baseline program fingerprint for incremental re-analysis
+    #: (``baseline_fingerprint`` on POST /v1/analyze); None = cold
+    baseline: Optional[str] = None
 
     def as_dict(self) -> dict:
         return {
@@ -61,6 +64,7 @@ class JobOptions:
             "fuel": self.fuel,
             "timeout": self.timeout,
             "fold_jobs": self.fold_jobs,
+            "baseline": self.baseline,
         }
 
 
@@ -74,7 +78,10 @@ def derive_job_key(spec, options: JobOptions) -> str:
     computed.  ``fold_jobs`` is excluded for the same reason: serial
     and parallel folds are bit-identical (:mod:`repro.parallel`), so a
     ``fold_jobs=4`` request rightly coalesces onto an identical
-    ``fold_jobs=1`` job and vice versa.
+    ``fold_jobs=1`` job and vice versa.  ``baseline`` is excluded too:
+    incremental and cold runs of the same program produce byte-identical
+    artifacts, so an incremental request rightly coalesces onto a cold
+    job of the same program and vice versa.
     """
     from ..store import keys_for_spec
 
@@ -123,6 +130,11 @@ class Job:
     flamegraph_svg: Optional[bytes] = None
     trace_json: Optional[bytes] = None
     crosscheck_violations: Optional[int] = None
+    #: what the incremental machinery did when the request carried a
+    #: ``baseline_fingerprint`` (IncrementalInfo.as_dict); rendered
+    #: artifacts stay byte-identical to a cold run, so this is the only
+    #: place the incremental account surfaces
+    incremental: Optional[dict] = None
     #: cooperative cancellation flag, checked by the deadline observer
     cancel_event: threading.Event = field(default_factory=threading.Event)
     #: guards state transitions (workers vs. cancel vs. drain)
@@ -186,6 +198,8 @@ class Job:
             doc["summary"] = dict(self.summary)
         if self.crosscheck_violations is not None:
             doc["crosscheck_violations"] = self.crosscheck_violations
+        if self.incremental is not None:
+            doc["incremental"] = dict(self.incremental)
         return doc
 
 

@@ -9,10 +9,11 @@ keys (:mod:`repro.store.keys`), persist/recover stage artifacts
 from .artifacts import (
     decode_control_profile,
     decode_stage2,
+    decode_stage2_meta,
     encode_control_profile,
     encode_stage2,
 )
-from .keys import ArtifactKeys, derive_keys, keys_for_spec
+from .keys import ArtifactKeys, derive_keys, keys_for_spec, manifest_key
 from .store import STORE_FORMAT_VERSION, ArtifactStore, StoreStats
 
 __all__ = [
@@ -22,8 +23,10 @@ __all__ = [
     "StoreStats",
     "decode_control_profile",
     "decode_stage2",
+    "decode_stage2_meta",
     "derive_keys",
     "encode_control_profile",
     "encode_stage2",
     "keys_for_spec",
+    "manifest_key",
 ]

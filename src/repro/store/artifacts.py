@@ -174,7 +174,22 @@ def decode_stage2(
     from ..pipeline import DDGProfile
 
     folded = decode_folded_ddg(data["folded"], program)
-    ddgp = DDGProfile(
+    ddgp = decode_stage2_meta(data)
+    dep_vectors = decode_dep_vectors(data["dep_vectors"], folded)
+    return folded, ddgp, dep_vectors
+
+
+def decode_stage2_meta(data: dict):
+    """Only the profile metadata of a stage-2 artifact: run stats,
+    schedule tree, instruction count, wall seconds -- everything that
+    is *uid-free*.  The incremental no-execution fast path reuses a
+    baseline program's metadata (an all-unchanged diff implies a
+    bit-identical execution) while the folded DDG itself is rebuilt
+    from region artifacts against the submitted program's uids, so the
+    monolithic folded payload here is deliberately not decoded."""
+    from ..pipeline import DDGProfile
+
+    return DDGProfile(
         builder=CachedInstrumentation(
             int(data["instr_count"]),
             decode_schedule_tree(data["schedule_tree"]),
@@ -183,5 +198,3 @@ def decode_stage2(
         stats=decode_run_stats(data["stats"]),
         wall_seconds=float(data["wall_seconds"]),
     )
-    dep_vectors = decode_dep_vectors(data["dep_vectors"], folded)
-    return folded, ddgp, dep_vectors

@@ -13,6 +13,15 @@ but still reuses the cached :class:`~repro.pipeline.ControlProfile`.
 Both keys are salted with :data:`~repro.store.store.STORE_FORMAT_VERSION`
 so a format bump makes every old artifact an orderly miss.
 
+Two further levels serve incremental re-analysis (:mod:`repro.incr`):
+
+* the **manifest key** (``man-``) covers the static program manifest --
+  per-function fingerprints, call edges, access roots -- and depends on
+  the program digest alone;
+* the **region keys** (``rgn-``, one per function) extend the stage-2
+  key material with the function name, caching that function's slice
+  of the folded DDG for frontier-only re-analysis.
+
 ``engine`` is part of the key even though both engines are proven to
 produce identical artifacts: the recorded engine is reproduced by the
 cross-checker (which recounts on the *opposite* engine), so a cached
@@ -37,10 +46,41 @@ class ArtifactKeys:
     stage2: str          # FoldedDDG + profile-meta + dep-vector artifact
     program_digest: str
     state_digest: str
+    #: program manifest artifact ("man-<sha256>"); static-only, so it
+    #: depends on the program digest alone (see manifest_key)
+    manifest: str = ""
+    #: raw stage-2 key material the per-function region keys extend
+    region_base: str = ""
+
+    def region(self, func: str) -> str:
+        """Per-function folded-region artifact key ("rgn-<sha256>").
+
+        Extends the full stage-2 key material (program, state, engine,
+        fuel, folding options) with the function name -- a region
+        artifact is only reusable under the *same* dynamic conditions
+        the stage-2 artifact would be.  The name is length-prefixed so
+        adversarial names cannot collide with the option fields.
+        """
+        if not self.region_base:
+            raise ValueError("ArtifactKeys built without region_base")
+        return "rgn-" + _hex(
+            self.region_base + f"|region[{len(func)}]={func}"
+        )
 
 
 def _hex(text: str) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def manifest_key(program_digest: str) -> str:
+    """Program-manifest artifact key ("man-<sha256>").
+
+    Keyed by the program digest alone: the manifest is pure static
+    analysis (per-function fingerprints, call edges, access roots), so
+    it is shared across states, engines, fuel budgets, and folding
+    options.  Dynamic mismatches surface naturally as rgn-/ddg- misses.
+    """
+    return "man-" + _hex(f"v{STORE_FORMAT_VERSION}|manifest={program_digest}")
 
 
 def derive_keys(
@@ -69,6 +109,8 @@ def derive_keys(
         stage2="ddg-" + _hex(stage2),
         program_digest=program_digest,
         state_digest=state_digest,
+        manifest=manifest_key(program_digest),
+        region_base=stage2,
     )
 
 

@@ -40,7 +40,10 @@ from typing import Callable, Dict, List, Optional, Tuple
 #: bump on ANY change to the artifact payload layout or the canonical
 #: fingerprint encoding; it salts every key (see keys.py), so old
 #: stores simply miss instead of mis-decoding
-STORE_FORMAT_VERSION = 1
+#: v2: explicit function-boundary tokens in the program fingerprint
+#: stream, canonical (key-sorted) folded-DDG serialization order, and
+#: the man-/rgn- incremental artifact levels
+STORE_FORMAT_VERSION = 2
 
 
 @dataclass
@@ -90,6 +93,12 @@ class ArtifactStore:
 
     def path_of(self, key: str) -> str:
         return os.path.join(self.objects_dir, key + ".json.gz")
+
+    def contains(self, key: str) -> bool:
+        """Cheap existence probe: no decode, no stats, no LRU touch.
+        Used to skip re-encoding artifacts that are already present
+        (a stale True race just means one redundant atomic put)."""
+        return os.path.exists(self.path_of(key))
 
     # -- raw get/put -------------------------------------------------------------
 

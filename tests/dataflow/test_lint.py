@@ -165,6 +165,53 @@ class TestDefectClasses:
                  if d.rule == "duplicate-uid"]
         assert len(diags) == 1 and diags[0].uid == 7
 
+    def test_dead_function(self):
+        prog = raw_prog(
+            raw_fn("main", (), {"entry": ([], Halt())}),
+            raw_fn("orphan", (), {"entry": ([], Return())}),
+        )
+        diags = [d for d in lint_program(prog).warnings
+                 if d.rule == "dead-function"]
+        assert len(diags) == 1
+        assert diags[0].function == "orphan"
+        assert "main" in diags[0].message and "_" in diags[0].message
+
+    def test_dead_function_transitive_reachability(self):
+        # main -> a -> b keeps b alive; c is dead even though it
+        # *would* call b -- reachability is rooted at the entry point
+        prog = raw_prog(
+            raw_fn("main", (), {
+                "entry": ([], Call("a", (), None, "done")),
+                "done": ([], Halt()),
+            }),
+            raw_fn("a", (), {
+                "entry": ([], Call("b", (), None, "done")),
+                "done": ([], Return()),
+            }),
+            raw_fn("b", (), {"entry": ([], Return())}),
+            raw_fn("c", (), {
+                "entry": ([], Call("b", (), None, "done")),
+                "done": ([], Return()),
+            }),
+        )
+        dead = {d.function for d in lint_program(prog).warnings
+                if d.rule == "dead-function"}
+        assert dead == {"c"}
+
+    def test_dead_function_underscore_exemption(self):
+        prog = raw_prog(
+            raw_fn("main", (), {"entry": ([], Halt())}),
+            raw_fn("_kept", (), {"entry": ([], Return())}),
+        )
+        assert "dead-function" not in rules_of(prog)
+
+    def test_dead_function_skipped_when_entry_missing(self):
+        # no main at all: validate-level breakage, rule stays silent
+        prog = raw_prog(
+            raw_fn("f", (), {"entry": ([], Return())}), main="main"
+        )
+        assert "dead-function" not in rules_of(prog)
+
     def test_infinite_loop(self):
         prog = raw_prog(raw_fn("main", (), {
             "entry": ([], Jump("spin")),

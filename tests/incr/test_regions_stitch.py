@@ -1,0 +1,102 @@
+"""Region carving and stitching: a lossless, guarded round trip.
+
+``encode_regions`` must carve a folded DDG so that stitching every
+region back (no fresh fold, verbatim context ids) reproduces it
+exactly; every inconsistency must raise :class:`IncrementalMismatch`
+rather than silently produce a wrong graph.
+"""
+
+import pytest
+
+from repro.incr import IncrementalMismatch, encode_regions, stitch_folded
+from repro.incr.regions import REGION_FORMAT_VERSION, region_ok, uid_to_ordinal
+from repro.pipeline import analyze
+from repro.workloads import all_workloads
+
+
+@pytest.fixture(scope="module")
+def kmeans_result():
+    return analyze(all_workloads()["kmeans"]())
+
+
+def test_uid_to_ordinal_total_and_local(kmeans_result):
+    program = kmeans_result.spec.program
+    ord_of = uid_to_ordinal(program)
+    uids = {ins.uid for _f, _b, ins in program.all_instrs()}
+    assert set(ord_of) == uids
+    for fname, fn in program.functions.items():
+        ords = sorted(
+            o for (f, o) in ord_of.values() if f == fname
+        )
+        n = sum(len(bb.instrs) for bb in fn.blocks.values())
+        assert ords == list(range(n))
+
+
+def test_encode_covers_every_function(kmeans_result):
+    program = kmeans_result.spec.program
+    regions = encode_regions(program, kmeans_result.folded)
+    assert set(regions) == set(program.functions)
+    assert all(region_ok(p) for p in regions.values())
+    total_stmts = sum(len(p["statements"]) for p in regions.values())
+    assert total_stmts == len(kmeans_result.folded.statements)
+    total_deps = sum(len(p["deps"]) for p in regions.values())
+    assert total_deps == len(kmeans_result.folded.deps)
+
+
+def test_stitch_all_regions_is_identity(kmeans_result):
+    """Verbatim-id stitch of every region == the original fold, down
+    to iteration order (both sides are canonically ordered)."""
+    program = kmeans_result.spec.program
+    folded = kmeans_result.folded
+    regions = encode_regions(program, folded)
+    stitched = stitch_folded(program, None, regions, None)
+    assert list(stitched.statements.keys()) == list(folded.statements.keys())
+    assert list(stitched.deps.keys()) == list(folded.deps.keys())
+    # strongest available equality: re-carving the stitched DDG yields
+    # byte-equal region payloads
+    assert encode_regions(program, stitched) == regions
+
+
+def test_format_mismatch_raises(kmeans_result):
+    program = kmeans_result.spec.program
+    regions = encode_regions(program, kmeans_result.folded)
+    regions["main"]["format"] = REGION_FORMAT_VERSION + 1
+    with pytest.raises(IncrementalMismatch, match="format"):
+        stitch_folded(program, None, regions, None)
+
+
+def test_ordinal_out_of_range_raises(kmeans_result):
+    program = kmeans_result.spec.program
+    regions = encode_regions(program, kmeans_result.folded)
+    regions["main"]["statements"][0]["ord"] = 10**6
+    with pytest.raises(IncrementalMismatch, match="ordinal"):
+        stitch_folded(program, None, regions, None)
+
+
+def test_overlap_with_fresh_raises(kmeans_result):
+    """A statement folded fresh AND loaded from a region means the
+    slice was wrong -- refuse, do not double-count."""
+    program = kmeans_result.spec.program
+    folded = kmeans_result.folded
+    regions = encode_regions(program, folded)
+    with pytest.raises(IncrementalMismatch, match="already folded fresh"):
+        stitch_folded(program, folded, regions, None)
+
+
+def test_unobserved_context_raises(kmeans_result):
+    """With a live interning table that never saw the stored contexts,
+    the stitch must refuse (the executions diverged)."""
+    program = kmeans_result.spec.program
+    regions = encode_regions(program, kmeans_result.folded)
+    with pytest.raises(IncrementalMismatch, match="context"):
+        stitch_folded(program, None, regions, {})
+
+
+def test_dangling_cross_region_source_raises(kmeans_result):
+    """Stitching a single region whose deps reach into other functions
+    must fail the dangling-source check."""
+    program = kmeans_result.spec.program
+    regions = encode_regions(program, kmeans_result.folded)
+    lone = {"update_centers": regions["update_centers"]}
+    with pytest.raises(IncrementalMismatch):
+        stitch_folded(program, None, lone, None)

@@ -1,0 +1,105 @@
+"""Dependence-frontier slicer: one test per closure rule.
+
+The crafted program separates the three channels:
+
+* ``writer``/``reader`` share array ``A`` (may-alias channel);
+* ``pure`` reads array ``B``; ``main`` binds and stores its result
+  (caller-uses-result channel);
+* ``aux`` is pure arithmetic whose bound result ``main`` never reads
+  (must NOT propagate).
+"""
+
+from repro.incr import (
+    append_sink_instr,
+    build_manifest,
+    compute_frontier,
+)
+from repro.incr.diff import diff_programs
+from repro.isa import ProgramBuilder
+
+
+def _program(writer_name="writer"):
+    pb = ProgramBuilder("slice-t")
+    with pb.function(writer_name, ["p"]) as f:
+        f.store("p", 1, index=0)
+        f.ret()
+    with pb.function("reader", ["p"]) as f:
+        f.load("p", index=0)
+        f.ret()
+    with pb.function("pure", ["q"]) as f:
+        x = f.load("q", index=0)
+        f.ret(x)
+    with pb.function("aux", ["n"]) as f:
+        r = f.add("n", 1)
+        f.ret(r)
+    with pb.function("main", ["A", "B", "n"]) as f:
+        f.call(writer_name, ["A"])
+        f.call("reader", ["A"])
+        r = f.call("pure", ["B"], want_result=True)
+        f.store("B", r, index=1)
+        f.call("aux", ["n"], want_result=True)  # result ignored
+        f.halt()
+    return pb.build()
+
+
+def _frontier(base, new):
+    diff = diff_programs(base, new)
+    return compute_frontier(new, diff, build_manifest(base))
+
+
+def _rules(frontier, name):
+    return [r.rule for r in frontier.reasons[name]]
+
+
+def test_may_alias_pulls_sharing_function_only():
+    base = _program()
+    fr = _frontier(base, append_sink_instr(base, "writer"))
+    assert fr.funcs == {"writer", "reader"}
+    assert _rules(fr, "writer") == ["modified"]
+    reasons = fr.reasons["reader"]
+    assert reasons[0].rule == "may-alias" and reasons[0].via == "writer"
+    assert "arg:0" in reasons[0].detail
+    # disjoint array, unused result, no memory: all untouched
+    assert {"pure", "aux", "main"}.isdisjoint(fr.affected)
+
+
+def test_caller_uses_result_pulls_caller_then_callees():
+    base = _program()
+    fr = _frontier(base, append_sink_instr(base, "pure"))
+    assert "main" in fr.funcs
+    assert "caller-uses-result" in _rules(fr, "main")
+    # main affected => everything it can call inherits its contexts
+    assert fr.funcs == {"writer", "reader", "pure", "aux", "main"}
+    assert "callee-of-changed" in _rules(fr, "aux")
+
+
+def test_ignored_result_does_not_propagate():
+    base = _program()
+    fr = _frontier(base, append_sink_instr(base, "aux"))
+    assert fr.funcs == {"aux"}
+    assert fr.affected == {"aux"}
+
+
+def test_removed_function_participates_via_manifest():
+    base = _program()
+    new = _program(writer_name="scribe")
+    fr = _frontier(base, new)
+    # the baseline's 'writer' is affected (removed) but cannot be on
+    # the re-instrumentation frontier: it no longer exists
+    assert "writer" in fr.affected
+    assert "writer" not in fr.funcs
+    assert fr.funcs <= set(new.functions)
+    # its rename twin is re-analyzed as an 'added' function
+    assert "added" in _rules(fr, "scribe")
+    # and the alias channel still fires off the *baseline* tokens:
+    # reader shares A with the removed writer (or with scribe)
+    assert "reader" in fr.funcs
+
+
+def test_as_dict_lists_only_affected():
+    base = _program()
+    fr = _frontier(base, append_sink_instr(base, "writer"))
+    doc = fr.as_dict()
+    assert doc["funcs"] == ["reader", "writer"]
+    assert set(doc["reasons"]) == {"reader", "writer"}
+    assert doc["reasons"]["writer"] == [{"rule": "modified"}]

@@ -152,7 +152,11 @@ class TestObservability:
         assert samples["repro_service_job_seconds_sum"] > 0
         assert samples["repro_service_workers"] == 1
         assert samples["repro_service_queue_depth"] == 0
-        assert samples["repro_service_store_puts"] == 2
+        # cp- + ddg- + man- manifest + one rgn- region per function
+        from repro.workloads import registry
+
+        n_funcs = len(registry()["nn"]().program.functions)
+        assert samples["repro_service_store_puts"] == 3 + n_funcs
         assert samples["repro_service_store_misses"] == 2
         assert samples["repro_service_http_requests_total"] > 0
 
@@ -218,3 +222,93 @@ class TestHttpErrors:
         live.client.request_raw("GET", "/nope")
         samples = parse_samples(live.client.service_metrics())
         assert samples["repro_service_http_errors_total"] >= 1
+
+
+class TestIncremental:
+    """``baseline_fingerprint`` on POST /v1/analyze."""
+
+    @staticmethod
+    def _edited_kmeans_docs():
+        from repro.incr import append_sink_instr
+        from repro.isa.progjson import encode_program, encode_state
+        from repro.workloads import registry
+
+        spec = registry()["kmeans"]()
+        program = append_sink_instr(spec.program, "assign_points")
+        return (
+            encode_program(program),
+            encode_state(*spec.make_state()),
+        )
+
+    def test_incremental_job_reports_account_and_matches_cold(
+        self, make_service, tmp_path
+    ):
+        from repro.isa import fingerprint_program
+        from repro.workloads import registry
+
+        live = make_service(cache_dir=str(tmp_path / "cache"))
+        live.client.analyze(workload="kmeans")  # warm the baseline
+
+        baseline = fingerprint_program(registry()["kmeans"]().program)
+        program, state = self._edited_kmeans_docs()
+        sub = live.client.submit(
+            program=program,
+            state=state,
+            name="kmeans-edit",
+            baseline_fingerprint=baseline,
+        )
+        status = live.client.wait(sub["job"])
+        assert status["state"] == "done"
+        assert status["options"]["baseline"] == baseline
+        inc = status["incremental"]
+        assert inc["mode"] == "incremental"
+        assert set(inc["frontier"]) == {"assign_points", "update_centers"}
+        assert inc["regions_reused"] == 1
+        inc_report = live.client.report(sub["job"])
+
+        # a cold service without the baseline serves identical bytes
+        cold = make_service(cache_dir=str(tmp_path / "cold"))
+        cold_sub = cold.client.submit(
+            program=program, state=state, name="kmeans-edit"
+        )
+        cold_status = cold.client.wait(cold_sub["job"])
+        assert "incremental" not in cold_status
+        assert cold.client.report(cold_sub["job"]) == inc_report
+
+    def test_baseline_coalesces_with_cold_request(
+        self, make_service, tmp_path
+    ):
+        """baseline is excluded from the job key: same program, with
+        and without a baseline, is the same work."""
+        from repro.isa import fingerprint_program
+        from repro.workloads import registry
+
+        live = make_service(cache_dir=str(tmp_path / "cache"))
+        baseline = fingerprint_program(registry()["kmeans"]().program)
+        program, state = self._edited_kmeans_docs()
+        first = live.client.submit(program=program, state=state, name="e")
+        live.client.wait(first["job"])
+        second = live.client.submit(
+            program=program,
+            state=state,
+            name="e",
+            baseline_fingerprint=baseline,
+        )
+        assert second["deduplicated"] is True
+        assert second["job"] == first["job"]
+
+    def test_malformed_baseline_rejected(self, make_service, tmp_path):
+        live = make_service(cache_dir=str(tmp_path / "cache"))
+        with pytest.raises(ServiceError) as err:
+            live.client.submit(
+                workload="kmeans", baseline_fingerprint="not-hex"
+            )
+        assert err.value.status == 400
+
+    def test_baseline_without_store_rejected(self, make_service):
+        live = make_service()  # no cache_dir -> no artifact store
+        with pytest.raises(ServiceError) as err:
+            live.client.submit(
+                workload="kmeans", baseline_fingerprint="ab" * 32
+            )
+        assert err.value.status == 400

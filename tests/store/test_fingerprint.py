@@ -11,6 +11,7 @@ import dataclasses
 import pytest
 
 from repro.isa import fingerprint_program, fingerprint_state
+from repro.isa.fingerprint import function_fingerprint, function_fingerprints
 from repro.isa.program import Memory
 from repro.workloads import all_workloads
 
@@ -85,3 +86,113 @@ def test_memory_contents_change_digest():
     assert fingerprint_state([], m1) == fingerprint_state([], m2)
     m2.store(p2 + 2, 99)
     assert fingerprint_state([], m1) != fingerprint_state([], m2)
+
+
+# -- function-granularity fingerprints (incremental re-analysis) -------------------
+
+
+def _kmeans_program():
+    return all_workloads()["kmeans"]().program
+
+
+def _renumber(program, offset=1000):
+    from repro.incr import renumber_uids
+
+    return renumber_uids(program, offset)
+
+
+def test_function_fingerprint_rename_invariant():
+    """The function's own name is not part of its canonical digest."""
+    from repro.isa.program import Function
+
+    fn = _kmeans_program().functions["update_centers"]
+    twin = Function(
+        name="recenter",
+        params=tuple(fn.params),
+        entry=fn.entry,
+        blocks=dict(fn.blocks),
+        src_loop_depth=fn.src_loop_depth,
+        src_file=fn.src_file,
+    )
+    assert function_fingerprint(fn) == function_fingerprint(twin)
+
+
+def test_function_fingerprint_uid_renumber_invariant():
+    base = function_fingerprints(_kmeans_program())
+    renum = function_fingerprints(_renumber(_kmeans_program()))
+    assert base == renum
+
+
+def test_function_fingerprint_body_edit_is_local():
+    """A one-function edit changes that function's digest and no
+    other's."""
+    from repro.incr import append_sink_instr
+
+    prog = _kmeans_program()
+    base = function_fingerprints(prog)
+    edited = function_fingerprints(append_sink_instr(prog, "assign_points"))
+    assert edited["assign_points"] != base["assign_points"]
+    assert edited["main"] == base["main"]
+    assert edited["update_centers"] == base["update_centers"]
+
+
+def test_transitive_fingerprint_propagates_to_callers():
+    """Editing a leaf changes the transitive hash of every function
+    that can reach it -- and of nothing else."""
+    from repro.incr import append_sink_instr
+    from repro.isa.fingerprint import transitive_fingerprints
+
+    prog = _kmeans_program()
+    base = transitive_fingerprints(prog)
+    edited = transitive_fingerprints(append_sink_instr(prog, "assign_points"))
+    assert edited["assign_points"] != base["assign_points"]
+    assert edited["main"] != base["main"]  # main calls assign_points
+    # update_centers cannot reach assign_points: untouched
+    assert edited["update_centers"] == base["update_centers"]
+
+
+def test_reordered_definitions_hash_identically():
+    """Function definition order is not semantic: the program token
+    stream traverses functions in sorted order."""
+    from repro.isa.program import Program
+
+    prog = _kmeans_program()
+    shuffled = Program(
+        functions={
+            name: prog.functions[name]
+            for name in reversed(list(prog.functions))
+        },
+        main=prog.main,
+        name=prog.name,
+    )
+    assert list(shuffled.functions) != list(prog.functions)
+    assert fingerprint_program(prog) == fingerprint_program(shuffled)
+
+
+def test_function_tokens_are_boundary_tagged():
+    """Every function stream opens with a length-prefixed header and
+    closes with an explicit end marker, so program streams can never
+    concatenate ambiguously."""
+    from repro.isa.fingerprint import function_tokens
+
+    for name, fn in _kmeans_program().functions.items():
+        toks = list(function_tokens(fn))
+        assert toks[0].startswith(f"func[{len(name)}]:{name}:")
+        assert toks[-1] == "end"
+
+
+def test_block_fingerprints_are_block_local():
+    """An entry-block edit must not ripple into later blocks'
+    digests (ordinals are block-local)."""
+    from repro.incr import append_sink_instr
+    from repro.isa.fingerprint import block_fingerprints
+
+    prog = _kmeans_program()
+    fn = prog.functions["assign_points"]
+    base = block_fingerprints(fn)
+    edited_fn = append_sink_instr(prog, "assign_points").functions[
+        "assign_points"
+    ]
+    edited = block_fingerprints(edited_fn)
+    changed = [b for b in base if base[b] != edited[b]]
+    assert changed == [fn.entry]

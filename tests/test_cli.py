@@ -118,7 +118,11 @@ class TestCliCache:
         import os
 
         assert os.path.isdir(os.path.join(cache, "objects"))
-        assert len(os.listdir(os.path.join(cache, "objects"))) == 2
+        # cp- + ddg- + man- + one rgn- per function of the nn workload
+        from repro.workloads import registry
+
+        n_funcs = len(registry()["nn"]().program.functions)
+        assert len(os.listdir(os.path.join(cache, "objects"))) == 3 + n_funcs
 
         # --no-cache must win over the environment
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "never"))
@@ -198,3 +202,73 @@ class TestCliTrace:
     def test_mm_workload_registered(self, capsys):
         assert main(["list"]) == 0
         assert "mm" in capsys.readouterr().out.split()
+
+
+class TestDiffAndBaseline:
+    def test_diff_self_is_clean(self, capsys):
+        assert main(["diff", "kmeans", "kmeans"]) == 0
+        out = capsys.readouterr().out
+        assert "unchanged: 3" in out
+        assert "frontier: empty" in out
+
+    def test_diff_with_edit_names_frontier(self, capsys):
+        assert main(
+            ["diff", "kmeans", "kmeans", "--edit", "assign_points"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "assign_points" in out and "modified" in out
+        assert "re-analysis frontier:" in out
+        assert "may-alias via assign_points" in out
+
+    def test_diff_json_document(self, capsys):
+        import json
+
+        assert main(
+            [
+                "diff", "kmeans", "kmeans",
+                "--edit", "assign_points", "--format", "json",
+            ]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "diff"
+        assert doc["summary"]["modified"] == 1
+        assert doc["functions"]["assign_points"]["status"] == "modified"
+        assert set(doc["frontier"]["funcs"]) == {
+            "assign_points", "update_centers",
+        }
+
+    def test_diff_unknown_edit_function(self):
+        with pytest.raises(SystemExit, match="no such function"):
+            main(["diff", "kmeans", "kmeans", "--edit", "nope"])
+
+    def test_baseline_requires_cache(self):
+        with pytest.raises(SystemExit, match="artifact store"):
+            main(["report", "kmeans", "--no-cache", "--baseline", "kmeans"])
+
+    def test_baseline_bad_ref(self, tmp_path):
+        with pytest.raises(SystemExit, match="neither a workload"):
+            main(
+                [
+                    "report", "kmeans",
+                    "--cache", str(tmp_path),
+                    "--baseline", "zz",
+                ]
+            )
+
+    def test_baseline_stdout_identical_incremental_on_stderr(
+        self, tmp_path, capsys
+    ):
+        """--baseline must never change stdout; the incremental
+        account goes to stderr only."""
+        cache = str(tmp_path / "cache")
+        assert main(["report", "kmeans", "--cache", cache]) == 0
+        capsys.readouterr()
+        # cold run of the same (unedited) program, no baseline
+        assert main(["report", "kmeans", "--no-cache"]) == 0
+        cold = capsys.readouterr()
+        assert main(
+            ["report", "kmeans", "--cache", cache, "--baseline", "kmeans"]
+        ) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out
+        assert "incremental: mode=" in warm.err
