@@ -1,7 +1,8 @@
-"""Analysis-service benchmark: concurrency, dedup, warm restarts.
+"""Analysis-service benchmark: concurrency, dedup, warm restarts,
+process-pool scale-out, and routed replicas.
 
 Boots real daemons on ephemeral loopback ports and drives them with
-the stdlib client, gating the service PR's headline claims:
+the stdlib client, gating the service PRs' headline claims:
 
 * **concurrency** -- at least 8 simultaneous submissions of distinct
   workloads complete with zero errors;
@@ -10,12 +11,23 @@ the stdlib client, gating the service PR's headline claims:
 * **warm restart** -- a fresh daemon pointed at the cache directory a
   previous daemon populated serves the same requests at least **10x**
   faster end-to-end (HTTP round trips, queueing, polling, and artifact
-  decode all included in the warm time).
+  decode all included in the warm time);
+* **scale-out** -- 64 concurrent clients submitting unique cold jobs
+  over the Rodinia set: ``--execution process`` must beat
+  ``--execution thread`` by **2.5x** throughput on hosts with >= 4
+  cores (``REPRO_SERVICE_GATE`` overrides; on smaller hosts the gate
+  is recorded as skipped and the honest numbers still written --
+  worker processes cannot beat the GIL without cores to run on), with
+  zero errors and exactly-once execution per unique submission;
+* **routed replicas** -- two process-mode replicas behind the
+  consistent-hash router serve every report byte-identical to a
+  standalone daemon, again exactly-once.
 
 Writes ``BENCH_service.json``.
 """
 
 import json
+import os
 import shutil
 import tempfile
 import threading
@@ -28,10 +40,14 @@ from repro.service import (
     ServiceConfig,
     parse_samples,
 )
+from repro.service.router import AnalysisRouter, RouterConfig
 from repro.workloads import rodinia_workloads
 
 #: how many simultaneous clients the concurrency/dedup phases use
 CONCURRENCY = 8
+
+#: how many simultaneous clients the scale phase uses
+SCALE_CLIENTS = 64
 
 #: warm repetitions (best-of; noise is additive)
 WARM_ROUNDS = 3
@@ -39,14 +55,33 @@ WARM_ROUNDS = 3
 #: required cold/warm end-to-end speedup through the service
 GATE_WARM = 10.0
 
+CPUS = os.cpu_count() or 1
 
-def _boot(cache_dir, workers=4):
+
+def _scale_gate():
+    """(threshold, enforced, why) for process-vs-thread throughput --
+    hardware-conditional like the parallel-fold gate."""
+    env = os.environ.get("REPRO_SERVICE_GATE")
+    if env:
+        return float(env), True, f"REPRO_SERVICE_GATE={env}"
+    if CPUS >= 4:
+        return 2.5, True, f"{CPUS} cores"
+    return 2.5, False, (
+        f"only {CPUS} core(s): worker processes cannot outrun one GIL "
+        "without cores to run on; gate skipped, numbers recorded"
+    )
+
+
+def _boot(cache_dir, workers=4, execution="thread", queue_depth=64,
+          replica_id=None):
     service = AnalysisService(
         ServiceConfig(
             port=0,
             workers=workers,
-            queue_depth=64,
+            queue_depth=queue_depth,
             cache_dir=cache_dir,
+            execution=execution,
+            replica_id=replica_id,
             log_level="error",
         )
     )
@@ -84,6 +119,150 @@ def _fan_out(client, names):
     for t in threads:
         t.join()
     return time.perf_counter() - t0, laps, errors
+
+
+def _scale_submissions(names):
+    """64 unique (workload, fuel) submissions cycling the Rodinia set.
+    Fuel offsets make the content keys distinct without changing the
+    work, so every client's job is a real cold execution and dedup
+    rightly coalesces nothing."""
+    subs = []
+    for i in range(SCALE_CLIENTS):
+        subs.append(
+            {
+                "workload": names[i % len(names)],
+                "fuel": 50_000_000 + i // len(names),
+            }
+        )
+    return subs
+
+
+def _scale_phase(execution, names):
+    """64 concurrent clients against one daemon; returns the phase
+    record (wall seconds, throughput, metrics, errors)."""
+    workers = max(2, min(CPUS, 8))
+    service, client = _boot(
+        None,
+        workers=workers,
+        execution=execution,
+        queue_depth=SCALE_CLIENTS + 8,
+    )
+    bodies = _scale_submissions(names)
+    barrier = threading.Barrier(len(bodies))
+    errors = []
+
+    def _one(body):
+        try:
+            barrier.wait()
+            sub = client.submit(**body)
+            status = client.wait(sub["job"], timeout=1200, poll=0.01)
+            if status["state"] != "done":
+                raise RuntimeError(f"bad outcome {status}")
+            if not client.report(sub["job"]):
+                raise RuntimeError("empty report")
+        except Exception as exc:  # noqa: BLE001 - gate on the list
+            errors.append(f"{body['workload']}: {exc!r}")
+
+    threads = [
+        threading.Thread(target=_one, args=(b,)) for b in bodies
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    samples = parse_samples(client.service_metrics())
+    clean = service.shutdown(grace=60)
+    return {
+        "execution": execution,
+        "workers": workers,
+        "clients": len(bodies),
+        "unique_submissions": len(
+            {(b["workload"], b["fuel"]) for b in bodies}
+        ),
+        "wall_seconds": wall,
+        "throughput_jobs_per_s": len(bodies) / wall,
+        "executed": samples["repro_service_jobs_executed_total"],
+        "deduped": samples["repro_service_jobs_deduped_total"],
+        "failed": samples["repro_service_jobs_failed_total"],
+        "restarts": samples["repro_service_worker_restarts_total"],
+        "errors": errors,
+        "clean_shutdown": clean,
+    }
+
+
+def _router_phase(names):
+    """Two process-mode replicas behind the router vs one standalone
+    daemon: every report must be byte-identical, executed exactly
+    once across the ring."""
+    shared = tempfile.mkdtemp(prefix="repro-bench-ring-")
+    single_dir = tempfile.mkdtemp(prefix="repro-bench-single-")
+    try:
+        replicas = [
+            _boot(shared, workers=2, execution="process",
+                  replica_id=f"r{i}")
+            for i in range(2)
+        ]
+        router = AnalysisRouter(
+            RouterConfig(
+                port=0,
+                replicas=[
+                    f"{svc.host}:{svc.port}" for svc, _ in replicas
+                ],
+                health_interval=0.25,
+                log_level="error",
+            )
+        )
+        rhost, rport = router.start()
+        rclient = ServiceClient(rhost, rport)
+        single, sclient = _boot(single_dir, workers=2)
+
+        t0 = time.perf_counter()
+        routed = {}
+        errors = []
+        for name in names:
+            try:
+                _, report = rclient.analyze_resilient(
+                    workload=name, wait_timeout=600
+                )
+                routed[name] = report
+            except Exception as exc:  # noqa: BLE001
+                errors.append(f"{name}: {exc!r}")
+        wall = time.perf_counter() - t0
+        identical = all(
+            routed.get(name) == sclient.analyze(
+                workload=name, wait_timeout=600
+            )[1]
+            for name in names
+        )
+        executed = sum(
+            parse_samples(c.service_metrics())[
+                "repro_service_jobs_executed_total"
+            ]
+            for _, c in replicas
+        )
+        per_replica = [
+            len(svc.registry.jobs()) for svc, _ in replicas
+        ]
+        router_doc = rclient.health(raise_for_status=True)
+        router.shutdown()
+        for svc, _ in replicas:
+            svc.shutdown(grace=60)
+        single.shutdown(grace=60)
+        return {
+            "wall_seconds": wall,
+            "reports_identical": identical,
+            "executed": executed,
+            "per_replica_jobs": per_replica,
+            "replica_states": [
+                r["state"] for r in router_doc["replicas"]
+            ],
+            "errors": errors,
+        }
+    finally:
+        shutil.rmtree(shared, ignore_errors=True)
+        shutil.rmtree(single_dir, ignore_errors=True)
 
 
 def run_service():
@@ -139,6 +318,15 @@ def run_service():
             client.wait(job_id, timeout=600)
         dedup_samples = parse_samples(client.service_metrics())
         service.shutdown(grace=60)
+
+        # -- scale phase: 64 clients, thread pool vs process pool ---------
+        scale = {
+            mode: _scale_phase(mode, names)
+            for mode in ("thread", "process")
+        }
+
+        # -- routed replicas vs a standalone daemon -----------------------
+        routed = _router_phase(names)
     finally:
         shutil.rmtree(cache_dir, ignore_errors=True)
     return {
@@ -157,12 +345,21 @@ def run_service():
         "dedup_subs": [s for s in subs if s],
         "dedup_samples": dedup_samples,
         "clean_shutdowns": [clean_first] + clean_restarts,
+        "scale": scale,
+        "routed": routed,
     }
 
 
 def test_service(benchmark):
     r = once(benchmark, run_service)
     speedup = r["t_cold"] / r["t_warm"] if r["t_warm"] else float("inf")
+    gate, enforced, why = _scale_gate()
+    thread_phase = r["scale"]["thread"]
+    process_phase = r["scale"]["process"]
+    scale_speedup = (
+        process_phase["throughput_jobs_per_s"]
+        / thread_phase["throughput_jobs_per_s"]
+    )
 
     # gate: >= 8 concurrent submissions, zero errors, every shutdown clean
     assert len(r["names"]) >= CONCURRENCY
@@ -190,6 +387,26 @@ def test_service(benchmark):
         r["dedup_samples"]["repro_service_jobs_executed_total"] == 1
     ), r["dedup_samples"]
 
+    # gate: 64-client scale phases -- zero errors, exactly-once per
+    # unique submission, no worker crashes, clean drains
+    for phase in (thread_phase, process_phase):
+        assert phase["clients"] == SCALE_CLIENTS
+        assert not phase["errors"], phase["errors"][:5]
+        assert phase["failed"] == 0, phase
+        assert phase["restarts"] == 0, phase
+        assert phase["deduped"] == 0, phase
+        assert phase["executed"] == phase["unique_submissions"], phase
+        assert phase["clean_shutdown"], phase
+
+    # gate: routed replicas -- byte identity and exactly-once
+    assert not r["routed"]["errors"], r["routed"]["errors"]
+    assert r["routed"]["reports_identical"] is True
+    assert r["routed"]["executed"] == len(r["names"]), r["routed"]
+    assert all(n > 0 for n in r["routed"]["per_replica_jobs"]), (
+        "consistent hashing starved a replica: "
+        f"{r['routed']['per_replica_jobs']}"
+    )
+
     rows = []
     for name in r["names"]:
         c, w = r["cold_laps"][name], r["warm_laps"][name]
@@ -213,6 +430,27 @@ def test_service(benchmark):
             f"cold vs warm-restart daemon (best of {WARM_ROUNDS})"
         ),
     )
+    scale_rows = [
+        [
+            phase["execution"],
+            str(phase["workers"]),
+            str(phase["clients"]),
+            f"{phase['wall_seconds']:.2f}s",
+            f"{phase['throughput_jobs_per_s']:.2f}/s",
+        ]
+        for phase in (thread_phase, process_phase)
+    ]
+    scale_rows.append(
+        ["process/thread", "-", "-", "-", f"{scale_speedup:.2f}x"]
+    )
+    table += "\n\n" + format_table(
+        ["execution", "workers", "clients", "wall", "throughput"],
+        scale_rows,
+        title=(
+            f"repro.service scale-out ({CPUS} cores, gate "
+            f"{gate:.1f}x {'enforced' if enforced else 'skipped'}: {why})"
+        ),
+    )
     emit("service.txt", table)
 
     with open(results_path("BENCH_service.json"), "w") as fh:
@@ -231,6 +469,15 @@ def test_service(benchmark):
                     "repro_service_jobs_executed_total"
                 ],
                 "dedup_submissions": len(r["dedup_subs"]),
+                "cpus": CPUS,
+                "scale_clients": SCALE_CLIENTS,
+                "scale_gate": gate,
+                "scale_gate_enforced": enforced,
+                "scale_gate_note": why,
+                "scale_speedup": scale_speedup,
+                "scale_thread": thread_phase,
+                "scale_process": process_phase,
+                "routed": r["routed"],
             },
             fh,
             indent=2,
@@ -241,3 +488,10 @@ def test_service(benchmark):
         f"warm daemon only {speedup:.1f}x faster than cold "
         f"(gate: {GATE_WARM:.0f}x)"
     )
+    # the scale-out claim only where the hardware can express it
+    if enforced:
+        assert scale_speedup >= gate, (
+            f"process pool only {scale_speedup:.2f}x thread-pool "
+            f"throughput at {SCALE_CLIENTS} clients "
+            f"(gate {gate:.1f}x, {why})"
+        )

@@ -15,6 +15,7 @@ drive POLY-PROF over a binary:
 * ``lint [workloads...]``     -- static linter over workload programs
 * ``suite [workloads...]``    -- analyze many workloads in parallel
 * ``serve``                   -- run the analysis daemon (HTTP API)
+* ``route``                   -- consistent-hash router over replicas
 
 Analysis commands take ``--engine {fast,reference}`` (default fast:
 block-compiled VM, batched instrumentation, fast folding backend),
@@ -502,8 +503,24 @@ def cmd_serve(args) -> int:
         drain_grace=args.drain_grace,
         retain_jobs=args.retain_jobs,
         max_fold_jobs=args.max_fold_jobs,
+        execution=args.execution,
+        replica_id=args.replica_id,
     )
     return serve(config)
+
+
+def cmd_route(args) -> int:
+    from .service.router import RouterConfig, route
+
+    config = RouterConfig(
+        host=args.host,
+        port=args.port,
+        replicas=args.replica,
+        vnodes=args.vnodes,
+        default_engine=args.engine,
+        health_interval=args.health_interval,
+    )
+    return route(config)
 
 
 def cmd_suite(args) -> int:
@@ -805,6 +822,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "// workers, so in-flight fold processes never oversubscribe "
         "the host)",
     )
+    p.add_argument(
+        "--execution",
+        choices=("thread", "process"),
+        default="thread",
+        help="run analyses in worker threads (warm-optimized default) "
+        "or long-lived worker processes (cold throughput scales with "
+        "cores)",
+    )
+    p.add_argument(
+        "--replica-id",
+        default=None,
+        metavar="NAME",
+        help="identity reported in /healthz and /metrics when this "
+        "daemon is one replica behind `repro route`",
+    )
     _add_engine_arg(p)
     _add_cache_args(p)
     p.add_argument(
@@ -814,6 +846,42 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="MB",
         help="LRU size cap for the artifact store",
     )
+    p = sub.add_parser(
+        "route",
+        help="run the consistent-hash router over replica daemons",
+    )
+    p.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: loopback only)",
+    )
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8120,
+        help="TCP port (0 = pick an ephemeral port and print it)",
+    )
+    p.add_argument(
+        "--replica",
+        action="append",
+        required=True,
+        metavar="HOST:PORT",
+        help="replica daemon address; repeat once per ring member",
+    )
+    p.add_argument(
+        "--vnodes",
+        type=int,
+        default=64,
+        help="virtual points per replica on the hash ring",
+    )
+    p.add_argument(
+        "--health-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="seconds between replica health probes",
+    )
+    _add_engine_arg(p)
 
     args = parser.parse_args(argv)
     handler = {
@@ -829,6 +897,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "lint": cmd_lint,
         "suite": cmd_suite,
         "serve": cmd_serve,
+        "route": cmd_route,
     }[args.command]
     return handler(args)
 

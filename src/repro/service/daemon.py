@@ -15,15 +15,24 @@ Architecture (one process, stdlib only)::
             pipeline.analyze(store=shared ArtifactStore,
                              extra_observers=[DeadlineObserver])
 
-Worker threads -- not processes -- because the daemon's economics are
-cache economics: every worker shares one in-process
-:class:`~repro.store.ArtifactStore` handle, so a warm request is an
-artifact decode away regardless of which worker picks it up, and a
-cold result is published to every future request the moment it is put.
-Cold analyses of distinct programs do contend on the GIL; the
-scale-out story for cold throughput is the existing process-pool suite
-runner (:mod:`repro.runner`), which can pre-warm the very store this
-daemon serves from.
+Two execution modes share that front half unchanged
+(``config.execution``):
+
+* ``thread`` -- each worker thread runs the analysis in-process.
+  Warm traffic is ideal here (a cache hit is an artifact decode away,
+  no pipe crossing), but cold analyses of distinct programs contend on
+  the GIL.
+* ``process`` -- each worker thread *proxies* its claimed job to a
+  dedicated long-lived worker process (:mod:`repro.service.procpool`),
+  so cold throughput scales with cores.  Queueing, dedup, drain,
+  cancellation, heartbeats, and metrics all still happen here in the
+  daemon; only ``pipeline.analyze`` moves out-of-process.  The workers
+  share the daemon's cache *directory* (the store is cross-process
+  safe) rather than its store handle.
+
+For multi-host (or multi-daemon) scale-out, N replica daemons can
+share one store directory behind the consistent-hashing router
+(:mod:`repro.service.router`, ``repro route``).
 
 Shutdown (SIGTERM/SIGINT) drains: new submissions get 503, queued jobs
 are cancelled (clients polling them see ``cancelled``), in-flight jobs
@@ -45,10 +54,11 @@ from typing import IO, Optional, Tuple
 from urllib.parse import urlsplit
 
 from .executor import execute_job
-from .jobs import Job, JobOptions, JobRegistry, JobState, derive_job_key
+from .jobs import Job, JobRegistry, JobState, derive_job_key
 from .jsonlog import JsonLogger
 from .metrics import MetricsRegistry
 from .queue import BoundedJobQueue, QueueFull
+from .submission import BadRequest, ENGINES, build_options, build_spec
 
 #: version of the HTTP API surface (paths, request/response documents);
 #: every JSON response carries it as ``"version"``
@@ -59,11 +69,7 @@ _JOB_PATH = re.compile(
     r"(?:/(?P<sub>report|metrics|flamegraph|trace|cancel))?$"
 )
 
-ENGINES = ("fast", "reference")
-
-
-class BadRequest(Exception):
-    """Client error: malformed submission (HTTP 400)."""
+EXECUTION_MODES = ("thread", "process")
 
 
 class Draining(Exception):
@@ -75,6 +81,13 @@ class ServiceConfig:
     host: str = "127.0.0.1"
     port: int = 0  # 0 = ephemeral; read the bound port off the service
     workers: int = 2
+    #: "thread" executes analyses in worker threads (warm-optimized),
+    #: "process" proxies each to a long-lived worker process
+    #: (cold-throughput scales with cores); see the module docstring
+    execution: str = "thread"
+    #: identity this daemon reports in /healthz and /metrics when it
+    #: runs as one replica of a sharded deployment; None = standalone
+    replica_id: Optional[str] = None
     queue_depth: int = 16
     cache_dir: Optional[str] = None
     cache_max_bytes: Optional[int] = None
@@ -105,6 +118,11 @@ class AnalysisService:
             raise ValueError(f"unknown engine {config.engine!r}")
         if config.max_fold_jobs is not None and config.max_fold_jobs < 1:
             raise ValueError("max_fold_jobs must be >= 1")
+        if config.execution not in EXECUTION_MODES:
+            raise ValueError(
+                f"unknown execution mode {config.execution!r}; "
+                f"choose from {EXECUTION_MODES}"
+            )
         self.config = config
         #: effective bound on per-job fold_jobs: queue concurrency
         #: (worker threads) x fold processes stays <= cpu_count
@@ -128,6 +146,7 @@ class AnalysisService:
         self._draining = threading.Event()
         self._stop_workers = threading.Event()
         self._worker_threads: list = []
+        self._process_workers: list = []  # ProcessWorker per slot
         self._current_jobs: dict = {}  # worker index -> in-flight Job
         self._server: Optional[ThreadingHTTPServer] = None
         self._server_thread: Optional[threading.Thread] = None
@@ -177,6 +196,10 @@ class AnalysisService:
             "repro_service_jobs_warm_hits_total",
             "Completed jobs fully served from the artifact store.",
         )
+        self.c_worker_restarts = m.counter(
+            "repro_service_worker_restarts_total",
+            "Worker processes respawned after a crash or hard kill.",
+        )
         self.c_http = m.counter(
             "repro_service_http_requests_total",
             "HTTP requests handled.",
@@ -221,6 +244,37 @@ class AnalysisService:
 
     def render_metrics(self) -> str:
         text = self.metrics.render()
+        # topology block: execution mode, replica identity, per-worker
+        # process pids and restart counts (the registry has no label
+        # support, so labeled lines are hand-rendered like the store
+        # stats block below)
+        lines = []
+        name = "repro_service_execution_info"
+        lines.append(
+            f"# HELP {name} Execution mode (and replica id) this "
+            "daemon runs with."
+        )
+        lines.append(f"# TYPE {name} gauge")
+        labels = f'mode="{self.config.execution}"'
+        if self.config.replica_id:
+            labels += f',replica="{self.config.replica_id}"'
+        lines.append(f"{name}{{{labels}}} 1")
+        if self._process_workers:
+            for metric, attr, help_text in (
+                ("repro_service_worker_pid", "pid",
+                 "Current pid of each worker process."),
+                ("repro_service_worker_restarts", "restarts",
+                 "Respawns of each worker process slot."),
+            ):
+                lines.append(f"# HELP {metric} {help_text}")
+                lines.append(f"# TYPE {metric} gauge")
+                for w in self._process_workers:
+                    value = getattr(w, attr)
+                    lines.append(
+                        f'{metric}{{worker="{w.index}"}} '
+                        f"{value if value is not None else -1}"
+                    )
+        text += "\n".join(lines) + "\n"
         if self.store is not None:
             s = self.store.stats.as_dict()
             lines = []
@@ -251,6 +305,22 @@ class AnalysisService:
         self._server = _Server((self.config.host, self.config.port), handler)
         host, port = self._server.server_address[:2]
         self.host, self.port = host, int(port)
+        if self.config.execution == "process":
+            # fork the pool before any worker/server thread exists so
+            # the children never inherit a mid-transaction lock
+            from .procpool import ProcessWorker
+
+            for i in range(self.config.workers):
+                worker = ProcessWorker(
+                    i,
+                    cache_dir=self.config.cache_dir,
+                    cache_max_bytes=self.config.cache_max_bytes,
+                    on_restart=self._on_worker_restart,
+                    on_store_stats=self._merge_store_stats,
+                    logger=self.logger.bind(procpool=i),
+                )
+                worker.spawn()
+                self._process_workers.append(worker)
         for i in range(self.config.workers):
             t = threading.Thread(
                 target=self._worker_loop,
@@ -272,10 +342,27 @@ class AnalysisService:
             host=self.host,
             port=self.port,
             workers=self.config.workers,
+            execution=self.config.execution,
+            replica=self.config.replica_id,
             queue_depth=self.config.queue_depth,
             cache_dir=self.config.cache_dir,
         )
         return self.host, self.port
+
+    def _on_worker_restart(self, index: int) -> None:
+        self.c_worker_restarts.inc()
+
+    def _merge_store_stats(self, delta: dict) -> None:
+        """Fold a worker process's per-job store counter delta into
+        this daemon's handle so /metrics and /healthz keep describing
+        the cache work done on this daemon's behalf."""
+        if self.store is not None:
+            with self.store._lock:
+                self.store.stats.merge(delta)
+                # the worker already flushed this delta to stats.json
+                # itself; marking it flushed here keeps the daemon's
+                # own drain-time flush from double-counting it
+                self.store._flushed.merge(delta)
 
     @property
     def draining(self) -> bool:
@@ -314,6 +401,18 @@ class AnalysisService:
             for t in self._worker_threads:
                 t.join(timeout=10.0)
         self._stop_workers.set()
+        for worker in self._process_workers:
+            if any(t.is_alive() for t in self._worker_threads):
+                # a wedged worker thread may still own this pipe;
+                # terminate without touching the protocol
+                worker.kill()
+            else:
+                worker.stop()
+        if self.store is not None:
+            try:
+                self.store.flush_stats()
+            except OSError:  # pragma: no cover - unwritable cache dir
+                pass
         if self._server is not None:
             self._server.shutdown()
             if self._server_thread is not None:
@@ -359,77 +458,15 @@ class AnalysisService:
 
     def _build_spec(self, body: dict):
         """(spec, workload_name, inline) from a submission body."""
-        workload = body.get("workload")
-        program_doc = body.get("program")
-        if (workload is None) == (program_doc is None):
-            raise BadRequest(
-                "submit exactly one of 'workload' (registry name) or "
-                "'program' (inline progjson document)"
-            )
-        if workload is not None:
-            from ..workloads import all_workloads
+        return build_spec(body)
 
-            reg = all_workloads()
-            if workload not in reg:
-                raise BadRequest(
-                    f"unknown workload {workload!r}; available: "
-                    + ", ".join(sorted(reg))
-                )
-            return reg[workload](), workload, False
-        from ..isa.progjson import spec_from_documents
-
-        try:
-            spec = spec_from_documents(
-                program_doc, body.get("state"), name=body.get("name")
-            )
-        except Exception as exc:
-            raise BadRequest(f"invalid inline program: {exc}") from exc
-        return spec, spec.name, True
-
-    def _build_options(self, body: dict) -> JobOptions:
-        engine = body.get("engine", self.config.engine)
-        if engine not in ENGINES:
-            raise BadRequest(
-                f"unknown engine {engine!r}; choose from {ENGINES}"
-            )
-        timeout = body.get("timeout", self.config.default_timeout)
-        if timeout is not None:
-            timeout = float(timeout)
-            if timeout <= 0:
-                raise BadRequest("timeout must be positive")
-        clamp = body.get("clamp")
-        try:
-            fold_jobs = int(body.get("fold_jobs", 1))
-        except (TypeError, ValueError) as exc:
-            raise BadRequest("fold_jobs must be an integer") from exc
-        if fold_jobs < 1:
-            raise BadRequest("fold_jobs must be >= 1")
-        # silently clamp (not reject): the capped request still computes
-        # the identical result, just with less parallelism
-        fold_jobs = min(fold_jobs, self.fold_jobs_cap)
-        baseline = body.get("baseline_fingerprint")
-        if baseline is not None:
-            if not (
-                isinstance(baseline, str)
-                and len(baseline) == 64
-                and all(c in "0123456789abcdef" for c in baseline)
-            ):
-                raise BadRequest(
-                    "baseline_fingerprint must be a 64-hex program digest"
-                )
-            if self.store is None:
-                raise BadRequest(
-                    "baseline_fingerprint requires the service to run "
-                    "with an artifact store (cache_dir)"
-                )
-        return JobOptions(
-            engine=engine,
-            crosscheck=bool(body.get("crosscheck", False)),
-            clamp=None if clamp is None else int(clamp),
-            fuel=int(body.get("fuel", 50_000_000)),
-            timeout=timeout,
-            fold_jobs=fold_jobs,
-            baseline=baseline,
+    def _build_options(self, body: dict):
+        return build_options(
+            body,
+            default_engine=self.config.engine,
+            default_timeout=self.config.default_timeout,
+            fold_jobs_cap=self.fold_jobs_cap,
+            has_store=self.store is not None,
         )
 
     def submit(self, body: dict) -> Tuple[Job, bool, Optional[int]]:
@@ -507,7 +544,28 @@ class AnalysisService:
                 engine=job.options.engine,
             )
             started_before = job.started_at
-            execute_job(job, store=self.store, logger=log)
+            try:
+                if self._process_workers:
+                    self._process_workers[index].run_job(job)
+                else:
+                    execute_job(job, store=self.store, logger=log)
+            except BaseException as exc:
+                # the executor contract is "never raises"; anything
+                # that escapes anyway must not leave the job `running`
+                # forever (the pre-procpool worker-crash leak)
+                job.error = f"worker_crashed: {exc!r}"
+                job.crash = {
+                    "kind": "worker_crashed",
+                    "worker": index,
+                    "detail": repr(exc),
+                }
+                job.transition(
+                    (JobState.QUEUED, JobState.RUNNING), JobState.FAILED
+                )
+                self.c_worker_restarts.inc()
+                log.error(
+                    "job_worker_crashed", job_id=job.id, error=repr(exc)
+                )
             if job.started_at is not None and started_before is None:
                 self.c_executed.inc()
             if job.state == JobState.DONE:
@@ -545,6 +603,8 @@ class AnalysisService:
             "status": "draining" if self.draining else "ok",
             "uptime_seconds": round(time.time() - self._started_at, 3),
             "workers": self.config.workers,
+            "execution": self.config.execution,
+            "replica": self.config.replica_id,
             "busy": int(self.g_busy.value),
             "fold_jobs_cap": self.fold_jobs_cap,
             "queue_depth": len(self.queue),
@@ -554,6 +614,21 @@ class AnalysisService:
                 self.store.stats.as_dict() if self.store is not None else None
             ),
         }
+        if self._process_workers:
+            doc["process_workers"] = [
+                {
+                    "worker": w.index,
+                    "pid": w.pid,
+                    "alive": w.alive(),
+                    "restarts": w.restarts,
+                    "jobs_executed": w.jobs_executed,
+                }
+                for w in self._process_workers
+            ]
+        if self.store is not None:
+            persisted = self.store.persistent_stats()
+            if persisted is not None:
+                doc["store_persisted"] = persisted
         return doc
 
 

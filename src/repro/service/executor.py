@@ -77,15 +77,14 @@ class DeadlineObserver(Instrumentation):
             self._check()
 
 
-class HeartbeatObserver(Instrumentation):
-    """Passive observer streaming execution progress into
-    ``job.progress``, throttled to one write per
-    :data:`HEARTBEAT_EVERY` seconds so pollers see a moving
-    ``dyn_instrs`` without the hot path paying for a clock read per
-    event."""
+class _ProgressObserver(Instrumentation):
+    """Passive observer streaming execution progress to a heartbeat
+    callback, throttled to one call per :data:`HEARTBEAT_EVERY`
+    seconds so pollers see a moving ``dyn_instrs`` without the hot
+    path paying for a clock read per event."""
 
-    def __init__(self, job: Job) -> None:
-        self.job = job
+    def __init__(self, beat) -> None:
+        self.beat = beat
         self.dyn_instrs = 0
         self._countdown = CHECK_EVERY
         self._next = 0.0
@@ -94,7 +93,7 @@ class HeartbeatObserver(Instrumentation):
         now = time.monotonic()
         if now >= self._next:
             self._next = now + HEARTBEAT_EVERY
-            self.job.heartbeat(dyn_instrs=self.dyn_instrs)
+            self.beat(dyn_instrs=self.dyn_instrs)
 
     def on_block(self, instrs, frame_id, values, addrs) -> None:
         self.dyn_instrs += len(instrs)
@@ -108,83 +107,158 @@ class HeartbeatObserver(Instrumentation):
             self._maybe()
 
 
-def execute_job(job: Job, store=None, logger=None) -> Job:
-    """Run one job to a terminal state.  Never raises: every failure
-    mode lands in ``job.state``/``job.error``."""
+def run_analysis(
+    spec,
+    options,
+    store=None,
+    cancel_event: Optional[threading.Event] = None,
+    heartbeat=None,
+) -> dict:
+    """Execute one analysis to a plain, picklable **outcome** dict.
+
+    This is the execution core both worker flavors share: the thread
+    pool calls it in-process (:func:`execute_job`), the process pool
+    calls it inside a worker process (:mod:`repro.service.procpool`)
+    and ships the dict back over a pipe.  Never raises: every failure
+    mode lands in ``outcome["state"]``/``outcome["error"]``.
+
+    ``heartbeat`` is a ``callable(**fields)`` receiving throttled
+    progress updates (``phase=...``, ``dyn_instrs=...``); the thread
+    path binds it to ``job.heartbeat``, the process path to a pipe
+    send.  The rendered artifact bytes go through the same
+    :mod:`repro.feedback.jsonout` renderer as the CLI, which is what
+    keeps every execution mode byte-identical.
+    """
     from ..feedback.flamegraph import render_flamegraph_svg
     from ..pipeline import analyze
 
-    if not job.transition((JobState.QUEUED,), JobState.RUNNING):
-        # cancelled while queued (or already terminal): nothing to do
-        return job
+    def _beat(**fields):
+        if heartbeat is not None:
+            heartbeat(**fields)
 
     deadline = (
-        time.monotonic() + job.options.timeout
-        if job.options.timeout
-        else None
+        time.monotonic() + options.timeout if options.timeout else None
     )
-    observer = DeadlineObserver(deadline, job.cancel_event)
-    heartbeat = HeartbeatObserver(job)
+    observer = DeadlineObserver(deadline, cancel_event)
+    progress = _ProgressObserver(_beat)
+    outcome: dict = {"state": JobState.FAILED, "error": None}
     # one span tree per job: StageTimings, the daemon's stage
     # histograms, the /trace artifact, and the progress heartbeats all
     # read off it
-    tracer = Tracer(on_phase=lambda phase: job.heartbeat(phase=phase))
+    tracer = Tracer(on_phase=lambda phase: _beat(phase=phase))
     try:
         result = analyze(
-            job.spec,
-            engine=job.options.engine,
-            fuel=job.options.fuel,
-            clamp=job.options.clamp,
-            crosscheck=job.options.crosscheck,
+            spec,
+            engine=options.engine,
+            fuel=options.fuel,
+            clamp=options.clamp,
+            crosscheck=options.crosscheck,
             store=store,
-            extra_observers=[observer, heartbeat],
+            extra_observers=[observer, progress],
             tracer=tracer,
-            fold_jobs=job.options.fold_jobs,
-            baseline=job.options.baseline if store is not None else None,
+            fold_jobs=options.fold_jobs,
+            baseline=options.baseline if store is not None else None,
         )
-        if result.incremental is not None:
-            job.incremental = result.incremental.as_dict()
-        job.timings = result.timings.as_dict()
-        job.total_seconds = tracer.total_seconds()
-        job.heartbeat(phase="done", dyn_instrs=heartbeat.dyn_instrs)
-        job.stage1_cached = result.timings.stage1_cached
-        job.stage2_cached = result.timings.stage2_cached
-        job.cache_hit = result.timings.cache_hit
-        job.summary = {
-            "dyn_instrs": result.ddg_profile.builder.instr_count,
-            "statements": result.folded.stmt_count(),
-            "deps": len(result.folded.deps),
-            "plans": len(result.plans),
-        }
-        if result.crosscheck is not None:
-            job.crosscheck_violations = len(result.crosscheck.violations)
-        job.report_json = render_json(report_document(result)).encode("utf-8")
-        job.metrics_json = render_json(metrics_document(result)).encode("utf-8")
-        job.flamegraph_svg = render_flamegraph_svg(
-            result.schedule_tree,
-            title=f"poly-prof annotated flame graph: {job.spec.name}",
-        ).encode("utf-8")
+        _beat(phase="done", dyn_instrs=progress.dyn_instrs)
         trace_doc = chrome_trace_document(
-            tracer.roots, workload=job.spec.name
+            tracer.roots, workload=spec.name
         )
-        job.trace_json = (
-            json.dumps(trace_doc, indent=2) + "\n"
-        ).encode("utf-8")
-        job.transition((JobState.RUNNING,), JobState.DONE)
+        outcome = {
+            "state": JobState.DONE,
+            "error": None,
+            "timings": result.timings.as_dict(),
+            "total_seconds": tracer.total_seconds(),
+            "stage1_cached": result.timings.stage1_cached,
+            "stage2_cached": result.timings.stage2_cached,
+            "cache_hit": result.timings.cache_hit,
+            "summary": {
+                "dyn_instrs": result.ddg_profile.builder.instr_count,
+                "statements": result.folded.stmt_count(),
+                "deps": len(result.folded.deps),
+                "plans": len(result.plans),
+            },
+            "crosscheck_violations": (
+                len(result.crosscheck.violations)
+                if result.crosscheck is not None
+                else None
+            ),
+            "incremental": (
+                result.incremental.as_dict()
+                if result.incremental is not None
+                else None
+            ),
+            "report_json": render_json(
+                report_document(result)
+            ).encode("utf-8"),
+            "metrics_json": render_json(
+                metrics_document(result)
+            ).encode("utf-8"),
+            "flamegraph_svg": render_flamegraph_svg(
+                result.schedule_tree,
+                title=f"poly-prof annotated flame graph: {spec.name}",
+            ).encode("utf-8"),
+            "trace_json": (
+                json.dumps(trace_doc, indent=2) + "\n"
+            ).encode("utf-8"),
+        }
     except JobTimeout:
-        job.error = f"timed out after {job.options.timeout:g}s"
-        job.transition((JobState.RUNNING,), JobState.TIMEOUT)
+        outcome = {
+            "state": JobState.TIMEOUT,
+            "error": f"timed out after {options.timeout:g}s",
+        }
     except JobCancelled:
-        job.error = "cancelled while running"
-        job.transition((JobState.RUNNING,), JobState.CANCELLED)
+        outcome = {
+            "state": JobState.CANCELLED,
+            "error": "cancelled while running",
+        }
     except Exception as exc:
         # error *record*, not a crashed worker; keep logs trace-free
-        job.error = "".join(
-            traceback.format_exception_only(type(exc), exc)
-        ).strip()
-        job.transition((JobState.RUNNING,), JobState.FAILED)
-        if logger is not None:
-            logger.error("job_failed", job_id=job.id, error=job.error)
+        outcome = {
+            "state": JobState.FAILED,
+            "error": "".join(
+                traceback.format_exception_only(type(exc), exc)
+            ).strip(),
+        }
     finally:
         tracer.close()
+    return outcome
+
+
+def apply_outcome(job: Job, outcome: dict, logger=None) -> Job:
+    """Land an outcome dict on a RUNNING job: artifacts, timings, and
+    the terminal state transition."""
+    state = outcome.get("state", JobState.FAILED)
+    job.error = outcome.get("error")
+    if state == JobState.DONE:
+        job.timings = outcome["timings"]
+        job.total_seconds = outcome["total_seconds"]
+        job.stage1_cached = outcome["stage1_cached"]
+        job.stage2_cached = outcome["stage2_cached"]
+        job.cache_hit = outcome["cache_hit"]
+        job.summary = outcome["summary"]
+        job.crosscheck_violations = outcome["crosscheck_violations"]
+        job.incremental = outcome["incremental"]
+        job.report_json = outcome["report_json"]
+        job.metrics_json = outcome["metrics_json"]
+        job.flamegraph_svg = outcome["flamegraph_svg"]
+        job.trace_json = outcome["trace_json"]
+    elif state == JobState.FAILED and logger is not None:
+        logger.error("job_failed", job_id=job.id, error=job.error)
+    job.transition((JobState.RUNNING,), state)
     return job
+
+
+def execute_job(job: Job, store=None, logger=None) -> Job:
+    """Run one job to a terminal state in this thread.  Never raises:
+    every failure mode lands in ``job.state``/``job.error``."""
+    if not job.transition((JobState.QUEUED,), JobState.RUNNING):
+        # cancelled while queued (or already terminal): nothing to do
+        return job
+    outcome = run_analysis(
+        job.spec,
+        job.options,
+        store=store,
+        cancel_event=job.cancel_event,
+        heartbeat=job.heartbeat,
+    )
+    return apply_outcome(job, outcome, logger=logger)

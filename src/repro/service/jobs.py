@@ -123,6 +123,9 @@ class Job:
     stage2_cached: bool = False
     cache_hit: bool = False
     error: Optional[str] = None
+    #: machine-readable crash record when a worker process died while
+    #: it owned this job (kind/worker/detail); None for ordinary errors
+    crash: Optional[dict] = None
     summary: Dict[str, int] = field(default_factory=dict)
     #: rendered artifacts (exact bytes served to clients)
     report_json: Optional[bytes] = None
@@ -191,6 +194,8 @@ class Job:
             },
             "error": self.error,
         }
+        if self.crash is not None:
+            doc["crash"] = dict(self.crash)
         with self._lock:
             if self.progress:
                 doc["progress"] = dict(self.progress)

@@ -1,0 +1,135 @@
+"""Submission parsing shared by the daemon and the router.
+
+A ``POST /v1/analyze`` body is parsed in two places: the daemon turns
+it into a :class:`~repro.service.jobs.Job`, and the router
+(:mod:`repro.service.router`) only needs the **content key** to pick a
+replica.  Both must derive the *same* key from the same body -- the
+router's whole value proposition is that identical submissions land on
+the identical replica so dedup and cache locality survive sharding --
+so the spec/options construction lives here, parameterized by the few
+config defaults that differ per front door.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .jobs import JobOptions, derive_job_key
+
+ENGINES = ("fast", "reference")
+
+
+class BadRequest(Exception):
+    """Client error: malformed submission (HTTP 400)."""
+
+
+def build_spec(body: dict) -> Tuple[object, str, bool]:
+    """(spec, workload_name, inline) from a submission body."""
+    workload = body.get("workload")
+    program_doc = body.get("program")
+    if (workload is None) == (program_doc is None):
+        raise BadRequest(
+            "submit exactly one of 'workload' (registry name) or "
+            "'program' (inline progjson document)"
+        )
+    if workload is not None:
+        from ..workloads import all_workloads
+
+        reg = all_workloads()
+        if workload not in reg:
+            raise BadRequest(
+                f"unknown workload {workload!r}; available: "
+                + ", ".join(sorted(reg))
+            )
+        return reg[workload](), workload, False
+    from ..isa.progjson import spec_from_documents
+
+    try:
+        spec = spec_from_documents(
+            program_doc, body.get("state"), name=body.get("name")
+        )
+    except Exception as exc:
+        raise BadRequest(f"invalid inline program: {exc}") from exc
+    return spec, spec.name, True
+
+
+def build_options(
+    body: dict,
+    default_engine: str = "fast",
+    default_timeout: Optional[float] = None,
+    fold_jobs_cap: Optional[int] = None,
+    has_store: bool = True,
+) -> JobOptions:
+    """A validated :class:`JobOptions` from a submission body.
+
+    ``fold_jobs_cap`` silently clamps (never rejects): the capped
+    request still computes the identical result, just with less
+    parallelism.  ``has_store=False`` rejects ``baseline_fingerprint``
+    the way a store-less daemon must.
+    """
+    engine = body.get("engine", default_engine)
+    if engine not in ENGINES:
+        raise BadRequest(f"unknown engine {engine!r}; choose from {ENGINES}")
+    timeout = body.get("timeout", default_timeout)
+    if timeout is not None:
+        timeout = float(timeout)
+        if timeout <= 0:
+            raise BadRequest("timeout must be positive")
+    clamp = body.get("clamp")
+    try:
+        fold_jobs = int(body.get("fold_jobs", 1))
+    except (TypeError, ValueError) as exc:
+        raise BadRequest("fold_jobs must be an integer") from exc
+    if fold_jobs < 1:
+        raise BadRequest("fold_jobs must be >= 1")
+    if fold_jobs_cap is not None:
+        fold_jobs = min(fold_jobs, fold_jobs_cap)
+    baseline = body.get("baseline_fingerprint")
+    if baseline is not None:
+        if not (
+            isinstance(baseline, str)
+            and len(baseline) == 64
+            and all(c in "0123456789abcdef" for c in baseline)
+        ):
+            raise BadRequest(
+                "baseline_fingerprint must be a 64-hex program digest"
+            )
+        if not has_store:
+            raise BadRequest(
+                "baseline_fingerprint requires the service to run "
+                "with an artifact store (cache_dir)"
+            )
+    return JobOptions(
+        engine=engine,
+        crosscheck=bool(body.get("crosscheck", False)),
+        clamp=None if clamp is None else int(clamp),
+        fuel=int(body.get("fuel", 50_000_000)),
+        timeout=timeout,
+        fold_jobs=fold_jobs,
+        baseline=baseline,
+    )
+
+
+def routing_key(body: dict, default_engine: str = "fast") -> str:
+    """The stage-2 content key one submission body routes by.
+
+    Identical to the daemon-side dedup key for the same body and
+    engine default -- options that the daemon would clamp or reject
+    per-config (``fold_jobs``, ``baseline``) deliberately do not move
+    the key, so a request clamped differently by two replicas still
+    routes consistently.  Raises :class:`BadRequest` for bodies no
+    replica could accept, letting the router 400 at the edge without
+    burning a forward.
+    """
+    if not isinstance(body, dict):
+        raise BadRequest("request body must be a JSON object")
+    spec, _, _ = build_spec(body)
+    options = build_options(
+        body,
+        default_engine=default_engine,
+        # key-neutral knobs: clamp to 1 / allow baseline so a router
+        # without a store never rejects what a replica would accept
+        fold_jobs_cap=1,
+        has_store=True,
+    )
+    return derive_job_key(spec, options)

@@ -25,6 +25,17 @@ and the evict scan serialize on an internal lock, so stats never lose
 increments and two threads never evict past the cap in parallel.  The
 heavy work -- gzip/JSON encode/decode and file I/O of distinct keys --
 stays outside the lock.
+
+One store *directory* may additionally be shared by many **processes**
+(replica daemons, process-pool workers, suite runners): atomic
+``os.replace`` puts were always cross-process-safe, but LRU eviction
+and the persisted ``stats.json`` are read-modify-write cycles, so both
+run under an advisory ``flock`` on ``<root>/.lock`` -- two replicas
+finishing puts at the same moment walk the LRU tail one at a time
+(never double-evicting below the cap), and concurrent
+:meth:`flush_stats` merges never lose counts or tear the JSON.  On
+platforms without ``fcntl`` the lock degrades to the in-process lock
+(single-process semantics, exactly what such a host can run).
 """
 
 from __future__ import annotations
@@ -36,6 +47,11 @@ import tempfile
 import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 #: bump on ANY change to the artifact payload layout or the canonical
 #: fingerprint encoding; it salts every key (see keys.py), so old
@@ -74,6 +90,50 @@ class StoreStats:
         self.errors += other.get("errors", 0)
 
 
+class _InterProcessLock:
+    """Advisory cross-process lock on one file (``flock``-based).
+
+    Reentrant within a process via the paired thread lock: the owning
+    thread may nest acquisitions (evict-inside-flush), other threads
+    and other processes queue.  The fd is opened per outermost
+    acquisition so forked children never share lock state with their
+    parent."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._tlock = threading.RLock()
+        self._fd: Optional[int] = None
+        self._depth = 0
+
+    def __enter__(self) -> "_InterProcessLock":
+        self._tlock.acquire()
+        self._depth += 1
+        if self._depth == 1 and fcntl is not None:
+            try:
+                fd = os.open(self.path, os.O_CREAT | os.O_RDWR, 0o644)
+                fcntl.flock(fd, fcntl.LOCK_EX)
+                self._fd = fd
+            except OSError:
+                # an unlockable filesystem degrades to in-process
+                # locking rather than failing the analysis
+                self._fd = None
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._depth -= 1
+        if self._depth == 0 and self._fd is not None:
+            try:
+                fcntl.flock(self._fd, fcntl.LOCK_UN)
+            except OSError:  # pragma: no cover
+                pass
+            try:
+                os.close(self._fd)
+            except OSError:  # pragma: no cover
+                pass
+            self._fd = None
+        self._tlock.release()
+
+
 class ArtifactStore:
     """A directory of content-addressed analysis artifacts."""
 
@@ -82,12 +142,19 @@ class ArtifactStore:
     ) -> None:
         self.root = root
         self.objects_dir = os.path.join(root, "objects")
+        self.stats_path = os.path.join(root, "stats.json")
         self.max_bytes = max_bytes
         self.stats = StoreStats()
         #: serializes stats updates and LRU touch/evict across threads
         #: sharing this handle; never held during artifact encode/decode
         self._lock = threading.RLock()
         os.makedirs(self.objects_dir, exist_ok=True)
+        #: serializes eviction and stats.json persistence across
+        #: *processes* sharing this directory (replica daemons,
+        #: process-pool workers)
+        self._ipc_lock = _InterProcessLock(os.path.join(root, ".lock"))
+        #: counters already merged into stats.json by flush_stats()
+        self._flushed = StoreStats()
 
     # -- paths -------------------------------------------------------------------
 
@@ -195,15 +262,16 @@ class ArtifactStore:
     def evict(self) -> int:
         """Delete least-recently-used artifacts until under the cap.
 
-        The whole scan-and-delete runs under the store lock: two
-        worker threads finishing puts at the same moment must not both
+        The whole scan-and-delete runs under the store lock *and* the
+        cross-process file lock: two worker threads -- or two replica
+        daemons -- finishing puts at the same moment must not both
         walk the same LRU tail and double-count (or over-)evict.
-        Cross-*process* races remain benign -- a file vanishing under
-        us just fails its unlink.
+        Remaining races (a file vanishing mid-walk under an uncached
+        unlink) stay benign -- a vanished file just fails its unlink.
         """
         if self.max_bytes is None:
             return 0
-        with self._lock:
+        with self._lock, self._ipc_lock:
             entries = self.entries()
             total = sum(size for _, size, _ in entries)
             evicted = 0
@@ -217,6 +285,60 @@ class ArtifactStore:
                     evicted += 1
             self.stats.evictions += evicted
             return evicted
+
+    # -- persisted stats ----------------------------------------------------------
+
+    def flush_stats(self) -> Dict[str, int]:
+        """Merge this handle's *unflushed* counter deltas into the
+        shared ``stats.json`` and return the merged totals.
+
+        Safe to call from any number of handles in any number of
+        processes: the read-modify-write cycle runs under the
+        cross-process lock and lands via atomic replace, so counts are
+        never lost and readers never observe a torn document.  Called
+        by the service on drain and by process-pool workers after each
+        job; cheap enough to call often (one tiny JSON file).
+        """
+        with self._lock:
+            current = self.stats.as_dict()
+            delta = {
+                k: current[k] - getattr(self._flushed, k)
+                for k in current
+            }
+            for k, v in delta.items():
+                setattr(self._flushed, k, getattr(self._flushed, k) + v)
+        with self._ipc_lock:
+            totals = StoreStats()
+            totals.merge(self._read_persisted())
+            totals.merge(delta)
+            doc = totals.as_dict()
+            fd, tmp = tempfile.mkstemp(
+                prefix=".tmp-stats-", dir=self.root
+            )
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(doc, fh, sort_keys=True)
+                os.replace(tmp, self.stats_path)
+            except Exception:
+                self._unlink(tmp)
+                raise
+            return doc
+
+    def persistent_stats(self) -> Optional[Dict[str, int]]:
+        """The cumulative cross-process counters from ``stats.json``,
+        or None when no handle has flushed yet."""
+        doc = self._read_persisted()
+        return doc or None
+
+    def _read_persisted(self) -> Dict[str, int]:
+        try:
+            with open(self.stats_path, "r") as fh:
+                doc = json.load(fh)
+            return {k: int(v) for k, v in doc.items()}
+        except (OSError, ValueError, TypeError):
+            # missing or corrupt: start over from zero rather than
+            # failing a put/drain path over a counters file
+            return {}
 
     def clear(self) -> None:
         for path, _, _ in self.entries():
