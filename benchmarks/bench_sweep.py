@@ -1,0 +1,150 @@
+"""Sweep profiling benchmark: warm vs cold multi-input sweeps.
+
+A sweep runs the full pipeline once per grid point and folds the
+per-run DDGs into one parameterized dependence model
+(:func:`repro.sweep.run_sweep`).  Because every point's stage
+artifacts land in the content-addressed store, re-running the *same*
+sweep should do no execution at all: every run is a warm cache hit
+and only the (cheap) merge + classify pass repeats.
+
+This benchmark measures that contract on two Rodinia workloads with a
+3-point sweep each:
+
+* **cold** -- a fresh store; every point executes and folds.
+* **warm** -- the same store again, best of ``WARM_ROUNDS``; every
+  run must report ``cache_hit`` and the merged ``swp-`` payload must
+  be byte-identical to the cold one (the model is content-addressed,
+  so a byte drift would mean the merge is not deterministic).
+
+The gate: suite-total warm speedup (cold / warm) must be at least
+``GATE``x (override: ``REPRO_SWEEP_GATE``; CI uses a relaxed value --
+shared runners throttle).  Writes ``BENCH_sweep.json`` next to the
+text table.
+"""
+
+import json
+import os
+import shutil
+import tempfile
+import time
+
+from _harness import emit, format_table, once, results_path
+from repro.store import ArtifactStore
+from repro.sweep import run_sweep
+
+#: required suite-total warm-sweep speedup (cold / warm)
+GATE = 3.0
+
+#: best-of-N repetitions of the warm sweep
+WARM_ROUNDS = 3
+
+#: 3-point sweeps, one declared axis each (see ``params_of``)
+SUITE = {
+    "nw": [{"n": 8}, {"n": 10}, {"n": 12}],
+    "pathfinder": [{"rows": 12}, {"rows": 20}, {"rows": 28}],
+}
+
+
+def _gate():
+    """(threshold, source) -- the env var overrides the default."""
+    env = os.environ.get("REPRO_SWEEP_GATE")
+    if env:
+        return float(env), f"REPRO_SWEEP_GATE={env}"
+    return GATE, "default"
+
+
+def _sweep(workload, points, store):
+    t0 = time.perf_counter()
+    result = run_sweep(workload, points, jobs=1, store=store)
+    return time.perf_counter() - t0, result
+
+
+def run_sweeps():
+    cases = {}
+    for workload, points in SUITE.items():
+        cache = tempfile.mkdtemp(prefix="repro-bench-sweep-")
+        try:
+            store = ArtifactStore(cache)
+            t_cold, cold = _sweep(workload, points, store)
+            t_warm, identical, all_hits = float("inf"), True, True
+            for _ in range(WARM_ROUNDS):
+                dt, warm = _sweep(workload, points, store)
+                t_warm = min(t_warm, dt)
+                identical &= warm.payload == cold.payload
+                all_hits &= all(r.cache_hit for r in warm.runs)
+        finally:
+            shutil.rmtree(cache, ignore_errors=True)
+        cases[workload] = {
+            "points": points,
+            "statements": len(cold.model.statements),
+            "deps": len(cold.model.deps),
+            "sweep_key": cold.key,
+            "cold_seconds": t_cold,
+            "warm_seconds": t_warm,
+            "speedup": t_cold / t_warm,
+            "warm_byte_identical": identical,
+            "warm_all_cache_hits": all_hits,
+        }
+    return cases
+
+
+def test_sweep_speed(benchmark):
+    cases = once(benchmark, run_sweeps)
+    threshold, source = _gate()
+
+    drifted = [n for n, c in cases.items() if not c["warm_byte_identical"]]
+    assert not drifted, f"warm sweep payload drifted from cold: {drifted}"
+    missed = [n for n, c in cases.items() if not c["warm_all_cache_hits"]]
+    assert not missed, f"warm sweep re-executed points: {missed}"
+
+    rows = [
+        [
+            name,
+            len(c["points"]),
+            c["statements"],
+            f"{1000 * c['cold_seconds']:.0f}ms",
+            f"{1000 * c['warm_seconds']:.0f}ms",
+            f"{c['speedup']:.1f}x",
+        ]
+        for name, c in cases.items()
+    ]
+    t_cold = sum(c["cold_seconds"] for c in cases.values())
+    t_warm = sum(c["warm_seconds"] for c in cases.values())
+    suite_speedup = t_cold / t_warm
+    rows.append([
+        "TOTAL", "", "",
+        f"{1000 * t_cold:.0f}ms",
+        f"{1000 * t_warm:.0f}ms",
+        f"{suite_speedup:.1f}x",
+    ])
+    table = format_table(
+        ["workload", "points", "stmts", "cold", "warm", "speedup"],
+        rows,
+        title=(
+            "Sweep profiling: warm (artifact-served) vs cold 3-point "
+            f"sweep (warm best of {WARM_ROUNDS}; gate {threshold}x "
+            f"[{source}])"
+        ),
+    )
+    emit("sweep_speed.txt", table)
+
+    with open(results_path("BENCH_sweep.json"), "w") as fh:
+        json.dump(
+            {
+                "gate": threshold,
+                "gate_source": source,
+                "warm_rounds": WARM_ROUNDS,
+                "suite_cold_seconds": t_cold,
+                "suite_warm_seconds": t_warm,
+                "suite_speedup": suite_speedup,
+                "cases": cases,
+            },
+            fh,
+            indent=2,
+            sort_keys=True,
+        )
+
+    assert suite_speedup >= threshold, (
+        f"warm sweep suite only {suite_speedup:.1f}x faster than cold "
+        f"(gate: {threshold}x)"
+    )

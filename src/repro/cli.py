@@ -14,6 +14,8 @@ drive POLY-PROF over a binary:
 * ``regions <workload>``      -- rank candidate regions of interest
 * ``lint [workloads...]``     -- static linter over workload programs
 * ``suite [workloads...]``    -- analyze many workloads in parallel
+* ``sweep <workload>``        -- profile over an input sweep and merge
+  the per-run DDGs into a parameterized dependence model
 * ``serve``                   -- run the analysis daemon (HTTP API)
 * ``route``                   -- consistent-hash router over replicas
 
@@ -548,6 +550,54 @@ def cmd_suite(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    from .obs import Tracer
+    from .sweep import (
+        render_sweep_text,
+        run_sweep,
+        sweep_document,
+    )
+    from .sweep.driver import SweepError
+    from .sweep.grid import GridError, parse_point
+
+    points = None
+    if args.point:
+        try:
+            points = [parse_point(text) for text in args.point]
+        except GridError as exc:
+            raise SystemExit(str(exc))
+    max_mb = getattr(args, "cache_max_mb", None)
+    tracer = Tracer()
+    try:
+        with tracer.span("sweep", cat="sweep", workload=args.workload):
+            result = run_sweep(
+                args.workload,
+                points,
+                engine=args.engine,
+                clamp=args.clamp,
+                crosscheck=args.crosscheck,
+                fold_jobs=args.fold_jobs,
+                jobs=args.jobs,
+                timeout=args.timeout,
+                cache_dir=_cache_dir_from_args(args),
+                cache_max_bytes=(
+                    None if max_mb is None else max_mb * 1024 * 1024
+                ),
+                tracer=tracer,
+            )
+    except (SweepError, GridError) as exc:
+        raise SystemExit(str(exc))
+    finally:
+        tracer.close()
+    if args.format == "json":
+        from .feedback.jsonout import render_json
+
+        sys.stdout.write(render_json(sweep_document(result)))
+        return 0
+    print(render_sweep_text(result))
+    return 0
+
+
 def _add_engine_arg(p) -> None:
     p.add_argument(
         "--engine",
@@ -765,6 +815,59 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="LRU size cap for the shared artifact store",
     )
     p = sub.add_parser(
+        "sweep",
+        help="profile one workload over an input sweep and merge the "
+        "per-run DDGs into a parameterized dependence model",
+    )
+    p.add_argument("workload")
+    p.add_argument(
+        "--point",
+        action="append",
+        default=[],
+        metavar="BINDINGS",
+        help="one sweep point as comma-separated name=value bindings "
+        "(repeatable; unbound params take their registry defaults; "
+        "default: the workload's declared sweep grid)",
+    )
+    p.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        help="warm-phase worker processes (default: CPU count; "
+        "1 = no warm phase)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-point wall-clock limit in seconds (warm phase)",
+    )
+    p.add_argument(
+        "--clamp",
+        type=int,
+        default=None,
+        help="per-stream folding point clamp",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format; the json sweep document matches the "
+        "analysis service byte-for-byte",
+    )
+    _add_engine_arg(p)
+    _add_crosscheck_arg(p)
+    _add_fold_jobs_arg(p)
+    _add_cache_args(p)
+    p.add_argument(
+        "--cache-max-mb",
+        type=int,
+        default=None,
+        metavar="MB",
+        help="LRU size cap for the shared artifact store",
+    )
+    p = sub.add_parser(
         "serve", help="run the analysis daemon (JSON HTTP API)"
     )
     p.add_argument(
@@ -896,6 +999,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "diff": cmd_diff,
         "lint": cmd_lint,
         "suite": cmd_suite,
+        "sweep": cmd_sweep,
         "serve": cmd_serve,
         "route": cmd_route,
     }[args.command]

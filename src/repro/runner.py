@@ -390,8 +390,12 @@ def render_suite_table(results: Sequence[WorkloadResult]) -> str:
     crosschecked = any(r.soundness_violations is not None for r in results)
     cached = any(r.cache_stats is not None for r in results)
     parallel = any(r.fold_jobs > 1 for r in results)
+    # the name column grows with the longest workload name (sweep point
+    # tasks render as e.g. "pathfinder[cols=12,rows=20]") but never
+    # shrinks below the historical 16, keeping short-name output stable
+    name_w = max([16] + [len(r.name) for r in results])
     header = (
-        f"{'workload':16s} {'status':8s} {'wall':>7s} {'dyn ops':>10s} "
+        f"{'workload':{name_w}s} {'status':8s} {'wall':>7s} {'dyn ops':>10s} "
         f"{'stmts':>6s} {'deps':>6s} {'plans':>6s} {'hot':>8s}"
     )
     if parallel:
@@ -404,7 +408,7 @@ def render_suite_table(results: Sequence[WorkloadResult]) -> str:
     for r in results:
         if r.ok:
             line = (
-                f"{r.name:16s} {r.status():8s} {r.wall_seconds:6.2f}s "
+                f"{r.name:{name_w}s} {r.status():8s} {r.wall_seconds:6.2f}s "
                 f"{r.dyn_instrs:10d} {r.statements:6d} {r.deps:6d} "
                 f"{r.plans:6d} {r.hot_phase():>8s}"
             )
@@ -427,7 +431,7 @@ def render_suite_table(results: Sequence[WorkloadResult]) -> str:
             lines.append(line)
         else:
             lines.append(
-                f"{r.name:16s} {r.status():8s} {r.wall_seconds:6.2f}s "
+                f"{r.name:{name_w}s} {r.status():8s} {r.wall_seconds:6.2f}s "
                 f"-- {r.error}"
             )
     n_ok = sum(1 for r in results if r.ok)

@@ -107,6 +107,21 @@ class Parameterizer:
         self.parameters.append(p)
         return p, 0
 
+    def seed_anchors(self, values) -> None:
+        """Pre-assign parameters for ``values`` in sorted order.
+
+        The streaming :meth:`_param_for` anchors each parameter on the
+        *first* constant that created it, so two runs seeing the same
+        constant set in different orders get differently-named (and
+        differently-anchored) parameters.  Seeding the distinct values
+        in sorted order first makes the anchor assignment a pure
+        function of the value *set*: every later rewrite only reuses
+        the seeded windows, so parameter names and anchors are stable
+        across stream orderings (required when merged sweep models
+        compare parameterized constraints across runs)."""
+        for v in sorted(set(values)):
+            self._param_for(v)
+
     def rewrite_row(
         self, row: Sequence[int], is_eq: bool
     ) -> ParameterizedConstraint:
@@ -132,8 +147,22 @@ def parameterize_domains(
     threshold: int = DEFAULT_THRESHOLD,
     slack: int = DEFAULT_SLACK,
 ) -> ParameterizationResult:
-    """Parameterize every statement domain of a folded DDG."""
+    """Parameterize every statement domain of a folded DDG.
+
+    Anchor-stable: all parameterizable constants are collected first
+    and seeded in sorted order (:meth:`Parameterizer.seed_anchors`), so
+    two DDGs carrying the same constant set in different statement
+    orders produce identically-named, identically-anchored parameters.
+    """
     pz = Parameterizer(threshold=threshold, slack=slack)
+    large: List[int] = []
+    for fs in ddg.statements.values():
+        for piece in fs.domain.pieces:
+            for row in list(piece.eqs) + list(piece.ineqs):
+                k = abs(int(row[-1]))
+                if k >= threshold:
+                    large.append(k)
+    pz.seed_anchors(large)
     domains = []
     for fs in ddg.statements.values():
         cons: List[ParameterizedConstraint] = []

@@ -54,11 +54,18 @@ from typing import IO, Optional, Tuple
 from urllib.parse import urlsplit
 
 from .executor import execute_job
-from .jobs import Job, JobRegistry, JobState, derive_job_key
+from .jobs import Job, JobRegistry, JobState, derive_job_key, derive_sweep_key
 from .jsonlog import JsonLogger
 from .metrics import MetricsRegistry
 from .queue import BoundedJobQueue, QueueFull
-from .submission import BadRequest, ENGINES, build_options, build_spec
+from .submission import (
+    BadRequest,
+    ENGINES,
+    build_options,
+    build_spec,
+    child_body,
+    sweep_points,
+)
 
 #: version of the HTTP API surface (paths, request/response documents);
 #: every JSON response carries it as ``"version"``
@@ -477,6 +484,9 @@ class AnalysisService:
             raise Draining()
         if not isinstance(body, dict):
             raise BadRequest("request body must be a JSON object")
+        points = sweep_points(body)
+        if points is not None:
+            return self._submit_sweep(body, points)
         spec, workload, inline = self._build_spec(body)
         options = self._build_options(body)
         key = derive_job_key(spec, options)
@@ -490,6 +500,7 @@ class AnalysisService:
                 spec=spec,
                 options=options,
                 inline=inline,
+                bindings=body.get("bindings"),
             )
 
         job, deduped = self.registry.submit(key, factory)
@@ -500,6 +511,65 @@ class AnalysisService:
             position = self.queue.put(job)
         except QueueFull:
             # the job never ran; mark it so the key can be retried
+            if job.transition((JobState.QUEUED,), JobState.CANCELLED):
+                job.error = "rejected: queue full"
+            self.c_rejected.inc()
+            self.c_cancelled.inc()
+            raise
+        self.g_queue_depth.set(len(self.queue))
+        return job, False, position
+
+    def _submit_sweep(
+        self, body: dict, points: list
+    ) -> Tuple[Job, bool, Optional[int]]:
+        """Submit one sweep parent plus its fanned-out point children.
+
+        The parent's key is derived from the per-point job keys alone
+        (:func:`derive_sweep_key`), so two sweeps over the same points
+        coalesce no matter what happened to their children.  Children
+        are submitted through the ordinary :meth:`submit` path *before*
+        the parent is queued: the FIFO queue then analyzes the points
+        first and warms the shared store, turning the parent's merge
+        pass into decode work.  A child bounced by a full queue is
+        tolerated silently -- the parent computes that point itself.
+        """
+        options = self._build_options(body)
+        workload = body["workload"]
+        child_keys = [
+            derive_job_key(build_spec(child_body(body, point))[0], options)
+            for point in points
+        ]
+        key = derive_sweep_key(child_keys)
+        self.c_submitted.inc()
+
+        def factory(job_id: str) -> Job:
+            return Job(
+                id=job_id,
+                key=key,
+                workload=workload,
+                spec=None,
+                options=options,
+                inline=False,
+                sweep_points=[dict(p) for p in points],
+            )
+
+        job, deduped = self.registry.submit(key, factory)
+        if deduped:
+            self.c_deduped.inc()
+            return job, True, self.queue.position(job)
+        if self.store is not None:
+            # fan-out is a cache-warming optimization: without a shared
+            # store the children's work cannot reach the parent, so
+            # they would only double the sweep's cost
+            for point in points:
+                try:
+                    child, _, _ = self.submit(child_body(body, point))
+                    job.sweep_children.append(child.id)
+                except QueueFull:
+                    pass
+        try:
+            position = self.queue.put(job)
+        except QueueFull:
             if job.transition((JobState.QUEUED,), JobState.CANCELLED):
                 job.error = "rejected: queue full"
             self.c_rejected.inc()
@@ -545,9 +615,12 @@ class AnalysisService:
             )
             started_before = job.started_at
             try:
-                if self._process_workers:
+                if self._process_workers and job.sweep_points is None:
                     self._process_workers[index].run_job(job)
                 else:
+                    # sweep parents always run thread-side: their
+                    # per-point work is already fanned out to child
+                    # jobs, and the merge is decode-bound
                     execute_job(job, store=self.store, logger=log)
             except BaseException as exc:
                 # the executor contract is "never raises"; anything
@@ -766,18 +839,21 @@ def _make_handler(service: AnalysisService):
                     job_error=job.error,
                 )
                 return
-            if sub == "report":
-                self._send(200, job.report_json)
-            elif sub == "metrics":
-                self._send(200, job.metrics_json)
-            elif sub == "trace":
-                self._send(200, job.trace_json)
-            else:
-                self._send(
-                    200,
-                    job.flamegraph_svg,
-                    content_type="image/svg+xml",
+            payload = {
+                "report": job.report_json,
+                "metrics": job.metrics_json,
+                "trace": job.trace_json,
+                "flamegraph": job.flamegraph_svg,
+            }[sub]
+            if payload is None:
+                # sweep jobs have no per-run metrics/flamegraph
+                self._error(
+                    404, f"job {job_id} has no {sub} artifact"
                 )
+            elif sub == "flamegraph":
+                self._send(200, payload, content_type="image/svg+xml")
+            else:
+                self._send(200, payload)
 
         def do_POST(self) -> None:  # noqa: N802 - stdlib handler API
             rid = service.next_request_id()

@@ -224,6 +224,117 @@ def run_analysis(
     return outcome
 
 
+def run_sweep_analysis(
+    workload: str,
+    points: list,
+    options,
+    store=None,
+    cancel_event: Optional[threading.Event] = None,
+    heartbeat=None,
+) -> dict:
+    """Execute one sweep *parent* job to an outcome dict.
+
+    The parent re-analyzes every point inline (no warm-phase pool: the
+    fanned-out child jobs already flow through the daemon's own queue
+    and warm the shared store; whichever side gets to a point first,
+    the store deduplicates the work).  The rendered report is the same
+    :func:`repro.sweep.feedback.sweep_document` bytes the CLI emits --
+    a sweep job has no metrics/flamegraph artifact (they are per-run
+    notions), so those stay None and the HTTP layer 404s them.
+    """
+    from ..sweep.driver import run_sweep
+    from ..sweep.feedback import sweep_document
+
+    def _beat(**fields):
+        if heartbeat is not None:
+            heartbeat(**fields)
+
+    deadline = (
+        time.monotonic() + options.timeout if options.timeout else None
+    )
+    observer = DeadlineObserver(deadline, cancel_event)
+    progress = _ProgressObserver(_beat)
+    outcome: dict = {"state": JobState.FAILED, "error": None}
+    tracer = Tracer(on_phase=lambda phase: _beat(phase=phase))
+    try:
+        with tracer.span("sweep", cat="sweep", workload=workload):
+            result = run_sweep(
+                workload,
+                points,
+                engine=options.engine,
+                fuel=options.fuel,
+                clamp=options.clamp,
+                crosscheck=options.crosscheck,
+                fold_jobs=options.fold_jobs,
+                jobs=1,
+                store=store,
+                tracer=tracer,
+                extra_observers=[observer, progress],
+            )
+        _beat(phase="done", dyn_instrs=progress.dyn_instrs)
+        trace_doc = chrome_trace_document(tracer.roots, workload=workload)
+        outcome = {
+            "state": JobState.DONE,
+            "error": None,
+            "timings": {},
+            "total_seconds": tracer.total_seconds(),
+            "stage1_cached": False,
+            "stage2_cached": False,
+            "cache_hit": all(r.cache_hit for r in result.runs),
+            "summary": {
+                "runs": len(result.runs),
+                "statements": len(result.model.statements),
+                "deps": len(result.model.deps),
+                "sweep_key": result.key,
+            },
+            "crosscheck_violations": None,
+            "incremental": None,
+            "report_json": render_json(
+                sweep_document(result)
+            ).encode("utf-8"),
+            "metrics_json": None,
+            "flamegraph_svg": None,
+            "trace_json": (
+                json.dumps(trace_doc, indent=2) + "\n"
+            ).encode("utf-8"),
+        }
+    except JobTimeout:
+        outcome = {
+            "state": JobState.TIMEOUT,
+            "error": f"timed out after {options.timeout:g}s",
+        }
+    except JobCancelled:
+        outcome = {
+            "state": JobState.CANCELLED,
+            "error": "cancelled while running",
+        }
+    except Exception as exc:
+        # unwrap the executor aborts SweepError may have wrapped: a
+        # deadline that fires mid-point surfaces as SweepError with
+        # JobTimeout as its cause
+        cause = exc.__cause__
+        if isinstance(cause, JobTimeout):
+            outcome = {
+                "state": JobState.TIMEOUT,
+                "error": f"timed out after {options.timeout:g}s",
+            }
+        elif isinstance(cause, JobCancelled):
+            outcome = {
+                "state": JobState.CANCELLED,
+                "error": "cancelled while running",
+            }
+        else:
+            outcome = {
+                "state": JobState.FAILED,
+                "error": "".join(
+                    traceback.format_exception_only(type(exc), exc)
+                ).strip(),
+            }
+    finally:
+        tracer.close()
+    return outcome
+
+
 def apply_outcome(job: Job, outcome: dict, logger=None) -> Job:
     """Land an outcome dict on a RUNNING job: artifacts, timings, and
     the terminal state transition."""
@@ -254,11 +365,21 @@ def execute_job(job: Job, store=None, logger=None) -> Job:
     if not job.transition((JobState.QUEUED,), JobState.RUNNING):
         # cancelled while queued (or already terminal): nothing to do
         return job
-    outcome = run_analysis(
-        job.spec,
-        job.options,
-        store=store,
-        cancel_event=job.cancel_event,
-        heartbeat=job.heartbeat,
-    )
+    if job.sweep_points is not None:
+        outcome = run_sweep_analysis(
+            job.workload,
+            job.sweep_points,
+            job.options,
+            store=store,
+            cancel_event=job.cancel_event,
+            heartbeat=job.heartbeat,
+        )
+    else:
+        outcome = run_analysis(
+            job.spec,
+            job.options,
+            store=store,
+            cancel_event=job.cancel_event,
+            heartbeat=job.heartbeat,
+        )
     return apply_outcome(job, outcome, logger=logger)

@@ -98,6 +98,17 @@ def derive_job_key(spec, options: JobOptions) -> str:
     return hashlib.sha256(raw.encode("utf-8")).hexdigest()
 
 
+def derive_sweep_key(child_keys) -> str:
+    """Content-addressed identity of one sweep request: the sorted
+    set of its per-point job keys.  Each child key already binds the
+    workload, that point's input state, and every response-affecting
+    option, so two sweeps with the same points and options coalesce
+    regardless of submission order -- on the daemon (dedup) and on the
+    router (replica choice) alike."""
+    raw = "sweep|" + "|".join(sorted(child_keys))
+    return hashlib.sha256(raw.encode("utf-8")).hexdigest()
+
+
 @dataclass
 class Job:
     """One analysis request and (eventually) its artifacts."""
@@ -108,6 +119,16 @@ class Job:
     spec: object  # ProgramSpec; kept so the executing worker needs no re-resolve
     options: JobOptions
     inline: bool = False
+    #: input-size bindings of a registry workload (``bindings`` on
+    #: POST /v1/analyze); None = the registry defaults
+    bindings: Optional[dict] = None
+    #: canonical sweep points of a sweep *parent* job (``sweep`` on
+    #: POST /v1/analyze); None = an ordinary single-input job
+    sweep_points: Optional[list] = None
+    #: job ids of the fanned-out per-point child jobs (best-effort:
+    #: a child rejected by a full queue is simply absent -- the parent
+    #: computes that point itself)
+    sweep_children: List[str] = field(default_factory=list)
     state: str = JobState.QUEUED
     created_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
@@ -194,6 +215,13 @@ class Job:
             },
             "error": self.error,
         }
+        if self.bindings is not None:
+            doc["bindings"] = dict(self.bindings)
+        if self.sweep_points is not None:
+            doc["sweep"] = {
+                "points": [dict(p) for p in self.sweep_points],
+                "children": list(self.sweep_children),
+            }
         if self.crash is not None:
             doc["crash"] = dict(self.crash)
         with self._lock:

@@ -72,7 +72,10 @@ HARD_KILL_GRACE = 10.0
 def _job_payload(job: Job) -> dict:
     """The picklable description of one job's work."""
     if not job.inline:
-        return {"workload": job.workload}
+        payload = {"workload": job.workload}
+        if job.bindings:
+            payload["bindings"] = dict(job.bindings)
+        return payload
     from ..isa.progjson import encode_program, encode_state
 
     args, memory = job.spec.make_state()
@@ -87,7 +90,9 @@ def _rebuild_spec(payload: dict):
     if "workload" in payload:
         from ..workloads import all_workloads
 
-        return all_workloads()[payload["workload"]]()
+        return all_workloads()[payload["workload"]](
+            **payload.get("bindings", {})
+        )
     from ..isa.progjson import spec_from_documents
 
     return spec_from_documents(

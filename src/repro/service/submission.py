@@ -12,9 +12,9 @@ config defaults that differ per front door.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from .jobs import JobOptions, derive_job_key
+from .jobs import JobOptions, derive_job_key, derive_sweep_key
 
 ENGINES = ("fast", "reference")
 
@@ -24,14 +24,22 @@ class BadRequest(Exception):
 
 
 def build_spec(body: dict) -> Tuple[object, str, bool]:
-    """(spec, workload_name, inline) from a submission body."""
+    """(spec, workload_name, inline) from a submission body.
+
+    ``bindings`` (an object of ``param: value`` input sizes) applies
+    to registry workloads only: the factory validates the names
+    against the workload's declared params.
+    """
     workload = body.get("workload")
     program_doc = body.get("program")
+    bindings = body.get("bindings")
     if (workload is None) == (program_doc is None):
         raise BadRequest(
             "submit exactly one of 'workload' (registry name) or "
             "'program' (inline progjson document)"
         )
+    if bindings is not None and not isinstance(bindings, dict):
+        raise BadRequest("'bindings' must be an object of param: value")
     if workload is not None:
         from ..workloads import all_workloads
 
@@ -41,7 +49,16 @@ def build_spec(body: dict) -> Tuple[object, str, bool]:
                 f"unknown workload {workload!r}; available: "
                 + ", ".join(sorted(reg))
             )
-        return reg[workload](), workload, False
+        try:
+            spec = reg[workload](**(bindings or {}))
+        except (TypeError, ValueError) as exc:
+            raise BadRequest(str(exc)) from exc
+        return spec, workload, False
+    if bindings is not None:
+        raise BadRequest(
+            "'bindings' applies to registry workloads only, not "
+            "inline programs"
+        )
     from ..isa.progjson import spec_from_documents
 
     try:
@@ -110,20 +127,68 @@ def build_options(
     )
 
 
+def sweep_points(body: dict) -> Optional[List[Dict[str, int]]]:
+    """The canonical sweep points of a submission, or None.
+
+    A ``sweep`` body field is a list of binding objects; it requires a
+    registry ``workload`` (an inline program has no declared params to
+    sweep).  Points are completed from the workload's param defaults,
+    deduplicated, and canonically ordered
+    (:func:`repro.sweep.grid.complete_points`), so the daemon's parent
+    job key and the router's key agree for any submission order.  An
+    empty list means "the workload's declared default grid".
+    """
+    sweep = body.get("sweep")
+    if sweep is None:
+        return None
+    workload = body.get("workload")
+    if workload is None:
+        raise BadRequest("'sweep' requires a registry 'workload'")
+    if body.get("bindings") is not None:
+        raise BadRequest(
+            "submit either 'sweep' (a list of binding objects) or "
+            "'bindings' (one binding object), not both"
+        )
+    if not isinstance(sweep, list) or not all(
+        isinstance(p, dict) for p in sweep
+    ):
+        raise BadRequest("'sweep' must be a list of binding objects")
+    from ..sweep.grid import GridError, complete_points, default_grid
+
+    try:
+        if sweep:
+            points = complete_points(workload, sweep)
+        else:
+            points = default_grid(workload)
+    except GridError as exc:
+        raise BadRequest(str(exc)) from exc
+    return [dict(point) for point in points]
+
+
+def child_body(body: dict, point: Dict[str, int]) -> dict:
+    """The submission body of one sweep point: the parent body with
+    the ``sweep`` list replaced by that point's ``bindings``."""
+    child = {k: v for k, v in body.items() if k != "sweep"}
+    child["bindings"] = dict(point)
+    return child
+
+
 def routing_key(body: dict, default_engine: str = "fast") -> str:
-    """The stage-2 content key one submission body routes by.
+    """The content key one submission body routes by.
 
     Identical to the daemon-side dedup key for the same body and
     engine default -- options that the daemon would clamp or reject
     per-config (``fold_jobs``, ``baseline``) deliberately do not move
     the key, so a request clamped differently by two replicas still
-    routes consistently.  Raises :class:`BadRequest` for bodies no
+    routes consistently.  A ``sweep`` submission routes by its parent
+    key (derived from the sorted child keys), so a whole sweep -- the
+    parent and every child it fans out -- lands on one replica and
+    shares one store.  Raises :class:`BadRequest` for bodies no
     replica could accept, letting the router 400 at the edge without
     burning a forward.
     """
     if not isinstance(body, dict):
         raise BadRequest("request body must be a JSON object")
-    spec, _, _ = build_spec(body)
     options = build_options(
         body,
         default_engine=default_engine,
@@ -132,4 +197,15 @@ def routing_key(body: dict, default_engine: str = "fast") -> str:
         fold_jobs_cap=1,
         has_store=True,
     )
+    points = sweep_points(body)
+    if points is not None:
+        return derive_sweep_key(
+            [
+                derive_job_key(
+                    build_spec(child_body(body, point))[0], options
+                )
+                for point in points
+            ]
+        )
+    spec, _, _ = build_spec(body)
     return derive_job_key(spec, options)

@@ -1,0 +1,147 @@
+"""Dependence/statement classification across a sweep.
+
+Each merged entity carries per-run canonical payloads (the folding
+codec's encoding, made position-independent by :mod:`.merge`).  The
+classifier compares them across runs:
+
+* ``input-invariant`` -- the payload is byte-identical in every run:
+  the relation/domain does not depend on the swept input at all.
+* ``shape-scaling`` -- the payloads share one structural *skeleton*
+  and differ only in integer leaves, and every varying leaf is an
+  exact affine function ``a*axis + b`` of a single sweep axis.  These
+  are the constants :mod:`repro.schedule.parameterize` rewrites into
+  one symbolic parameter per axis (``N_<axis>``) -- trip counts,
+  extents, bounds that track the input size.
+* ``input-dependent`` -- anything else: the entity is structurally
+  present in some runs only, skeletons differ, or a constant moves in
+  a way no single-axis affine law explains.
+
+Affine fits are exact rational arithmetic (:class:`fractions.Fraction`
+from a two-point solve, verified against *every* run), never a
+regression: a merged model must not claim a scaling law the data only
+approximately follows.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+INPUT_INVARIANT = "input-invariant"
+SHAPE_SCALING = "shape-scaling"
+INPUT_DEPENDENT = "input-dependent"
+
+#: placeholder an int leaf collapses to in a payload skeleton
+_HOLE = "§"
+
+
+def skeleton(value, leaves: List[int]):
+    """Structure of a JSON payload with int leaves punched out.
+
+    Appends the extracted leaves to ``leaves`` in deterministic walk
+    order (dicts by sorted key), so two payloads with equal skeletons
+    have positionally-aligned leaf lists.
+    """
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, int):
+        leaves.append(value)
+        return _HOLE
+    if isinstance(value, float):
+        return value
+    if isinstance(value, str):
+        # a stray section sign in real data must not collide with holes
+        return "s:" + value
+    if isinstance(value, (list, tuple)):
+        return [skeleton(v, leaves) for v in value]
+    if isinstance(value, dict):
+        return {k: skeleton(value[k], leaves) for k in sorted(value)}
+    raise TypeError(f"unencodable payload node: {value!r}")
+
+
+def fit_affine(
+    series: Sequence[int], axis_values: Sequence[int]
+) -> Optional[Tuple[Fraction, Fraction]]:
+    """Exact ``(scale, offset)`` with ``v = scale*a + offset`` over all
+    runs, or None.  A repeated axis value with diverging ``v`` refutes
+    any fit; a constant series fits trivially (scale 0)."""
+    pairs = sorted(set(zip(axis_values, series)))
+    by_axis: Dict[int, int] = {}
+    for a, v in pairs:
+        if a in by_axis and by_axis[a] != v:
+            return None
+        by_axis[a] = v
+    distinct = sorted(by_axis.items())
+    if len(distinct) == 1:
+        return Fraction(0), Fraction(distinct[0][1])
+    (a0, v0), (a1, v1) = distinct[0], distinct[1]
+    scale = Fraction(v1 - v0, a1 - a0)
+    offset = Fraction(v0) - scale * a0
+    for a, v in distinct[2:]:
+        if scale * a + offset != v:
+            return None
+    return scale, offset
+
+
+def _fmt_fraction(f: Fraction) -> str:
+    return str(f.numerator) if f.denominator == 1 else f"{f.numerator}/{f.denominator}"
+
+
+def scaling_law(
+    axis: str, scale: Fraction, offset: Fraction
+) -> Dict[str, str]:
+    """The symbolic form of one fitted leaf: ``scale*N_<axis>+offset``
+    as exact rational strings (JSON-safe, order-stable)."""
+    return {
+        "param": f"N_{axis}",
+        "scale": _fmt_fraction(scale),
+        "offset": _fmt_fraction(offset),
+    }
+
+
+def classify_payloads(
+    payloads: Sequence[Optional[dict]],
+    axis_values: Dict[str, List[int]],
+) -> Tuple[str, List[Dict[str, str]]]:
+    """Classify one merged entity from its per-run payloads.
+
+    ``payloads`` is run-aligned (None = absent in that run);
+    ``axis_values`` maps each *varying* sweep axis to its run-aligned
+    values.  Returns ``(classification, laws)`` where ``laws`` lists
+    the distinct scaling laws of a ``shape-scaling`` entity (empty
+    otherwise), sorted for determinism.
+    """
+    if any(p is None for p in payloads):
+        return INPUT_DEPENDENT, []
+    leaves_per_run: List[List[int]] = []
+    skeletons = []
+    for p in payloads:
+        leaves: List[int] = []
+        skeletons.append(skeleton(p, leaves))
+        leaves_per_run.append(leaves)
+    first = skeletons[0]
+    if any(s != first for s in skeletons[1:]):
+        return INPUT_DEPENDENT, []
+    nleaves = len(leaves_per_run[0])
+    laws = set()
+    varying = False
+    for i in range(nleaves):
+        series = [run[i] for run in leaves_per_run]
+        if len(set(series)) == 1:
+            continue
+        varying = True
+        fitted = None
+        for axis in sorted(axis_values):
+            fit = fit_affine(series, axis_values[axis])
+            if fit is not None:
+                fitted = (axis,) + fit
+                break
+        if fitted is None:
+            return INPUT_DEPENDENT, []
+        axis, scale, offset = fitted
+        laws.add((axis, scale, offset))
+    if not varying:
+        return INPUT_INVARIANT, []
+    return SHAPE_SCALING, [
+        scaling_law(a, s, o) for a, s, o in sorted(laws)
+    ]

@@ -32,7 +32,7 @@ from . import (  # noqa: F401  (imports register the workloads)
     srad,
     streamcluster,
 )
-from ._util import registry
+from ._util import Param, all_params, params_of, registry  # noqa: F401
 
 #: the Rodinia 3.1 (CPU) benchmark order of the paper's Table 5
 RODINIA_ORDER = (

@@ -3,11 +3,19 @@
 Workloads are deterministic: all pseudo-random data comes from a tiny
 explicit LCG seeded per workload, so every profile run folds to the
 same polyhedral DDG.
+
+Every registered workload may declare :class:`Param` specs -- its
+sweep-able input sizes with defaults and suggested sweep values.  The
+registered factory then accepts the params as keyword bindings
+(``reg["pathfinder"](rows=28)``); calling it with **no** bindings
+builds the byte-identical default the registry always built, so every
+existing artifact key and cached profile stays valid.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
 
 from ..pipeline import ProgramSpec
 
@@ -32,21 +40,75 @@ class Lcg:
         return [self.next_int(bound) for _ in range(n)]
 
 
-#: name -> factory() -> ProgramSpec
-_REGISTRY: Dict[str, Callable[[], ProgramSpec]] = {}
+@dataclass(frozen=True)
+class Param:
+    """One declarative sweep-able workload input.
+
+    ``default`` mirrors the builder's own keyword default (asserted by
+    the registry tests); ``sweep`` lists the suggested grid values a
+    default ``repro sweep`` uses -- small enough that a full sweep
+    stays test-sized.  An empty ``sweep`` marks a param that can be
+    bound explicitly but is not swept by default.
+    """
+
+    name: str
+    default: int
+    sweep: Tuple[int, ...] = ()
 
 
-def workload(name: str):
-    """Decorator registering a workload factory under a name."""
+#: name -> factory(**bindings) -> ProgramSpec
+_REGISTRY: Dict[str, Callable[..., ProgramSpec]] = {}
 
-    def deco(fn: Callable[[], ProgramSpec]):
-        _REGISTRY[name] = fn
+#: name -> declared Param specs (may be empty)
+_PARAMS: Dict[str, Tuple[Param, ...]] = {}
+
+
+def workload(name: str, params: Tuple[Param, ...] = ()):
+    """Decorator registering a workload factory under a name.
+
+    With ``params`` the decorated function must accept the declared
+    names as keyword arguments (defaulting to the registry defaults);
+    the registered factory validates bindings against the declaration
+    so a typo'd sweep axis fails loudly instead of building the
+    default shape.
+    """
+
+    params = tuple(params)
+    allowed = frozenset(p.name for p in params)
+
+    def deco(fn: Callable[..., ProgramSpec]):
+        def factory(**bindings) -> ProgramSpec:
+            if bindings:
+                unknown = sorted(set(bindings) - allowed)
+                if unknown:
+                    raise TypeError(
+                        f"workload {name!r} has no param(s) "
+                        f"{', '.join(unknown)}; declared: "
+                        f"{', '.join(p.name for p in params) or '(none)'}"
+                    )
+                bindings = {k: int(v) for k, v in bindings.items()}
+            return fn(**bindings)
+
+        factory.__name__ = getattr(fn, "__name__", name)
+        factory.__doc__ = fn.__doc__
+        _REGISTRY[name] = factory
+        _PARAMS[name] = params
         return fn
 
     return deco
 
 
-def registry() -> Dict[str, Callable[[], ProgramSpec]]:
+def registry() -> Dict[str, Callable[..., ProgramSpec]]:
     """All registered workload factories (import side effects matter:
     use :func:`repro.workloads.all_workloads` which imports them)."""
     return dict(_REGISTRY)
+
+
+def params_of(name: str) -> Tuple[Param, ...]:
+    """The declared sweep params of one registered workload."""
+    return _PARAMS.get(name, ())
+
+
+def all_params() -> Dict[str, Tuple[Param, ...]]:
+    """Declared params of every registered workload."""
+    return dict(_PARAMS)

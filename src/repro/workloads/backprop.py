@@ -22,7 +22,7 @@ from typing import Sequence, Tuple
 
 from ..isa import Memory, ProgramBuilder
 from ..pipeline import ProgramSpec
-from ._util import Lcg, workload
+from ._util import Lcg, Param, workload
 
 
 def _emit_layerforward(pb: ProgramBuilder) -> None:
@@ -196,6 +196,10 @@ def build_backprop(n_in: int = 12, n_hidden: int = 8, n_out: int = 6) -> Program
     )
 
 
-@workload("backprop")
-def backprop_default() -> ProgramSpec:
-    return build_backprop()
+@workload("backprop", params=(
+    Param("n_in", 12, (8, 12, 16)),
+    Param("n_hidden", 8, (6, 8, 10)),
+    Param("n_out", 6),
+))
+def backprop_default(**sizes: int) -> ProgramSpec:
+    return build_backprop(**sizes)

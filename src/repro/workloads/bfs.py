@@ -15,7 +15,7 @@ from typing import List, Sequence, Tuple
 
 from ..isa import Memory, ProgramBuilder
 from ..pipeline import ProgramSpec
-from ._util import Lcg, workload
+from ._util import Lcg, Param, workload
 
 
 def build_bfs(nnodes: int = 48, avg_degree: int = 5, seed: int = 41) -> ProgramSpec:
@@ -123,6 +123,10 @@ def build_bfs(nnodes: int = 48, avg_degree: int = 5, seed: int = 41) -> ProgramS
     )
 
 
-@workload("bfs")
-def bfs_default() -> ProgramSpec:
-    return build_bfs()
+@workload("bfs", params=(
+    Param("nnodes", 48, (32, 48, 64)),
+    Param("avg_degree", 5),
+    Param("seed", 41),
+))
+def bfs_default(**sizes: int) -> ProgramSpec:
+    return build_bfs(**sizes)

@@ -14,7 +14,7 @@ from typing import List, Sequence, Tuple
 
 from ..isa import Memory, ProgramBuilder
 from ..pipeline import ProgramSpec
-from ._util import Lcg, workload
+from ._util import Lcg, Param, workload
 
 ORDER = 4  # keys per node
 
@@ -119,6 +119,9 @@ def build_btree(nkeys: int = 32, nqueries: int = 12) -> ProgramSpec:
     )
 
 
-@workload("b+tree")
-def btree_default() -> ProgramSpec:
-    return build_btree()
+@workload("b+tree", params=(
+    Param("nkeys", 32, (24, 32, 40)),
+    Param("nqueries", 12, (8, 12, 16)),
+))
+def btree_default(**sizes: int) -> ProgramSpec:
+    return build_btree(**sizes)

@@ -18,7 +18,7 @@ from typing import Sequence, Tuple
 
 from ..isa import Memory, ProgramBuilder
 from ..pipeline import ProgramSpec
-from ._util import Lcg, workload
+from ._util import Lcg, Param, workload
 
 NNB = 4  # neighbours per element (tetrahedral grid)
 
@@ -105,6 +105,9 @@ def build_cfd(ncells: int = 16, steps: int = 2) -> ProgramSpec:
     )
 
 
-@workload("cfd")
-def cfd_default() -> ProgramSpec:
-    return build_cfd()
+@workload("cfd", params=(
+    Param("ncells", 16, (12, 16, 20)),
+    Param("steps", 2),
+))
+def cfd_default(**sizes: int) -> ProgramSpec:
+    return build_cfd(**sizes)

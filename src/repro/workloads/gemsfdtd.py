@@ -25,7 +25,7 @@ from typing import Sequence, Tuple
 
 from ..isa import Memory, ProgramBuilder
 from ..pipeline import ProgramSpec
-from ._util import Lcg, workload
+from ._util import Lcg, Param, workload
 
 
 def _emit_update(pb: ProgramBuilder, name: str, line: int, n: str = "n") -> None:
@@ -90,6 +90,9 @@ def build_gemsfdtd(n: int = 6, timesteps: int = 2) -> ProgramSpec:
     )
 
 
-@workload("gemsfdtd")
-def gemsfdtd_default() -> ProgramSpec:
-    return build_gemsfdtd()
+@workload("gemsfdtd", params=(
+    Param("n", 6, (5, 6, 7)),
+    Param("timesteps", 2),
+))
+def gemsfdtd_default(**sizes: int) -> ProgramSpec:
+    return build_gemsfdtd(**sizes)

@@ -14,7 +14,7 @@ from typing import Sequence, Tuple
 
 from ..isa import Memory, ProgramBuilder
 from ..pipeline import ProgramSpec
-from ._util import Lcg, workload
+from ._util import Lcg, Param, workload
 
 
 def build_heartwall(
@@ -105,6 +105,11 @@ def build_heartwall(
     )
 
 
-@workload("heartwall")
-def heartwall_default() -> ProgramSpec:
-    return build_heartwall()
+@workload("heartwall", params=(
+    Param("frames", 2),
+    Param("npoints", 2, (2, 3, 4)),
+    Param("tmpl", 3),
+    Param("win", 5),
+))
+def heartwall_default(**sizes: int) -> ProgramSpec:
+    return build_heartwall(**sizes)

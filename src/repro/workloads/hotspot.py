@@ -24,7 +24,7 @@ from typing import Sequence, Tuple
 
 from ..isa import Memory, ProgramBuilder
 from ..pipeline import ProgramSpec
-from ._util import Lcg, workload
+from ._util import Lcg, Param, workload
 
 
 def build_hotspot(rows: int = 10, cols: int = 10, steps: int = 2) -> ProgramSpec:
@@ -95,6 +95,10 @@ def build_hotspot(rows: int = 10, cols: int = 10, steps: int = 2) -> ProgramSpec
     )
 
 
-@workload("hotspot")
-def hotspot_default() -> ProgramSpec:
-    return build_hotspot()
+@workload("hotspot", params=(
+    Param("rows", 10, (8, 10, 12)),
+    Param("cols", 10, (8, 10, 12)),
+    Param("steps", 2),
+))
+def hotspot_default(**sizes: int) -> ProgramSpec:
+    return build_hotspot(**sizes)

@@ -14,7 +14,7 @@ from typing import Sequence, Tuple
 
 from ..isa import Memory, ProgramBuilder
 from ..pipeline import ProgramSpec
-from ._util import Lcg, workload
+from ._util import Lcg, Param, workload
 
 
 def build_hotspot3d(n: int = 5, steps: int = 2) -> ProgramSpec:
@@ -92,6 +92,9 @@ def build_hotspot3d(n: int = 5, steps: int = 2) -> ProgramSpec:
     )
 
 
-@workload("hotspot3D")
-def hotspot3d_default() -> ProgramSpec:
-    return build_hotspot3d()
+@workload("hotspot3D", params=(
+    Param("n", 5, (4, 5, 6)),
+    Param("steps", 2),
+))
+def hotspot3d_default(**sizes: int) -> ProgramSpec:
+    return build_hotspot3d(**sizes)

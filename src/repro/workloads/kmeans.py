@@ -15,7 +15,7 @@ from typing import Sequence, Tuple
 
 from ..isa import Memory, ProgramBuilder
 from ..pipeline import ProgramSpec
-from ._util import Lcg, workload
+from ._util import Lcg, Param, workload
 
 
 def build_kmeans(
@@ -111,6 +111,11 @@ def build_kmeans(
     )
 
 
-@workload("kmeans")
-def kmeans_default() -> ProgramSpec:
-    return build_kmeans()
+@workload("kmeans", params=(
+    Param("npoints", 12, (8, 12, 16)),
+    Param("nclusters", 3),
+    Param("nfeatures", 4),
+    Param("iters", 2),
+))
+def kmeans_default(**sizes: int) -> ProgramSpec:
+    return build_kmeans(**sizes)

@@ -13,7 +13,7 @@ from typing import List, Sequence, Tuple
 
 from ..isa import Memory, ProgramBuilder
 from ..pipeline import ProgramSpec
-from ._util import Lcg, workload
+from ._util import Lcg, Param, workload
 
 
 def build_lavamd(nboxes: int = 8, nper: int = 3, nnb: int = 4) -> ProgramSpec:
@@ -79,6 +79,10 @@ def build_lavamd(nboxes: int = 8, nper: int = 3, nnb: int = 4) -> ProgramSpec:
     )
 
 
-@workload("lavaMD")
-def lavamd_default() -> ProgramSpec:
-    return build_lavamd()
+@workload("lavaMD", params=(
+    Param("nboxes", 8, (6, 8, 10)),
+    Param("nper", 3),
+    Param("nnb", 4),
+))
+def lavamd_default(**sizes: int) -> ProgramSpec:
+    return build_lavamd(**sizes)

@@ -16,7 +16,7 @@ from typing import Sequence, Tuple
 
 from ..isa import Memory, ProgramBuilder
 from ..pipeline import ProgramSpec
-from ._util import Lcg, workload
+from ._util import Lcg, Param, workload
 
 
 def build_leukocyte(
@@ -116,6 +116,11 @@ def build_leukocyte(
     )
 
 
-@workload("leukocyte")
-def leukocyte_default() -> ProgramSpec:
-    return build_leukocyte()
+@workload("leukocyte", params=(
+    Param("frames", 2),
+    Param("ncells", 6, (4, 6, 8)),
+    Param("nangles", 10),
+    Param("imgsize", 12),
+))
+def leukocyte_default(**sizes: int) -> ProgramSpec:
+    return build_leukocyte(**sizes)

@@ -20,7 +20,7 @@ from typing import Sequence, Tuple
 
 from ..isa import Memory, ProgramBuilder
 from ..pipeline import ProgramSpec
-from ._util import Lcg, workload
+from ._util import Lcg, Param, workload
 
 
 def build_lud(n: int = 8, block: int = 4) -> ProgramSpec:
@@ -144,6 +144,9 @@ def build_lud(n: int = 8, block: int = 4) -> ProgramSpec:
     )
 
 
-@workload("lud")
-def lud_default() -> ProgramSpec:
-    return build_lud()
+@workload("lud", params=(
+    Param("n", 8, (8, 12, 16)),
+    Param("block", 4),
+))
+def lud_default(**sizes: int) -> ProgramSpec:
+    return build_lud(**sizes)

@@ -14,7 +14,7 @@ from typing import Sequence, Tuple
 
 from ..isa import Memory, ProgramBuilder
 from ..pipeline import ProgramSpec
-from ._util import Lcg, workload
+from ._util import Lcg, Param, workload
 
 
 def build_myocyte(neq: int = 12, steps: int = 4) -> ProgramSpec:
@@ -88,6 +88,9 @@ def build_myocyte(neq: int = 12, steps: int = 4) -> ProgramSpec:
     )
 
 
-@workload("myocyte")
-def myocyte_default() -> ProgramSpec:
-    return build_myocyte()
+@workload("myocyte", params=(
+    Param("neq", 12, (8, 12, 16)),
+    Param("steps", 4),
+))
+def myocyte_default(**sizes: int) -> ProgramSpec:
+    return build_myocyte(**sizes)

@@ -14,7 +14,7 @@ from typing import Sequence, Tuple
 
 from ..isa import Memory, ProgramBuilder
 from ..pipeline import ProgramSpec
-from ._util import Lcg, workload
+from ._util import Lcg, Param, workload
 
 
 def build_nn(nrecords: int = 48) -> ProgramSpec:
@@ -82,6 +82,8 @@ def build_nn(nrecords: int = 48) -> ProgramSpec:
     )
 
 
-@workload("nn")
-def nn_default() -> ProgramSpec:
-    return build_nn()
+@workload("nn", params=(
+    Param("nrecords", 48, (32, 48, 64)),
+))
+def nn_default(**sizes: int) -> ProgramSpec:
+    return build_nn(**sizes)

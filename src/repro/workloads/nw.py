@@ -20,7 +20,7 @@ from typing import Sequence, Tuple
 
 from ..isa import Memory, ProgramBuilder
 from ..pipeline import ProgramSpec
-from ._util import Lcg, workload
+from ._util import Lcg, Param, workload
 
 
 def build_nw(n: int = 10, penalty: float = 1.0) -> ProgramSpec:
@@ -72,6 +72,8 @@ def build_nw(n: int = 10, penalty: float = 1.0) -> ProgramSpec:
     )
 
 
-@workload("nw")
-def nw_default() -> ProgramSpec:
-    return build_nw()
+@workload("nw", params=(
+    Param("n", 10, (8, 10, 12)),
+))
+def nw_default(**sizes: int) -> ProgramSpec:
+    return build_nw(**sizes)

@@ -14,7 +14,7 @@ from typing import Sequence, Tuple
 
 from ..isa import Memory, ProgramBuilder
 from ..pipeline import ProgramSpec
-from ._util import Lcg, workload
+from ._util import Lcg, Param, workload
 
 
 def build_particlefilter(
@@ -112,6 +112,10 @@ def build_particlefilter(
     )
 
 
-@workload("particlefilter")
-def particlefilter_default() -> ProgramSpec:
-    return build_particlefilter()
+@workload("particlefilter", params=(
+    Param("nparticles", 14, (10, 14, 18)),
+    Param("npixels", 17),
+    Param("frames", 2),
+))
+def particlefilter_default(**sizes: int) -> ProgramSpec:
+    return build_particlefilter(**sizes)

@@ -17,7 +17,7 @@ from typing import Sequence, Tuple
 
 from ..isa import Memory, ProgramBuilder
 from ..pipeline import ProgramSpec
-from ._util import Lcg, workload
+from ._util import Lcg, Param, workload
 
 
 def build_pathfinder(rows: int = 20, cols: int = 12) -> ProgramSpec:
@@ -75,6 +75,9 @@ def build_pathfinder(rows: int = 20, cols: int = 12) -> ProgramSpec:
     )
 
 
-@workload("pathfinder")
-def pathfinder_default() -> ProgramSpec:
-    return build_pathfinder()
+@workload("pathfinder", params=(
+    Param("rows", 20, (12, 20, 28)),
+    Param("cols", 12, (8, 12, 16)),
+))
+def pathfinder_default(**sizes: int) -> ProgramSpec:
+    return build_pathfinder(**sizes)

@@ -19,7 +19,7 @@ from typing import Sequence, Tuple
 
 from ..isa import Memory, ProgramBuilder
 from ..pipeline import ProgramSpec
-from ._util import Lcg, workload
+from ._util import Lcg, Param, workload
 
 
 def _emit_srad_iter(pb: ProgramBuilder, use_index_arrays: bool) -> None:
@@ -136,11 +136,19 @@ def build_srad_v2(rows: int = 8, cols: int = 8, iters: int = 2) -> ProgramSpec:
     return _build("v2", rows, cols, iters)
 
 
-@workload("srad_v1")
-def srad_v1_default() -> ProgramSpec:
-    return build_srad_v1()
+@workload("srad_v1", params=(
+    Param("rows", 8, (6, 8, 10)),
+    Param("cols", 8, (6, 8, 10)),
+    Param("iters", 2),
+))
+def srad_v1_default(**sizes: int) -> ProgramSpec:
+    return build_srad_v1(**sizes)
 
 
-@workload("srad_v2")
-def srad_v2_default() -> ProgramSpec:
-    return build_srad_v2()
+@workload("srad_v2", params=(
+    Param("rows", 8, (6, 8, 10)),
+    Param("cols", 8, (6, 8, 10)),
+    Param("iters", 2),
+))
+def srad_v2_default(**sizes: int) -> ProgramSpec:
+    return build_srad_v2(**sizes)

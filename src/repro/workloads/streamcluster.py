@@ -17,7 +17,7 @@ from typing import Sequence, Tuple
 
 from ..isa import Memory, ProgramBuilder
 from ..pipeline import ProgramSpec
-from ._util import Lcg, workload
+from ._util import Lcg, Param, workload
 
 
 def build_streamcluster(
@@ -95,6 +95,10 @@ def build_streamcluster(
     )
 
 
-@workload("streamcluster")
-def streamcluster_default() -> ProgramSpec:
-    return build_streamcluster()
+@workload("streamcluster", params=(
+    Param("npoints", 10, (8, 10, 12)),
+    Param("ndims", 4),
+    Param("ncandidates", 3),
+))
+def streamcluster_default(**sizes: int) -> ProgramSpec:
+    return build_streamcluster(**sizes)

@@ -83,3 +83,60 @@ class TestOnFoldedDDG:
         result = analyze(ProgramSpec("small", pb.build(), state))
         res = parameterize_domains(result.folded, threshold=64)
         assert res.parameter_count == 0
+
+
+class TestAnchorStability:
+    """Sweep regression: parameter anchors must be a pure function of
+    the constant *set*, not of the stream order the folder happened to
+    visit statements in (merged sweep models compare parameterized
+    constraints across runs)."""
+
+    def test_seeded_anchors_are_order_independent(self):
+        a = Parameterizer(threshold=64, slack=20)
+        a.seed_anchors([300, 310, 2048])
+        b = Parameterizer(threshold=64, slack=20)
+        b.seed_anchors([2048, 310, 300, 310])
+        assert [(p.name, p.value) for p in a.parameters] == [
+            (p.name, p.value) for p in b.parameters
+        ]
+
+    def test_rewrites_agree_across_stream_orders(self):
+        rows = [(-1, 300), (-1, 310), (-1, 2048)]
+
+        def rewrite(order):
+            pz = Parameterizer(threshold=64, slack=20)
+            pz.seed_anchors(abs(r[-1]) for r in rows)
+            out = {}
+            for i in order:
+                c = pz.rewrite_row(rows[i], False)
+                (p, mult) = c.params[0]
+                out[rows[i]] = (p.name, p.value, mult, c.const)
+            return out
+
+        assert rewrite([0, 1, 2]) == rewrite([2, 1, 0])
+
+    def test_domain_parameterization_is_statement_order_independent(self):
+        def build(reverse):
+            pb = ProgramBuilder("order")
+            with pb.function("main", ["A"]) as f:
+                bounds = [2048, 300]
+                if reverse:
+                    bounds = list(reversed(bounds))
+                for b in bounds:
+                    with f.loop(0, b) as i:
+                        f.store("A", 0.0, index=f.mod(i, 64))
+                f.halt()
+
+            def state():
+                mem = Memory()
+                return (mem.alloc(64, 0.0),), mem
+
+            result = analyze(ProgramSpec("order", pb.build(), state))
+            res = parameterize_domains(
+                result.folded, threshold=64, slack=20
+            )
+            return sorted(
+                (p.name, p.value) for p in res.parameters
+            )
+
+        assert build(False) == build(True)

@@ -1,0 +1,154 @@
+"""Service sweep tests: fan-out, byte-identity with the CLI, artifacts.
+
+The sweep surface's acceptance bar: ``POST /v1/analyze`` with a
+``sweep`` list must fan the points out as child jobs, merge them in a
+parent job, and serve a report byte-identical to ``repro sweep
+--format json``.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.service import ServiceError
+
+SWEEP = [{"n": 8}, {"n": 10}, {"n": 12}]
+
+
+def wait_done(live, job_id):
+    status = live.client.wait(job_id, timeout=120)
+    assert status["state"] == "done", status.get("error")
+    return status
+
+
+class TestSweepSubmission:
+    def test_parent_fans_out_children_and_merges(
+        self, make_service, tmp_path
+    ):
+        live = make_service(workers=2, cache_dir=str(tmp_path / "c"))
+        sub = live.client.submit(workload="nw", sweep=SWEEP)
+        status = wait_done(live, sub["job"])
+        assert status["sweep"]["points"] == [
+            {"n": 8}, {"n": 10}, {"n": 12},
+        ]
+        assert len(status["sweep"]["children"]) == 3
+        assert status["summary"]["runs"] == 3
+        assert status["summary"]["sweep_key"].startswith("swp-")
+        # the fanned-out children are real jobs that completed
+        for child_id in status["sweep"]["children"]:
+            child = live.client.wait(child_id, timeout=120)
+            assert child["state"] == "done"
+            assert child["bindings"] in SWEEP
+
+    def test_report_bytes_identical_to_cli(
+        self, make_service, tmp_path, capsys
+    ):
+        live = make_service(workers=2, cache_dir=str(tmp_path / "c"))
+        sub = live.client.submit(workload="nw", sweep=SWEEP)
+        wait_done(live, sub["job"])
+        report = live.client.report(sub["job"])
+        assert (
+            main(
+                ["sweep", "nw", "--point", "n=8", "--point", "n=10",
+                 "--point", "n=12", "-j", "1", "--format", "json"]
+            )
+            == 0
+        )
+        assert report.decode("utf-8") == capsys.readouterr().out
+        doc = json.loads(report)
+        assert doc["kind"] == "sweep"
+        assert doc["workload"] == "nw"
+
+    def test_sweep_has_no_metrics_or_flamegraph(
+        self, make_service, tmp_path
+    ):
+        live = make_service(cache_dir=str(tmp_path / "c"))
+        sub = live.client.submit(workload="nw", sweep=SWEEP)
+        wait_done(live, sub["job"])
+        for fetch in (
+            live.client.metrics_doc, live.client.flamegraph,
+        ):
+            with pytest.raises(ServiceError) as err:
+                fetch(sub["job"])
+            assert err.value.status == 404
+        # the trace artifact exists and carries sweep spans
+        trace = json.loads(live.client.trace(sub["job"]))
+        names = {e.get("name") for e in trace["traceEvents"]}
+        assert "sweep.merge" in names
+
+    def test_identical_sweeps_dedup_regardless_of_order(
+        self, make_service, tmp_path
+    ):
+        live = make_service(cache_dir=str(tmp_path / "c"))
+        first = live.client.submit(workload="nw", sweep=SWEEP)
+        wait_done(live, first["job"])
+        second = live.client.submit(
+            workload="nw", sweep=[SWEEP[2], SWEEP[0], SWEEP[1]]
+        )
+        assert second["deduplicated"] is True
+        assert second["job"] == first["job"]
+
+    def test_sweep_without_store_still_merges(self, make_service):
+        # no cache_dir: no fan-out (children could not share work),
+        # the parent computes every point itself
+        live = make_service()
+        sub = live.client.submit(workload="nw", sweep=SWEEP)
+        status = wait_done(live, sub["job"])
+        assert status["sweep"]["children"] == []
+        assert status["summary"]["runs"] == 3
+
+
+class TestSweepValidation:
+    def test_sweep_requires_registry_workload(self, make_service):
+        from .conftest import counting_loop_docs
+
+        live = make_service()
+        program, state = counting_loop_docs(16)
+        with pytest.raises(ServiceError) as err:
+            live.client.submit(
+                program=program, state=state, sweep=SWEEP
+            )
+        assert err.value.status == 400
+
+    def test_sweep_and_bindings_conflict(self, make_service):
+        live = make_service()
+        with pytest.raises(ServiceError) as err:
+            live.client.submit(
+                workload="nw", sweep=SWEEP, bindings={"n": 8}
+            )
+        assert err.value.status == 400
+
+    def test_empty_sweep_needs_declared_ranges(self, make_service):
+        live = make_service()
+        with pytest.raises(ServiceError) as err:
+            live.client.submit(workload="mm", sweep=[])
+        assert err.value.status == 400
+
+    def test_unknown_param_rejected(self, make_service):
+        live = make_service()
+        with pytest.raises(ServiceError) as err:
+            live.client.submit(workload="nw", sweep=[{"depth": 2}])
+        assert err.value.status == 400
+
+
+class TestBindings:
+    def test_bindings_job_round_trip(self, make_service):
+        live = make_service()
+        sub = live.client.submit(
+            workload="nw", bindings={"n": 8}
+        )
+        status = wait_done(live, sub["job"])
+        assert status["bindings"] == {"n": 8}
+
+    def test_distinct_bindings_do_not_dedup(self, make_service):
+        live = make_service()
+        a = live.client.submit(workload="nw", bindings={"n": 8})
+        b = live.client.submit(workload="nw", bindings={"n": 12})
+        assert a["job"] != b["job"]
+
+    def test_unknown_binding_param_rejected(self, make_service):
+        live = make_service()
+        with pytest.raises(ServiceError) as err:
+            live.client.submit(workload="nw", bindings={"depth": 2})
+        assert err.value.status == 400

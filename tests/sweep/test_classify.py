@@ -1,0 +1,96 @@
+"""Sweep classification tests: exact affine laws, no approximations."""
+
+from fractions import Fraction
+
+from repro.sweep.classify import (
+    INPUT_DEPENDENT,
+    INPUT_INVARIANT,
+    SHAPE_SCALING,
+    classify_payloads,
+    fit_affine,
+    skeleton,
+)
+
+
+class TestSkeleton:
+    def test_ints_become_holes_in_walk_order(self):
+        leaves = []
+        s = skeleton({"b": [1, 2], "a": 3}, leaves)
+        assert leaves == [3, 1, 2]  # dict keys walked sorted
+        assert s == {"a": "§", "b": ["§", "§"]}
+
+    def test_strings_never_collide_with_holes(self):
+        leaves = []
+        assert skeleton("§", leaves) == "s:§"
+        assert leaves == []
+
+    def test_bools_are_structure_not_leaves(self):
+        leaves = []
+        assert skeleton({"exact": True}, leaves) == {"exact": True}
+        assert leaves == []
+
+
+class TestFitAffine:
+    def test_exact_line(self):
+        assert fit_affine([17, 25, 33], [8, 10, 12]) == (
+            Fraction(4),
+            Fraction(-15),
+        )
+
+    def test_constant_series(self):
+        assert fit_affine([5, 5, 5], [8, 10, 12]) == (
+            Fraction(0),
+            Fraction(5),
+        )
+
+    def test_nonaffine_refused(self):
+        assert fit_affine([64, 100, 144], [8, 10, 12]) is None
+
+    def test_repeated_axis_with_diverging_value_refuted(self):
+        assert fit_affine([1, 2, 3], [8, 8, 12]) is None
+
+    def test_rational_slope(self):
+        assert fit_affine([4, 5, 6], [8, 10, 12]) == (
+            Fraction(1, 2),
+            Fraction(0),
+        )
+
+
+class TestClassifyPayloads:
+    AXES = {"n": [8, 10, 12]}
+
+    def test_identical_payloads_are_invariant(self):
+        p = {"domain": {"bound": 7}, "kind": "flow"}
+        tag, laws = classify_payloads([p, p, p], self.AXES)
+        assert tag == INPUT_INVARIANT and laws == []
+
+    def test_affine_leaf_is_shape_scaling_with_law(self):
+        runs = [{"bound": n - 1, "kind": "flow"} for n in (8, 10, 12)]
+        tag, laws = classify_payloads(runs, self.AXES)
+        assert tag == SHAPE_SCALING
+        assert laws == [{"param": "N_n", "scale": "1", "offset": "-1"}]
+
+    def test_absence_in_one_run_is_input_dependent(self):
+        p = {"bound": 7}
+        tag, _ = classify_payloads([p, None, p], self.AXES)
+        assert tag == INPUT_DEPENDENT
+
+    def test_skeleton_mismatch_is_input_dependent(self):
+        tag, _ = classify_payloads(
+            [{"kind": "flow"}, {"kind": "anti"}, {"kind": "flow"}],
+            self.AXES,
+        )
+        assert tag == INPUT_DEPENDENT
+
+    def test_nonaffine_leaf_is_input_dependent(self):
+        runs = [{"bound": n * n} for n in (8, 10, 12)]
+        tag, laws = classify_payloads(runs, self.AXES)
+        assert tag == INPUT_DEPENDENT and laws == []
+
+    def test_first_fitting_axis_wins_deterministically(self):
+        # both axes explain the leaf; sorted axis order picks "m"
+        runs = [{"bound": v} for v in (8, 10, 12)]
+        axes = {"n": [8, 10, 12], "m": [8, 10, 12]}
+        tag, laws = classify_payloads(runs, axes)
+        assert tag == SHAPE_SCALING
+        assert laws == [{"param": "N_m", "scale": "1", "offset": "0"}]

@@ -1,0 +1,108 @@
+"""Input-grid canonicalization tests."""
+
+import pytest
+
+from repro.sweep.grid import (
+    GridError,
+    axes_of,
+    canonical_points,
+    complete_points,
+    default_grid,
+    normalize_point,
+    parse_point,
+    point_bindings,
+)
+
+
+class TestNormalize:
+    def test_sorted_name_value_tuples(self):
+        assert normalize_point({"rows": 20, "cols": 12}) == (
+            ("cols", 12),
+            ("rows", 20),
+        )
+
+    def test_values_coerced_to_int(self):
+        point = normalize_point({"n": "16"})
+        assert point == (("n", 16),)
+        assert isinstance(point[0][1], int)
+
+    def test_bool_rejected(self):
+        with pytest.raises(GridError):
+            normalize_point({"n": True})
+
+    def test_roundtrip_bindings(self):
+        bindings = {"a": 1, "b": 2}
+        assert point_bindings(normalize_point(bindings)) == bindings
+
+
+class TestCanonicalPoints:
+    def test_dedup_and_sort(self):
+        pts = canonical_points(
+            [{"n": 12}, {"n": 8}, {"n": 12}, {"n": 10}]
+        )
+        assert pts == [(("n", 8),), (("n", 10),), (("n", 12),)]
+
+    def test_pure_function_of_the_set(self):
+        a = canonical_points([{"n": 8}, {"n": 12}])
+        b = canonical_points([{"n": 12}, {"n": 8}, {"n": 8}])
+        assert a == b
+
+
+class TestParsePoint:
+    def test_parses_comma_separated_bindings(self):
+        assert parse_point("rows=20,cols=12") == {"rows": 20, "cols": 12}
+
+    def test_rejects_garbage(self):
+        with pytest.raises(GridError):
+            parse_point("rows")
+        with pytest.raises(GridError):
+            parse_point("rows=big")
+
+
+class TestDefaultGrid:
+    def test_one_axis_at_a_time(self):
+        # pathfinder declares rows in (12, 20, 28) and cols in (8, 12, 16)
+        pts = default_grid("pathfinder")
+        assert pts == canonical_points([point_bindings(p) for p in pts])
+        # every point is complete (both params bound)
+        for p in pts:
+            assert {name for name, _ in p} == {"rows", "cols"}
+        # the all-defaults point appears once, plus off-default points
+        # along each axis separately
+        defaults = normalize_point({"rows": 20, "cols": 12})
+        assert defaults in pts
+        varying_both = [
+            p
+            for p in pts
+            if point_bindings(p)["rows"] != 20
+            and point_bindings(p)["cols"] != 12
+        ]
+        assert varying_both == []
+
+    def test_paramless_workload_has_no_grid(self):
+        with pytest.raises(GridError):
+            default_grid("mm")
+
+
+class TestCompletePoints:
+    def test_fills_unbound_params_from_defaults(self):
+        pts = complete_points("pathfinder", [{"rows": 28}])
+        assert pts == [normalize_point({"rows": 28, "cols": 12})]
+
+    def test_rejects_unknown_param(self):
+        with pytest.raises(GridError):
+            complete_points("pathfinder", [{"depth": 3}])
+
+    def test_canonicalizes(self):
+        pts = complete_points(
+            "pathfinder", [{"rows": 28}, {"rows": 12}, {"rows": 28}]
+        )
+        assert [point_bindings(p)["rows"] for p in pts] == [12, 28]
+
+
+class TestAxes:
+    def test_only_varying_names(self):
+        pts = canonical_points(
+            [{"rows": 12, "cols": 8}, {"rows": 20, "cols": 8}]
+        )
+        assert axes_of(pts) == ["rows"]

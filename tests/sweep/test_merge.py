@@ -1,0 +1,142 @@
+"""Merge-layer tests: identity alignment, tamper demotions, verdicts.
+
+These run the real pipeline on a tiny parametric program (milliseconds
+per point) so the profiles carry genuine folded payloads, then tamper
+with copies at the merge boundary -- the acceptance criterion is that
+one divergent run must demote the sweep-wide claim.
+"""
+
+import copy
+
+from repro.isa import Memory, ProgramBuilder
+from repro.pipeline import ProgramSpec, analyze
+from repro.sweep.classify import INPUT_DEPENDENT
+from repro.sweep.grid import normalize_point
+from repro.sweep.merge import merge_profiles, profile_of, stmt_loop_path
+from repro.sweep.verdict import ALL_RUNS, REFUSED, SINGLE_RUN
+
+
+def parallel_spec(n: int) -> ProgramSpec:
+    """A[i] += 1 over i in [0, n): one parallel loop."""
+    pb = ProgramBuilder("toy")
+    with pb.function("main", ["A"]) as f:
+        with f.loop(0, n) as i:
+            v = f.load("A", index=i)
+            f.store("A", f.add(v, 1), index=i)
+        f.halt()
+    program = pb.build()
+
+    def state():
+        mem = Memory()
+        return (mem.alloc(max(n, 1), 0),), mem
+
+    return ProgramSpec("toy", program, state)
+
+
+def profiles_for(ns):
+    out = []
+    for n in ns:
+        result = analyze(parallel_spec(n))
+        out.append(
+            profile_of(result, normalize_point({"n": n}), f"k-{n}")
+        )
+    return out
+
+
+class TestMerge:
+    def test_every_entity_is_classified(self):
+        model = merge_profiles("toy", profiles_for([8, 10, 12]))
+        tags = {
+            "input-invariant", "shape-scaling", "input-dependent",
+        }
+        for entity in list(model.statements.values()) + list(
+            model.deps.values()
+        ):
+            assert entity.classification in tags
+            assert entity.present == [True, True, True]
+
+    def test_trip_count_scales_with_the_axis(self):
+        model = merge_profiles("toy", profiles_for([8, 10, 12]))
+        scaling = [
+            e
+            for e in model.statements.values()
+            if e.classification == "shape-scaling"
+        ]
+        assert scaling, "loop-bound constants must scale with n"
+        laws = {law["param"] for e in scaling for law in e.laws}
+        assert laws == {"N_n"}
+
+    def test_identical_runs_are_invariant_with_no_axes(self):
+        model = merge_profiles("toy", profiles_for([10, 10]))
+        assert model.axes == []
+        for e in model.deps.values():
+            assert e.classification == "input-invariant"
+
+    def test_loop_verdict_is_all_runs_only_when_invariant(self):
+        model = merge_profiles("toy", profiles_for([8, 10, 12]))
+        loops = [r for r in model.verdicts if r["depth"] >= 1]
+        assert loops
+        for row in loops:
+            assert row["parallel"] is True
+            # trip counts scale with n, so the claim is parameterized,
+            # never the (stronger) all-runs
+            assert row["confidence"] == "parameterized"
+
+    def test_same_input_twice_reaches_all_runs(self):
+        model = merge_profiles("toy", profiles_for([10, 10]))
+        loops = [r for r in model.verdicts if r["depth"] >= 1]
+        assert loops and all(
+            r["confidence"] == ALL_RUNS for r in loops
+        )
+
+
+class TestTamper:
+    """One divergent run must demote the sweep-wide claim."""
+
+    def test_one_non_parallel_run_refuses_the_claim(self):
+        profiles = profiles_for([8, 10, 12])
+        tampered = copy.deepcopy(profiles)
+        for info in tampered[1].nests.values():
+            info["parallel"] = False
+            info["parallel_reduction"] = False
+        model = merge_profiles("toy", tampered)
+        loops = [r for r in model.verdicts if r["depth"] >= 1]
+        assert loops and all(
+            r["confidence"] == REFUSED for r in loops
+        )
+        assert all(r["parallel"] is False for r in loops)
+
+    def test_off_axis_payload_perturbation_demotes_to_single_run(self):
+        profiles = profiles_for([8, 10, 12])
+        tampered = copy.deepcopy(profiles)
+        # perturb one dependence's relation in the middle run only:
+        # no affine law in n explains {0, 7, 0}
+        ident = sorted(tampered[1].deps)[0]
+        tampered[1].deps[ident]["src_depth"] = 7
+        model = merge_profiles("toy", tampered)
+        assert model.deps[ident].classification == INPUT_DEPENDENT
+        path = stmt_loop_path(ident[0])
+        demoted = [
+            r
+            for r in model.verdicts
+            if tuple(tuple(e) for e in r["path"]) == path
+        ]
+        assert demoted and demoted[0]["confidence"] == SINGLE_RUN
+
+    def test_entity_absent_in_one_run_demotes_to_single_run(self):
+        profiles = profiles_for([8, 10, 12])
+        tampered = copy.deepcopy(profiles)
+        ident = sorted(tampered[1].stmts)[0]
+        del tampered[1].stmts[ident]
+        model = merge_profiles("toy", tampered)
+        assert (
+            model.statements[ident].classification == INPUT_DEPENDENT
+        )
+        assert model.statements[ident].present == [True, False, True]
+
+    def test_merge_requires_canonical_point_order(self):
+        profiles = profiles_for([8, 10, 12])
+        import pytest
+
+        with pytest.raises(ValueError):
+            merge_profiles("toy", list(reversed(profiles)))
