@@ -258,7 +258,11 @@ def cmd_trace(args) -> int:
             "--baseline requires an artifact store (--cache DIR or "
             "REPRO_CACHE_DIR)"
         )
-    tracer = Tracer(memory=args.mem)
+    from .obs.context import new_trace_context
+
+    # the CLI is a trace front door: mint the request identity here so
+    # exported spans carry trace/span ids like service-run ones do
+    tracer = Tracer(memory=args.mem, context=new_trace_context())
     observer = TraceObserver(tracer)
     try:
         result = analyze(
@@ -567,7 +571,9 @@ def cmd_sweep(args) -> int:
         except GridError as exc:
             raise SystemExit(str(exc))
     max_mb = getattr(args, "cache_max_mb", None)
-    tracer = Tracer()
+    from .obs.context import new_trace_context
+
+    tracer = Tracer(context=new_trace_context())
     try:
         with tracer.span("sweep", cat="sweep", workload=args.workload):
             result = run_sweep(

@@ -13,6 +13,12 @@ system:
   through :mod:`repro.feedback.flamegraph`: the profiler's profiler.
 * :class:`TraceObserver` -- execution counters (blocks, dynamic
   instructions, calls) attached to the execute spans of a deep trace.
+* :mod:`~repro.obs.context` / :mod:`~repro.obs.collect` -- distributed
+  correlation: :class:`TraceContext` is the request identity minted at
+  every front door and propagated across HTTP hops, worker-process
+  pipes, and fork pools; :class:`TraceCollector` retains the shipped
+  span segments per trace so ``GET /v1/traces/{trace_id}`` can serve
+  one stitched timeline (:func:`merged_trace_document`).
 
 See ``docs/INTERNALS.md`` section 9 for the span model and the
 overhead budget (``benchmarks/bench_obs.py`` gates it).
@@ -20,9 +26,12 @@ overhead budget (``benchmarks/bench_obs.py`` gates it).
 
 from .chrometrace import (
     chrome_trace_document,
+    merged_trace_document,
     validate_chrome_trace,
     write_chrome_trace,
 )
+from .collect import TraceCollector, clock_anchor
+from .context import TraceContext, new_span_id, new_trace_context
 from .observer import TraceObserver
 from .selfflame import (
     render_self_flamegraph,
@@ -36,7 +45,13 @@ __all__ = [
     "Tracer",
     "NULL_TRACER",
     "TraceObserver",
+    "TraceContext",
+    "TraceCollector",
+    "new_trace_context",
+    "new_span_id",
+    "clock_anchor",
     "chrome_trace_document",
+    "merged_trace_document",
     "write_chrome_trace",
     "validate_chrome_trace",
     "spans_to_schedule_tree",

@@ -27,6 +27,12 @@ Design constraints, in order:
 * **Spans must travel.**  :meth:`Span.to_dict` / :meth:`Span.from_dict`
   round-trip through plain JSON-able dicts, which is how spans cross
   the suite runner's process pool and land in artifacts.
+* **Spans must stitch.**  Every span carries trace identity
+  (``trace_id``/``span_id``/``parent_id``); a tracer built with a
+  :class:`~repro.obs.context.TraceContext` roots its spans under the
+  remote parent, so forests shipped back from worker processes and
+  replica daemons merge into one tree per request
+  (:func:`repro.obs.chrometrace.merged_trace_document`).
 """
 
 from __future__ import annotations
@@ -70,6 +76,7 @@ class Span:
     __slots__ = (
         "name", "cat", "t0", "t1", "tid", "args", "counters",
         "mem_delta", "mem_peak", "children", "_mem0",
+        "trace_id", "span_id", "parent_id",
     )
 
     def __init__(
@@ -91,6 +98,13 @@ class Span:
         self.mem_peak: Optional[int] = None
         self.children: List["Span"] = []
         self._mem0: Optional[int] = None
+        #: trace identity ("" = this span never joined a trace): the
+        #: request's trace_id, this span's own id, and the id of its
+        #: parent (for a tracer root: the *remote* parent from the
+        #: adopted TraceContext)
+        self.trace_id = ""
+        self.span_id = ""
+        self.parent_id = ""
 
     @property
     def duration(self) -> float:
@@ -133,6 +147,12 @@ class Span:
             doc["mem_delta"] = self.mem_delta
         if self.mem_peak is not None:
             doc["mem_peak"] = self.mem_peak
+        if self.trace_id:
+            doc["trace_id"] = self.trace_id
+        if self.span_id:
+            doc["span_id"] = self.span_id
+        if self.parent_id:
+            doc["parent_id"] = self.parent_id
         if self.children:
             doc["children"] = [c.to_dict() for c in self.children]
         return doc
@@ -150,6 +170,9 @@ class Span:
         span.counters = dict(doc.get("counters", {}))
         span.mem_delta = doc.get("mem_delta")
         span.mem_peak = doc.get("mem_peak")
+        span.trace_id = doc.get("trace_id", "")
+        span.span_id = doc.get("span_id", "")
+        span.parent_id = doc.get("parent_id", "")
         span.children = [cls.from_dict(c) for c in doc.get("children", [])]
         return span
 
@@ -226,6 +249,14 @@ class Tracer:
     stage spans) starts on any thread -- the service daemon uses it for
     job progress heartbeats.  Exceptions from the callback are
     swallowed: observability must never sink an analysis.
+
+    ``context`` is an optional :class:`~repro.obs.context.TraceContext`
+    this tracer's roots adopt: every root span carries the context's
+    ``trace_id`` and points its ``parent_id`` at the context's
+    ``span_id`` (the remote parent), so forests recorded in different
+    processes stitch into one tree per request.  Without a context an
+    enabled tracer mints a private trace id, so its spans are still
+    internally linked.
     """
 
     def __init__(
@@ -233,10 +264,21 @@ class Tracer:
         enabled: bool = True,
         memory: Union[bool, str] = False,
         on_phase: Optional[Callable[[str], None]] = None,
+        context=None,
     ) -> None:
         self.enabled = enabled
         self.memory = memory if enabled and memory else False
         self.on_phase = on_phase
+        self.context = context
+        # lazy: the disabled singleton (NULL_TRACER) must not touch the
+        # id generator at import, and most tracers never need it before
+        # their first span
+        self._trace_id: Optional[str] = (
+            context.trace_id if context is not None else None
+        )
+        self._root_parent = (
+            context.span_id if context is not None else ""
+        )
         self.roots: List[Span] = []
         self._lock = threading.Lock()
         self._local = threading.local()
@@ -285,6 +327,21 @@ class Tracer:
         stack = getattr(self._local, "stack", None)
         return stack[-1] if stack else None
 
+    def current_context(self):
+        """The :class:`~repro.obs.context.TraceContext` pointing at the
+        innermost open span of this thread -- what fan-out sites hand
+        to child work so its spans parent under the span that caused
+        them.  Falls back to this tracer's own context; None when the
+        tracer is disabled and has no context."""
+        span = self.current()
+        if span is not None and span.trace_id:
+            from .context import TraceContext
+
+            return TraceContext(
+                trace_id=span.trace_id, span_id=span.span_id
+            )
+        return self.context
+
     def count(self, name: str, amount: int = 1) -> None:
         """Bump a counter on the innermost open span of this thread."""
         if not self.enabled:
@@ -320,6 +377,8 @@ class Tracer:
         return stack
 
     def _enter(self, name: str, cat: str, args: dict) -> Span:
+        from .context import new_span_id, new_trace_id
+
         stack = self._stack()
         span = Span(
             name,
@@ -328,13 +387,21 @@ class Tracer:
             tid=threading.current_thread().name,
             args=args,
         )
+        span.span_id = new_span_id()
         if self.memory:
             sampled = self._mem_sample()
             if sampled is not None:
                 span._mem0 = sampled[0]
         if stack:
-            stack[-1].children.append(span)
+            parent = stack[-1]
+            span.trace_id = parent.trace_id
+            span.parent_id = parent.span_id
+            parent.children.append(span)
         else:
+            if self._trace_id is None:
+                self._trace_id = new_trace_id()
+            span.trace_id = self._trace_id
+            span.parent_id = self._root_parent
             with self._lock:
                 self.roots.append(span)
         stack.append(span)

@@ -369,7 +369,12 @@ def analyze(
     from .schedule import analyze_forest, build_nest_forest, plan_all
     from .feedback.stride import stride_scores
 
-    tracer = tracer if tracer is not None else Tracer()
+    if tracer is None:
+        # a standalone analyze() is its own trace front door: mint a
+        # context so even library callers get stitchable span identity
+        from .obs.context import new_trace_context
+
+        tracer = Tracer(context=new_trace_context())
     if baseline is not None and store is None:
         raise ValueError("analyze(baseline=...) requires an artifact store")
     keys = None

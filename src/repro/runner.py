@@ -173,12 +173,18 @@ def _analyze_task(
     cache_dir: Optional[str] = None,
     cache_max_bytes: Optional[int] = None,
     fold_jobs: int = 1,
+    trace: Optional[dict] = None,
 ) -> WorkloadResult:
     """Worker body: analyze one workload, never raise.
 
     All workers of one suite share ``cache_dir``: the store's atomic
     writes make concurrent puts of the same key safe, and its counters
     come back in the result for the suite-level summary.
+
+    ``trace`` is the suite's distributed trace context as a plain dict
+    (:meth:`~repro.obs.context.TraceContext.as_dict`, dict so it
+    pickles across the pool): this workload's root spans adopt it, so
+    the whole fan-out stitches into the submitting request's trace.
     """
     name = task_name(task)
     t0 = time.perf_counter()
@@ -188,8 +194,11 @@ def _analyze_task(
 
         store = ArtifactStore(cache_dir, max_bytes=cache_max_bytes)
     from .obs import Tracer
+    from .obs.context import TraceContext
 
-    tracer = Tracer()
+    tracer = Tracer(
+        context=TraceContext.from_dict(trace) if trace else None
+    )
     try:
         with _deadline(timeout):
             with tracer.span("workload", cat="suite", workload=name):
@@ -270,6 +279,7 @@ def run_suite(
     cache_dir: Optional[str] = None,
     cache_max_bytes: Optional[int] = None,
     fold_jobs: int = 1,
+    trace: Optional[dict] = None,
 ) -> List[WorkloadResult]:
     """Analyze ``tasks``, ``jobs`` at a time; results in task order.
 
@@ -290,6 +300,11 @@ def run_suite(
     workloads are cancelled, and every unfinished task comes back as
     an ``interrupted`` record so callers can still print the partial
     table and exit nonzero.
+
+    ``trace`` (a :meth:`TraceContext.as_dict
+    <repro.obs.context.TraceContext.as_dict>` document) threads every
+    workload's span forest into one distributed trace across the
+    process pool; None leaves each workload's trace unlinked.
     """
     if jobs is None:
         jobs = os.cpu_count() or 1
@@ -301,6 +316,7 @@ def run_suite(
                     _analyze_task(
                         t, engine, fuel, clamp, timeout, with_report,
                         crosscheck, cache_dir, cache_max_bytes, fold_jobs,
+                        trace,
                     )
                 )
         except KeyboardInterrupt:
@@ -318,7 +334,7 @@ def run_suite(
             pool.submit(
                 _analyze_task, t, engine, fuel, clamp, timeout,
                 with_report, crosscheck, cache_dir, cache_max_bytes,
-                fold_jobs,
+                fold_jobs, trace,
             )
             for t in tasks
         ]

@@ -58,16 +58,17 @@ class ServiceClient:
         method: str,
         path: str,
         body: Optional[dict] = None,
+        headers: Optional[dict] = None,
     ) -> Tuple[int, dict, bytes]:
         """(status, lowercase headers, raw body) without raising."""
         conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             payload = None
-            headers = {}
+            send_headers = dict(headers or {})
             if body is not None:
                 payload = json.dumps(body).encode("utf-8")
-                headers["Content-Type"] = "application/json"
-            conn.request(method, path, body=payload, headers=headers)
+                send_headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=send_headers)
             resp = conn.getresponse()
             raw = resp.read()
             return (
@@ -79,9 +80,15 @@ class ServiceClient:
             conn.close()
 
     def _request(
-        self, method: str, path: str, body: Optional[dict] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        headers: Optional[dict] = None,
     ) -> Tuple[int, dict, bytes]:
-        status, headers, raw = self.request_raw(method, path, body)
+        status, headers, raw = self.request_raw(
+            method, path, body, headers=headers
+        )
         if status >= 400:
             try:
                 doc = json.loads(raw.decode("utf-8"))
@@ -112,13 +119,21 @@ class ServiceClient:
         program: Optional[dict] = None,
         state: Optional[dict] = None,
         baseline_fingerprint: Optional[str] = None,
+        traceparent: Optional[str] = None,
         **options,
     ) -> dict:
         """POST /v1/analyze.  ``baseline_fingerprint`` (a 64-hex
         program digest previously analyzed by the service) requests
         incremental re-analysis: only the sliced dependence frontier is
         re-instrumented; artifacts are byte-identical to a cold run and
-        the job status doc carries the ``incremental`` account."""
+        the job status doc carries the ``incremental`` account.
+
+        ``traceparent`` (a W3C ``00-<trace>-<span>-<flags>`` header
+        value, e.g. :meth:`TraceContext.to_traceparent
+        <repro.obs.context.TraceContext.to_traceparent>`) threads this
+        submission into an existing distributed trace; without it the
+        service mints a fresh one and returns its id as ``trace_id``.
+        """
         body = dict(options)
         if workload is not None:
             body["workload"] = workload
@@ -128,7 +143,13 @@ class ServiceClient:
             body["state"] = state
         if baseline_fingerprint is not None:
             body["baseline_fingerprint"] = baseline_fingerprint
-        return self._request_doc("POST", "/v1/analyze", body)
+        headers = (
+            {"traceparent": traceparent} if traceparent else None
+        )
+        _, _, raw = self._request(
+            "POST", "/v1/analyze", body, headers=headers
+        )
+        return json.loads(raw.decode("utf-8"))
 
     def job(self, job_id: str) -> dict:
         return self._request_doc("GET", f"/v1/jobs/{job_id}")
@@ -171,6 +192,14 @@ class ServiceClient:
         """Chrome trace-event JSON of the job's own analysis spans."""
         _, _, raw = self._request("GET", f"/v1/jobs/{job_id}/trace")
         return raw
+
+    def stitched_trace(self, trace_id: str) -> dict:
+        """GET /v1/traces/{trace_id}: the merged Chrome trace of one
+        distributed request.  Against a daemon this holds the spans it
+        executed; against the router it aggregates every ring member,
+        so a routed sweep shows router, replicas, worker processes,
+        and all child jobs on one time axis."""
+        return self._request_doc("GET", f"/v1/traces/{trace_id}")
 
     def cancel(self, job_id: str) -> dict:
         return self._request_doc("POST", f"/v1/jobs/{job_id}/cancel")

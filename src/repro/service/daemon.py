@@ -6,6 +6,8 @@ Architecture (one process, stdlib only)::
         POST /v1/analyze  ->  resolve spec -> content key -> dedup
                               -> bounded queue (429 when full)
         GET  /v1/jobs/... ->  registry lookup (never blocks on work)
+        GET  /v1/traces/..->  stitched Chrome trace of one request
+                              (TraceCollector; /segments = raw spans)
         GET  /healthz     ->  liveness + load snapshot
         GET  /metrics     ->  Prometheus text exposition
                    |
@@ -53,6 +55,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import IO, Optional, Tuple
 from urllib.parse import urlsplit
 
+from ..obs import TraceCollector, merged_trace_document
+from ..obs.context import TraceContext, new_trace_context
 from .executor import execute_job
 from .jobs import Job, JobRegistry, JobState, derive_job_key, derive_sweep_key
 from .jsonlog import JsonLogger
@@ -76,7 +80,26 @@ _JOB_PATH = re.compile(
     r"(?:/(?P<sub>report|metrics|flamegraph|trace|cancel))?$"
 )
 
+_TRACE_PATH = re.compile(
+    r"^/v1/traces/(?P<id>[0-9a-f]{32})(?:/(?P<sub>segments))?$"
+)
+
 EXECUTION_MODES = ("thread", "process")
+
+
+def _fold_shard_seconds(span_docs) -> list:
+    """Durations of every ``fold.shard`` span in a span-doc forest
+    (the per-shard busy windows the parallel fold synthesized)."""
+    out = []
+    stack = list(span_docs or [])
+    while stack:
+        doc = stack.pop()
+        if doc.get("name") == "fold.shard":
+            out.append(
+                max(0.0, doc.get("t1", 0.0) - doc.get("t0", 0.0))
+            )
+        stack.extend(doc.get("children", ()))
+    return out
 
 
 class Draining(Exception):
@@ -150,6 +173,9 @@ class AnalysisService:
             )
         self.registry = JobRegistry(retain=config.retain_jobs)
         self.queue = BoundedJobQueue(config.queue_depth)
+        #: span segments of finished jobs, keyed by trace id, served
+        #: (merged) on GET /v1/traces/{trace_id}
+        self.traces = TraceCollector()
         self._draining = threading.Event()
         self._stop_workers = threading.Event()
         self._worker_threads: list = []
@@ -245,6 +271,21 @@ class AnalysisService:
         self.h_feedback = m.histogram(
             "repro_service_stage_feedback_seconds",
             "Feedback/planning seconds.",
+        )
+        # request-latency breakdown, derived from job timestamps and
+        # the stitched span forest rather than ad-hoc stopwatches
+        self.h_queue_wait = m.histogram(
+            "repro_service_queue_wait_seconds",
+            "Seconds between submission and a worker claiming the job.",
+        )
+        self.h_worker_exec = m.histogram(
+            "repro_service_worker_exec_seconds",
+            "Wall seconds a worker slot owned the job (incl. pipe "
+            "transit in process mode).",
+        )
+        self.h_fold_shard = m.histogram(
+            "repro_service_fold_shard_seconds",
+            "Per-shard fold.shard span seconds of completed jobs.",
         )
         self.g_queue_capacity.set(self.config.queue_depth)
         self.g_workers.set(self.config.workers)
@@ -476,17 +517,29 @@ class AnalysisService:
             has_store=self.store is not None,
         )
 
-    def submit(self, body: dict) -> Tuple[Job, bool, Optional[int]]:
+    def submit(
+        self, body: dict, trace: Optional[dict] = None
+    ) -> Tuple[Job, bool, Optional[int]]:
         """Returns (job, deduplicated, queue_position).  Raises
         :class:`BadRequest`, :class:`Draining`, or
-        :class:`~repro.service.queue.QueueFull`."""
+        :class:`~repro.service.queue.QueueFull`.
+
+        ``trace`` is the distributed trace context
+        (:meth:`~repro.obs.context.TraceContext.as_dict`) the request
+        arrived under; None mints a fresh one, so every job runs under
+        *some* trace.  A deduplicated submission keeps the existing
+        job's trace -- the work only ran once, under the first
+        requester's identity.
+        """
         if self._draining.is_set():
             raise Draining()
         if not isinstance(body, dict):
             raise BadRequest("request body must be a JSON object")
+        if trace is None:
+            trace = new_trace_context().as_dict()
         points = sweep_points(body)
         if points is not None:
-            return self._submit_sweep(body, points)
+            return self._submit_sweep(body, points, trace)
         spec, workload, inline = self._build_spec(body)
         options = self._build_options(body)
         key = derive_job_key(spec, options)
@@ -501,6 +554,7 @@ class AnalysisService:
                 options=options,
                 inline=inline,
                 bindings=body.get("bindings"),
+                trace=dict(trace),
             )
 
         job, deduped = self.registry.submit(key, factory)
@@ -520,7 +574,7 @@ class AnalysisService:
         return job, False, position
 
     def _submit_sweep(
-        self, body: dict, points: list
+        self, body: dict, points: list, trace: dict
     ) -> Tuple[Job, bool, Optional[int]]:
         """Submit one sweep parent plus its fanned-out point children.
 
@@ -532,6 +586,11 @@ class AnalysisService:
         first and warms the shared store, turning the parent's merge
         pass into decode work.  A child bounced by a full queue is
         tolerated silently -- the parent computes that point itself.
+
+        Children inherit the parent's trace context *verbatim* (not a
+        derived child context): each child's root spans parent under
+        the same front-door span, so the whole fan-out stitches into
+        one trace with one span forest per executing process.
         """
         options = self._build_options(body)
         workload = body["workload"]
@@ -551,6 +610,7 @@ class AnalysisService:
                 options=options,
                 inline=False,
                 sweep_points=[dict(p) for p in points],
+                trace=dict(trace),
             )
 
         job, deduped = self.registry.submit(key, factory)
@@ -563,7 +623,9 @@ class AnalysisService:
             # they would only double the sweep's cost
             for point in points:
                 try:
-                    child, _, _ = self.submit(child_body(body, point))
+                    child, _, _ = self.submit(
+                        child_body(body, point), trace=trace
+                    )
                     job.sweep_children.append(child.id)
                 except QueueFull:
                     pass
@@ -612,8 +674,10 @@ class AnalysisService:
                 job_id=job.id,
                 workload=job.workload,
                 engine=job.options.engine,
+                trace_id=job.trace_id,
             )
             started_before = job.started_at
+            claimed_at = time.monotonic()
             try:
                 if self._process_workers and job.sweep_points is None:
                     self._process_workers[index].run_job(job)
@@ -641,6 +705,10 @@ class AnalysisService:
                 )
             if job.started_at is not None and started_before is None:
                 self.c_executed.inc()
+                self.h_queue_wait.observe(
+                    max(0.0, (job.started_at or 0.0) - job.created_at)
+                )
+                self.h_worker_exec.observe(time.monotonic() - claimed_at)
             if job.state == JobState.DONE:
                 self.c_completed.inc()
                 # every histogram below is read off the job's span
@@ -650,6 +718,8 @@ class AnalysisService:
                 self.h_instr1.observe(job.timings.get("instr1", 0.0))
                 self.h_instr2.observe(job.timings.get("instr2_fold", 0.0))
                 self.h_feedback.observe(job.timings.get("feedback", 0.0))
+                for shard_seconds in _fold_shard_seconds(job.span_docs):
+                    self.h_fold_shard.observe(shard_seconds)
                 if job.cache_hit:
                     self.c_warm.inc()
             elif job.state == JobState.TIMEOUT:
@@ -658,6 +728,15 @@ class AnalysisService:
                 self.c_cancelled.inc()
             elif job.state == JobState.FAILED:
                 self.c_failed.inc()
+            if job.span_docs and job.trace_id:
+                self.traces.add(
+                    job.trace_id,
+                    source=self.config.replica_id or "daemon",
+                    spans=job.span_docs,
+                    pid=job.exec_pid,
+                    clock=job.clock,
+                    job_id=job.id,
+                )
             self.g_busy.dec()
             self._current_jobs[index] = None
             log.info(
@@ -666,6 +745,7 @@ class AnalysisService:
                 state=job.state,
                 seconds=round(job.total_seconds or job.wall_seconds() or 0.0, 6),
                 cache_hit=job.cache_hit,
+                trace_id=job.trace_id,
             )
 
     # -- health ----------------------------------------------------------------
@@ -703,6 +783,28 @@ class AnalysisService:
             if persisted is not None:
                 doc["store_persisted"] = persisted
         return doc
+
+    # -- traces ----------------------------------------------------------------
+
+    def trace_doc(self, trace_id: str) -> Optional[dict]:
+        """The stitched Chrome trace of one request, or None if this
+        daemon retained no segment of it."""
+        segments = self.traces.get(trace_id)
+        if segments is None:
+            return None
+        return merged_trace_document(segments, trace_id=trace_id)
+
+    def trace_segments_doc(self, trace_id: str) -> Optional[dict]:
+        """The raw retained segments of one trace -- what the router
+        aggregates from every ring member before merging."""
+        segments = self.traces.get(trace_id)
+        if segments is None:
+            return None
+        return {
+            "version": SERVICE_API_VERSION,
+            "trace_id": trace_id,
+            "segments": segments,
+        }
 
 
 # -- the HTTP layer -----------------------------------------------------------------
@@ -778,6 +880,7 @@ def _make_handler(service: AnalysisService):
             rid = service.next_request_id()
             t0 = time.monotonic()
             path = urlsplit(self.path).path
+            self._trace_id = None  # set once a handler learns it
             try:
                 if path == "/healthz":
                     doc = service.health_doc()
@@ -789,15 +892,21 @@ def _make_handler(service: AnalysisService):
                         content_type="text/plain; version=0.0.4",
                     )
                 else:
-                    match = _JOB_PATH.match(path)
-                    if match is None:
-                        self._error(404, f"no route for {path}")
-                    elif match.group("sub") == "cancel":
-                        self._error(405, "cancel requires POST")
-                    else:
-                        self._job_get(
+                    match = _TRACE_PATH.match(path)
+                    if match is not None:
+                        self._trace_get(
                             match.group("id"), match.group("sub")
                         )
+                    else:
+                        match = _JOB_PATH.match(path)
+                        if match is None:
+                            self._error(404, f"no route for {path}")
+                        elif match.group("sub") == "cancel":
+                            self._error(405, "cancel requires POST")
+                        else:
+                            self._job_get(
+                                match.group("id"), match.group("sub")
+                            )
             except BrokenPipeError:  # client went away; nothing to send
                 pass
             except Exception as exc:
@@ -810,19 +919,36 @@ def _make_handler(service: AnalysisService):
                 except Exception:
                     pass
             finally:
+                fields = {}
+                if self._trace_id:
+                    fields["trace_id"] = self._trace_id
                 service.logger.info(
                     "http_request",
                     request_id=rid,
                     method="GET",
                     path=path,
                     seconds=round(time.monotonic() - t0, 6),
+                    **fields,
                 )
+
+        def _trace_get(self, trace_id: str, sub: Optional[str]) -> None:
+            self._trace_id = trace_id
+            doc = (
+                service.trace_segments_doc(trace_id)
+                if sub == "segments"
+                else service.trace_doc(trace_id)
+            )
+            if doc is None:
+                self._error(404, f"unknown trace {trace_id!r}")
+            else:
+                self._send_doc(200, doc)
 
         def _job_get(self, job_id: str, sub: Optional[str]) -> None:
             job = service.registry.get(job_id)
             if job is None:
                 self._error(404, f"unknown job {job_id!r}")
                 return
+            self._trace_id = job.trace_id
             if sub is None:
                 doc = job.status_doc(SERVICE_API_VERSION)
                 position = service.queue.position(job)
@@ -860,6 +986,7 @@ def _make_handler(service: AnalysisService):
             t0 = time.monotonic()
             path = urlsplit(self.path).path
             status = "ok"
+            self._trace_id = None
             try:
                 if path == "/v1/analyze":
                     self._analyze(rid)
@@ -872,6 +999,7 @@ def _make_handler(service: AnalysisService):
                                 404, f"unknown job {match.group('id')!r}"
                             )
                         else:
+                            self._trace_id = job.trace_id
                             service.cancel(job)
                             self._send_doc(
                                 200, job.status_doc(SERVICE_API_VERSION)
@@ -891,6 +1019,9 @@ def _make_handler(service: AnalysisService):
                 except Exception:
                     pass
             finally:
+                fields = {}
+                if self._trace_id:
+                    fields["trace_id"] = self._trace_id
                 service.logger.info(
                     "http_request",
                     request_id=rid,
@@ -898,12 +1029,24 @@ def _make_handler(service: AnalysisService):
                     path=path,
                     status=status,
                     seconds=round(time.monotonic() - t0, 6),
+                    **fields,
                 )
 
         def _analyze(self, request_id: str) -> None:
+            # front door of the distributed trace: adopt the caller's
+            # traceparent (router, CLI client) or mint a fresh context;
+            # a malformed header degrades to minting, never to a 4xx
+            ctx = TraceContext.from_traceparent(
+                self.headers.get("traceparent")
+            )
+            if ctx is None:
+                ctx = new_trace_context()
+            self._trace_id = ctx.trace_id
             try:
                 body = self._read_body()
-                job, deduped, position = service.submit(body)
+                job, deduped, position = service.submit(
+                    body, trace=ctx.as_dict()
+                )
             except BadRequest as exc:
                 self._error(400, str(exc))
                 return
@@ -920,6 +1063,9 @@ def _make_handler(service: AnalysisService):
                     headers={"Retry-After": "1"},
                 )
                 return
+            # a dedup hit keeps the existing job's trace: report the
+            # trace that actually covers the work, not the minted one
+            self._trace_id = job.trace_id or ctx.trace_id
             doc = {
                 "version": SERVICE_API_VERSION,
                 "job": job.id,
@@ -927,6 +1073,7 @@ def _make_handler(service: AnalysisService):
                 "workload": job.workload,
                 "state": job.state,
                 "deduplicated": deduped,
+                "trace_id": self._trace_id,
             }
             if position is not None:
                 doc["queue_position"] = position
@@ -936,6 +1083,7 @@ def _make_handler(service: AnalysisService):
                 job_id=job.id,
                 workload=job.workload,
                 deduplicated=deduped,
+                trace_id=self._trace_id,
             )
             self._send_doc(200 if deduped else 202, doc)
 

@@ -21,6 +21,7 @@ answer is already there.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 import traceback
@@ -28,7 +29,8 @@ from typing import Optional
 
 from ..feedback.jsonout import metrics_document, render_json, report_document
 from ..isa.events import Instrumentation
-from ..obs import Tracer, chrome_trace_document
+from ..obs import Tracer, chrome_trace_document, clock_anchor
+from ..obs.context import TraceContext
 from .jobs import Job, JobState
 
 
@@ -113,6 +115,7 @@ def run_analysis(
     store=None,
     cancel_event: Optional[threading.Event] = None,
     heartbeat=None,
+    trace_ctx: Optional[TraceContext] = None,
 ) -> dict:
     """Execute one analysis to a plain, picklable **outcome** dict.
 
@@ -144,8 +147,11 @@ def run_analysis(
     outcome: dict = {"state": JobState.FAILED, "error": None}
     # one span tree per job: StageTimings, the daemon's stage
     # histograms, the /trace artifact, and the progress heartbeats all
-    # read off it
-    tracer = Tracer(on_phase=lambda phase: _beat(phase=phase))
+    # read off it; the trace context parents the roots under the
+    # submitting front door's span so cross-process stitching works
+    tracer = Tracer(
+        on_phase=lambda phase: _beat(phase=phase), context=trace_ctx
+    )
     try:
         result = analyze(
             spec,
@@ -200,6 +206,12 @@ def run_analysis(
             "trace_json": (
                 json.dumps(trace_doc, indent=2) + "\n"
             ).encode("utf-8"),
+            # distributed-trace segment: the span forest, where it ran,
+            # and a clock anchor so the collector can stitch timelines
+            # from different processes onto one axis
+            "spans": tracer.to_dicts(),
+            "pid": os.getpid(),
+            "clock": clock_anchor(),
         }
     except JobTimeout:
         outcome = {
@@ -231,6 +243,7 @@ def run_sweep_analysis(
     store=None,
     cancel_event: Optional[threading.Event] = None,
     heartbeat=None,
+    trace_ctx: Optional[TraceContext] = None,
 ) -> dict:
     """Execute one sweep *parent* job to an outcome dict.
 
@@ -255,7 +268,9 @@ def run_sweep_analysis(
     observer = DeadlineObserver(deadline, cancel_event)
     progress = _ProgressObserver(_beat)
     outcome: dict = {"state": JobState.FAILED, "error": None}
-    tracer = Tracer(on_phase=lambda phase: _beat(phase=phase))
+    tracer = Tracer(
+        on_phase=lambda phase: _beat(phase=phase), context=trace_ctx
+    )
     try:
         with tracer.span("sweep", cat="sweep", workload=workload):
             result = run_sweep(
@@ -297,6 +312,9 @@ def run_sweep_analysis(
             "trace_json": (
                 json.dumps(trace_doc, indent=2) + "\n"
             ).encode("utf-8"),
+            "spans": tracer.to_dicts(),
+            "pid": os.getpid(),
+            "clock": clock_anchor(),
         }
     except JobTimeout:
         outcome = {
@@ -353,8 +371,16 @@ def apply_outcome(job: Job, outcome: dict, logger=None) -> Job:
         job.metrics_json = outcome["metrics_json"]
         job.flamegraph_svg = outcome["flamegraph_svg"]
         job.trace_json = outcome["trace_json"]
+        job.span_docs = outcome.get("spans")
+        job.exec_pid = outcome.get("pid")
+        job.clock = outcome.get("clock")
     elif state == JobState.FAILED and logger is not None:
-        logger.error("job_failed", job_id=job.id, error=job.error)
+        logger.error(
+            "job_failed",
+            job_id=job.id,
+            error=job.error,
+            trace_id=job.trace_id,
+        )
     job.transition((JobState.RUNNING,), state)
     return job
 
@@ -365,6 +391,9 @@ def execute_job(job: Job, store=None, logger=None) -> Job:
     if not job.transition((JobState.QUEUED,), JobState.RUNNING):
         # cancelled while queued (or already terminal): nothing to do
         return job
+    trace_ctx = (
+        TraceContext.from_dict(job.trace) if job.trace else None
+    )
     if job.sweep_points is not None:
         outcome = run_sweep_analysis(
             job.workload,
@@ -373,6 +402,7 @@ def execute_job(job: Job, store=None, logger=None) -> Job:
             store=store,
             cancel_event=job.cancel_event,
             heartbeat=job.heartbeat,
+            trace_ctx=trace_ctx,
         )
     else:
         outcome = run_analysis(
@@ -381,5 +411,6 @@ def execute_job(job: Job, store=None, logger=None) -> Job:
             store=store,
             cancel_event=job.cancel_event,
             heartbeat=job.heartbeat,
+            trace_ctx=trace_ctx,
         )
     return apply_outcome(job, outcome, logger=logger)

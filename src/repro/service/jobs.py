@@ -129,6 +129,12 @@ class Job:
     #: a child rejected by a full queue is simply absent -- the parent
     #: computes that point itself)
     sweep_children: List[str] = field(default_factory=list)
+    #: distributed trace context (TraceContext.as_dict) this job runs
+    #: under -- minted at the front door or adopted from an incoming
+    #: ``traceparent`` header; sweep children carry the parent job's
+    #: context verbatim so the whole fan-out stitches into one trace.
+    #: A deduplicated submission keeps the *existing* job's trace.
+    trace: Optional[dict] = None
     state: str = JobState.QUEUED
     created_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
@@ -159,6 +165,16 @@ class Job:
     #: artifacts stay byte-identical to a cold run, so this is the only
     #: place the incremental account surfaces
     incremental: Optional[dict] = None
+    #: exported span forest (Span.to_dict docs) of the execution,
+    #: attached on completion so the daemon's TraceCollector can serve
+    #: the stitched timeline; stays None for inline/deduped paths
+    span_docs: Optional[list] = None
+    #: pid of the process that executed the spans (a pool worker for
+    #: process-mode jobs, the daemon itself for thread-mode)
+    exec_pid: Optional[int] = None
+    #: the executing process's clock anchor (obs.collect.clock_anchor),
+    #: pairing its perf_counter with the epoch for cross-process merge
+    clock: Optional[dict] = None
     #: cooperative cancellation flag, checked by the deadline observer
     cancel_event: threading.Event = field(default_factory=threading.Event)
     #: guards state transitions (workers vs. cancel vs. drain)
@@ -167,6 +183,13 @@ class Job:
     @property
     def terminal(self) -> bool:
         return self.state in JobState.TERMINAL
+
+    @property
+    def trace_id(self) -> Optional[str]:
+        """The distributed trace id this job runs under, if any."""
+        if self.trace:
+            return self.trace.get("trace_id")
+        return None
 
     def transition(self, from_states: Tuple[str, ...], to: str) -> bool:
         """Atomically move ``from_states -> to``; False if not in one."""
@@ -214,6 +237,7 @@ class Job:
                 "hit": self.cache_hit,
             },
             "error": self.error,
+            "trace_id": self.trace_id,
         }
         if self.bindings is not None:
             doc["bindings"] = dict(self.bindings)

@@ -108,6 +108,7 @@ def _worker_main(ctl, evt, cache_dir, cache_max_bytes) -> None:
     and results never interleave mid-message.  Pipe death (the daemon
     went away) exits the worker rather than leaving an orphan.
     """
+    from ..obs.context import TraceContext
     from ..store import ArtifactStore
     from .executor import run_analysis
 
@@ -166,12 +167,18 @@ def _worker_main(ctl, evt, cache_dir, cache_max_bytes) -> None:
             try:
                 spec = _rebuild_spec(data["payload"])
                 options = JobOptions(**data["options"])
+                trace_ctx = (
+                    TraceContext.from_dict(data["trace"])
+                    if data.get("trace")
+                    else None
+                )
                 outcome = run_analysis(
                     spec,
                     options,
                     store=store,
                     cancel_event=data["_cancel"],
                     heartbeat=_beat,
+                    trace_ctx=trace_ctx,
                 )
             except Exception as exc:  # spec/options rebuild failed
                 outcome = {
@@ -365,6 +372,9 @@ class ProcessWorker:
             "job_id": job.id,
             "payload": payload,
             "options": job.options.as_dict(),
+            # trace context crosses the pipe as a plain dict so the
+            # worker's root spans stitch under the submitting request
+            "trace": dict(job.trace) if job.trace else None,
         }
         try:
             self._ctl.send(("job", message))

@@ -38,6 +38,7 @@ from __future__ import annotations
 import bisect
 import hashlib
 import json
+import os
 import re
 import signal
 import threading
@@ -48,7 +49,9 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import IO, List, Optional, Tuple
 from urllib.parse import urlsplit
 
-from .daemon import SERVICE_API_VERSION, _JOB_PATH
+from ..obs import TraceCollector, Tracer, clock_anchor, merged_trace_document
+from ..obs.context import TraceContext, new_trace_context
+from .daemon import SERVICE_API_VERSION, _JOB_PATH, _TRACE_PATH
 from .jsonlog import JsonLogger
 from .metrics import MetricsRegistry
 from .submission import BadRequest, routing_key
@@ -151,6 +154,9 @@ class AnalysisRouter:
         self._state_lock = threading.Lock()
         #: job id -> home node (relearned by probing when missing)
         self._job_homes: dict = {}
+        #: the router's own route.forward span segments per trace;
+        #: GET /v1/traces/{id} merges these with every ring member's
+        self.traces = TraceCollector()
         self._server: Optional[ThreadingHTTPServer] = None
         self._server_thread: Optional[threading.Thread] = None
         self._health_thread: Optional[threading.Thread] = None
@@ -185,6 +191,10 @@ class AnalysisRouter:
         )
         self.g_replicas_up = m.gauge(
             "repro_router_replicas_up", "Ring members currently healthy."
+        )
+        self.h_forward = m.histogram(
+            "repro_router_forward_seconds",
+            "Seconds spent forwarding one request to a replica.",
         )
         self.g_replicas.set(len(self.ring.nodes))
 
@@ -250,18 +260,24 @@ class AnalysisRouter:
         method: str,
         path: str,
         body: Optional[bytes] = None,
+        headers: Optional[dict] = None,
     ) -> Tuple[int, dict, bytes]:
         """One proxied request; raises OSError when the replica is
-        unreachable (callers fail over)."""
+        unreachable (callers fail over).  ``headers`` are sent in
+        addition to the defaults (the ``traceparent`` propagation
+        hop rides here)."""
         host, port = _split_node(node)
         conn = HTTPConnection(
             host, port, timeout=self.config.proxy_timeout
         )
+        t0 = time.monotonic()
         try:
-            headers = {}
+            send_headers = dict(headers or {})
             if body is not None:
-                headers["Content-Type"] = "application/json"
-            conn.request(method, path, body=body, headers=headers)
+                send_headers.setdefault(
+                    "Content-Type", "application/json"
+                )
+            conn.request(method, path, body=body, headers=send_headers)
             resp = conn.getresponse()
             raw = resp.read()
             return (
@@ -271,6 +287,7 @@ class AnalysisRouter:
             )
         finally:
             conn.close()
+            self.h_forward.observe(time.monotonic() - t0)
 
     def submit_candidates(self, key: str) -> List[str]:
         states = self.replica_states()
@@ -281,37 +298,76 @@ class AnalysisRouter:
         ]
 
     def route_submission(
-        self, body: dict, raw: bytes
+        self, body: dict, raw: bytes,
+        trace_ctx: Optional[TraceContext] = None,
     ) -> Tuple[int, dict, bytes]:
         """Forward one ``POST /v1/analyze`` body along the preference
-        list; remembers the accepting replica as the job's home."""
+        list; remembers the accepting replica as the job's home.
+
+        ``trace_ctx`` is the request's distributed trace context (the
+        handler adopts the incoming ``traceparent`` or mints one); the
+        forward hop propagates it as a ``traceparent`` header and the
+        router records its own ``route.forward`` span under it, so the
+        stitched trace shows the routing hop between the client and
+        the executing replica."""
         key = routing_key(body, default_engine=self.config.default_engine)
+        if trace_ctx is None:
+            trace_ctx = new_trace_context()
         candidates = self.submit_candidates(key)
         if not candidates:
             self.c_unroutable.inc()
             raise NoReplica(key)
-        for attempt, node in enumerate(candidates):
-            try:
-                status, headers, out = self._forward(
-                    node, "POST", "/v1/analyze", raw
-                )
-            except OSError:
-                self._set_state(node, "down")
-                self.c_failovers.inc()
-                continue
-            self.c_forwards.inc()
-            if attempt:
-                self.logger.info(
-                    "submission_failed_over", key=key[:16], node=node
-                )
-            if status in (200, 202):
-                try:
-                    job_id = json.loads(out.decode("utf-8")).get("job")
-                except ValueError:  # pragma: no cover - replica bug
-                    job_id = None
-                if job_id:
-                    self._job_homes[job_id] = node
-            return status, headers, out
+        tracer = Tracer(context=trace_ctx)
+        try:
+            result = None
+            with tracer.span("route.submit", cat="route", key=key[:16]):
+                for attempt, node in enumerate(candidates):
+                    try:
+                        with tracer.span(
+                            "route.forward", cat="route", node=node
+                        ):
+                            status, headers, out = self._forward(
+                                node, "POST", "/v1/analyze", raw,
+                                headers={
+                                    "traceparent":
+                                        tracer.current_context()
+                                        .to_traceparent()
+                                },
+                            )
+                    except OSError:
+                        self._set_state(node, "down")
+                        self.c_failovers.inc()
+                        continue
+                    self.c_forwards.inc()
+                    if attempt:
+                        self.logger.info(
+                            "submission_failed_over",
+                            key=key[:16],
+                            node=node,
+                            trace_id=trace_ctx.trace_id,
+                        )
+                    if status in (200, 202):
+                        try:
+                            job_id = json.loads(
+                                out.decode("utf-8")
+                            ).get("job")
+                        except ValueError:  # pragma: no cover - replica bug
+                            job_id = None
+                        if job_id:
+                            self._job_homes[job_id] = node
+                    result = status, headers, out
+                    break
+        finally:
+            tracer.close()
+            self.traces.add(
+                trace_ctx.trace_id,
+                source="router",
+                spans=tracer.to_dicts(),
+                pid=os.getpid(),
+                clock=clock_anchor(),
+            )
+        if result is not None:
+            return result
         self.c_unroutable.inc()
         raise NoReplica(key)
 
@@ -350,6 +406,41 @@ class AnalysisRouter:
             # the job's registry died with its daemon -- retryable
             raise JobHomeDown(job_id)
         return last_404
+
+    # -- traces ----------------------------------------------------------------
+
+    def trace_doc(self, trace_id: str) -> Optional[dict]:
+        """One stitched Chrome trace aggregated across the whole ring.
+
+        The router holds only its own ``route.forward`` segments; the
+        replica that executed the job (and, for a sweep, every replica
+        that executed a child) holds the span forests.  Ask every
+        non-down ring member for its raw segments, concatenate with
+        ours, and merge -- the segments carry per-process clock
+        anchors, so the merged document shows router, replicas, and
+        worker processes on one aligned time axis."""
+        segments = list(self.traces.get(trace_id) or [])
+        states = self.replica_states()
+        for node in self.ring.nodes:
+            if states.get(node) == "down":
+                continue
+            try:
+                status, _, out = self._forward(
+                    node, "GET", f"/v1/traces/{trace_id}/segments"
+                )
+            except OSError:
+                self._set_state(node, "down")
+                continue
+            if status != 200:
+                continue
+            try:
+                doc = json.loads(out.decode("utf-8"))
+            except ValueError:  # pragma: no cover - replica bug
+                continue
+            segments.extend(doc.get("segments") or [])
+        if not segments:
+            return None
+        return merged_trace_document(segments, trace_id=trace_id)
 
     # -- documents -------------------------------------------------------------
 
@@ -552,6 +643,18 @@ def _make_router_handler(router: AnalysisRouter):
                         content_type="text/plain; version=0.0.4",
                     )
                 else:
+                    trace_match = _TRACE_PATH.match(path)
+                    if trace_match is not None:
+                        doc = router.trace_doc(trace_match.group("id"))
+                        if doc is None:
+                            self._error(
+                                404,
+                                "unknown trace "
+                                f"{trace_match.group('id')!r}",
+                            )
+                        else:
+                            self._send_doc(200, doc)
+                        return
                     match = _JOB_PATH.match(path)
                     if match is None:
                         self._error(404, f"no route for {path}")
@@ -625,8 +728,15 @@ def _make_router_handler(router: AnalysisRouter):
             except (UnicodeDecodeError, json.JSONDecodeError) as exc:
                 self._error(400, f"request body is not JSON: {exc}")
                 return
+            # the router is a trace front door too: adopt the caller's
+            # traceparent or mint one before the forward hop
+            ctx = TraceContext.from_traceparent(
+                self.headers.get("traceparent")
+            )
+            if ctx is None:
+                ctx = new_trace_context()
             try:
-                result = router.route_submission(body, raw)
+                result = router.route_submission(body, raw, trace_ctx=ctx)
             except BadRequest as exc:
                 # reject at the edge: no replica could accept this
                 self._error(400, str(exc))

@@ -142,6 +142,11 @@ def run_sweep(
         with tracer.span(
             "sweep.warm", cat="sweep", workload=workload, points=len(grid)
         ):
+            # hand the warm pool the open sweep.warm span as trace
+            # context: each point's spans (in their fork-pool worker
+            # processes) parent under it, so a distributed sweep trace
+            # shows the fan-out instead of disconnected forests
+            warm_ctx = tracer.current_context()
             run_suite(
                 [_PointTask(workload, point) for point in grid],
                 jobs=jobs,
@@ -152,6 +157,7 @@ def run_sweep(
                 cache_dir=store.root,
                 cache_max_bytes=store.max_bytes,
                 fold_jobs=fold_jobs,
+                trace=warm_ctx.as_dict() if warm_ctx else None,
             )
 
     profiles: List[RunProfile] = []

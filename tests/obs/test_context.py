@@ -1,0 +1,162 @@
+"""TraceContext: ids, traceparent wire format, span round-trips.
+
+The distributed-tracing contract starts here: every front door mints
+or adopts a :class:`~repro.obs.context.TraceContext`, serializes it as
+a W3C-style ``traceparent`` header (HTTP hops) or a plain dict
+(procpool ctl pipes, fork pools), and every :class:`~repro.obs.Tracer`
+root parents under it.  These tests pin the format so a daemon from
+one build stitches with a router from another.
+"""
+
+import pytest
+
+from repro.obs import Span, Tracer
+from repro.obs.context import (
+    TraceContext,
+    new_span_id,
+    new_trace_context,
+    new_trace_id,
+)
+
+
+class TestIds:
+    def test_trace_id_is_32_lower_hex(self):
+        tid = new_trace_id()
+        assert len(tid) == 32
+        assert tid == tid.lower()
+        int(tid, 16)
+
+    def test_span_id_is_16_lower_hex(self):
+        sid = new_span_id()
+        assert len(sid) == 16
+        int(sid, 16)
+
+    def test_ids_are_unique(self):
+        assert len({new_trace_id() for _ in range(256)}) == 256
+        assert len({new_span_id() for _ in range(256)}) == 256
+
+    def test_ids_never_all_zero(self):
+        # all-zero ids are invalid per the traceparent spec; the
+        # generator coerces them rather than emitting an unparseable
+        # context (probabilistically untestable directly, so pin the
+        # parse-side rejection instead)
+        assert TraceContext.from_traceparent(
+            "00-" + "0" * 32 + "-" + "1" * 16 + "-01"
+        ) is None
+        assert TraceContext.from_traceparent(
+            "00-" + "1" * 32 + "-" + "0" * 16 + "-01"
+        ) is None
+
+
+class TestTraceparent:
+    def test_round_trip(self):
+        ctx = new_trace_context()
+        back = TraceContext.from_traceparent(ctx.to_traceparent())
+        assert back == ctx
+
+    def test_unsampled_round_trip(self):
+        ctx = new_trace_context(sampled=False)
+        header = ctx.to_traceparent()
+        assert header.endswith("-00")
+        back = TraceContext.from_traceparent(header)
+        assert back is not None
+        assert back.sampled is False
+
+    def test_header_shape(self):
+        header = new_trace_context().to_traceparent()
+        version, trace_id, span_id, flags = header.split("-")
+        assert version == "00"
+        assert len(trace_id) == 32
+        assert len(span_id) == 16
+        assert flags == "01"
+
+    def test_case_and_whitespace_tolerant(self):
+        ctx = new_trace_context()
+        header = "  " + ctx.to_traceparent().upper() + "  "
+        assert TraceContext.from_traceparent(header) == ctx
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            None,
+            42,
+            "",
+            "garbage",
+            "00-short-span-01",
+            "00-" + "g" * 32 + "-" + "1" * 16 + "-01",
+            "00-" + "1" * 32 + "-" + "2" * 16,  # missing flags
+            "ff-" + "1" * 32 + "-" + "2" * 16 + "-01",  # bad version
+        ],
+    )
+    def test_malformed_returns_none(self, bad):
+        # a malformed inbound header must never fail a request --
+        # front doors fall back to minting a fresh context
+        assert TraceContext.from_traceparent(bad) is None
+
+
+class TestDictCodec:
+    def test_as_dict_from_dict_round_trip(self):
+        ctx = new_trace_context()
+        assert TraceContext.from_dict(ctx.as_dict()) == ctx
+
+    def test_child_shares_trace_new_span(self):
+        ctx = new_trace_context()
+        kid = ctx.child()
+        assert kid.trace_id == ctx.trace_id
+        assert kid.span_id != ctx.span_id
+
+
+class TestSpanRoundTrip:
+    def test_span_to_dict_from_dict_lossless(self):
+        ctx = new_trace_context()
+        tracer = Tracer(context=ctx)
+        with tracer.span("outer", cat="test", detail="x"):
+            with tracer.span("inner", cat="test"):
+                pass
+        tracer.close()
+        for doc in tracer.to_dicts():
+            back = Span.from_dict(doc)
+            assert back.to_dict() == doc
+
+    def test_remote_parent_linkage_survives_round_trip(self):
+        # the executor serializes spans over the procpool evt pipe as
+        # dicts; the stitcher must still see the remote parent
+        ctx = new_trace_context()
+        tracer = Tracer(context=ctx)
+        with tracer.span("analyze", cat="pipeline"):
+            pass
+        tracer.close()
+        (root_doc,) = tracer.to_dicts()
+        assert root_doc["trace_id"] == ctx.trace_id
+        assert root_doc["parent_id"] == ctx.span_id
+        root = Span.from_dict(root_doc)
+        assert root.trace_id == ctx.trace_id
+        assert root.parent_id == ctx.span_id
+
+    def test_nested_spans_parent_locally(self):
+        ctx = new_trace_context()
+        tracer = Tracer(context=ctx)
+        with tracer.span("outer", cat="test"):
+            with tracer.span("inner", cat="test"):
+                pass
+        tracer.close()
+        (outer_doc,) = tracer.to_dicts()
+        (inner_doc,) = outer_doc["children"]
+        assert inner_doc["trace_id"] == ctx.trace_id
+        assert inner_doc["parent_id"] == outer_doc["span_id"]
+
+    def test_current_context_tracks_innermost_open_span(self):
+        ctx = new_trace_context()
+        tracer = Tracer(context=ctx)
+        assert tracer.current_context() == ctx
+        with tracer.span("outer", cat="test"):
+            inner_ctx = tracer.current_context()
+            assert inner_ctx is not None
+            assert inner_ctx.trace_id == ctx.trace_id
+            assert inner_ctx.span_id != ctx.span_id
+        tracer.close()
+
+    def test_disabled_tracer_has_no_context(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("ignored", cat="test"):
+            assert tracer.current_context() is None
